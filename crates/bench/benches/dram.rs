@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the cycle-level DRAM simulator: simulation
+//! throughput and measured sustained bandwidth across access patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use booster_dram::{pattern_trace, run_trace, DramConfig, Pattern};
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_trace");
+    g.sample_size(10);
+    let cfg = DramConfig::default();
+    let cases = [
+        ("sequential", Pattern::Sequential),
+        ("sparse_d10", Pattern::SparseAscending { density: 0.1 }),
+        ("sparse_d1", Pattern::SparseAscending { density: 0.01 }),
+        ("random", Pattern::Random { span: 1 << 22 }),
+    ];
+    for (name, pattern) in cases {
+        let trace = pattern_trace(pattern, 4_000);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(run_trace(cfg, black_box(trace.iter().copied()))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_channels");
+    g.sample_size(10);
+    for channels in [8u32, 24] {
+        let cfg = DramConfig { channels, ..Default::default() };
+        let trace = pattern_trace(Pattern::Sequential, 4_000);
+        g.bench_function(BenchmarkId::from_parameter(channels), |b| {
+            b.iter(|| black_box(run_trace(cfg, black_box(trace.iter().copied()))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns, bench_channel_scaling);
+criterion_main!(benches);

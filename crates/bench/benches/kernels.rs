@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks for the hot GBDT kernels: histogram
+//! binning (Step 1), split scan (Step 2), partitioning (Step 3) and
+//! tree traversal (Step 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use booster_datagen::{generate_binned, Benchmark};
+use booster_gbdt::gradients::GradPair;
+use booster_gbdt::histogram::NodeHistogram;
+use booster_gbdt::partition::partition_rows;
+use booster_gbdt::split::{find_best_split, SplitParams, SplitRule};
+use booster_gbdt::train::{train, TrainConfig};
+
+const N: usize = 50_000;
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step1_histogram");
+    g.sample_size(10);
+    for bench in [Benchmark::Higgs, Benchmark::Flight] {
+        let (data, _) = generate_binned(bench, N, 1);
+        let grads: Vec<GradPair> =
+            (0..N).map(|i| GradPair::new((i as f64).sin(), 1.0)).collect();
+        let rows: Vec<u32> = (0..N as u32).collect();
+        g.throughput(Throughput::Elements((N * data.num_fields()) as u64));
+        g.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
+            b.iter(|| {
+                let mut h = NodeHistogram::zeroed(&data);
+                h.bin_records(&data, black_box(&rows), black_box(&grads));
+                black_box(h.total_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_split_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step2_split_scan");
+    g.sample_size(10);
+    for bench in [Benchmark::Higgs, Benchmark::Allstate] {
+        let (data, _) = generate_binned(bench, N, 1);
+        let grads: Vec<GradPair> =
+            (0..N).map(|i| GradPair::new((i as f64).cos(), 1.0)).collect();
+        let rows: Vec<u32> = (0..N as u32).collect();
+        let mut h = NodeHistogram::zeroed(&data);
+        h.bin_records(&data, &rows, &grads);
+        g.throughput(Throughput::Elements(data.total_bins()));
+        g.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
+            b.iter(|| {
+                let (s, bins) =
+                    find_best_split(black_box(&h), data.binnings(), &SplitParams::default());
+                black_box((s, bins))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let (data, mirror) = generate_binned(Benchmark::Higgs, N, 1);
+    let rows: Vec<u32> = (0..N as u32).collect();
+    let column = mirror.column(0);
+    let absent = data.binnings()[0].absent_bin();
+    let mut g = c.benchmark_group("step3_partition");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("higgs_field0", |b| {
+        b.iter(|| {
+            let (l, r) = partition_rows(
+                black_box(&rows),
+                black_box(column),
+                SplitRule::Numeric { threshold_bin: 128 },
+                false,
+                absent,
+            );
+            black_box((l.len(), r.len()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let (data, mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
+    let cfg = TrainConfig { num_trees: 20, max_depth: 6, ..Default::default() };
+    let (model, _) = train(&data, &mirror, &cfg);
+    let mut g = c.benchmark_group("step5_traversal");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((data.num_records() * model.num_trees()) as u64));
+    g.bench_function("higgs_20trees", |b| {
+        b.iter(|| black_box(model.predict_batch(black_box(&data))))
+    });
+    g.bench_function("higgs_20trees_parallel", |b| {
+        b.iter(|| black_box(model.predict_batch_parallel(black_box(&data))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_histogram,
+    bench_split_scan,
+    bench_partition,
+    bench_traversal
+);
+criterion_main!(benches);

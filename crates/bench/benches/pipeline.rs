@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the full pipelines: sequential vs rayon
+//! training throughput, and the end-to-end timing-model evaluation used
+//! by the figure harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use booster_datagen::{default_loss, generate_binned, Benchmark};
+use booster_gbdt::parallel::train_parallel;
+use booster_gbdt::train::{train, TrainConfig};
+use booster_sim::{BandwidthModel, BoosterConfig, BoosterSim, HostModel};
+
+fn bench_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_10trees");
+    g.sample_size(10);
+    for bench in [Benchmark::Higgs, Benchmark::Flight] {
+        let (data, mirror) = generate_binned(bench, 30_000, 1);
+        let cfg = TrainConfig {
+            num_trees: 10,
+            max_depth: 6,
+            loss: default_loss(bench),
+            ..Default::default()
+        };
+        g.throughput(Throughput::Elements(data.num_records() as u64));
+        g.bench_function(BenchmarkId::new("sequential", bench.name()), |b| {
+            b.iter(|| black_box(train(&data, &mirror, &cfg)))
+        });
+        g.bench_function(BenchmarkId::new("parallel", bench.name()), |b| {
+            b.iter(|| black_box(train_parallel(&data, &mirror, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    let (data, mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
+    let cfg = TrainConfig {
+        num_trees: 10,
+        max_depth: 6,
+        collect_phases: true,
+        ..Default::default()
+    };
+    let (_, report) = train(&data, &mirror, &cfg);
+    let log = report.phase_log.unwrap().scaled(500.0);
+    let bw = BandwidthModel::new(booster_dram::DramConfig::default());
+    let host = HostModel::default();
+    let mut g = c.benchmark_group("timing_model");
+    g.sample_size(10);
+    g.bench_function("booster_full_eval", |b| {
+        let sim = BoosterSim::new(BoosterConfig::default(), &bw);
+        b.iter(|| black_box(sim.training_time(black_box(&log), &host)))
+    });
+    g.bench_function("bandwidth_model_build", |b| {
+        b.iter(|| black_box(BandwidthModel::new(booster_dram::DramConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training, bench_timing_model);
+criterion_main!(benches);

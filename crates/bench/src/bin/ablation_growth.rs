@@ -1,0 +1,73 @@
+//! Growth-mode ablation: vertex-by-vertex vs level-by-level training
+//! (the two configurations of Section II-A) on Booster and the Ideal
+//! 32-core.
+//!
+//! Vertex-wise fetches per-node sparse record subsets (fewer bytes, lower
+//! DRAM efficiency at deep vertices); level-wise streams the whole
+//! dataset once per level (more bytes, unit density). This binary
+//! quantifies that trade-off with the same timing models used for Fig 7.
+
+use booster_bench::{print_header, scale_run, BenchConfig, PAPER_TREES};
+use booster_datagen::{default_loss, generate_binned, Benchmark};
+use booster_gbdt::levelwise::train_levelwise;
+use booster_gbdt::train::{train, TrainConfig};
+use booster_sim::{BandwidthModel, BoosterConfig, BoosterSim, HostModel, IdealSim};
+
+fn main() {
+    print_header(
+        "Ablation: vertex-by-vertex vs level-by-level growth",
+        "Section II-A describes both configurations; the paper evaluates \
+         the former",
+    );
+    let cfg = BenchConfig::from_env();
+    let bw = BandwidthModel::new(booster_dram::DramConfig::default());
+    let host = HostModel::default();
+
+    println!(
+        "{:<10} {:>16} {:>16} {:>14} {:>14}",
+        "dataset", "Booster vertex", "Booster level", "CPU vertex", "CPU level"
+    );
+    for b in Benchmark::ALL {
+        let spec = b.spec();
+        let sample = cfg.sample_records.min(spec.full_records);
+        let (data, mirror) = generate_binned(b, sample, cfg.seed);
+        let tc = TrainConfig {
+            num_trees: cfg.trees,
+            max_depth: cfg.max_depth,
+            loss: default_loss(b),
+            collect_phases: true,
+            split: booster_gbdt::split::SplitParams {
+                gamma: cfg.gamma,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let scale = spec.full_records as f64 / sample as f64;
+
+        let (m_v, rep_v) = train(&data, &mirror, &tc);
+        let (m_l, rep_l) = train_levelwise(&data, &mirror, &tc);
+        let log_v = rep_v.phase_log.unwrap().scaled(scale);
+        let log_l = rep_l.phase_log.unwrap().scaled(scale);
+
+        let sim = BoosterSim::new(BoosterConfig::default(), &bw);
+        let (bv, _) = sim.training_time(&log_v, &host);
+        let (bl, _) = sim.training_time(&log_l, &host);
+        let cv = IdealSim::cpu(&bw).training_time(&log_v, &host);
+        let cl = IdealSim::cpu(&bw).training_time(&log_l, &host);
+
+        let tsv = PAPER_TREES as f64 / m_v.num_trees() as f64;
+        let tsl = PAPER_TREES as f64 / m_l.num_trees() as f64;
+        println!(
+            "{:<10} {:>14.2}s {:>14.2}s {:>12.2}s {:>12.2}s",
+            b.name(),
+            scale_run(&bv, tsv).total(),
+            scale_run(&bl, tsl).total(),
+            scale_run(&cv, tsv).total(),
+            scale_run(&cl, tsl).total(),
+        );
+    }
+    println!(
+        "\n(level-wise trades larger, denser streams for the vertex-wise \
+         mode's sparse per-node gathers)"
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig 10: SRAM and DRAM access energy of Ideal 32-core, Ideal GPU and
+//! Booster, averaged over the benchmarks, normalized to Ideal 32-core.
+
+use booster_bench::{print_header, BenchConfig, PreparedWorkload, SimEnv};
+use booster_sim::{energy_of, geomean, IdealMachineConfig};
+
+fn main() {
+    print_header(
+        "Fig 10: Energy comparison (normalized to Ideal 32-core)",
+        "Section V-D — paper: SRAM energy GPU > CPU > Booster (2.64 / 1.0 / \
+         0.71 per-access norms); DRAM energy CPU = GPU > Booster",
+    );
+    let cfg = BenchConfig::from_env();
+    let env = SimEnv::new();
+    let cpu_norm = IdealMachineConfig::ideal_cpu().sram_energy_norm;
+    let gpu_norm = IdealMachineConfig::ideal_gpu().sram_energy_norm;
+    let booster_norm = 0.71;
+
+    let mut sram = [Vec::new(), Vec::new(), Vec::new()];
+    let mut dram = [Vec::new(), Vec::new(), Vec::new()];
+    for w in PreparedWorkload::prepare_all(&cfg) {
+        let res = env.run_training(&w);
+        let e_cpu = energy_of(&res.cpu, cpu_norm);
+        let e_gpu = energy_of(&res.gpu, gpu_norm);
+        let e_b = energy_of(&res.booster, booster_norm);
+        sram[0].push(1.0);
+        sram[1].push(e_gpu.sram / e_cpu.sram);
+        sram[2].push(e_b.sram / e_cpu.sram);
+        dram[0].push(1.0);
+        dram[1].push(e_gpu.dram / e_cpu.dram);
+        dram[2].push(e_b.dram / e_cpu.dram);
+    }
+    println!("{:<16} {:>10} {:>10} {:>10}", "", "Ideal 32c", "Ideal GPU", "Booster");
+    println!(
+        "{:<16} {:>10.2} {:>10.2} {:>10.2}",
+        "(a) SRAM energy",
+        geomean(&sram[0]),
+        geomean(&sram[1]),
+        geomean(&sram[2])
+    );
+    println!(
+        "{:<16} {:>10.2} {:>10.2} {:>10.2}",
+        "(b) DRAM energy",
+        geomean(&dram[0]),
+        geomean(&dram[1]),
+        geomean(&dram[2])
+    );
+}

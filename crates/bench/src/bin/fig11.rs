@@ -1,0 +1,33 @@
+//! Fig 11: validating the Ideal models — execution times of the real and
+//! ideal 32-core / GPU configurations plus Booster, normalized to
+//! Ideal 32-core.
+
+use booster_bench::{print_header, BenchConfig, PreparedWorkload, SimEnv};
+
+fn main() {
+    print_header(
+        "Fig 11: Real vs Ideal configurations (time normalized to Ideal 32-core)",
+        "Section V-E — paper: ideal <= real everywhere; the real GPU loses to \
+         the real 32-core on Allstate and Mq2008 (irregularity)",
+    );
+    let cfg = BenchConfig::from_env();
+    let env = SimEnv::new();
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "dataset", "Real 32c", "Ideal 32c", "Real GPU", "Ideal GPU", "Booster"
+    );
+    for w in PreparedWorkload::prepare_all(&cfg) {
+        let res = env.run_training(&w);
+        let (rc, rg) = env.run_real(&w, &res);
+        let base = res.cpu.total();
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            w.benchmark.name(),
+            rc.total() / base,
+            1.0,
+            rg.total() / base,
+            res.gpu.total() / base,
+            res.booster.total() / base,
+        );
+    }
+}

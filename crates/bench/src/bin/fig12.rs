@@ -1,0 +1,46 @@
+//! Fig 12: sensitivity to dataset size — speedups over Ideal 32-core
+//! with the datasets scaled up 10x (the paper's replication methodology).
+
+use booster_bench::{print_header, BenchConfig, PreparedWorkload, SimEnv};
+use booster_sim::{geomean, speedup_over};
+
+fn main() {
+    print_header(
+        "Fig 12: Sensitivity to dataset size (10x scaled datasets)",
+        "Section V-F — paper: Booster speedups grow from 4.6-30.6x to \
+         9.8-61.5x (geomean 11.4 -> 27.9); Ideal GPU stays < 2x",
+    );
+    let cfg = BenchConfig::from_env();
+    let env = SimEnv::new();
+    println!(
+        "{:<10} {:>14} {:>14} {:>16} {:>16}",
+        "dataset", "GPU (1x)", "GPU (10x)", "Booster (1x)", "Booster (10x)"
+    );
+    let mut sp1 = Vec::new();
+    let mut sp10 = Vec::new();
+    for w in PreparedWorkload::prepare_all(&cfg) {
+        let res1 = env.run_training(&w);
+        let log10 = w.log_scaled(10.0);
+        let res10 = env.run_all(&w, &log10);
+        let b1 = speedup_over(&res1.cpu, &res1.booster);
+        let b10 = speedup_over(&res10.cpu, &res10.booster);
+        println!(
+            "{:<10} {:>13.2}x {:>13.2}x {:>15.2}x {:>15.2}x",
+            w.benchmark.name(),
+            speedup_over(&res1.cpu, &res1.gpu),
+            speedup_over(&res10.cpu, &res10.gpu),
+            b1,
+            b10,
+        );
+        sp1.push(b1);
+        sp10.push(b10);
+    }
+    println!(
+        "{:<10} {:>14} {:>14} {:>15.2}x {:>15.2}x",
+        "geomean",
+        "",
+        "",
+        geomean(&sp1),
+        geomean(&sp10)
+    );
+}

@@ -1,0 +1,57 @@
+//! Fig 13: batch-inference speedup of Booster over Ideal 32-core,
+//! per benchmark (500 trees, 6 ensemble replicas on 3000 BUs).
+
+use booster_bench::{print_header, BenchConfig, PreparedWorkload, SimEnv};
+use booster_sim::{
+    booster_inference, geomean, ideal_inference, IdealMachineConfig, InferenceWorkload, WorkModel,
+};
+
+fn main() {
+    print_header(
+        "Fig 13: Batch inference speedup over Ideal 32-core",
+        "Section V-H — paper: ~45x mean; deep-tree benchmarks cluster near \
+         55.5x, shallow-tree IoT drops to 21.1x",
+    );
+    let cfg = BenchConfig::from_env();
+    let env = SimEnv::new();
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "dataset", "speedup", "mean path len", "max depth"
+    );
+    let mut sps = Vec::new();
+    for w in PreparedWorkload::prepare_all(&cfg) {
+        // Measure the per-tree traversal statistics functionally, then
+        // scale the ensemble to the paper's 500 trees and the batch to
+        // the full record count.
+        let measured = InferenceWorkload::measure(&w.model, &w.data);
+        let per_tree = measured.total_path_len as f64 / w.model.num_trees() as f64;
+        let full = InferenceWorkload {
+            n_records: w.log.num_records,
+            record_bytes: measured.record_bytes,
+            num_trees: booster_bench::PAPER_TREES,
+            total_path_len: (per_tree * booster_bench::PAPER_TREES as f64 * w.record_scale)
+                as u64,
+            max_depth: measured.max_depth,
+        };
+        let b = booster_inference(&env.booster_cfg, &env.bw, &full);
+        let c = ideal_inference(
+            &IdealMachineConfig::ideal_cpu(),
+            &WorkModel::default(),
+            &env.bw,
+            &full,
+            "Ideal 32-core",
+        );
+        let sp = c.total() / b.total();
+        let mean_path =
+            full.total_path_len as f64 / (full.n_records as f64 * full.num_trees as f64);
+        println!(
+            "{:<10} {:>11.1}x {:>14.2} {:>12}",
+            w.benchmark.name(),
+            sp,
+            mean_path,
+            full.max_depth
+        );
+        sps.push(sp);
+    }
+    println!("{:<10} {:>11.1}x", "geomean", geomean(&sps));
+}

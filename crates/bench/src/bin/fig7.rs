@@ -1,0 +1,47 @@
+//! Fig 7: training speedup of Ideal GPU, Inter-record (IR) and Booster
+//! over the Ideal 32-core baseline, per benchmark plus geometric mean.
+
+use booster_bench::{print_header, BenchConfig, PreparedWorkload, SimEnv};
+use booster_sim::{geomean, speedup_over};
+
+fn main() {
+    print_header(
+        "Fig 7: Performance comparison (speedup over Ideal 32-core)",
+        "Section V-A — paper: Ideal GPU 1.6-1.9x, Booster 4.6x-30.6x, geomean 11.4x",
+    );
+    let cfg = BenchConfig::from_env();
+    let env = SimEnv::new();
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "dataset", "Ideal GPU", "IR", "Booster", "(IR copies)"
+    );
+    let mut gpu_sp = Vec::new();
+    let mut ir_sp = Vec::new();
+    let mut booster_sp = Vec::new();
+    for w in PreparedWorkload::prepare_all(&cfg) {
+        let res = env.run_training(&w);
+        let sg = speedup_over(&res.cpu, &res.gpu);
+        let si = speedup_over(&res.cpu, &res.ir);
+        let sb = speedup_over(&res.cpu, &res.booster);
+        let copies = booster_sim::InterRecordSim::matching_booster(&env.booster_cfg, &env.bw)
+            .copies(w.benchmark.spec().features);
+        println!(
+            "{:<10} {:>11.2}x {:>11.2}x {:>11.2}x {:>14}",
+            w.benchmark.name(),
+            sg,
+            si,
+            sb,
+            copies
+        );
+        gpu_sp.push(sg);
+        ir_sp.push(si);
+        booster_sp.push(sb);
+    }
+    println!(
+        "{:<10} {:>11.2}x {:>11.2}x {:>11.2}x",
+        "geomean",
+        geomean(&gpu_sp),
+        geomean(&ir_sp),
+        geomean(&booster_sp)
+    );
+}

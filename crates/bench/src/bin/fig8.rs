@@ -1,0 +1,40 @@
+//! Fig 8: execution-time breakdown of Ideal 32-core, Ideal GPU and
+//! Booster, normalized to Ideal 32-core's total.
+
+use booster_bench::{print_header, BenchConfig, PreparedWorkload, SimEnv};
+use booster_sim::ArchRun;
+
+fn row(label: &str, run: &ArchRun, base_total: f64) {
+    let s = &run.steps;
+    println!(
+        "  {:<14} {:>8.4} {:>8.4} {:>8.4} {:>8.4} | total {:>8.4}",
+        label,
+        s.step1 / base_total,
+        s.step2 / base_total,
+        s.step3 / base_total,
+        s.step5 / base_total,
+        run.total() / base_total,
+    );
+}
+
+fn main() {
+    print_header(
+        "Fig 8: Execution time breakdown (normalized to Ideal 32-core)",
+        "Section V-B — paper: Booster makes steps 1/3/5 vanishingly small; \
+         its residual is dominated by the unaccelerated Step 2",
+    );
+    let cfg = BenchConfig::from_env();
+    let env = SimEnv::new();
+    for w in PreparedWorkload::prepare_all(&cfg) {
+        let res = env.run_training(&w);
+        let base = res.cpu.total();
+        println!("{}:", w.benchmark.name());
+        println!(
+            "  {:<14} {:>8} {:>8} {:>8} {:>8}",
+            "", "step1", "step2", "step3", "step5"
+        );
+        row("Ideal 32-core", &res.cpu, base);
+        row("Ideal GPU", &res.gpu, base);
+        row("Booster", &res.booster, base);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig 9: isolating Booster's optimizations — naive packing with no
+//! optimizations, + group-by-field mapping, + redundant column-major
+//! format (speedups over Ideal 32-core).
+
+use booster_bench::{print_header, BenchConfig, PreparedWorkload, SimEnv};
+use booster_sim::speedup_over;
+
+fn main() {
+    print_header(
+        "Fig 9: Impact of Booster's optimizations (speedup over Ideal 32-core)",
+        "Section V-C — paper: group-by-field helps only the categorical \
+         datasets (Allstate, Flight); the redundant format helps most where \
+         speedups are already high",
+    );
+    let cfg = BenchConfig::from_env();
+    let env = SimEnv::new();
+    println!(
+        "{:<10} {:>14} {:>18} {:>18}",
+        "dataset", "no-opts", "+group-by-field", "+redundant-format"
+    );
+    for w in PreparedWorkload::prepare_all(&cfg) {
+        let res = env.run_training(&w);
+        let no_opts = env.run_booster_variant(&w, env.booster_cfg.no_opts());
+        let gbf = env.run_booster_variant(&w, env.booster_cfg.group_by_field_only());
+        println!(
+            "{:<10} {:>13.2}x {:>17.2}x {:>17.2}x",
+            w.benchmark.name(),
+            speedup_over(&res.cpu, &no_opts),
+            speedup_over(&res.cpu, &gbf),
+            speedup_over(&res.cpu, &res.booster),
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Run the complete paper evaluation in one go: every table, every
+//! figure, the model validation and the design-space sweeps — preparing
+//! workloads once and reusing them, so the whole suite finishes in one
+//! sitting.
+//!
+//! `cargo run --release -p booster-bench --bin paper`
+
+use booster_bench::{print_header, BenchConfig, PreparedWorkload, SimEnv, PAPER_TREES};
+use booster_sim::{
+    booster_inference, energy_of, geomean, ideal_inference, speedup_over, IdealMachineConfig,
+    InferenceWorkload, WorkModel,
+};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!(
+        "preparing the five benchmarks ({} sample records, {} trees each)...",
+        cfg.sample_records, cfg.trees
+    );
+    let t0 = std::time::Instant::now();
+    let workloads = PreparedWorkload::prepare_all(&cfg);
+    let env = SimEnv::new();
+    println!("prepared in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    // ---- Table III / Fig 6: functional measurements. -------------------
+    print_header("Table III + Fig 6: datasets & sequential breakdown", "Section IV");
+    println!(
+        "{:<10} {:>10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>9}",
+        "dataset", "#records", "features", "step1%", "step2%", "step3%", "step5%", "leafdep"
+    );
+    for w in &workloads {
+        let f = w.seq_times.fractions();
+        println!(
+            "{:<10} {:>10} {:>9} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>9.2}",
+            w.benchmark.name(),
+            w.benchmark.spec().full_records,
+            w.benchmark.spec().features,
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0,
+            w.model.mean_leaf_depth(),
+        );
+    }
+
+    // ---- Fig 7/8/10/11/12: training models. ----------------------------
+    print_header("\nFig 7: training speedups over Ideal 32-core", "Section V-A");
+    println!(
+        "{:<10} {:>10} {:>8} {:>9} {:>14} {:>14}",
+        "dataset", "IdealGPU", "IR", "Booster", "Booster(10x)", "RealGPU/Real32"
+    );
+    let mut sp = Vec::new();
+    let mut sp10 = Vec::new();
+    for w in &workloads {
+        let res = env.run_training(w);
+        let res10 = env.run_all(w, &w.log_scaled(10.0));
+        let (rc, rg) = env.run_real(w, &res);
+        let b = speedup_over(&res.cpu, &res.booster);
+        let b10 = speedup_over(&res10.cpu, &res10.booster);
+        println!(
+            "{:<10} {:>9.2}x {:>7.2}x {:>8.2}x {:>13.2}x {:>14.2}",
+            w.benchmark.name(),
+            speedup_over(&res.cpu, &res.gpu),
+            speedup_over(&res.cpu, &res.ir),
+            b,
+            b10,
+            rg.total() / rc.total(),
+        );
+        sp.push(b);
+        sp10.push(b10);
+    }
+    println!(
+        "{:<10} {:>10} {:>8} {:>8.2}x {:>13.2}x   (paper: 11.4x -> 27.9x)",
+        "geomean",
+        "",
+        "",
+        geomean(&sp),
+        geomean(&sp10)
+    );
+
+    // ---- Fig 10: energy. ------------------------------------------------
+    print_header("\nFig 10: energy (normalized to Ideal 32-core)", "Section V-D");
+    let w0 = &workloads[1]; // Higgs as the representative
+    let res = env.run_training(w0);
+    let e_cpu = energy_of(&res.cpu, IdealMachineConfig::ideal_cpu().sram_energy_norm);
+    let e_gpu = energy_of(&res.gpu, IdealMachineConfig::ideal_gpu().sram_energy_norm);
+    let e_b = energy_of(&res.booster, 0.71);
+    println!(
+        "SRAM: CPU 1.00 / GPU {:.2} / Booster {:.2}    DRAM: CPU 1.00 / GPU {:.2} / Booster {:.2}",
+        e_gpu.sram / e_cpu.sram,
+        e_b.sram / e_cpu.sram,
+        e_gpu.dram / e_cpu.dram,
+        e_b.dram / e_cpu.dram,
+    );
+
+    // ---- Fig 13: inference. ---------------------------------------------
+    print_header("\nFig 13: batch inference speedups", "Section V-H");
+    let mut isp = Vec::new();
+    for w in &workloads {
+        let measured = InferenceWorkload::measure(&w.model, &w.data);
+        let per_tree = measured.total_path_len as f64 / w.model.num_trees() as f64;
+        let full = InferenceWorkload {
+            n_records: w.log.num_records,
+            record_bytes: measured.record_bytes,
+            num_trees: PAPER_TREES,
+            total_path_len: (per_tree * PAPER_TREES as f64 * w.record_scale) as u64,
+            max_depth: measured.max_depth,
+        };
+        let b = booster_inference(&env.booster_cfg, &env.bw, &full);
+        let c = ideal_inference(
+            &IdealMachineConfig::ideal_cpu(),
+            &WorkModel::default(),
+            &env.bw,
+            &full,
+            "Ideal 32-core",
+        );
+        let s = c.total() / b.total();
+        println!("{:<10} {:>8.1}x", w.benchmark.name(), s);
+        isp.push(s);
+    }
+    println!("{:<10} {:>8.1}x   (paper: ~45x mean, IoT low)", "geomean", geomean(&isp));
+
+    // ---- Table VI. --------------------------------------------------------
+    print_header("\nTable VI: ASIC area & power", "Section V-G");
+    let asic = booster_sim::AsicModel;
+    let a = asic.area(&env.booster_cfg);
+    let p = asic.power(&env.booster_cfg);
+    println!(
+        "control {:.1} mm^2 / {:.1} W; FPU {:.1} / {:.1}; SRAM {:.1} / {:.1}; total {:.1} mm^2, {:.1} W",
+        a.control, p.control, a.fpu, p.fpu, a.sram, p.sram, a.total(), p.total()
+    );
+    println!("\ndone in {:.1}s total", t0.elapsed().as_secs_f64());
+}

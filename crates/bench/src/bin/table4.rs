@@ -1,0 +1,28 @@
+//! Table IV: DRAM configuration, plus the measured sustained bandwidth of
+//! the cycle-level model (the paper's "about 400 GB/s").
+
+use booster_bench::print_header;
+use booster_dram::{sustained_bandwidth, DramConfig, Pattern};
+
+fn main() {
+    print_header(
+        "Table IV: DRAM configuration",
+        "Section IV — 24 channels, 16 banks, 1 KB rows, 12-12-12-28, \
+         ~400 GB/s sustained",
+    );
+    let cfg = DramConfig::default();
+    println!("channels, banks, row          : {}, {}, {} B", cfg.channels, cfg.banks, cfg.row_bytes);
+    println!(
+        "tCAS-tRP-tRCD-tRAS            : {}-{}-{}-{}",
+        cfg.t_cas, cfg.t_rp, cfg.t_rcd, cfg.t_ras
+    );
+    println!("block size                    : {} B", cfg.block_bytes);
+    println!("clock                         : {} GHz", cfg.clock_ghz);
+    println!("peak bandwidth                : {:.1} GB/s", cfg.peak_bandwidth_gbps());
+    let seq = sustained_bandwidth(cfg, Pattern::Sequential, 50_000);
+    println!("sustained (streaming)         : {seq:.1} GB/s");
+    for d in [0.5, 0.1, 0.01] {
+        let bw = sustained_bandwidth(cfg, Pattern::SparseAscending { density: d }, 20_000);
+        println!("sustained (sparse d={d:<5})    : {bw:.1} GB/s");
+    }
+}

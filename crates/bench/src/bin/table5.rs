@@ -1,0 +1,45 @@
+//! Table V: hardware parameters of the compared configurations.
+
+use booster_bench::print_header;
+use booster_sim::{BoosterConfig, IdealMachineConfig};
+
+fn main() {
+    print_header(
+        "Table V: Hardware parameters",
+        "Section IV — Ideal 32-core / Ideal GPU / Booster configurations",
+    );
+    let cpu = IdealMachineConfig::ideal_cpu();
+    let gpu = IdealMachineConfig::ideal_gpu();
+    let b = BoosterConfig::default();
+    println!(
+        "{:<18} {:>12} {:>10} {:>12} {:>14}",
+        "configuration", "# units", "clock", "SRAM size", "energy (norm)"
+    );
+    println!(
+        "{:<18} {:>12} {:>7.1}GHz {:>10}KB {:>14.2}",
+        "Ideal Multicore", format!("{} cores", cpu.lanes), cpu.clock_ghz, cpu.sram_kb,
+        cpu.sram_energy_norm
+    );
+    println!(
+        "{:<18} {:>12} {:>7.1}GHz {:>10}KB {:>14.2}",
+        "Ideal GPU", format!("{} SMs", gpu.lanes), gpu.clock_ghz, gpu.sram_kb,
+        gpu.sram_energy_norm
+    );
+    println!(
+        "{:<18} {:>12} {:>7.1}GHz {:>10}KB {:>14.2}",
+        "Booster",
+        format!("{} BUs", b.total_bus()),
+        b.clock_ghz,
+        b.sram_bytes / 1024,
+        0.71
+    );
+    println!(
+        "\nBooster geometry: {} clusters x {} BUs, {} B SRAM/BU, {} cycle field \
+         update, fill/drain {} cycles",
+        b.clusters,
+        b.bus_per_cluster,
+        b.sram_bytes,
+        b.field_update_cycles,
+        b.fill_drain_cycles()
+    );
+}

@@ -1,0 +1,28 @@
+//! Table VI: area and power estimates for the 50-cluster, 3200-BU
+//! Booster chip (45 nm).
+
+use booster_bench::print_header;
+use booster_sim::{AsicModel, BoosterConfig};
+
+fn main() {
+    print_header(
+        "Table VI: Area and power estimates for Booster",
+        "Section V-G — paper: 60.0 mm^2 and 23.2 W at 1 GHz (45 nm)",
+    );
+    let m = AsicModel;
+    let cfg = BoosterConfig::default();
+    let a = m.area(&cfg);
+    let p = m.power(&cfg);
+    println!("{:<16} {:>12} {:>10}", "component", "area (mm^2)", "power (W)");
+    println!("{:<16} {:>12.1} {:>10.1}", "Control Logic", a.control, p.control);
+    println!("{:<16} {:>12.1} {:>10.1}", "FPU", a.fpu, p.fpu);
+    println!("{:<16} {:>12.1} {:>10.1}", "SRAM", a.sram, p.sram);
+    println!("{:<16} {:>12.1} {:>10.1}", "Total", a.total(), p.total());
+    println!(
+        "\nSRAM banking: {:.0}% area overhead vs a 1-bank array of equal \
+         capacity; {:.0}% power overhead",
+        (a.sram / (m.monolithic_mm2_per_mb() * cfg.total_sram_bytes() as f64 / 1048576.0) - 1.0)
+            * 100.0,
+        (p.sram / m.monolithic_sram_power(&cfg) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,97 @@
+//! Model validation: the detailed cycle-level cluster simulation vs the
+//! analytic occupancy model used by the figure harness — this
+//! reproduction's stand-in for the paper's FPGA-validated RTL cross-check
+//! (Section IV / V-G).
+
+use booster_bench::print_header;
+use booster_sim::cluster_sim::{
+    simulate_step1, simulate_step1_coupled, simulate_tree_walk, ArrivalRate,
+};
+use booster_sim::mapping::{map_fields, replication_factor};
+use booster_sim::{BandwidthModel, BoosterConfig};
+
+fn main() {
+    print_header(
+        "Model validation: detailed cluster simulation vs analytic model",
+        "stands in for the paper's RTL/FPGA validation; agreement within a \
+         few percent justifies the fast analytic harness",
+    );
+    let cfg = BoosterConfig::default();
+    let bw = BandwidthModel::new(cfg.dram);
+    let bpc = bw.blocks_per_cycle(1.0);
+
+    println!("Step 1 (histogram binning), 200k-record phases:");
+    println!(
+        "{:<26} {:>12} {:>12} {:>8}",
+        "workload", "detailed", "analytic", "ratio"
+    );
+    for (name, fields, blocks_per_record) in [
+        ("Higgs-like (28 fields)", 28usize, 0.56f64),
+        ("IoT-like (115 fields)", 115, 1.92),
+        ("Flight-like (8 fields)", 8, 0.25),
+        ("Allstate-like (32 flds)", 32, 0.88),
+    ] {
+        let n: u64 = 200_000;
+        let field_bins = vec![256u32; fields];
+        let mapping = map_fields(&field_bins, &cfg);
+        let repl = replication_factor(&cfg, mapping.srams_used());
+        let arrival = ArrivalRate::from_bandwidth(bpc, blocks_per_record);
+        let detailed = simulate_step1(&cfg, &mapping, repl as u32, n, arrival);
+        let mem = (n as f64 * blocks_per_record / bpc).ceil();
+        let compute = n as f64 * mapping.max_fields_per_sram as f64
+            * f64::from(cfg.field_update_cycles)
+            / repl;
+        let analytic = mem.max(compute) + cfg.fill_drain_cycles() as f64;
+        println!(
+            "{:<26} {:>12} {:>12.0} {:>8.3}",
+            name,
+            detailed.cycles,
+            analytic,
+            detailed.cycles as f64 / analytic
+        );
+    }
+
+    println!(
+        "\nStep 1 coupled co-simulation (cycle-level DRAM feeding the BUs) \
+         vs analytic,\n25k-block dense stream, 2 records/block:"
+    );
+    println!("{:<26} {:>12} {:>12} {:>8}", "replicas", "coupled", "analytic", "ratio");
+    let mapping = map_fields(&vec![256u32; 28], &cfg);
+    let trace: Vec<u64> = (0..25_000).collect();
+    for replicas in [1u32, 8, 100] {
+        let res = simulate_step1_coupled(&cfg, &mapping, replicas, &trace, 2);
+        let mem = 25_000.0 / bpc;
+        let compute =
+            50_000.0 * f64::from(cfg.field_update_cycles) / f64::from(replicas);
+        let analytic = mem.max(compute) + cfg.fill_drain_cycles() as f64;
+        println!(
+            "{:<26} {:>12} {:>12.0} {:>8.3}",
+            replicas,
+            res.cycles,
+            analytic,
+            res.cycles as f64 / analytic
+        );
+    }
+
+    println!("\nStep 5 / inference tree walk, 100k records on 3200 BUs:");
+    println!("{:<26} {:>12} {:>12} {:>8}", "paths", "detailed", "analytic", "ratio");
+    for (name, path) in [("uniform depth 6", 6u32), ("uniform depth 2", 2)] {
+        let paths = vec![path; 100_000];
+        let arrival = ArrivalRate { num: 1, den: 10_000 };
+        let detailed = simulate_tree_walk(&cfg, cfg.total_bus(), &paths, arrival);
+        let analytic = 100_000.0 * f64::from(path) * f64::from(cfg.tree_level_cycles)
+            / f64::from(cfg.total_bus())
+            + 200.0;
+        println!(
+            "{:<26} {:>12} {:>12.0} {:>8.3}",
+            name,
+            detailed.cycles,
+            analytic,
+            detailed.cycles as f64 / analytic
+        );
+    }
+    println!(
+        "\n(BU utilization and stall accounting available via \
+         booster_sim::cluster_sim::DetailedResult)"
+    );
+}

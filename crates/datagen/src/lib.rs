@@ -1,0 +1,30 @@
+//! # booster-datagen
+//!
+//! Deterministic synthetic equivalents of the five datasets the Booster
+//! paper evaluates (Table III): IoT, Higgs, Allstate, Mq2008 and Flight.
+//!
+//! The original datasets are partly commercial and not redistributable, so
+//! each generator reproduces the **structural properties** that drive the
+//! paper's performance results instead of the raw data: record / field /
+//! categorical-field counts, one-hot feature counts, Zipf-skewed category
+//! distributions (lopsided splits), near-separable labels (shallow trees
+//! for IoT) and noisy nonlinear labels (deep trees for Higgs). See
+//! DESIGN.md §5 for the substitution rationale.
+//!
+//! ```
+//! use booster_datagen::{generate_binned, Benchmark};
+//!
+//! let (binned, mirror) = generate_binned(Benchmark::Higgs, 1_000, 42);
+//! assert_eq!(binned.num_fields(), 28);
+//! assert!(mirror.is_consistent_with(&binned));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod spec;
+pub mod synth;
+
+pub use generate::{default_loss, generate, generate_binned};
+pub use spec::{Benchmark, DatasetSpec};
+pub use synth::Zipf;

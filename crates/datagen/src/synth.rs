@@ -1,0 +1,114 @@
+//! Shared sampling utilities for the dataset generators.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A Zipf-like categorical sampler: category `k` (0-based) has weight
+/// `1 / (k + 1)^s`. Heavy skew (`s ≈ 1`) makes a handful of categories
+/// dominate — the property that produces the paper's "extremely lopsided
+/// (99%-1%)" one-hot splits on Allstate and Flight.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` categories with exponent `s`.
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / f64::from(k + 1).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a category index.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+
+    /// Probability mass of category `k`.
+    pub fn pmf(&self, k: u32) -> f64 {
+        let k = k as usize;
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (a sampler has at least one category).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Standard normal via Box-Muller (two uniforms).
+pub fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 5 {
+                head += 1;
+            }
+        }
+        // Top-5 of 100 categories hold ~50% of the mass at s = 1.1 —
+        // an order of magnitude above the uniform 5%.
+        assert!(head as f64 / N as f64 > 0.4, "head fraction {}", head as f64 / N as f64);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(37, 0.9);
+        let total: f64 = (0..37).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(36));
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        const N: usize = 50_000;
+        let samples: Vec<f64> = (0..N).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / N as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

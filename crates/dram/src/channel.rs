@@ -1,0 +1,445 @@
+//! Per-channel memory controller: banks, request queue, FR-FCFS
+//! scheduling with an open-page policy, and refresh.
+//!
+//! Each cycle the controller issues at most one command (command-bus
+//! constraint): a column read/write for the oldest row-hit request whose
+//! timing allows, else an activate for the oldest request to a closed
+//! bank, else a precharge for the oldest row-conflict request — but never
+//! precharging a row that still has queued hits (open-page FR-FCFS).
+
+use std::collections::VecDeque;
+
+use crate::config::DramConfig;
+use crate::stats::ChannelStats;
+
+/// Per-bank timing state.
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// Earliest cycle an ACT may issue.
+    act_at: u64,
+    /// Earliest cycle a RD/WR may issue.
+    rw_at: u64,
+    /// Earliest cycle a PRE may issue (tRAS after the opening ACT).
+    pre_at: u64,
+    /// Whether a column access has been served since the last ACT
+    /// (distinguishes genuine row hits from the first access of a row).
+    served_since_act: bool,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Bank { open_row: None, act_at: 0, rw_at: 0, pre_at: 0, served_since_act: false }
+    }
+}
+
+/// A queued request within one channel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pending {
+    /// Global request id.
+    pub id: u64,
+    pub bank: u32,
+    pub row: u64,
+    pub is_write: bool,
+    pub enqueued_at: u64,
+}
+
+/// A finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Global request id.
+    pub id: u64,
+    /// Cycle at which the data transfer finished.
+    pub finished_at: u64,
+    /// Whether it was a write.
+    pub is_write: bool,
+    /// Queueing + service latency in cycles.
+    pub latency: u64,
+}
+
+/// One channel: banks + queue + data bus.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    queue: VecDeque<Pending>,
+    /// Data bus busy until this cycle.
+    bus_free_at: u64,
+    next_refresh_at: u64,
+    refresh_until: u64,
+    /// Earliest cycle the next ACT may issue (tRRD spacing).
+    next_act_at: u64,
+    /// Issue times of the most recent ACTs (tFAW rolling window).
+    act_history: VecDeque<u64>,
+    /// End of the most recent write's data transfer (tWTR turnaround).
+    last_write_data_end: u64,
+    /// In-flight column accesses: (finish_cycle, id, is_write,
+    /// enqueued_at).
+    inflight: Vec<(u64, u64, bool, u64)>,
+    pub(crate) stats: ChannelStats,
+}
+
+impl Channel {
+    pub fn new(cfg: DramConfig) -> Self {
+        let next_refresh_at = if cfg.t_refi == 0 { u64::MAX } else { u64::from(cfg.t_refi) };
+        Channel {
+            banks: vec![Bank::new(); cfg.banks as usize],
+            queue: VecDeque::with_capacity(cfg.queue_depth),
+            bus_free_at: 0,
+            next_refresh_at,
+            refresh_until: 0,
+            next_act_at: 0,
+            act_history: VecDeque::with_capacity(4),
+            last_write_data_end: 0,
+            inflight: Vec::new(),
+            stats: ChannelStats::default(),
+            cfg,
+        }
+    }
+
+    /// Whether another request can be queued.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.cfg.queue_depth
+    }
+
+    /// Queue a request; caller must have checked `can_accept`.
+    pub fn enqueue(&mut self, p: Pending) {
+        debug_assert!(self.can_accept());
+        self.queue.push_back(p);
+    }
+
+    /// Outstanding work (queued + in flight)?
+    pub fn is_busy(&self) -> bool {
+        !self.queue.is_empty() || !self.inflight.is_empty()
+    }
+
+    /// Advance one cycle; completed requests are appended to `done`.
+    pub fn tick(&mut self, cycle: u64, done: &mut Vec<Completion>) {
+        // Retire finished transfers.
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let (finish, id, is_write, enq) = self.inflight[i];
+            if finish <= cycle {
+                done.push(Completion {
+                    id,
+                    finished_at: finish,
+                    is_write,
+                    latency: finish - enq,
+                });
+                self.stats.completed += 1;
+                self.stats.total_latency += finish - enq;
+                if is_write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                self.inflight.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Refresh blackout.
+        if cycle < self.refresh_until {
+            return;
+        }
+        if cycle >= self.next_refresh_at {
+            // Close all rows and stall for tRFC.
+            for b in &mut self.banks {
+                b.open_row = None;
+                b.act_at = cycle + u64::from(self.cfg.t_rfc);
+            }
+            self.refresh_until = cycle + u64::from(self.cfg.t_rfc);
+            self.next_refresh_at = self.next_refresh_at.saturating_add(u64::from(self.cfg.t_refi));
+            self.stats.refreshes += 1;
+            return;
+        }
+
+        if self.queue.is_empty() {
+            return;
+        }
+
+        // Pass 1: oldest row hit whose bank and bus are ready.
+        let t_cas = u64::from(self.cfg.t_cas);
+        let t_cwd = u64::from(self.cfg.t_cwd);
+        let t_burst = u64::from(self.cfg.t_burst);
+        let t_wtr = u64::from(self.cfg.t_wtr);
+        let mut hit_idx = None;
+        for (qi, p) in self.queue.iter().enumerate() {
+            let b = &self.banks[p.bank as usize];
+            let data_start = cycle + if p.is_write { t_cwd } else { t_cas };
+            // Reads after a write wait out the bus turnaround.
+            let turnaround_ok = p.is_write
+                || self.last_write_data_end == 0
+                || cycle >= self.last_write_data_end + t_wtr;
+            if b.open_row == Some(p.row)
+                && b.rw_at <= cycle
+                && self.bus_free_at <= data_start
+                && turnaround_ok
+            {
+                hit_idx = Some(qi);
+                break;
+            }
+        }
+        if let Some(qi) = hit_idx {
+            let p = self.queue.remove(qi).expect("index valid");
+            let bank = &mut self.banks[p.bank as usize];
+            bank.rw_at = cycle + t_burst; // tCCD ~= tBURST spacing
+            if bank.served_since_act {
+                self.stats.row_hits += 1;
+            } else {
+                bank.served_since_act = true;
+            }
+            let data_start = cycle + if p.is_write { t_cwd } else { t_cas };
+            let finish = data_start + t_burst;
+            self.bus_free_at = finish;
+            if p.is_write {
+                // Write recovery delays this bank's next precharge.
+                bank.pre_at = bank.pre_at.max(finish + u64::from(self.cfg.t_wr));
+                self.last_write_data_end = finish;
+            }
+            self.inflight.push((finish, p.id, p.is_write, p.enqueued_at));
+            return;
+        }
+
+        // Pass 2: oldest request to a closed, ready bank -> ACT. (A
+        // closed bank still in precharge is skipped; later requests to
+        // other banks may proceed.) ACTs respect tRRD spacing and the
+        // four-activate window tFAW.
+        let faw_ok = self.cfg.t_faw == 0
+            || self.act_history.len() < 4
+            || cycle >= self.act_history[self.act_history.len() - 4] + u64::from(self.cfg.t_faw);
+        if cycle >= self.next_act_at && faw_ok {
+            for p in self.queue.iter() {
+                let b = &mut self.banks[p.bank as usize];
+                if b.open_row.is_none() && b.act_at <= cycle {
+                    b.open_row = Some(p.row);
+                    b.served_since_act = false;
+                    b.rw_at = b.rw_at.max(cycle + u64::from(self.cfg.t_rcd));
+                    b.pre_at = b.pre_at.max(cycle + u64::from(self.cfg.t_ras));
+                    self.stats.activates += 1;
+                    self.next_act_at = cycle + u64::from(self.cfg.t_rrd);
+                    self.act_history.push_back(cycle);
+                    if self.act_history.len() > 4 {
+                        self.act_history.pop_front();
+                    }
+                    return;
+                }
+            }
+        }
+
+        // Pass 3: oldest row conflict -> PRE, unless the open row still
+        // has queued hits (open-page policy).
+        for qi in 0..self.queue.len() {
+            let p = self.queue[qi];
+            let open = self.banks[p.bank as usize].open_row;
+            if let Some(open_row) = open {
+                if open_row != p.row {
+                    let has_pending_hit = self
+                        .queue
+                        .iter()
+                        .any(|q| q.bank == p.bank && q.row == open_row);
+                    let b = &mut self.banks[p.bank as usize];
+                    if !has_pending_hit && b.pre_at <= cycle {
+                        b.open_row = None;
+                        b.act_at = b.act_at.max(cycle + u64::from(self.cfg.t_rp));
+                        self.stats.precharges += 1;
+                        self.stats.row_conflicts += 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> Channel {
+        Channel::new(DramConfig { t_refi: 0, ..Default::default() })
+    }
+
+    fn run_until_done(ch: &mut Channel) -> (u64, Vec<Completion>) {
+        let mut done = Vec::new();
+        let mut cycle = 0u64;
+        while ch.is_busy() {
+            ch.tick(cycle, &mut done);
+            cycle += 1;
+            assert!(cycle < 1_000_000, "channel hung");
+        }
+        (cycle, done)
+    }
+
+    #[test]
+    fn single_read_latency_is_act_rcd_cas_burst() {
+        let mut ch = channel();
+        ch.enqueue(Pending { id: 1, bank: 0, row: 0, is_write: false, enqueued_at: 0 });
+        let (_, done) = run_until_done(&mut ch);
+        assert_eq!(done.len(), 1);
+        // ACT at cycle 0, RD at tRCD=12, data at 12+12+4 = 28.
+        assert_eq!(done[0].finished_at, 28);
+    }
+
+    #[test]
+    fn row_hits_pipeline_at_burst_rate() {
+        let mut ch = channel();
+        for i in 0..8 {
+            ch.enqueue(Pending { id: i, bank: 0, row: 0, is_write: false, enqueued_at: 0 });
+        }
+        let (_, done) = run_until_done(&mut ch);
+        assert_eq!(done.len(), 8);
+        let mut finishes: Vec<u64> = done.iter().map(|c| c.finished_at).collect();
+        finishes.sort_unstable();
+        // After the first access, each subsequent hit finishes t_burst
+        // later.
+        for w in finishes.windows(2) {
+            assert_eq!(w[1] - w[0], 4, "hits should stream at tBURST");
+        }
+        assert_eq!(ch.stats.row_hits, 7, "first access misses, rest hit");
+    }
+
+    #[test]
+    fn row_conflict_precharges_after_tras() {
+        let mut ch = channel();
+        ch.enqueue(Pending { id: 0, bank: 0, row: 0, is_write: false, enqueued_at: 0 });
+        ch.enqueue(Pending { id: 1, bank: 0, row: 5, is_write: false, enqueued_at: 0 });
+        let (_, done) = run_until_done(&mut ch);
+        assert_eq!(done.len(), 2);
+        assert_eq!(ch.stats.row_conflicts, 1);
+        let last = done.iter().map(|c| c.finished_at).max().unwrap();
+        // Second access: PRE waits for tRAS(28), then tRP(12) + tRCD(12)
+        // + tCAS(12) + tBURST(4) = 68.
+        assert_eq!(last, 68);
+    }
+
+    #[test]
+    fn bank_parallelism_overlaps_activates() {
+        // Two requests to different banks must overlap and finish much
+        // sooner than twice the single-access latency.
+        let mut ch = channel();
+        ch.enqueue(Pending { id: 0, bank: 0, row: 0, is_write: false, enqueued_at: 0 });
+        ch.enqueue(Pending { id: 1, bank: 1, row: 0, is_write: false, enqueued_at: 0 });
+        let (_, done) = run_until_done(&mut ch);
+        let last = done.iter().map(|c| c.finished_at).max().unwrap();
+        assert!(last <= 33, "bank-parallel accesses too slow: {last}");
+    }
+
+    #[test]
+    fn open_page_serves_hits_before_precharging() {
+        let mut ch = channel();
+        // Conflict (row 5) arrives before a hit (row 0), but the hit to
+        // the open row should still be served first once row 0 opens.
+        ch.enqueue(Pending { id: 0, bank: 0, row: 0, is_write: false, enqueued_at: 0 });
+        ch.enqueue(Pending { id: 1, bank: 0, row: 5, is_write: false, enqueued_at: 0 });
+        ch.enqueue(Pending { id: 2, bank: 0, row: 0, is_write: false, enqueued_at: 0 });
+        let (_, done) = run_until_done(&mut ch);
+        let f: std::collections::HashMap<u64, u64> =
+            done.iter().map(|c| (c.id, c.finished_at)).collect();
+        assert!(f[&2] < f[&1], "row hit must be served before the conflict");
+    }
+
+    #[test]
+    fn refresh_blocks_the_channel() {
+        let cfg = DramConfig { t_refi: 100, t_rfc: 50, ..Default::default() };
+        let mut ch = Channel::new(cfg);
+        // Enqueue a request just before the refresh boundary.
+        let mut done = Vec::new();
+        for cycle in 0..300 {
+            if cycle == 99 {
+                ch.enqueue(Pending { id: 0, bank: 0, row: 0, is_write: false, enqueued_at: 99 });
+            }
+            ch.tick(cycle, &mut done);
+        }
+        assert_eq!(ch.stats.refreshes, 2, "refreshes at 100 and 200");
+        assert_eq!(done.len(), 1);
+        // Request cannot start before the refresh completes at 150.
+        assert!(done[0].finished_at > 150);
+    }
+
+    #[test]
+    fn writes_complete_and_are_counted() {
+        let mut ch = channel();
+        ch.enqueue(Pending { id: 0, bank: 0, row: 0, is_write: true, enqueued_at: 0 });
+        let (_, done) = run_until_done(&mut ch);
+        assert!(done[0].is_write);
+        assert_eq!(ch.stats.writes, 1);
+        assert_eq!(ch.stats.reads, 0);
+        // ACT at 0, WR at tRCD=12, data at 12 + tCWD(8) + tBURST(4) = 24.
+        assert_eq!(done[0].finished_at, 24);
+    }
+
+    #[test]
+    fn write_to_read_turnaround_applies() {
+        let mut ch = channel();
+        ch.enqueue(Pending { id: 0, bank: 0, row: 0, is_write: true, enqueued_at: 0 });
+        ch.enqueue(Pending { id: 1, bank: 0, row: 0, is_write: false, enqueued_at: 0 });
+        let (_, done) = run_until_done(&mut ch);
+        let f: std::collections::HashMap<u64, u64> =
+            done.iter().map(|c| (c.id, c.finished_at)).collect();
+        // Write data ends at 24; the read command waits tWTR(6) -> issues
+        // at 30, data at 30 + 12 + 4 = 46.
+        assert_eq!(f[&0], 24);
+        assert_eq!(f[&1], 46);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut ch = channel();
+        ch.enqueue(Pending { id: 0, bank: 0, row: 0, is_write: true, enqueued_at: 0 });
+        ch.enqueue(Pending { id: 1, bank: 0, row: 7, is_write: false, enqueued_at: 0 });
+        let (_, done) = run_until_done(&mut ch);
+        let last = done.iter().map(|c| c.finished_at).max().unwrap();
+        // Write data ends at 24; PRE waits tWR(12) -> 36; then
+        // tRP + tRCD + tCAS + tBURST = 40 -> 76.
+        assert_eq!(last, 76);
+    }
+
+    #[test]
+    fn tfaw_limits_activation_bursts() {
+        // 8 requests to 8 different banks, all row misses: without tFAW
+        // the ACTs would go out every tRRD(4) cycles; with tFAW(16) the
+        // 5th ACT must wait until cycle >= first ACT + 16.
+        let mut ch = channel();
+        for i in 0..8u64 {
+            ch.enqueue(Pending {
+                id: i,
+                bank: i as u32,
+                row: 0,
+                is_write: false,
+                enqueued_at: 0,
+            });
+        }
+        let (_, done) = run_until_done(&mut ch);
+        assert_eq!(done.len(), 8);
+        assert_eq!(ch.stats.activates, 8);
+        // With tRRD=4 and tFAW=16 the window constraint is exactly met
+        // (4 ACTs x 4 cycles = 16), so throughput is tRRD-paced; tighten
+        // tFAW and the same pattern slows down.
+        let mut slow = Channel::new(DramConfig { t_refi: 0, t_faw: 40, ..Default::default() });
+        for i in 0..8u64 {
+            slow.enqueue(Pending {
+                id: i,
+                bank: i as u32,
+                row: 0,
+                is_write: false,
+                enqueued_at: 0,
+            });
+        }
+        let mut done2 = Vec::new();
+        let mut cycle = 0u64;
+        while slow.is_busy() {
+            slow.tick(cycle, &mut done2);
+            cycle += 1;
+            assert!(cycle < 100_000);
+        }
+        let fast_last = done.iter().map(|c| c.finished_at).max().unwrap();
+        let slow_last = done2.iter().map(|c| c.finished_at).max().unwrap();
+        assert!(
+            slow_last > fast_last,
+            "tFAW=40 should slow the ACT burst: {slow_last} vs {fast_last}"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! DRAM organization and timing configuration (the paper's Table IV).
+//!
+//! The paper configures DRAMSim2 as a high-bandwidth 24-channel memory
+//! derived from the Hynix JESD235 (HBM) standard and Nvidia's
+//! energy-efficient GPU DRAM study, reaching a sustained bandwidth of
+//! about 400 GB/s: 24 channels, 16 banks, 1 KB rows and
+//! tCAS-tRP-tRCD-tRAS of 12-12-12-28 controller cycles at 1 GHz.
+
+use serde::{Deserialize, Serialize};
+
+/// How block addresses map onto (channel, bank, row, column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// Consecutive blocks rotate across channels (then columns, banks,
+    /// rows). Streams engage every channel — the layout Booster's
+    /// record/column streams rely on.
+    ChannelInterleaved,
+    /// Consecutive blocks fill a row (then banks, then channels).
+    /// Maximizes row hits for a single stream but serializes channels —
+    /// the ablation shows why the paper-class memory interleaves.
+    RowInterleaved,
+}
+
+/// Full configuration of the simulated memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Independent channels (Table IV: 24).
+    pub channels: u32,
+    /// Banks per channel (Table IV: 16).
+    pub banks: u32,
+    /// Row-buffer size in bytes (Table IV: 1 KB).
+    pub row_bytes: u32,
+    /// Transfer-block size in bytes (the paper's 64-byte memory block).
+    pub block_bytes: u32,
+    /// Column-access (CAS) latency in cycles.
+    pub t_cas: u32,
+    /// Row-to-column (RAS-to-CAS) delay in cycles.
+    pub t_rcd: u32,
+    /// Precharge latency in cycles.
+    pub t_rp: u32,
+    /// Minimum row-active time in cycles.
+    pub t_ras: u32,
+    /// Data-bus occupancy of one block transfer in cycles.
+    pub t_burst: u32,
+    /// Write (CAS-write) latency in cycles.
+    pub t_cwd: u32,
+    /// Write recovery: delay from the end of write data to a precharge
+    /// of the same bank.
+    pub t_wr: u32,
+    /// Write-to-read turnaround on the channel.
+    pub t_wtr: u32,
+    /// Minimum spacing between two ACTs on the same channel.
+    pub t_rrd: u32,
+    /// Four-activate window: at most 4 ACTs per `t_faw` cycles (0
+    /// disables the constraint).
+    pub t_faw: u32,
+    /// Refresh interval in cycles (0 disables refresh).
+    pub t_refi: u32,
+    /// Refresh cycle time in cycles.
+    pub t_rfc: u32,
+    /// Per-channel request-queue depth.
+    pub queue_depth: usize,
+    /// Controller clock in GHz (1.0 for the paper's 1-GHz Booster clock).
+    pub clock_ghz: f64,
+    /// Block-address mapping policy.
+    pub mapping: AddressMapping,
+}
+
+impl Default for DramConfig {
+    /// Table IV configuration.
+    fn default() -> Self {
+        DramConfig {
+            channels: 24,
+            banks: 16,
+            row_bytes: 1024,
+            block_bytes: 64,
+            t_cas: 12,
+            t_rcd: 12,
+            t_rp: 12,
+            t_ras: 28,
+            t_burst: 4,
+            t_cwd: 8,
+            t_wr: 12,
+            t_wtr: 6,
+            t_rrd: 4,
+            t_faw: 16,
+            t_refi: 3900,
+            t_rfc: 160,
+            queue_depth: 32,
+            clock_ghz: 1.0,
+            mapping: AddressMapping::ChannelInterleaved,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Blocks per row buffer.
+    pub fn blocks_per_row(&self) -> u32 {
+        self.row_bytes / self.block_bytes
+    }
+
+    /// Theoretical peak bandwidth in GB/s: every channel streaming one
+    /// block per `t_burst` cycles.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        f64::from(self.channels) * f64::from(self.block_bytes) / f64::from(self.t_burst)
+            * self.clock_ghz
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    /// Panics when parameters are inconsistent (zero sizes, non-power
+    /// alignment).
+    pub fn validate(&self) {
+        assert!(self.channels > 0 && self.banks > 0);
+        assert!(self.block_bytes > 0 && self.row_bytes >= self.block_bytes);
+        assert_eq!(
+            self.row_bytes % self.block_bytes,
+            0,
+            "row size must be a whole number of blocks"
+        );
+        assert!(self.t_burst > 0 && self.queue_depth > 0);
+        assert!(self.t_ras >= self.t_rcd, "tRAS must cover tRCD");
+        assert!(self.clock_ghz > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_defaults() {
+        let c = DramConfig::default();
+        c.validate();
+        assert_eq!(c.channels, 24);
+        assert_eq!(c.banks, 16);
+        assert_eq!(c.row_bytes, 1024);
+        assert_eq!((c.t_cas, c.t_rp, c.t_rcd, c.t_ras), (12, 12, 12, 28));
+        assert_eq!(c.blocks_per_row(), 16);
+    }
+
+    #[test]
+    fn peak_bandwidth_near_400() {
+        // 24 channels x 64 B / 4 cycles @ 1 GHz = 384 GB/s peak, the
+        // paper's "about 400 GB/s" class.
+        let c = DramConfig::default();
+        let bw = c.peak_bandwidth_gbps();
+        assert!((bw - 384.0).abs() < 1e-9, "peak {bw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of blocks")]
+    fn misaligned_row_rejected() {
+        DramConfig { row_bytes: 100, ..Default::default() }.validate();
+    }
+}

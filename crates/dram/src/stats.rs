@@ -1,0 +1,119 @@
+//! Bandwidth, latency and row-buffer statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one channel.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Completed requests (reads + writes).
+    pub completed: u64,
+    /// Column accesses that hit an open row.
+    pub row_hits: u64,
+    /// Activate commands issued.
+    pub activates: u64,
+    /// Precharge commands issued.
+    pub precharges: u64,
+    /// Row conflicts encountered (precharge forced by a different row).
+    pub row_conflicts: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+    /// Sum of request latencies in cycles.
+    pub total_latency: u64,
+}
+
+impl ChannelStats {
+    /// Merge another channel's counters into this one.
+    pub fn merge(&mut self, o: &ChannelStats) {
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.completed += o.completed;
+        self.row_hits += o.row_hits;
+        self.activates += o.activates;
+        self.precharges += o.precharges;
+        self.row_conflicts += o.row_conflicts;
+        self.refreshes += o.refreshes;
+        self.total_latency += o.total_latency;
+    }
+}
+
+/// Aggregated statistics for a whole memory system run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Summed per-channel counters.
+    pub channels: ChannelStats,
+    /// Cycles elapsed.
+    pub cycles: u64,
+}
+
+impl MemoryStats {
+    /// Fraction of column accesses that hit an open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.channels.completed;
+        if total == 0 {
+            0.0
+        } else {
+            self.channels.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean request latency in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.channels.completed == 0 {
+            0.0
+        } else {
+            self.channels.total_latency as f64 / self.channels.completed as f64
+        }
+    }
+
+    /// Achieved bandwidth in GB/s given the block size and clock.
+    pub fn bandwidth_gbps(&self, block_bytes: u32, clock_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.channels.completed as f64 * f64::from(block_bytes) / self.cycles as f64 * clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ChannelStats { reads: 1, row_hits: 2, ..Default::default() };
+        let b = ChannelStats { reads: 3, row_hits: 4, refreshes: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.reads, 4);
+        assert_eq!(a.row_hits, 6);
+        assert_eq!(a.refreshes, 1);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = MemoryStats {
+            channels: ChannelStats {
+                completed: 100,
+                row_hits: 80,
+                total_latency: 3000,
+                ..Default::default()
+            },
+            cycles: 400,
+        };
+        assert!((s.row_hit_rate() - 0.8).abs() < 1e-12);
+        assert!((s.avg_latency() - 30.0).abs() < 1e-12);
+        // 100 blocks x 64 B over 400 cycles @ 1 GHz = 16 GB/s.
+        assert!((s.bandwidth_gbps(64, 1.0) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = MemoryStats::default();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.bandwidth_gbps(64, 1.0), 0.0);
+    }
+}

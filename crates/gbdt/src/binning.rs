@@ -1,0 +1,186 @@
+//! Quantile binning of numeric fields.
+//!
+//! Histogram-based GBDT replaces exact split enumeration with `k ≪ n`
+//! discretized candidate points per feature (Section I). We compute bin
+//! boundaries from (approximate) quantiles of the observed values, then map
+//! each value to the index of the bin whose upper boundary first equals or
+//! exceeds it. Boundary semantics match the paper's split predicates:
+//! a split at bin `i` tests `value >= upper_bin_boundary(bin_i)`, i.e. bins
+//! cover `(-inf, b_0], (b_0, b_1], ...`.
+
+use crate::dataset::RawValue;
+
+/// Bin boundaries for one numeric field.
+///
+/// `uppers[i]` is the inclusive upper boundary of bin `i`; the last bin is
+/// unbounded above. An empty `uppers` means the field was constant or had
+/// no present values: everything maps to bin 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinBoundaries {
+    uppers: Vec<f32>,
+}
+
+impl BinBoundaries {
+    /// Compute boundaries from the present (non-missing) values of a column,
+    /// targeting at most `max_bins` bins.
+    ///
+    /// Quantile cut points are taken from the sorted sample; duplicate cut
+    /// points (heavy ties) are merged so boundaries are strictly increasing.
+    pub fn from_column(column: &[RawValue], max_bins: u16) -> Self {
+        let mut vals: Vec<f32> = column
+            .iter()
+            .filter_map(|v| match v {
+                RawValue::Num(x) => Some(*x),
+                _ => None,
+            })
+            .collect();
+        Self::from_values(&mut vals, max_bins)
+    }
+
+    /// Compute boundaries from a mutable sample of values (sorted in place).
+    pub fn from_values(vals: &mut [f32], max_bins: u16) -> Self {
+        assert!(max_bins > 0, "need at least one bin");
+        if vals.is_empty() {
+            return BinBoundaries { uppers: Vec::new() };
+        }
+        vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs in numeric column"));
+        let n = vals.len();
+        let k = usize::from(max_bins);
+        // k bins need k-1 internal cut points at quantiles i/k.
+        let mut uppers = Vec::with_capacity(k.saturating_sub(1));
+        for i in 1..k {
+            let pos = (i * n) / k;
+            let q = vals[pos.min(n - 1)];
+            if uppers.last().is_none_or(|&last| q > last) {
+                uppers.push(q);
+            }
+        }
+        // Drop a trailing boundary equal to the maximum: the last bin is
+        // unbounded above, so such a boundary would create an empty bin.
+        if uppers.last() == vals.last() {
+            uppers.pop();
+        }
+        BinBoundaries { uppers }
+    }
+
+    /// Reconstruct boundaries from stored upper bounds (deserialization).
+    /// Fails if the boundaries are not strictly increasing or not finite.
+    pub fn from_uppers(uppers: Vec<f32>) -> Result<Self, &'static str> {
+        if uppers.iter().any(|u| !u.is_finite()) {
+            return Err("non-finite boundary");
+        }
+        if uppers.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("boundaries not strictly increasing");
+        }
+        Ok(BinBoundaries { uppers })
+    }
+
+    /// Number of value bins (≥ 1).
+    pub fn num_bins(&self) -> u32 {
+        self.uppers.len() as u32 + 1
+    }
+
+    /// Map a value to its bin index in `0..num_bins()`.
+    pub fn bin_of(&self, x: f32) -> u32 {
+        // Binary search for the first upper boundary >= x.
+        let mut lo = 0usize;
+        let mut hi = self.uppers.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.uppers[mid] >= x {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo as u32
+    }
+
+    /// Inclusive upper boundary of bin `i`, or `None` for the last
+    /// (unbounded) bin. This is the split threshold for a predicate
+    /// `value >= upper_bin_boundary(bin_i)` in the paper's encoding — note
+    /// the paper phrases the predicate as strictly-greater on bin contents:
+    /// records in bins `> i` go right.
+    pub fn upper(&self, i: u32) -> Option<f32> {
+        self.uppers.get(i as usize).copied()
+    }
+
+    /// All internal boundaries.
+    pub fn uppers(&self) -> &[f32] {
+        &self.uppers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nums(v: &[f32]) -> Vec<RawValue> {
+        v.iter().map(|&x| RawValue::Num(x)).collect()
+    }
+
+    #[test]
+    fn uniform_values_split_evenly() {
+        let col = nums(&(0..100).map(|i| i as f32).collect::<Vec<_>>());
+        let b = BinBoundaries::from_column(&col, 4);
+        assert_eq!(b.num_bins(), 4);
+        // Quantile cut points at 25, 50, 75.
+        assert_eq!(b.uppers(), &[25.0, 50.0, 75.0]);
+        assert_eq!(b.bin_of(0.0), 0);
+        assert_eq!(b.bin_of(25.0), 0); // inclusive upper
+        assert_eq!(b.bin_of(25.5), 1);
+        assert_eq!(b.bin_of(99.0), 3);
+        assert_eq!(b.bin_of(1e9), 3);
+    }
+
+    #[test]
+    fn constant_column_one_bin() {
+        let col = nums(&[7.0; 50]);
+        let b = BinBoundaries::from_column(&col, 16);
+        assert_eq!(b.num_bins(), 1);
+        assert_eq!(b.bin_of(7.0), 0);
+        assert_eq!(b.bin_of(-1.0), 0);
+    }
+
+    #[test]
+    fn empty_column_one_bin() {
+        let col = vec![RawValue::Missing; 10];
+        let b = BinBoundaries::from_column(&col, 16);
+        assert_eq!(b.num_bins(), 1);
+    }
+
+    #[test]
+    fn heavy_ties_merge_boundaries() {
+        // 90% zeros, a few distinct values: boundaries must stay strictly
+        // increasing and bins must be non-empty.
+        let mut v: Vec<f32> = vec![0.0; 90];
+        v.extend((1..=10).map(|i| i as f32));
+        let col = nums(&v);
+        let b = BinBoundaries::from_column(&col, 32);
+        let u = b.uppers();
+        for w in u.windows(2) {
+            assert!(w[0] < w[1], "boundaries not strictly increasing: {u:?}");
+        }
+    }
+
+    #[test]
+    fn bin_of_is_monotone() {
+        let col = nums(&(0..1000).map(|i| (i as f32).sin() * 100.0).collect::<Vec<_>>());
+        let b = BinBoundaries::from_column(&col, 64);
+        let mut prev = b.bin_of(-200.0);
+        let mut x = -200.0f32;
+        while x <= 200.0 {
+            let bin = b.bin_of(x);
+            assert!(bin >= prev, "bin_of not monotone at {x}");
+            prev = bin;
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let col = nums(&[1.0, 2.0, 3.0, 4.0]);
+        let b = BinBoundaries::from_column(&col, 4);
+        assert_eq!(b.bin_of(4.0), b.num_bins() - 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Raw table-based dataset: records (rows) × fields (columns), with
+//! optional missing values, plus per-record labels.
+//!
+//! The raw representation holds numeric fields as `f32` and categorical
+//! fields as category indices. Missing values are represented explicitly
+//! (`RawValue::Missing`) so preprocessing can route them to each field's
+//! absent bin (Section II-A).
+
+use crate::schema::{DatasetSchema, FieldKind};
+
+/// One cell of the raw table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RawValue {
+    /// Numeric value (only valid in numeric fields).
+    Num(f32),
+    /// Category index (only valid in categorical fields; must be
+    /// `< categories`).
+    Cat(u32),
+    /// Missing value (valid in any field).
+    Missing,
+}
+
+impl RawValue {
+    /// Is this a missing value?
+    pub fn is_missing(&self) -> bool {
+        matches!(self, RawValue::Missing)
+    }
+}
+
+/// A raw table dataset: column-major storage of `RawValue`s plus labels.
+///
+/// Column-major storage keeps construction cheap for generators that fill
+/// one field at a time and matches the access pattern of quantile binning.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: DatasetSchema,
+    /// `columns[f][r]` = value of field `f` for record `r`.
+    columns: Vec<Vec<RawValue>>,
+    /// Ground-truth outputs `y_i`, one per record.
+    labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given schema.
+    pub fn new(schema: DatasetSchema) -> Self {
+        let columns = vec![Vec::new(); schema.num_fields()];
+        Dataset { schema, columns, labels: Vec::new() }
+    }
+
+    /// Create a dataset with preallocated capacity for `n` records.
+    pub fn with_capacity(schema: DatasetSchema, n: usize) -> Self {
+        let columns = vec![Vec::with_capacity(n); schema.num_fields()];
+        Dataset { schema, columns, labels: Vec::with_capacity(n) }
+    }
+
+    /// Append a record. `values` must have one entry per field and each
+    /// entry must match the field kind (or be `Missing`).
+    ///
+    /// # Panics
+    /// Panics on arity or kind mismatch, or an out-of-range category.
+    pub fn push_record(&mut self, values: &[RawValue], label: f32) {
+        assert_eq!(
+            values.len(),
+            self.schema.num_fields(),
+            "record arity {} != schema fields {}",
+            values.len(),
+            self.schema.num_fields()
+        );
+        for (f, (v, fs)) in values.iter().zip(self.schema.fields()).enumerate() {
+            match (v, &fs.kind) {
+                (RawValue::Missing, _) => {}
+                (RawValue::Num(x), FieldKind::Numeric { .. }) => {
+                    assert!(x.is_finite(), "non-finite value in numeric field {f}");
+                }
+                (RawValue::Cat(c), FieldKind::Categorical { categories }) => {
+                    assert!(
+                        c < categories,
+                        "category {c} out of range for field {f} ({categories} categories)"
+                    );
+                }
+                _ => panic!("value kind mismatch in field {f}: {v:?} vs {:?}", fs.kind),
+            }
+            self.columns[f].push(*v);
+        }
+        self.labels.push(label);
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &DatasetSchema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn num_records(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.schema.num_fields()
+    }
+
+    /// Raw column for field `f`.
+    pub fn column(&self, f: usize) -> &[RawValue] {
+        &self.columns[f]
+    }
+
+    /// Ground-truth labels.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Value of field `f` for record `r`.
+    pub fn value(&self, r: usize, f: usize) -> RawValue {
+        self.columns[f][r]
+    }
+
+    /// Fraction of missing cells across the whole table (diagnostics).
+    pub fn missing_fraction(&self) -> f64 {
+        let total = self.num_records() * self.num_fields();
+        if total == 0 {
+            return 0.0;
+        }
+        let missing: usize =
+            self.columns.iter().map(|c| c.iter().filter(|v| v.is_missing()).count()).sum();
+        missing as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldSchema;
+
+    fn small_schema() -> DatasetSchema {
+        DatasetSchema::new(vec![
+            FieldSchema::numeric("x"),
+            FieldSchema::categorical("c", 3),
+        ])
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut ds = Dataset::new(small_schema());
+        ds.push_record(&[RawValue::Num(1.5), RawValue::Cat(2)], 1.0);
+        ds.push_record(&[RawValue::Missing, RawValue::Cat(0)], 0.0);
+        assert_eq!(ds.num_records(), 2);
+        assert_eq!(ds.value(0, 0), RawValue::Num(1.5));
+        assert_eq!(ds.value(1, 0), RawValue::Missing);
+        assert_eq!(ds.value(0, 1), RawValue::Cat(2));
+        assert_eq!(ds.labels(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn missing_fraction_counts_cells() {
+        let mut ds = Dataset::new(small_schema());
+        ds.push_record(&[RawValue::Missing, RawValue::Missing], 0.0);
+        ds.push_record(&[RawValue::Num(0.0), RawValue::Cat(1)], 0.0);
+        assert!((ds.missing_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_rejected() {
+        let mut ds = Dataset::new(small_schema());
+        ds.push_record(&[RawValue::Num(1.0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn kind_mismatch_rejected() {
+        let mut ds = Dataset::new(small_schema());
+        ds.push_record(&[RawValue::Cat(0), RawValue::Cat(1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_category_rejected() {
+        let mut ds = Dataset::new(small_schema());
+        ds.push_record(&[RawValue::Num(0.0), RawValue::Cat(3)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_numeric_rejected() {
+        let mut ds = Dataset::new(small_schema());
+        ds.push_record(&[RawValue::Num(f32::NAN), RawValue::Cat(0)], 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Gradient statistics and loss functions.
+//!
+//! GB is agnostic about the loss as long as it is differentiable and convex
+//! (Section II-A). Training maintains per-record first- and second-order
+//! gradient statistics `(g_i, h_i)` of the loss w.r.t. the current model
+//! margin; Step 5 recomputes them after each tree is added.
+
+use serde::{Deserialize, Serialize};
+
+/// First- and second-order gradient statistics for one record, or a
+/// summation thereof (the `G`/`H` of a histogram bin).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GradPair {
+    /// First-order gradient (g, or bin summation G).
+    pub g: f64,
+    /// Second-order gradient (h, or bin summation H).
+    pub h: f64,
+}
+
+impl GradPair {
+    /// Construct from components.
+    pub const fn new(g: f64, h: f64) -> Self {
+        GradPair { g, h }
+    }
+
+    /// Zero pair.
+    pub const fn zero() -> Self {
+        GradPair { g: 0.0, h: 0.0 }
+    }
+}
+
+impl core::ops::Add for GradPair {
+    type Output = GradPair;
+    fn add(self, rhs: GradPair) -> GradPair {
+        GradPair { g: self.g + rhs.g, h: self.h + rhs.h }
+    }
+}
+
+impl core::ops::AddAssign for GradPair {
+    fn add_assign(&mut self, rhs: GradPair) {
+        self.g += rhs.g;
+        self.h += rhs.h;
+    }
+}
+
+impl core::ops::Sub for GradPair {
+    type Output = GradPair;
+    fn sub(self, rhs: GradPair) -> GradPair {
+        GradPair { g: self.g - rhs.g, h: self.h - rhs.h }
+    }
+}
+
+impl core::ops::SubAssign for GradPair {
+    fn sub_assign(&mut self, rhs: GradPair) {
+        self.g -= rhs.g;
+        self.h -= rhs.h;
+    }
+}
+
+/// Which loss function the trainer minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Squared error, `l = 1/2 (margin - y)^2` — regression.
+    SquaredError,
+    /// Logistic loss over a raw margin — binary classification with
+    /// labels in {0, 1}.
+    Logistic,
+}
+
+impl Loss {
+    /// A reasonable initial margin (base score) for this loss given the
+    /// label mean.
+    pub fn base_score(&self, label_mean: f64) -> f64 {
+        match self {
+            Loss::SquaredError => label_mean,
+            Loss::Logistic => {
+                // logit of the positive rate, clamped away from infinities.
+                let p = label_mean.clamp(1e-6, 1.0 - 1e-6);
+                (p / (1.0 - p)).ln()
+            }
+        }
+    }
+
+    /// Gradient statistics of the loss at the given margin and label.
+    #[inline]
+    pub fn grad(&self, margin: f64, label: f64) -> GradPair {
+        match self {
+            Loss::SquaredError => GradPair { g: margin - label, h: 1.0 },
+            Loss::Logistic => {
+                let p = sigmoid(margin);
+                GradPair { g: p - label, h: (p * (1.0 - p)).max(1e-16) }
+            }
+        }
+    }
+
+    /// Loss value of a single prediction (for monitoring the residual loss,
+    /// Step 5 / Step 6 stopping).
+    #[inline]
+    pub fn value(&self, margin: f64, label: f64) -> f64 {
+        match self {
+            Loss::SquaredError => {
+                let d = margin - label;
+                0.5 * d * d
+            }
+            Loss::Logistic => {
+                let p = sigmoid(margin).clamp(1e-15, 1.0 - 1e-15);
+                -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+            }
+        }
+    }
+
+    /// Transform a raw margin into the prediction users expect
+    /// (identity for regression, probability for logistic).
+    #[inline]
+    pub fn transform(&self, margin: f64) -> f64 {
+        match self {
+            Loss::SquaredError => margin,
+            Loss::Logistic => sigmoid(margin),
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradpair_arithmetic() {
+        let a = GradPair::new(1.0, 2.0);
+        let b = GradPair::new(0.5, 0.25);
+        assert_eq!(a + b, GradPair::new(1.5, 2.25));
+        assert_eq!(a - b, GradPair::new(0.5, 1.75));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn squared_error_gradients() {
+        let gp = Loss::SquaredError.grad(3.0, 1.0);
+        assert_eq!(gp.g, 2.0);
+        assert_eq!(gp.h, 1.0);
+    }
+
+    #[test]
+    fn logistic_gradients_at_zero_margin() {
+        let gp = Loss::Logistic.grad(0.0, 1.0);
+        assert!((gp.g + 0.5).abs() < 1e-12); // p=0.5, g = p - y = -0.5
+        assert!((gp.h - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        // symmetric
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn base_score_matches_loss() {
+        assert_eq!(Loss::SquaredError.base_score(3.25), 3.25);
+        let b = Loss::Logistic.base_score(0.5);
+        assert!(b.abs() < 1e-9);
+        assert!(Loss::Logistic.base_score(0.9) > 0.0);
+    }
+
+    #[test]
+    fn logistic_loss_decreases_toward_correct_margin() {
+        let l_bad = Loss::Logistic.value(-2.0, 1.0);
+        let l_good = Loss::Logistic.value(2.0, 1.0);
+        assert!(l_good < l_bad);
+    }
+
+    #[test]
+    fn gradient_is_zero_at_minimum() {
+        // Squared error: minimum at margin == label.
+        let gp = Loss::SquaredError.grad(1.5, 1.5);
+        assert_eq!(gp.g, 0.0);
+    }
+}

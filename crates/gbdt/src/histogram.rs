@@ -1,0 +1,283 @@
+//! Per-field gradient-statistic histograms (Step 1 of Table I).
+//!
+//! Each field owns a histogram with one `(G, H, count)` entry per bin.
+//! Binning adds each relevant record's `(g, h)` to the bin its field value
+//! falls in. The module also implements the *smaller-child subtraction*
+//! optimization (Section II-A): when a vertex splits, only the child with
+//! fewer records is binned explicitly; the sibling's histogram is the
+//! parent's minus the smaller child's.
+
+use crate::gradients::GradPair;
+use crate::preprocess::BinnedDataset;
+
+/// One histogram bin: gradient summations and record count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BinStats {
+    /// Sum of first-order gradients of records in this bin.
+    pub grad: GradPair,
+    /// Number of records in this bin.
+    pub count: u64,
+}
+
+impl BinStats {
+    fn add(&mut self, gp: GradPair) {
+        self.grad += gp;
+        self.count += 1;
+    }
+}
+
+/// Histograms for all fields at one tree vertex.
+///
+/// Storage is a single flat vector with per-field offsets so a node's
+/// histogram set is one allocation (the on-chip footprint the paper sizes
+/// at "under 2 MB" / 2–8 MB).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeHistogram {
+    bins: Vec<BinStats>,
+    offsets: Vec<u32>,
+    /// Total gradient over all records reaching the vertex (same for every
+    /// field; kept once).
+    total: GradPair,
+    total_count: u64,
+}
+
+impl NodeHistogram {
+    /// Allocate an all-zero histogram set shaped for `data`'s fields.
+    pub fn zeroed(data: &BinnedDataset) -> Self {
+        let nf = data.num_fields();
+        let mut offsets = Vec::with_capacity(nf + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for f in 0..nf {
+            acc += data.field_bins(f);
+            offsets.push(acc);
+        }
+        NodeHistogram {
+            bins: vec![BinStats::default(); acc as usize],
+            offsets,
+            total: GradPair::zero(),
+            total_count: 0,
+        }
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Bins of field `f`.
+    #[inline]
+    pub fn field(&self, f: usize) -> &[BinStats] {
+        &self.bins[self.offsets[f] as usize..self.offsets[f + 1] as usize]
+    }
+
+    /// Total gradient over all records binned here.
+    pub fn total(&self) -> GradPair {
+        self.total
+    }
+
+    /// Total record count binned here.
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Total number of bins across all fields.
+    pub fn total_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Bin a set of records: for each record, add `(g, h)` to the matching
+    /// bin of **every** field (exactly one bin per field — the density
+    /// property of Section III-A). Returns the number of histogram updates
+    /// performed (records × fields), the SRAM-access count used by the
+    /// energy model.
+    pub fn bin_records(
+        &mut self,
+        data: &BinnedDataset,
+        rows: &[u32],
+        grads: &[GradPair],
+    ) -> u64 {
+        let nf = self.num_fields();
+        debug_assert_eq!(nf, data.num_fields());
+        for &r in rows {
+            let r = r as usize;
+            let gp = grads[r];
+            let row = data.row(r);
+            for (&off, &bin) in self.offsets.iter().zip(row) {
+                self.bins[off as usize + bin as usize].add(gp);
+            }
+            self.total += gp;
+            self.total_count += 1;
+        }
+        rows.len() as u64 * nf as u64
+    }
+
+    /// Add an externally-accumulated summation into one bin (used by
+    /// accelerator readout paths that accumulate in hardware formats and
+    /// hand the totals back).
+    pub fn add_bin(&mut self, field: usize, bin: u32, grad: GradPair, count: u64) {
+        let idx = self.offsets[field] as usize + bin as usize;
+        debug_assert!(
+            (idx as u32) < self.offsets[field + 1],
+            "bin {bin} out of range for field {field}"
+        );
+        self.bins[idx].grad += grad;
+        self.bins[idx].count += count;
+    }
+
+    /// Add to the vertex totals without touching bins (paired with
+    /// [`Self::add_bin`] readouts).
+    pub fn add_total(&mut self, grad: GradPair, count: u64) {
+        self.total += grad;
+        self.total_count += count;
+    }
+
+    /// `self = parent - sibling`, the smaller-child subtraction trick.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn subtract_from(parent: &NodeHistogram, sibling: &NodeHistogram) -> NodeHistogram {
+        assert_eq!(parent.offsets, sibling.offsets, "histogram shapes differ");
+        let bins = parent
+            .bins
+            .iter()
+            .zip(&sibling.bins)
+            .map(|(p, s)| BinStats {
+                grad: p.grad - s.grad,
+                count: p.count.checked_sub(s.count).expect("sibling count exceeds parent"),
+            })
+            .collect();
+        NodeHistogram {
+            bins,
+            offsets: parent.offsets.clone(),
+            total: parent.total - sibling.total,
+            total_count: parent
+                .total_count
+                .checked_sub(sibling.total_count)
+                .expect("sibling total exceeds parent"),
+        }
+    }
+
+    /// Merge another histogram into this one (the per-cluster /
+    /// per-thread replica reduction at the end of Step 1).
+    pub fn merge(&mut self, other: &NodeHistogram) {
+        assert_eq!(self.offsets, other.offsets, "histogram shapes differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            a.grad += b.grad;
+            a.count += b.count;
+        }
+        self.total += other.total;
+        self.total_count += other.total_count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, RawValue};
+    use crate::schema::{DatasetSchema, FieldSchema};
+
+    fn make_data(n: usize) -> (BinnedDataset, Vec<GradPair>) {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x", 8),
+            FieldSchema::categorical("c", 3),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..n {
+            let x = if i % 11 == 0 { RawValue::Missing } else { RawValue::Num(i as f32) };
+            ds.push_record(&[x, RawValue::Cat((i % 3) as u32)], (i % 2) as f32);
+        }
+        let b = BinnedDataset::from_dataset(&ds);
+        let grads = (0..n)
+            .map(|i| GradPair::new((i as f64).sin(), 1.0 + (i as f64 % 3.0)))
+            .collect();
+        (b, grads)
+    }
+
+    #[test]
+    fn bin_all_records_totals_match() {
+        let (data, grads) = make_data(200);
+        let rows: Vec<u32> = (0..200).collect();
+        let mut h = NodeHistogram::zeroed(&data);
+        let updates = h.bin_records(&data, &rows, &grads);
+        assert_eq!(updates, 200 * 2);
+        assert_eq!(h.total_count(), 200);
+        let g_sum: f64 = grads.iter().map(|g| g.g).sum();
+        assert!((h.total().g - g_sum).abs() < 1e-9);
+        // Each field's bins sum to the total.
+        for f in 0..2 {
+            let fg: f64 = h.field(f).iter().map(|b| b.grad.g).sum();
+            let fc: u64 = h.field(f).iter().map(|b| b.count).sum();
+            assert!((fg - g_sum).abs() < 1e-9, "field {f} G mismatch");
+            assert_eq!(fc, 200, "field {f} count mismatch");
+        }
+    }
+
+    #[test]
+    fn subtraction_equals_direct_binning() {
+        let (data, grads) = make_data(300);
+        let all: Vec<u32> = (0..300).collect();
+        let (left, right): (Vec<u32>, Vec<u32>) = all.iter().partition(|&&r| r % 5 == 0);
+
+        let mut parent = NodeHistogram::zeroed(&data);
+        parent.bin_records(&data, &all, &grads);
+        let mut small = NodeHistogram::zeroed(&data);
+        small.bin_records(&data, &left, &grads);
+        let derived = NodeHistogram::subtract_from(&parent, &small);
+
+        let mut direct = NodeHistogram::zeroed(&data);
+        direct.bin_records(&data, &right, &grads);
+
+        assert_eq!(derived.total_count(), direct.total_count());
+        for f in 0..2 {
+            for (a, b) in derived.field(f).iter().zip(direct.field(f)) {
+                assert_eq!(a.count, b.count);
+                assert!((a.grad.g - b.grad.g).abs() < 1e-9);
+                assert!((a.grad.h - b.grad.h).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let (data, grads) = make_data(100);
+        let rows_a: Vec<u32> = (0..50).collect();
+        let rows_b: Vec<u32> = (50..100).collect();
+        let mut ha = NodeHistogram::zeroed(&data);
+        ha.bin_records(&data, &rows_a, &grads);
+        let mut hb = NodeHistogram::zeroed(&data);
+        hb.bin_records(&data, &rows_b, &grads);
+        ha.merge(&hb);
+
+        let mut whole = NodeHistogram::zeroed(&data);
+        whole.bin_records(&data, &(0..100).collect::<Vec<_>>(), &grads);
+        assert_eq!(ha.total_count(), whole.total_count());
+        for f in 0..2 {
+            for (a, b) in ha.field(f).iter().zip(whole.field(f)) {
+                assert_eq!(a.count, b.count);
+                assert!((a.grad.g - b.grad.g).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_records_counted_in_absent_bin() {
+        let (data, grads) = make_data(110);
+        let rows: Vec<u32> = (0..110).collect();
+        let mut h = NodeHistogram::zeroed(&data);
+        h.bin_records(&data, &rows, &grads);
+        let absent = data.binnings()[0].absent_bin() as usize;
+        // i % 11 == 0 -> 10 missing records (0, 11, ..., 99) in 0..110 is 10.
+        assert_eq!(h.field(0)[absent].count, 10);
+    }
+
+    #[test]
+    fn empty_rows_noop() {
+        let (data, grads) = make_data(10);
+        let mut h = NodeHistogram::zeroed(&data);
+        let updates = h.bin_records(&data, &[], &grads);
+        assert_eq!(updates, 0);
+        assert_eq!(h.total_count(), 0);
+        assert_eq!(h.total(), GradPair::zero());
+    }
+}

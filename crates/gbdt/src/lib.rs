@@ -1,0 +1,93 @@
+//! # booster-gbdt
+//!
+//! A from-scratch, histogram-based gradient boosting decision tree (GBDT)
+//! library — the workload accelerated by *Booster: An Accelerator for
+//! Gradient Boosting Decision Trees* (He, Vijaykumar, Thottethodi;
+//! IPDPS 2022, arXiv:2011.02022).
+//!
+//! The crate implements the complete training pipeline of the paper's
+//! Table I:
+//!
+//! 1. **histogram binning** of per-record gradient statistics
+//!    ([`histogram`]),
+//! 2. **split finding** over histogram bins with XGBoost-style gain
+//!    ([`split`]),
+//! 3. **single-predicate partitioning** of the relevant records
+//!    ([`partition`]),
+//! 4. leaf-wise growth to a depth limit ([`train`]),
+//! 5. **one-tree traversal** updating every record's gradient statistics
+//!    ([`train`], [`tree`]),
+//! 6. the outer loop over trees.
+//!
+//! It also implements the data-layout machinery the accelerator relies
+//! on: quantile [`binning`], one-hot-aware [`preprocess`]ing with per-field
+//! absent bins, and the **redundant per-field column-major format**
+//! ([`columnar`]). Training can run sequentially or with the multicore
+//! backend of Section II-D ([`parallel`]). Per-step wall-clock times,
+//! work counters and phase descriptors ([`phases`]) feed the `booster-sim`
+//! timing models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use booster_gbdt::prelude::*;
+//!
+//! // A tiny table: one numeric and one categorical field.
+//! let schema = DatasetSchema::new(vec![
+//!     FieldSchema::numeric("miles"),
+//!     FieldSchema::categorical("status", 3),
+//! ]);
+//! let mut ds = Dataset::new(schema);
+//! for i in 0..200 {
+//!     let miles = RawValue::Num((i * 500) as f32);
+//!     let status = RawValue::Cat(i % 3);
+//!     let label = if i >= 100 { 1.0 } else { 0.0 };
+//!     ds.push_record(&[miles, status], label);
+//! }
+//!
+//! let binned = BinnedDataset::from_dataset(&ds);
+//! let mirror = ColumnarMirror::from_binned(&binned);
+//! let cfg = TrainConfig { num_trees: 10, max_depth: 3, ..Default::default() };
+//! let (model, report) = train(&binned, &mirror, &cfg);
+//!
+//! assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
+//! let p = model.predict_raw(&[RawValue::Num(90_000.0), RawValue::Cat(0)]);
+//! assert!(p > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod columnar;
+pub mod dataset;
+pub mod gradients;
+pub mod histogram;
+pub mod io;
+pub mod levelwise;
+pub mod metrics;
+pub mod parallel;
+pub mod partition;
+pub mod phases;
+pub mod predict;
+pub mod preprocess;
+pub mod schema;
+pub mod serialize;
+pub mod split;
+pub mod train;
+pub mod tree;
+
+/// Convenient re-exports of the most common types.
+pub mod prelude {
+    pub use crate::columnar::ColumnarMirror;
+    pub use crate::dataset::{Dataset, RawValue};
+    pub use crate::gradients::{GradPair, Loss};
+    pub use crate::levelwise::train_levelwise;
+    pub use crate::parallel::train_parallel;
+    pub use crate::predict::Model;
+    pub use crate::preprocess::BinnedDataset;
+    pub use crate::schema::{DatasetSchema, FieldKind, FieldSchema};
+    pub use crate::serialize::{model_from_bytes, model_to_bytes};
+    pub use crate::split::SplitParams;
+    pub use crate::train::{train, TrainConfig, TrainReport};
+    pub use crate::tree::{Tree, TreeTable};
+}

@@ -1,0 +1,116 @@
+//! Evaluation metrics for trained models.
+
+/// Root-mean-square error between predictions and labels.
+pub fn rmse(preds: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(preds.len(), labels.len());
+    assert!(!preds.is_empty());
+    let mse = preds
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let d = p - y;
+            d * d
+        })
+        .sum::<f64>()
+        / preds.len() as f64;
+    mse.sqrt()
+}
+
+/// Binary log-loss; predictions must be probabilities.
+pub fn logloss(preds: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(preds.len(), labels.len());
+    assert!(!preds.is_empty());
+    preds
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = p.clamp(1e-15, 1.0 - 1e-15);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum::<f64>()
+        / preds.len() as f64
+}
+
+/// Classification accuracy at the given probability threshold.
+pub fn accuracy(preds: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    assert_eq!(preds.len(), labels.len());
+    assert!(!preds.is_empty());
+    let correct = preds
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| (p >= threshold) == (y >= 0.5))
+        .count();
+    correct as f64 / preds.len() as f64
+}
+
+/// Area under the ROC curve (rank-based; ties get the average rank).
+pub fn auc(preds: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(preds.len(), labels.len());
+    let mut idx: Vec<usize> = (0..preds.len()).collect();
+    idx.sort_by(|&a, &b| preds[a].partial_cmp(&preds[b]).expect("no NaN predictions"));
+    // Average ranks over tied prediction groups.
+    let mut ranks = vec![0.0f64; preds.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && preds[idx[j + 1]] == preds[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let pos: f64 = labels.iter().filter(|&&y| y >= 0.5).count() as f64;
+    let neg = labels.len() as f64 - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return 0.5;
+    }
+    let pos_rank_sum: f64 =
+        ranks.iter().zip(labels).filter(|(_, &y)| y >= 0.5).map(|(&r, _)| r).sum();
+    (pos_rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        let preds = [0.9, 0.2, 0.7, 0.4];
+        let labels = [1.0, 0.0, 0.0, 1.0];
+        assert!((accuracy(&preds, &labels, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logloss_perfect_predictions_near_zero() {
+        let l = logloss(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!(l < 1e-10);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc(&[0.1, 0.2, 0.8, 0.9], &labels) - 1.0).abs() < 1e-12);
+        assert!((auc(&[0.9, 0.8, 0.2, 0.1], &labels) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // Symmetric ties -> 0.5.
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        assert!((auc(&[0.5, 0.5, 0.5, 0.5], &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(auc(&[0.2, 0.8], &[1.0, 1.0]), 0.5);
+    }
+}

@@ -1,0 +1,234 @@
+//! The multicore software implementation of GB training (Section II-D).
+//!
+//! "The input records are partitioned among the threads each of which has
+//! a private version of the histograms of Step 1, at the end of which the
+//! histograms are reduced. Step 3 is parallelized by partitioning the
+//! input records and replicating the current tree among the threads."
+//!
+//! This is the software baseline the paper's Ideal 32-core idealizes. The
+//! rayon backend keeps chunking deterministic (fixed chunk boundaries,
+//! in-order reduction), so results are reproducible across runs; floating-
+//! point summation order differs from the sequential backend, so gradients
+//! match only up to rounding.
+
+use rayon::prelude::*;
+
+use crate::columnar::ColumnarMirror;
+use crate::gradients::{GradPair, Loss};
+use crate::histogram::NodeHistogram;
+use crate::partition::partition_rows;
+use crate::predict::Model;
+use crate::preprocess::BinnedDataset;
+use crate::split::SplitRule;
+use crate::train::{train_with, StepExecutor, TrainConfig, TrainReport};
+use crate::tree::Tree;
+
+/// Rayon-parallel execution of the record-heavy steps.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExec {
+    /// Rows per parallel chunk. Chunk boundaries are fixed so reductions
+    /// happen in a deterministic order.
+    pub chunk_size: usize,
+}
+
+impl Default for ParallelExec {
+    fn default() -> Self {
+        ParallelExec { chunk_size: 16 * 1024 }
+    }
+}
+
+impl StepExecutor for ParallelExec {
+    fn bin_records(
+        &self,
+        data: &BinnedDataset,
+        rows: &[u32],
+        grads: &[GradPair],
+        hist: &mut NodeHistogram,
+    ) -> u64 {
+        if rows.len() < self.chunk_size {
+            return hist.bin_records(data, rows, grads);
+        }
+        // Private histogram per chunk (the multicore replication), then an
+        // in-order reduction.
+        let partials: Vec<NodeHistogram> = rows
+            .par_chunks(self.chunk_size)
+            .map(|chunk| {
+                let mut h = NodeHistogram::zeroed(data);
+                h.bin_records(data, chunk, grads);
+                h
+            })
+            .collect();
+        for p in &partials {
+            hist.merge(p);
+        }
+        rows.len() as u64 * data.num_fields() as u64
+    }
+
+    fn partition(
+        &self,
+        rows: &[u32],
+        column: &[u32],
+        rule: SplitRule,
+        default_left: bool,
+        absent_bin: u32,
+    ) -> (Vec<u32>, Vec<u32>) {
+        if rows.len() < self.chunk_size {
+            return partition_rows(rows, column, rule, default_left, absent_bin);
+        }
+        let parts: Vec<(Vec<u32>, Vec<u32>)> = rows
+            .par_chunks(self.chunk_size)
+            .map(|chunk| partition_rows(chunk, column, rule, default_left, absent_bin))
+            .collect();
+        // Concatenate in chunk order: preserves global stability.
+        let (mut left, mut right) = (Vec::with_capacity(rows.len()), Vec::new());
+        for (l, r) in parts {
+            left.extend(l);
+            right.extend(r);
+        }
+        (left, right)
+    }
+
+    fn traverse_update(
+        &self,
+        data: &BinnedDataset,
+        tree: &Tree,
+        loss: Loss,
+        labels: &[f32],
+        margins: &mut [f64],
+        grads: &mut [GradPair],
+    ) -> (u64, f64) {
+        let chunk = self.chunk_size;
+        margins
+            .par_chunks_mut(chunk)
+            .zip(grads.par_chunks_mut(chunk))
+            .enumerate()
+            .map(|(ci, (mchunk, gchunk))| {
+                let base = ci * chunk;
+                let mut sum_path = 0u64;
+                let mut total_loss = 0.0f64;
+                for (i, (m, g)) in mchunk.iter_mut().zip(gchunk.iter_mut()).enumerate() {
+                    let r = base + i;
+                    let (w, path) = tree.traverse_binned(data, r);
+                    sum_path += u64::from(path);
+                    *m += w;
+                    let y = f64::from(labels[r]);
+                    *g = loss.grad(*m, y);
+                    total_loss += loss.value(*m, y);
+                }
+                (sum_path, total_loss)
+            })
+            .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1))
+    }
+}
+
+/// Train with the rayon-parallel backend.
+pub fn train_parallel(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+) -> (Model, TrainReport) {
+    train_with(data, columnar, cfg, &ParallelExec::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, RawValue};
+    use crate::metrics;
+    use crate::schema::{DatasetSchema, FieldSchema};
+    use crate::train::train;
+
+    fn dataset(n: usize) -> (BinnedDataset, ColumnarMirror) {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("a", 32),
+            FieldSchema::numeric_with_bins("b", 32),
+            FieldSchema::categorical("c", 5),
+        ]);
+        let mut ds = Dataset::new(schema);
+        let mut state = 42u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        for _ in 0..n {
+            let a = rng();
+            let b = rng();
+            let c = (rng() * 5.0) as u32 % 5;
+            let y = a + 0.5 * b + if c == 3 { 0.4 } else { 0.0 };
+            ds.push_record(&[RawValue::Num(a), RawValue::Num(b), RawValue::Cat(c)], y);
+        }
+        let binned = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&binned);
+        (binned, mirror)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_quality() {
+        let (data, mirror) = dataset(8000);
+        let cfg = TrainConfig { num_trees: 10, max_depth: 4, ..Default::default() };
+        let (m_seq, rep_seq) = train(&data, &mirror, &cfg);
+        let (m_par, rep_par) = train_parallel(&data, &mirror, &cfg);
+        assert_eq!(m_seq.num_trees(), m_par.num_trees());
+        // Final losses agree closely (float order differs).
+        let l_seq = *rep_seq.loss_history.last().unwrap();
+        let l_par = *rep_par.loss_history.last().unwrap();
+        assert!(
+            (l_seq - l_par).abs() < 1e-3 * (1.0 + l_seq.abs()),
+            "losses diverge: {l_seq} vs {l_par}"
+        );
+        // Predictions agree on RMSE.
+        let labels: Vec<f64> = data.labels().iter().map(|&y| f64::from(y)).collect();
+        let r_seq = metrics::rmse(&m_seq.predict_batch(&data), &labels);
+        let r_par = metrics::rmse(&m_par.predict_batch(&data), &labels);
+        assert!((r_seq - r_par).abs() < 1e-3, "rmse diverge: {r_seq} vs {r_par}");
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back_to_sequential_path() {
+        let (data, mirror) = dataset(100);
+        let cfg = TrainConfig { num_trees: 3, max_depth: 3, ..Default::default() };
+        // chunk_size larger than n: everything goes through the scalar path.
+        let exec = ParallelExec { chunk_size: 1 << 20 };
+        let (m_par, _) = train_with(&data, &mirror, &cfg, &exec);
+        let (m_seq, _) = train(&data, &mirror, &cfg);
+        // With identical float order, the models must be identical.
+        assert_eq!(m_par.trees, m_seq.trees);
+    }
+
+    #[test]
+    fn chunked_partition_is_stable() {
+        let exec = ParallelExec { chunk_size: 7 };
+        let column: Vec<u32> = (0..100).map(|i| i % 10).collect();
+        let rows: Vec<u32> = (0..100).collect();
+        let (l, r) = exec.partition(
+            &rows,
+            &column,
+            SplitRule::Numeric { threshold_bin: 4 },
+            false,
+            99,
+        );
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(l.len() + r.len(), 100);
+    }
+
+    #[test]
+    fn chunked_binning_matches_unchunked() {
+        let (data, _) = dataset(5000);
+        let grads: Vec<GradPair> =
+            (0..5000).map(|i| GradPair::new((i as f64).cos(), 1.0)).collect();
+        let rows: Vec<u32> = (0..5000).collect();
+        let exec = ParallelExec { chunk_size: 333 };
+        let mut h_par = NodeHistogram::zeroed(&data);
+        exec.bin_records(&data, &rows, &grads, &mut h_par);
+        let mut h_seq = NodeHistogram::zeroed(&data);
+        h_seq.bin_records(&data, &rows, &grads);
+        assert_eq!(h_par.total_count(), h_seq.total_count());
+        for f in 0..data.num_fields() {
+            for (a, b) in h_par.field(f).iter().zip(h_seq.field(f)) {
+                assert_eq!(a.count, b.count);
+                assert!((a.grad.g - b.grad.g).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Phase descriptors: the workload trace the timing simulators consume.
+//!
+//! The functional trainer records, for every accelerated phase (Step 1
+//! binning at a vertex, Step 3 partitioning, Step 5 one-tree traversal),
+//! the quantities that determine the phase's memory traffic and compute
+//! occupancy on each architecture: record counts, the number of distinct
+//! 64-byte memory blocks the (possibly sparse) relevant-record subset
+//! touches in each data format, and tree-path statistics. The simulators in
+//! `booster-sim` turn these into cycles, bytes and joules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::preprocess::BLOCK_BYTES;
+
+/// Count distinct fixed-size blocks touched by a sorted row-index subset
+/// when each row occupies `1/items_per_block` of a block.
+///
+/// `items_per_block` is how many records share one block (e.g. 64 for
+/// 1-byte column entries, `64 / record_bytes` for packed row-major
+/// records).
+pub fn distinct_blocks(sorted_rows: &[u32], items_per_block: usize) -> usize {
+    debug_assert!(items_per_block >= 1);
+    let mut count = 0usize;
+    let mut last = u32::MAX;
+    for &r in sorted_rows {
+        let b = r / items_per_block as u32;
+        if b != last {
+            count += 1;
+            last = b;
+        }
+    }
+    count
+}
+
+/// Blocks touched by a sorted subset of records in the **row-major** record
+/// format, where each record is `record_bytes` wide.
+pub fn row_major_blocks(sorted_rows: &[u32], record_bytes: u32) -> usize {
+    let rb = record_bytes as usize;
+    if rb >= BLOCK_BYTES {
+        // Each record spans one or more whole blocks (paper ext. 2).
+        sorted_rows.len() * rb.div_ceil(BLOCK_BYTES)
+    } else {
+        // Multiple records pack into one block.
+        distinct_blocks(sorted_rows, BLOCK_BYTES / rb)
+    }
+}
+
+/// Blocks touched by a sorted subset in a **single-field column** whose
+/// entries are `entry_bytes` wide (1 or 2).
+pub fn column_blocks(sorted_rows: &[u32], entry_bytes: u32) -> usize {
+    distinct_blocks(sorted_rows, BLOCK_BYTES / entry_bytes as usize)
+}
+
+/// Blocks touched by a sorted subset in the per-record gradient-pair
+/// stream (two `f32`, 8 bytes per record).
+pub fn gh_blocks(sorted_rows: &[u32]) -> usize {
+    distinct_blocks(sorted_rows, BLOCK_BYTES / 8)
+}
+
+/// Step-1 histogram binning at one tree vertex.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinPhase {
+    /// Tree depth of the vertex (root = 0).
+    pub depth: u32,
+    /// Records reaching the vertex.
+    pub n_reaching: usize,
+    /// Records *explicitly* binned here (smaller-child optimization: the
+    /// larger sibling's histogram is derived by subtraction, costing no
+    /// record traffic).
+    pub n_binned: usize,
+    /// Distinct row-major record blocks touched by the binned subset.
+    pub row_blocks: usize,
+    /// Distinct gradient-pair stream blocks touched by the binned subset.
+    pub gh_stream_blocks: usize,
+}
+
+/// Step-3 partitioning at one vertex (present only when the vertex split).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionPhase {
+    /// Records partitioned (== records reaching the vertex).
+    pub n_records: usize,
+    /// Distinct single-field **column** blocks for the subset (redundant
+    /// column-major format).
+    pub col_blocks: usize,
+    /// Distinct **row-major** blocks for the subset (fallback when the
+    /// redundant format is disabled — the Fig 9 ablation).
+    pub row_blocks: usize,
+    /// Records routed left / right (pointer output streams).
+    pub n_left: usize,
+    /// Records routed right.
+    pub n_right: usize,
+}
+
+/// One processed vertex of one tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodePhase {
+    /// Step-1 work at this vertex.
+    pub bin: BinPhase,
+    /// Whether a Step-2 split scan ran at this vertex (vertices at the
+    /// depth limit are not scanned).
+    pub scanned: bool,
+    /// Step-3 work (only for vertices that split).
+    pub partition: Option<PartitionPhase>,
+}
+
+/// Step-5 one-tree traversal over all records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraversalPhase {
+    /// Records traversing the tree (all of them).
+    pub n_records: usize,
+    /// Number of distinct fields used by the tree's predicates (their
+    /// columns are fetched under the redundant format).
+    pub fields_used: usize,
+    /// Sum over records of root-to-leaf path lengths (SRAM lookups).
+    pub sum_path_len: u64,
+    /// Maximum tree depth (the latency bound for a BU pipeline pass).
+    pub max_depth: u32,
+}
+
+/// All phases of one tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreePhases {
+    /// Vertices in processing order.
+    pub nodes: Vec<NodePhase>,
+    /// The closing one-tree traversal.
+    pub traversal: TraversalPhase,
+}
+
+/// The full workload trace of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseLog {
+    /// Per-tree phases.
+    pub trees: Vec<TreePhases>,
+    /// Total records in the dataset.
+    pub num_records: usize,
+    /// Fields per record.
+    pub num_fields: usize,
+    /// Row-major record size (bytes, bin-encoded).
+    pub record_bytes: u32,
+    /// Total histogram bins across fields (the Step-2 scan length and the
+    /// on-chip histogram footprint in bins).
+    pub total_bins: u64,
+    /// Per-field encoded entry sizes in bytes (1 or 2).
+    pub field_entry_bytes: Vec<u32>,
+    /// Per-field bin counts (including absent bins).
+    pub field_bins: Vec<u32>,
+}
+
+impl PhaseLog {
+    /// Total Step-1 histogram updates (records binned × fields) — SRAM
+    /// write traffic for the energy model.
+    pub fn total_bin_updates(&self) -> u64 {
+        self.trees
+            .iter()
+            .flat_map(|t| &t.nodes)
+            .map(|n| n.bin.n_binned as u64 * self.num_fields as u64)
+            .sum()
+    }
+
+    /// Total Step-2 scans × bins (host work units).
+    pub fn total_step2_bins(&self) -> u64 {
+        let scans: u64 =
+            self.trees.iter().flat_map(|t| &t.nodes).filter(|n| n.scanned).count() as u64;
+        scans * self.total_bins
+    }
+
+    /// Total Step-3 records partitioned.
+    pub fn total_partition_records(&self) -> u64 {
+        self.trees
+            .iter()
+            .flat_map(|t| &t.nodes)
+            .filter_map(|n| n.partition.as_ref())
+            .map(|p| p.n_records as u64)
+            .sum()
+    }
+
+    /// Total Step-5 tree-table lookups (sum of path lengths).
+    pub fn total_traversal_lookups(&self) -> u64 {
+        self.trees.iter().map(|t| t.traversal.sum_path_len).sum()
+    }
+
+    /// Scale all record-proportional quantities by `factor`, modeling the
+    /// same tree shapes over a dataset `factor`× larger (the paper's
+    /// Section V-F replication methodology). Block counts scale linearly
+    /// because a replicated dataset touches proportionally more blocks at
+    /// identical density.
+    pub fn scaled(&self, factor: f64) -> PhaseLog {
+        assert!(factor > 0.0);
+        let s = |x: usize| -> usize { (x as f64 * factor).round() as usize };
+        let su = |x: u64| -> u64 { (x as f64 * factor).round() as u64 };
+        let mut out = self.clone();
+        out.num_records = s(self.num_records);
+        for t in &mut out.trees {
+            for n in &mut t.nodes {
+                n.bin.n_reaching = s(n.bin.n_reaching);
+                n.bin.n_binned = s(n.bin.n_binned);
+                n.bin.row_blocks = s(n.bin.row_blocks);
+                n.bin.gh_stream_blocks = s(n.bin.gh_stream_blocks);
+                if let Some(p) = &mut n.partition {
+                    p.n_records = s(p.n_records);
+                    p.col_blocks = s(p.col_blocks);
+                    p.row_blocks = s(p.row_blocks);
+                    p.n_left = s(p.n_left);
+                    p.n_right = s(p.n_right);
+                }
+            }
+            t.traversal.n_records = s(t.traversal.n_records);
+            t.traversal.sum_path_len = su(t.traversal.sum_path_len);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_blocks_dense_subset() {
+        let rows: Vec<u32> = (0..128).collect();
+        assert_eq!(distinct_blocks(&rows, 64), 2);
+        assert_eq!(distinct_blocks(&rows, 128), 1);
+        assert_eq!(distinct_blocks(&rows, 1), 128);
+    }
+
+    #[test]
+    fn distinct_blocks_sparse_subset() {
+        // One row per block of 64.
+        let rows: Vec<u32> = (0..10).map(|i| i * 64).collect();
+        assert_eq!(distinct_blocks(&rows, 64), 10);
+    }
+
+    #[test]
+    fn row_major_blocks_packing() {
+        let rows: Vec<u32> = (0..100).collect();
+        // 28-byte records: 2 per 64B block -> 50 blocks.
+        assert_eq!(row_major_blocks(&rows, 28), 50);
+        // 64-byte records: 1 block each.
+        assert_eq!(row_major_blocks(&rows, 64), 100);
+        // 100-byte records: 2 blocks each (ext. 2).
+        assert_eq!(row_major_blocks(&rows, 100), 200);
+    }
+
+    #[test]
+    fn column_blocks_entry_width() {
+        let rows: Vec<u32> = (0..128).collect();
+        assert_eq!(column_blocks(&rows, 1), 2); // 64 entries/block
+        assert_eq!(column_blocks(&rows, 2), 4); // 32 entries/block
+        assert_eq!(gh_blocks(&rows), 16); // 8 records/block
+    }
+
+    #[test]
+    fn sparse_column_still_fetches_whole_blocks() {
+        // Paper: "in a memory block of a single-field column, only a subset
+        // may be relevant" — sparse subsets touch nearly one block per
+        // record.
+        let rows: Vec<u32> = (0..50).map(|i| i * 200).collect();
+        assert_eq!(column_blocks(&rows, 1), 50);
+    }
+
+    fn tiny_log() -> PhaseLog {
+        PhaseLog {
+            trees: vec![TreePhases {
+                nodes: vec![NodePhase {
+                    bin: BinPhase {
+                        depth: 0,
+                        n_reaching: 100,
+                        n_binned: 100,
+                        row_blocks: 50,
+                        gh_stream_blocks: 13,
+                    },
+                    scanned: true,
+                    partition: Some(PartitionPhase {
+                        n_records: 100,
+                        col_blocks: 2,
+                        row_blocks: 50,
+                        n_left: 60,
+                        n_right: 40,
+                    }),
+                }],
+                traversal: TraversalPhase {
+                    n_records: 100,
+                    fields_used: 1,
+                    sum_path_len: 100,
+                    max_depth: 1,
+                },
+            }],
+            num_records: 100,
+            num_fields: 2,
+            record_bytes: 2,
+            total_bins: 20,
+            field_entry_bytes: vec![1, 1],
+            field_bins: vec![10, 10],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let log = tiny_log();
+        assert_eq!(log.total_bin_updates(), 200);
+        assert_eq!(log.total_step2_bins(), 20);
+        assert_eq!(log.total_partition_records(), 100);
+        assert_eq!(log.total_traversal_lookups(), 100);
+    }
+
+    #[test]
+    fn scaling_multiplies_record_quantities() {
+        let log = tiny_log();
+        let big = log.scaled(10.0);
+        assert_eq!(big.num_records, 1000);
+        assert_eq!(big.trees[0].nodes[0].bin.n_binned, 1000);
+        assert_eq!(big.trees[0].nodes[0].bin.row_blocks, 500);
+        assert_eq!(big.trees[0].traversal.sum_path_len, 1000);
+        // Static quantities unchanged.
+        assert_eq!(big.total_bins, 20);
+        assert_eq!(big.num_fields, 2);
+    }
+}

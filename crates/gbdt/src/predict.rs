@@ -1,0 +1,237 @@
+//! Trained models and inference (single-record and batch).
+//!
+//! Prediction passes a record through all K trees, sums the weak
+//! predictions with the base score, and applies the loss's output
+//! transform (Figure 1). Batch inference additionally exposes
+//! tree-parallel and record-parallel execution, mirroring the parallelism
+//! structure Booster's batch-inference engine exploits (Section III-D).
+
+use rayon::prelude::*;
+
+use crate::dataset::RawValue;
+use crate::gradients::Loss;
+use crate::preprocess::{BinnedDataset, FieldBinning};
+use crate::schema::DatasetSchema;
+use crate::tree::Tree;
+
+/// A trained gradient-boosted tree ensemble.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// The K trees; leaf weights already include learning-rate shrinkage.
+    pub trees: Vec<Tree>,
+    /// Initial margin added to every prediction.
+    pub base_score: f64,
+    /// Loss the model was trained with (determines the output transform).
+    pub loss: Loss,
+    /// Schema of the training table.
+    pub schema: DatasetSchema,
+    /// Per-field binning captured at preprocessing time, so raw records
+    /// can be discretized consistently at inference time.
+    pub binnings: Vec<FieldBinning>,
+}
+
+impl Model {
+    /// Raw margin (sum of leaf weights + base score) for record `r` of a
+    /// binned dataset.
+    pub fn margin_binned(&self, data: &BinnedDataset, r: usize) -> f64 {
+        let mut m = self.base_score;
+        for tree in &self.trees {
+            m += tree.traverse_binned(data, r).0;
+        }
+        m
+    }
+
+    /// Transformed prediction for record `r` of a binned dataset.
+    pub fn predict_binned(&self, data: &BinnedDataset, r: usize) -> f64 {
+        self.loss.transform(self.margin_binned(data, r))
+    }
+
+    /// Discretize one raw record into per-field bins using the stored
+    /// binnings.
+    pub fn bin_raw(&self, record: &[RawValue]) -> Vec<u32> {
+        assert_eq!(record.len(), self.binnings.len(), "record arity mismatch");
+        record.iter().zip(&self.binnings).map(|(v, b)| b.bin_of(*v)).collect()
+    }
+
+    /// Transformed prediction for one raw record.
+    pub fn predict_raw(&self, record: &[RawValue]) -> f64 {
+        let bins = self.bin_raw(record);
+        let absents: Vec<u32> = self.binnings.iter().map(|b| b.absent_bin()).collect();
+        let mut m = self.base_score;
+        for tree in &self.trees {
+            m += tree.traverse(|f| bins[f], &|f| absents[f]).0;
+        }
+        self.loss.transform(m)
+    }
+
+    /// Sequential batch prediction over a binned dataset.
+    pub fn predict_batch(&self, data: &BinnedDataset) -> Vec<f64> {
+        (0..data.num_records()).map(|r| self.predict_binned(data, r)).collect()
+    }
+
+    /// Record-parallel batch prediction (rayon).
+    pub fn predict_batch_parallel(&self, data: &BinnedDataset) -> Vec<f64> {
+        (0..data.num_records())
+            .into_par_iter()
+            .map(|r| self.predict_binned(data, r))
+            .collect()
+    }
+
+    /// Batch prediction returning per-record total path length across all
+    /// trees (the SRAM-lookup count batch inference performs per record).
+    pub fn predict_batch_with_paths(&self, data: &BinnedDataset) -> (Vec<f64>, Vec<u64>) {
+        let n = data.num_records();
+        let mut preds = Vec::with_capacity(n);
+        let mut paths = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut m = self.base_score;
+            let mut p = 0u64;
+            for tree in &self.trees {
+                let (w, len) = tree.traverse_binned(data, r);
+                m += w;
+                p += u64::from(len);
+            }
+            preds.push(self.loss.transform(m));
+            paths.push(p);
+        }
+        (preds, paths)
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Maximum depth across trees.
+    pub fn max_depth(&self) -> u32 {
+        self.trees.iter().map(Tree::depth).max().unwrap_or(0)
+    }
+
+    /// Split-count feature importance: how many internal nodes across
+    /// the ensemble test each field. A simple, widely-used importance
+    /// measure for tabular models.
+    pub fn feature_importance(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.schema.num_fields()];
+        for tree in &self.trees {
+            for node in tree.nodes() {
+                if let crate::tree::Node::Internal { field, .. } = node {
+                    counts[*field as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Mean leaf depth across trees weighted by leaf count (diagnostic for
+    /// the IoT-style shallow-tree behaviour).
+    pub fn mean_leaf_depth(&self) -> f64 {
+        let mut total = 0u64;
+        let mut leaves = 0u64;
+        for t in &self.trees {
+            for (d, c) in t.leaf_depth_histogram() {
+                total += u64::from(d) * c as u64;
+                leaves += c as u64;
+            }
+        }
+        if leaves == 0 {
+            0.0
+        } else {
+            total as f64 / leaves as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::schema::FieldSchema;
+    use crate::split::SplitRule;
+    use crate::tree::Node;
+
+    fn stub_model() -> (Model, BinnedDataset) {
+        let schema = DatasetSchema::new(vec![FieldSchema::numeric_with_bins("x", 8)]);
+        let mut ds = Dataset::new(schema.clone());
+        for i in 0..64 {
+            ds.push_record(&[RawValue::Num(i as f32)], if i < 32 { 0.0 } else { 1.0 });
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        // One hand-built tree splitting near the middle bin.
+        let mid = data.field_bins(0) / 2;
+        let tree = Tree::new(vec![
+            Node::Internal {
+                field: 0,
+                rule: SplitRule::Numeric { threshold_bin: mid.saturating_sub(1) },
+                default_left: true,
+                left: 1,
+                right: 2,
+            },
+            Node::Leaf { weight: -0.4 },
+            Node::Leaf { weight: 0.4 },
+        ]);
+        let model = Model {
+            trees: vec![tree],
+            base_score: 0.5,
+            loss: Loss::SquaredError,
+            schema,
+            binnings: data.binnings().to_vec(),
+        };
+        (model, data)
+    }
+
+    #[test]
+    fn margin_sums_trees_and_base() {
+        let (model, data) = stub_model();
+        let m0 = model.margin_binned(&data, 0);
+        let m_last = model.margin_binned(&data, 63);
+        assert!((m0 - 0.1).abs() < 1e-12);
+        assert!((m_last - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (model, data) = stub_model();
+        assert_eq!(model.predict_batch(&data), model.predict_batch_parallel(&data));
+    }
+
+    #[test]
+    fn raw_prediction_matches_binned() {
+        let (model, data) = stub_model();
+        for (i, r) in [0usize, 10, 40, 63].iter().enumerate() {
+            let raw = model.predict_raw(&[RawValue::Num(*r as f32)]);
+            let binned = model.predict_binned(&data, *r);
+            assert!((raw - binned).abs() < 1e-12, "case {i}");
+        }
+    }
+
+    #[test]
+    fn missing_raw_value_defaults() {
+        let (model, _) = stub_model();
+        // default_left = true -> missing goes to the -0.4 leaf.
+        let p = model.predict_raw(&[RawValue::Missing]);
+        assert!((p - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paths_counted() {
+        let (model, data) = stub_model();
+        let (preds, paths) = model.predict_batch_with_paths(&data);
+        assert_eq!(preds.len(), 64);
+        assert!(paths.iter().all(|&p| p == 1), "depth-1 tree: one lookup per record");
+    }
+
+    #[test]
+    fn model_stats() {
+        let (model, _) = stub_model();
+        assert_eq!(model.num_trees(), 1);
+        assert_eq!(model.max_depth(), 1);
+        assert!((model.mean_leaf_depth() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_importance_counts_splits() {
+        let (model, _) = stub_model();
+        // One tree with a single split on field 0.
+        assert_eq!(model.feature_importance(), vec![1]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline preprocessing: discretize numeric fields, map categorical
+//! fields, and route missing values to per-field absent bins.
+//!
+//! This is the software pre-processing of Section II-A: (1) numeric fields
+//! are discretized into `k` bins via quantiles, (2) categorical fields are
+//! (conceptually) one-hot encoded — with the key optimization that only the
+//! "yes" bin per field is updated and "no" sides are reconstructed by
+//! subtraction, so a record carries exactly **one bin index per field** —
+//! and (3) each field gets an *absent* bin for missing values. The result
+//! is the dense row-major [`BinnedDataset`]; the redundant column-major
+//! mirror lives in [`crate::columnar`].
+
+use crate::binning::BinBoundaries;
+use crate::dataset::{Dataset, RawValue};
+use crate::schema::{DatasetSchema, FieldKind};
+
+/// Memory-block size assumed throughout the paper (bytes).
+pub const BLOCK_BYTES: usize = 64;
+
+/// Per-field binning metadata retained by a trained model so raw records
+/// can be discretized at inference time.
+#[derive(Debug, Clone)]
+pub enum FieldBinning {
+    /// Numeric field: quantile boundaries. Bin indices `0..num_bins` are
+    /// value bins; index `num_bins` is the absent bin.
+    Numeric(BinBoundaries),
+    /// Categorical field: bin index == category index; index `categories`
+    /// is the absent bin.
+    Categorical {
+        /// Number of categories.
+        categories: u32,
+    },
+}
+
+impl FieldBinning {
+    /// Total bins for this field including the absent bin.
+    pub fn bin_count(&self) -> u32 {
+        match self {
+            FieldBinning::Numeric(b) => b.num_bins() + 1,
+            FieldBinning::Categorical { categories } => categories + 1,
+        }
+    }
+
+    /// The absent-bin index (always the last bin).
+    pub fn absent_bin(&self) -> u32 {
+        self.bin_count() - 1
+    }
+
+    /// Map a raw value to its bin index.
+    ///
+    /// # Panics
+    /// Panics on a kind mismatch (checked at dataset construction).
+    pub fn bin_of(&self, v: RawValue) -> u32 {
+        match (self, v) {
+            (_, RawValue::Missing) => self.absent_bin(),
+            (FieldBinning::Numeric(b), RawValue::Num(x)) => b.bin_of(x),
+            (FieldBinning::Categorical { categories }, RawValue::Cat(c)) => {
+                assert!(c < *categories, "category out of range");
+                c
+            }
+            _ => panic!("raw value kind does not match field binning"),
+        }
+    }
+
+    /// Bytes needed to encode a bin index of this field in the record
+    /// format (1 if all bins fit a byte, else 2). The paper assumes one
+    /// byte per field for its rate-matching arithmetic; wide categorical
+    /// fields need two.
+    pub fn encoded_bytes(&self) -> u32 {
+        if self.bin_count() <= 256 {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// A fully preprocessed dataset: dense row-major matrix of per-field bin
+/// indices plus labels. Exactly one bin index per field per record — the
+/// density property Booster's group-by-field mapping exploits
+/// (Section III-A).
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    schema: DatasetSchema,
+    binnings: Vec<FieldBinning>,
+    /// Row-major: `bins[r * num_fields + f]`.
+    bins: Vec<u32>,
+    labels: Vec<f32>,
+    num_fields: usize,
+    /// Row-major record size in bytes under the byte-packed encoding.
+    record_bytes: u32,
+}
+
+impl BinnedDataset {
+    /// Preprocess a raw dataset.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        let schema = ds.schema().clone();
+        let binnings: Vec<FieldBinning> = schema
+            .iter()
+            .map(|(f, fs)| match fs.kind {
+                FieldKind::Numeric { max_bins } => {
+                    FieldBinning::Numeric(BinBoundaries::from_column(ds.column(f), max_bins))
+                }
+                FieldKind::Categorical { categories } => FieldBinning::Categorical { categories },
+            })
+            .collect();
+
+        let n = ds.num_records();
+        let nf = schema.num_fields();
+        let mut bins = vec![0u32; n * nf];
+        for f in 0..nf {
+            let col = ds.column(f);
+            let binning = &binnings[f];
+            for (r, &v) in col.iter().enumerate() {
+                bins[r * nf + f] = binning.bin_of(v);
+            }
+        }
+        let record_bytes: u32 = binnings.iter().map(|b| b.encoded_bytes()).sum();
+        BinnedDataset {
+            schema,
+            binnings,
+            bins,
+            labels: ds.labels().to_vec(),
+            num_fields: nf,
+            record_bytes,
+        }
+    }
+
+    /// Construct directly from already-binned rows (used by tests and
+    /// generators that synthesize bin indices).
+    ///
+    /// # Panics
+    /// Panics if any bin index is out of range for its field.
+    pub fn from_parts(
+        schema: DatasetSchema,
+        binnings: Vec<FieldBinning>,
+        bins: Vec<u32>,
+        labels: Vec<f32>,
+    ) -> Self {
+        let nf = schema.num_fields();
+        assert_eq!(binnings.len(), nf);
+        assert_eq!(bins.len(), labels.len() * nf, "bins matrix shape mismatch");
+        for (i, &b) in bins.iter().enumerate() {
+            let f = i % nf;
+            assert!(
+                b < binnings[f].bin_count(),
+                "bin {b} out of range for field {f} (bins {})",
+                binnings[f].bin_count()
+            );
+        }
+        let record_bytes: u32 = binnings.iter().map(|b| b.encoded_bytes()).sum();
+        BinnedDataset { schema, binnings, bins, labels, num_fields: nf, record_bytes }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &DatasetSchema {
+        &self.schema
+    }
+
+    /// Per-field binning metadata.
+    pub fn binnings(&self) -> &[FieldBinning] {
+        &self.binnings
+    }
+
+    /// Number of records.
+    pub fn num_records(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.num_fields
+    }
+
+    /// Bin index of record `r`, field `f`.
+    #[inline]
+    pub fn bin(&self, r: usize, f: usize) -> u32 {
+        self.bins[r * self.num_fields + f]
+    }
+
+    /// The whole row of record `r` (one bin index per field).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.bins[r * self.num_fields..(r + 1) * self.num_fields]
+    }
+
+    /// Labels.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Total bins across fields (including absent bins) — the histogram
+    /// footprint and the work unit of Step 2.
+    pub fn total_bins(&self) -> u64 {
+        self.binnings.iter().map(|b| u64::from(b.bin_count())).sum()
+    }
+
+    /// Row-major record size in bytes under byte-packed encoding.
+    pub fn record_bytes(&self) -> u32 {
+        self.record_bytes
+    }
+
+    /// Bin count of field `f` (including the absent bin).
+    pub fn field_bins(&self, f: usize) -> u32 {
+        self.binnings[f].bin_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldSchema;
+
+    fn flier_dataset() -> Dataset {
+        // The paper's frequent-flier example: status (3 cats), segment
+        // (2 cats), ffmiles (numeric).
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::categorical("status", 3),
+            FieldSchema::categorical("segment", 2),
+            FieldSchema::numeric_with_bins("ffmiles", 6),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..60 {
+            let status = RawValue::Cat(i % 3);
+            let segment = if i % 7 == 0 { RawValue::Missing } else { RawValue::Cat(i % 2) };
+            let miles = RawValue::Num((i * 1000) as f32);
+            ds.push_record(&[status, segment, miles], (i % 2) as f32);
+        }
+        ds
+    }
+
+    #[test]
+    fn binned_shape_and_density() {
+        let ds = flier_dataset();
+        let b = BinnedDataset::from_dataset(&ds);
+        assert_eq!(b.num_records(), 60);
+        assert_eq!(b.num_fields(), 3);
+        // Exactly one bin index per field per record (density property).
+        for r in 0..b.num_records() {
+            assert_eq!(b.row(r).len(), 3);
+        }
+    }
+
+    #[test]
+    fn missing_goes_to_absent_bin() {
+        let ds = flier_dataset();
+        let b = BinnedDataset::from_dataset(&ds);
+        let absent = b.binnings()[1].absent_bin();
+        // Records 0, 7, 14, ... have missing segment.
+        assert_eq!(b.bin(0, 1), absent);
+        assert_eq!(b.bin(7, 1), absent);
+        assert_ne!(b.bin(1, 1), absent);
+    }
+
+    #[test]
+    fn categorical_bins_are_categories() {
+        let ds = flier_dataset();
+        let b = BinnedDataset::from_dataset(&ds);
+        assert_eq!(b.bin(0, 0), 0);
+        assert_eq!(b.bin(1, 0), 1);
+        assert_eq!(b.bin(2, 0), 2);
+    }
+
+    #[test]
+    fn record_bytes_counts_wide_fields() {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric("x"),
+            FieldSchema::categorical("wide", 1000),
+        ]);
+        let mut ds = Dataset::new(schema);
+        ds.push_record(&[RawValue::Num(0.0), RawValue::Cat(999)], 0.0);
+        let b = BinnedDataset::from_dataset(&ds);
+        // numeric: 1 byte (256 bins incl. absent), wide categorical: 2.
+        assert_eq!(b.record_bytes(), 3);
+    }
+
+    #[test]
+    fn total_bins_includes_absent() {
+        let ds = flier_dataset();
+        let b = BinnedDataset::from_dataset(&ds);
+        // status: 3+1, segment: 2+1; ffmiles: <=6 value bins + 1.
+        let expected_min = 4 + 3 + 2; // at least 2 value bins for miles
+        assert!(b.total_bins() >= expected_min as u64);
+        assert_eq!(
+            b.total_bins(),
+            b.binnings().iter().map(|x| u64::from(x.bin_count())).sum::<u64>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_validates_bins() {
+        let schema = DatasetSchema::new(vec![FieldSchema::categorical("c", 2)]);
+        let binnings = vec![FieldBinning::Categorical { categories: 2 }];
+        // bin 5 is out of range (valid: 0, 1, absent=2).
+        let _ = BinnedDataset::from_parts(schema, binnings, vec![5], vec![0.0]);
+    }
+}

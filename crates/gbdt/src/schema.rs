@@ -1,0 +1,217 @@
+//! Dataset schema: fields, their kinds, and the field→feature expansion.
+//!
+//! The paper distinguishes *fields* (columns of the raw table) from
+//! *features* (the one-hot expanded view used by the histogram algorithm).
+//! A numeric field contributes one feature discretized into `k` bins; a
+//! categorical field with `c` categories contributes `c` binary features
+//! (Section II-A, Figure 2). Every field additionally has an *absent* bin
+//! so records with missing values are binned accurately.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a raw table column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldKind {
+    /// Floating-point field, discretized into at most `max_bins` histogram
+    /// bins via quantile sketching.
+    Numeric {
+        /// Maximum number of value bins (excluding the absent bin).
+        /// Typical value: 255 (so that bin index + absent fits in a byte).
+        max_bins: u16,
+    },
+    /// Categorical field with a fixed number of categories. One-hot
+    /// expanded into `categories` binary features by preprocessing.
+    Categorical {
+        /// Number of distinct categories.
+        categories: u32,
+    },
+}
+
+impl FieldKind {
+    /// Default numeric field kind (255 value bins + absent).
+    pub const fn numeric() -> Self {
+        FieldKind::Numeric { max_bins: 255 }
+    }
+
+    /// Categorical field with `c` categories.
+    pub const fn categorical(c: u32) -> Self {
+        FieldKind::Categorical { categories: c }
+    }
+
+    /// Is this a categorical field?
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, FieldKind::Categorical { .. })
+    }
+
+    /// Number of one-hot features this field expands to
+    /// (1 for numeric, `categories` for categorical).
+    pub fn feature_count(&self) -> u64 {
+        match self {
+            FieldKind::Numeric { .. } => 1,
+            FieldKind::Categorical { categories } => u64::from(*categories),
+        }
+    }
+
+    /// Upper bound on the number of histogram bins the field needs,
+    /// *including* the absent bin. For a categorical field the optimized
+    /// representation keeps one "yes" bin per category plus the absent bin
+    /// (the "no" bins are reconstructed by subtraction, Section II-A).
+    pub fn bin_count(&self) -> u32 {
+        match self {
+            FieldKind::Numeric { max_bins } => u32::from(*max_bins) + 1,
+            FieldKind::Categorical { categories } => categories + 1,
+        }
+    }
+}
+
+/// Schema entry for one field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FieldSchema {
+    /// Human-readable name (e.g. `"ffmiles"`).
+    pub name: String,
+    /// Field kind.
+    pub kind: FieldKind,
+}
+
+impl FieldSchema {
+    /// Construct a numeric field.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        FieldSchema { name: name.into(), kind: FieldKind::numeric() }
+    }
+
+    /// Construct a numeric field with an explicit bin budget.
+    pub fn numeric_with_bins(name: impl Into<String>, max_bins: u16) -> Self {
+        FieldSchema { name: name.into(), kind: FieldKind::Numeric { max_bins } }
+    }
+
+    /// Construct a categorical field with `categories` categories.
+    pub fn categorical(name: impl Into<String>, categories: u32) -> Self {
+        FieldSchema { name: name.into(), kind: FieldKind::categorical(categories) }
+    }
+}
+
+/// Schema for an entire table-based dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSchema {
+    fields: Vec<FieldSchema>,
+}
+
+impl DatasetSchema {
+    /// Build a schema from field definitions.
+    ///
+    /// # Panics
+    /// Panics if `fields` is empty or any categorical field declares zero
+    /// categories.
+    pub fn new(fields: Vec<FieldSchema>) -> Self {
+        assert!(!fields.is_empty(), "a dataset schema needs at least one field");
+        for f in &fields {
+            if let FieldKind::Categorical { categories } = f.kind {
+                assert!(categories > 0, "categorical field {:?} has zero categories", f.name);
+            }
+            if let FieldKind::Numeric { max_bins } = f.kind {
+                assert!(max_bins > 0, "numeric field {:?} has zero bins", f.name);
+            }
+        }
+        DatasetSchema { fields }
+    }
+
+    /// Number of fields (raw table columns).
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Number of categorical fields.
+    pub fn num_categorical(&self) -> usize {
+        self.fields.iter().filter(|f| f.kind.is_categorical()).count()
+    }
+
+    /// Total number of one-hot expanded features (Table III's "Features"
+    /// column): numeric fields count once, categorical fields count once
+    /// per category.
+    pub fn num_features(&self) -> u64 {
+        self.fields.iter().map(|f| f.kind.feature_count()).sum()
+    }
+
+    /// The fields.
+    pub fn fields(&self) -> &[FieldSchema] {
+        &self.fields
+    }
+
+    /// Field by index.
+    pub fn field(&self, idx: usize) -> &FieldSchema {
+        &self.fields[idx]
+    }
+
+    /// Iterator over `(index, schema)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &FieldSchema)> {
+        self.fields.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_field_expands_to_one_feature() {
+        let f = FieldSchema::numeric("age");
+        assert_eq!(f.kind.feature_count(), 1);
+        assert!(!f.kind.is_categorical());
+        // 255 value bins + absent.
+        assert_eq!(f.kind.bin_count(), 256);
+    }
+
+    #[test]
+    fn categorical_field_expands_to_category_count() {
+        let f = FieldSchema::categorical("status", 3);
+        assert_eq!(f.kind.feature_count(), 3);
+        assert!(f.kind.is_categorical());
+        // one "yes" bin per category + absent.
+        assert_eq!(f.kind.bin_count(), 4);
+    }
+
+    #[test]
+    fn schema_counts_match_paper_frequent_flier_example() {
+        // Figure 2: two categorical fields (3 and 2 categories) and a
+        // numeric field.
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::categorical("status", 3),
+            FieldSchema::categorical("segment", 2),
+            FieldSchema::numeric("ffmiles"),
+        ]);
+        assert_eq!(schema.num_fields(), 3);
+        assert_eq!(schema.num_categorical(), 2);
+        assert_eq!(schema.num_features(), 3 + 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one field")]
+    fn empty_schema_rejected() {
+        let _ = DatasetSchema::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero categories")]
+    fn zero_category_field_rejected() {
+        let _ = DatasetSchema::new(vec![FieldSchema::categorical("bad", 0)]);
+    }
+
+    #[test]
+    fn allstate_like_schema_feature_count() {
+        // Table III: Allstate has 32 fields, 16 categorical, 4232 features
+        // after one-hot. 16 numeric contribute 16; the categorical fields
+        // contribute the remaining 4216.
+        let mut fields: Vec<FieldSchema> =
+            (0..16).map(|i| FieldSchema::numeric(format!("n{i}"))).collect();
+        let per_cat = 4216 / 16; // 263.5 -> spread 263/264
+        let mut remaining = 4216u32;
+        for i in 0..16 {
+            let c = if i == 15 { remaining } else { per_cat as u32 };
+            remaining -= c;
+            fields.push(FieldSchema::categorical(format!("c{i}"), c));
+        }
+        let schema = DatasetSchema::new(fields);
+        assert_eq!(schema.num_fields(), 32);
+        assert_eq!(schema.num_features(), 4232);
+    }
+}

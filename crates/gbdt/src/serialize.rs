@@ -1,0 +1,372 @@
+//! Compact binary serialization of trained models.
+//!
+//! A trained ensemble (trees + binning metadata) must travel to inference
+//! services and to accelerator table loaders, so the format is explicit
+//! and versioned rather than tied to an in-memory representation:
+//!
+//! ```text
+//! magic "BSTR" | version u32 | loss u8 | base_score f64
+//! | num_fields u32 | per-field binning
+//! | num_trees u32  | per-tree nodes
+//! ```
+//!
+//! All integers are little-endian. The format round-trips exactly (bit
+//! equality of predictions).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::binning::BinBoundaries;
+use crate::gradients::Loss;
+use crate::predict::Model;
+use crate::preprocess::FieldBinning;
+use crate::schema::{DatasetSchema, FieldKind, FieldSchema};
+use crate::split::SplitRule;
+use crate::tree::{Node, Tree};
+
+/// Format magic.
+const MAGIC: &[u8; 4] = b"BSTR";
+/// Format version.
+const VERSION: u32 = 1;
+
+/// Serialization / deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Input ended early or a field had an invalid value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerError::BadMagic => write!(f, "not a Booster model (bad magic)"),
+            SerError::BadVersion(v) => write!(f, "unsupported model version {v}"),
+            SerError::Corrupt(what) => write!(f, "corrupt model data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SerError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, SerError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(SerError::Corrupt("string"));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| SerError::Corrupt("utf8"))
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, SerError> {
+    if buf.remaining() < 1 {
+        return Err(SerError::Corrupt("u8"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, SerError> {
+    if buf.remaining() < 4 {
+        return Err(SerError::Corrupt("u32"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_f32(buf: &mut Bytes) -> Result<f32, SerError> {
+    if buf.remaining() < 4 {
+        return Err(SerError::Corrupt("f32"));
+    }
+    Ok(buf.get_f32_le())
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64, SerError> {
+    if buf.remaining() < 8 {
+        return Err(SerError::Corrupt("f64"));
+    }
+    Ok(buf.get_f64_le())
+}
+
+/// Serialize a model to bytes.
+pub fn model_to_bytes(model: &Model) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u8(match model.loss {
+        Loss::SquaredError => 0,
+        Loss::Logistic => 1,
+    });
+    buf.put_f64_le(model.base_score);
+
+    // Schema + binnings (paired per field).
+    buf.put_u32_le(model.schema.num_fields() as u32);
+    for ((_, fs), binning) in model.schema.iter().zip(&model.binnings) {
+        put_str(&mut buf, &fs.name);
+        match binning {
+            FieldBinning::Numeric(b) => {
+                buf.put_u8(0);
+                let max_bins = match fs.kind {
+                    FieldKind::Numeric { max_bins } => max_bins,
+                    FieldKind::Categorical { .. } => unreachable!("kind mismatch"),
+                };
+                buf.put_u32_le(u32::from(max_bins));
+                buf.put_u32_le(b.uppers().len() as u32);
+                for &u in b.uppers() {
+                    buf.put_f32_le(u);
+                }
+            }
+            FieldBinning::Categorical { categories } => {
+                buf.put_u8(1);
+                buf.put_u32_le(*categories);
+            }
+        }
+    }
+
+    // Trees.
+    buf.put_u32_le(model.trees.len() as u32);
+    for tree in &model.trees {
+        buf.put_u32_le(tree.num_nodes() as u32);
+        for node in tree.nodes() {
+            match node {
+                Node::Leaf { weight } => {
+                    buf.put_u8(0);
+                    buf.put_f64_le(*weight);
+                }
+                Node::Internal { field, rule, default_left, left, right } => {
+                    let (kind, value) = match rule {
+                        SplitRule::Numeric { threshold_bin } => (1u8, *threshold_bin),
+                        SplitRule::Categorical { category } => (2u8, *category),
+                    };
+                    buf.put_u8(kind);
+                    buf.put_u32_le(*field);
+                    buf.put_u32_le(value);
+                    buf.put_u8(u8::from(*default_left));
+                    buf.put_u32_le(*left);
+                    buf.put_u32_le(*right);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a model from bytes.
+pub fn model_from_bytes(data: &[u8]) -> Result<Model, SerError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(SerError::BadMagic);
+    }
+    let version = get_u32(&mut buf)?;
+    if version != VERSION {
+        return Err(SerError::BadVersion(version));
+    }
+    let loss = match get_u8(&mut buf)? {
+        0 => Loss::SquaredError,
+        1 => Loss::Logistic,
+        _ => return Err(SerError::Corrupt("loss")),
+    };
+    let base_score = get_f64(&mut buf)?;
+
+    let nf = get_u32(&mut buf)? as usize;
+    if nf == 0 {
+        return Err(SerError::Corrupt("no fields"));
+    }
+    // Each field needs at least name-len (4) + kind (1) + one u32 (4):
+    // bound the count before allocating.
+    if nf > buf.remaining() / 9 + 1 {
+        return Err(SerError::Corrupt("field count"));
+    }
+    let mut fields = Vec::with_capacity(nf);
+    let mut binnings = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        let name = get_str(&mut buf)?;
+        match get_u8(&mut buf)? {
+            0 => {
+                let max_bins = get_u32(&mut buf)?;
+                if max_bins == 0 || max_bins > u32::from(u16::MAX) {
+                    return Err(SerError::Corrupt("max_bins"));
+                }
+                let n_uppers = get_u32(&mut buf)? as usize;
+                if n_uppers * 4 > buf.remaining() {
+                    return Err(SerError::Corrupt("boundary count"));
+                }
+                let mut uppers = Vec::with_capacity(n_uppers);
+                for _ in 0..n_uppers {
+                    uppers.push(get_f32(&mut buf)?);
+                }
+                let boundaries = BinBoundaries::from_uppers(uppers)
+                    .map_err(|_| SerError::Corrupt("boundaries not increasing"))?;
+                fields.push(FieldSchema::numeric_with_bins(name, max_bins as u16));
+                binnings.push(FieldBinning::Numeric(boundaries));
+            }
+            1 => {
+                let categories = get_u32(&mut buf)?;
+                if categories == 0 {
+                    return Err(SerError::Corrupt("categories"));
+                }
+                fields.push(FieldSchema::categorical(name, categories));
+                binnings.push(FieldBinning::Categorical { categories });
+            }
+            _ => return Err(SerError::Corrupt("binning kind")),
+        }
+    }
+    let schema = DatasetSchema::new(fields);
+
+    let num_trees = get_u32(&mut buf)? as usize;
+    // A tree needs at least a node count (4) + one leaf (9).
+    if num_trees > buf.remaining() / 13 + 1 {
+        return Err(SerError::Corrupt("tree count"));
+    }
+    let mut trees = Vec::with_capacity(num_trees);
+    for _ in 0..num_trees {
+        let num_nodes = get_u32(&mut buf)? as usize;
+        if num_nodes == 0 {
+            return Err(SerError::Corrupt("empty tree"));
+        }
+        // A node is at least kind (1) + weight (8) bytes.
+        if num_nodes > buf.remaining() / 9 + 1 {
+            return Err(SerError::Corrupt("node count"));
+        }
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let node = match get_u8(&mut buf)? {
+                0 => Node::Leaf { weight: get_f64(&mut buf)? },
+                kind @ (1 | 2) => {
+                    let field = get_u32(&mut buf)?;
+                    let value = get_u32(&mut buf)?;
+                    let default_left = get_u8(&mut buf)? != 0;
+                    let left = get_u32(&mut buf)?;
+                    let right = get_u32(&mut buf)?;
+                    if left as usize >= num_nodes || right as usize >= num_nodes {
+                        return Err(SerError::Corrupt("child index"));
+                    }
+                    let rule = if kind == 1 {
+                        SplitRule::Numeric { threshold_bin: value }
+                    } else {
+                        SplitRule::Categorical { category: value }
+                    };
+                    Node::Internal { field, rule, default_left, left, right }
+                }
+                _ => return Err(SerError::Corrupt("node kind")),
+            };
+            nodes.push(node);
+        }
+        trees.push(Tree::new(nodes));
+    }
+    if buf.has_remaining() {
+        return Err(SerError::Corrupt("trailing bytes"));
+    }
+    Ok(Model { trees, base_score, loss, schema, binnings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::ColumnarMirror;
+    use crate::dataset::{Dataset, RawValue};
+    use crate::preprocess::BinnedDataset;
+    use crate::train::{train, TrainConfig};
+
+    fn trained_model() -> (Model, BinnedDataset) {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x", 16),
+            FieldSchema::categorical("c", 5),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..500 {
+            let x = if i % 17 == 0 { RawValue::Missing } else { RawValue::Num(i as f32) };
+            ds.push_record(&[x, RawValue::Cat(i % 5)], ((i % 5 == 2) as u8) as f32);
+        }
+        let binned = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&binned);
+        let cfg = TrainConfig {
+            num_trees: 8,
+            max_depth: 4,
+            loss: Loss::Logistic,
+            ..Default::default()
+        };
+        let (model, _) = train(&binned, &mirror, &cfg);
+        (model, binned)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_exactly() {
+        let (model, data) = trained_model();
+        let bytes = model_to_bytes(&model);
+        let restored = model_from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(restored.trees, model.trees);
+        assert_eq!(restored.base_score, model.base_score);
+        assert_eq!(restored.loss, model.loss);
+        for r in 0..data.num_records() {
+            assert_eq!(
+                restored.predict_binned(&data, r).to_bits(),
+                model.predict_binned(&data, r).to_bits(),
+                "record {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_raw_prediction_path() {
+        let (model, _) = trained_model();
+        let bytes = model_to_bytes(&model);
+        let restored = model_from_bytes(&bytes).unwrap();
+        let rec = [RawValue::Num(123.0), RawValue::Cat(2)];
+        assert_eq!(restored.predict_raw(&rec).to_bits(), model.predict_raw(&rec).to_bits());
+        let miss = [RawValue::Missing, RawValue::Missing];
+        assert_eq!(restored.predict_raw(&miss).to_bits(), model.predict_raw(&miss).to_bits());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let (model, _) = trained_model();
+        let mut bytes = model_to_bytes(&model).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(model_from_bytes(&bytes), Err(SerError::BadMagic)));
+        let mut bytes2 = model_to_bytes(&model).to_vec();
+        bytes2[4] = 99;
+        assert!(matches!(model_from_bytes(&bytes2), Err(SerError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let (model, _) = trained_model();
+        let bytes = model_to_bytes(&model);
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let r = model_from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let (model, _) = trained_model();
+        let mut bytes = model_to_bytes(&model).to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            model_from_bytes(&bytes),
+            Err(SerError::Corrupt("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_child_indices() {
+        let (model, _) = trained_model();
+        let bytes = model_to_bytes(&model).to_vec();
+        // Flip bytes one at a time in the tree region; the parser must
+        // never panic (errors are fine, successes are fine if benign).
+        let start = bytes.len().saturating_sub(64);
+        for i in start..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0xFF;
+            let _ = model_from_bytes(&corrupted); // must not panic
+        }
+    }
+}

@@ -1,0 +1,886 @@
+//! Sequential GBDT training: the six steps of Table I, instrumented.
+//!
+//! The trainer grows the ensemble one tree at a time (Step 6) and each tree
+//! one vertex at a time (Step 4), interleaving:
+//!
+//! 1. histogram binning of the relevant records (with the smaller-child
+//!    subtraction optimization — only the child with fewer records is
+//!    binned explicitly),
+//! 2. split finding over histogram bins,
+//! 3. single-predicate partitioning of the relevant records (reading only
+//!    the predicate's single-field column, per the redundant format),
+//! 5. one-tree traversal updating every record's `(g, h)` and the total
+//!    loss.
+//!
+//! Every section is wall-clock timed ([`StepTimes`], regenerating Fig 6)
+//! and work-counted, and — when enabled — logged as phase descriptors
+//! ([`PhaseLog`]) that the `booster-sim` timing models consume.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::columnar::ColumnarMirror;
+use crate::gradients::{GradPair, Loss};
+use crate::histogram::NodeHistogram;
+use crate::partition::partition_rows;
+use crate::phases::{
+    gh_blocks, row_major_blocks, BinPhase, NodePhase, PartitionPhase, PhaseLog, TraversalPhase,
+    TreePhases,
+};
+use crate::predict::Model;
+use crate::preprocess::BinnedDataset;
+use crate::split::{leaf_weight, SplitParams, SplitRule};
+use crate::tree::{Node, Tree};
+
+/// Pluggable execution backend for the record-heavy steps (1, 3 and 5).
+///
+/// The sequential backend reproduces the paper's single-thread runs
+/// (Fig 6); the rayon backend in [`crate::parallel`] reproduces the
+/// multicore software implementation of Section II-D (record-partitioned
+/// private histograms + reduction).
+pub trait StepExecutor: Sync {
+    /// Step 1: bin `rows` into `hist`; returns the number of histogram
+    /// updates performed.
+    fn bin_records(
+        &self,
+        data: &BinnedDataset,
+        rows: &[u32],
+        grads: &[GradPair],
+        hist: &mut NodeHistogram,
+    ) -> u64;
+
+    /// Step 3: partition `rows` by a predicate over a single-field column.
+    /// Must be order-preserving.
+    fn partition(
+        &self,
+        rows: &[u32],
+        column: &[u32],
+        rule: SplitRule,
+        default_left: bool,
+        absent_bin: u32,
+    ) -> (Vec<u32>, Vec<u32>);
+
+    /// Step 5: traverse `tree` for every record, update margins and
+    /// gradients in place; returns `(sum of path lengths, total loss)`.
+    fn traverse_update(
+        &self,
+        data: &BinnedDataset,
+        tree: &Tree,
+        loss: Loss,
+        labels: &[f32],
+        margins: &mut [f64],
+        grads: &mut [GradPair],
+    ) -> (u64, f64);
+}
+
+/// Single-threaded execution (the paper's sequential configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExec;
+
+impl StepExecutor for SequentialExec {
+    fn bin_records(
+        &self,
+        data: &BinnedDataset,
+        rows: &[u32],
+        grads: &[GradPair],
+        hist: &mut NodeHistogram,
+    ) -> u64 {
+        hist.bin_records(data, rows, grads)
+    }
+
+    fn partition(
+        &self,
+        rows: &[u32],
+        column: &[u32],
+        rule: SplitRule,
+        default_left: bool,
+        absent_bin: u32,
+    ) -> (Vec<u32>, Vec<u32>) {
+        partition_rows(rows, column, rule, default_left, absent_bin)
+    }
+
+    fn traverse_update(
+        &self,
+        data: &BinnedDataset,
+        tree: &Tree,
+        loss: Loss,
+        labels: &[f32],
+        margins: &mut [f64],
+        grads: &mut [GradPair],
+    ) -> (u64, f64) {
+        let mut sum_path = 0u64;
+        let mut total_loss = 0.0f64;
+        for r in 0..data.num_records() {
+            let (w, path) = tree.traverse_binned(data, r);
+            sum_path += u64::from(path);
+            margins[r] += w;
+            let y = f64::from(labels[r]);
+            grads[r] = loss.grad(margins[r], y);
+            total_loss += loss.value(margins[r], y);
+        }
+        (sum_path, total_loss)
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of trees to grow (the paper trains 500 per dataset).
+    pub num_trees: usize,
+    /// Maximum tree depth (the paper uses up to 6).
+    pub max_depth: u32,
+    /// Shrinkage applied to leaf weights.
+    pub learning_rate: f64,
+    /// Loss function.
+    pub loss: Loss,
+    /// Split-evaluation parameters (Step 2).
+    pub split: SplitParams,
+    /// Record phase descriptors for the timing simulators.
+    pub collect_phases: bool,
+    /// Stop adding trees once the mean loss stops improving by at least
+    /// this amount (Step 6's "if the loss continues to decrease").
+    pub min_loss_decrease: Option<f64>,
+    /// Stochastic GB (Friedman 2002): fraction of records sampled per
+    /// tree (1.0 disables sampling).
+    pub subsample: f64,
+    /// Fraction of fields considered for splits per tree (1.0 disables
+    /// column sampling).
+    pub colsample_bytree: f64,
+    /// Seed for the sampling RNG (training is deterministic in it).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            num_trees: 100,
+            max_depth: 6,
+            learning_rate: 0.1,
+            loss: Loss::SquaredError,
+            split: SplitParams::default(),
+            collect_phases: false,
+            min_loss_decrease: None,
+            subsample: 1.0,
+            colsample_bytree: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's evaluation configuration: 500 trees of depth up to 6.
+    pub fn paper() -> Self {
+        TrainConfig { num_trees: 500, max_depth: 6, ..Default::default() }
+    }
+}
+
+/// Wall-clock time per algorithm step (Fig 6's breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimes {
+    /// Step 1: histogram binning.
+    pub step1: Duration,
+    /// Step 2: split finding.
+    pub step2: Duration,
+    /// Step 3: single-predicate partitioning.
+    pub step3: Duration,
+    /// Step 5: one-tree traversal + gradient update.
+    pub step5: Duration,
+    /// Everything else (initialization, bookkeeping).
+    pub other: Duration,
+}
+
+impl StepTimes {
+    /// Total measured time.
+    pub fn total(&self) -> Duration {
+        self.step1 + self.step2 + self.step3 + self.step5 + self.other
+    }
+
+    /// Fractions `[step1, step2, step3, step5, other]` of the total.
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total().as_secs_f64().max(1e-12);
+        [
+            self.step1.as_secs_f64() / t,
+            self.step2.as_secs_f64() / t,
+            self.step3.as_secs_f64() / t,
+            self.step5.as_secs_f64() / t,
+            self.other.as_secs_f64() / t,
+        ]
+    }
+}
+
+/// Work counters (architecture-independent operation counts).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct WorkCounters {
+    /// Records explicitly histogram-binned (Step 1).
+    pub step1_records: u64,
+    /// Histogram bin updates = records binned × fields (Step 1).
+    pub step1_updates: u64,
+    /// Split scans performed (Step 2).
+    pub step2_scans: u64,
+    /// Bins scanned across all split scans (Step 2).
+    pub step2_bins: u64,
+    /// Records partitioned (Step 3).
+    pub step3_records: u64,
+    /// Records traversed (Step 5).
+    pub step5_records: u64,
+    /// Tree-table lookups = sum of path lengths (Step 5).
+    pub step5_lookups: u64,
+}
+
+/// Everything the trainer reports besides the model.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Wall-clock per step.
+    pub times: StepTimes,
+    /// Operation counts per step.
+    pub work: WorkCounters,
+    /// Phase descriptors (present iff `collect_phases`).
+    pub phase_log: Option<PhaseLog>,
+    /// Mean training loss after each tree.
+    pub loss_history: Vec<f64>,
+}
+
+/// Train a model sequentially on a binned dataset with its columnar
+/// mirror.
+pub fn train(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+) -> (Model, TrainReport) {
+    train_with(data, columnar, cfg, &SequentialExec)
+}
+
+/// Train with early stopping on a held-out evaluation set: stop once the
+/// eval loss has not improved for `patience` consecutive trees, and trim
+/// the model back to its best iteration. Returns the model, the report,
+/// and the per-tree eval-loss history.
+pub fn train_with_eval(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+    eval: &BinnedDataset,
+    patience: usize,
+) -> (Model, TrainReport, Vec<f64>) {
+    assert!(patience > 0, "patience must be positive");
+    assert_eq!(
+        eval.num_fields(),
+        data.num_fields(),
+        "eval set schema must match training schema"
+    );
+    // Train fully, then trim: trees are independent given earlier ones,
+    // so evaluating incrementally after the fact is equivalent and keeps
+    // one training path.
+    let (model, report) = train_with(data, columnar, cfg, &SequentialExec);
+    let n_eval = eval.num_records();
+    let mut margins = vec![model.base_score; n_eval];
+    let mut eval_history = Vec::with_capacity(model.num_trees());
+    let mut best = (0usize, f64::INFINITY);
+    for (t, tree) in model.trees.iter().enumerate() {
+        let mut total = 0.0;
+        for (r, m) in margins.iter_mut().enumerate() {
+            *m += tree.traverse_binned(eval, r).0;
+            total += cfg.loss.value(*m, f64::from(eval.labels()[r]));
+        }
+        let mean = total / n_eval.max(1) as f64;
+        eval_history.push(mean);
+        if mean < best.1 {
+            best = (t + 1, mean);
+        }
+        if t + 1 - best.0 >= patience {
+            break;
+        }
+    }
+    let mut trimmed = model;
+    trimmed.trees.truncate(best.0.max(1));
+    (trimmed, report, eval_history)
+}
+
+/// Train a model with an explicit execution backend.
+pub fn train_with(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+    exec: &dyn StepExecutor,
+) -> (Model, TrainReport) {
+    assert!(data.num_records() > 0, "cannot train on an empty dataset");
+    assert!(
+        cfg.subsample > 0.0 && cfg.subsample <= 1.0,
+        "subsample must be in (0, 1]"
+    );
+    assert!(
+        cfg.colsample_bytree > 0.0 && cfg.colsample_bytree <= 1.0,
+        "colsample_bytree must be in (0, 1]"
+    );
+    debug_assert!(columnar.is_consistent_with(data), "columnar mirror out of sync");
+    let n = data.num_records();
+    let labels = data.labels();
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+
+    let t_init = Instant::now();
+    let label_mean = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / n as f64;
+    let base_score = cfg.loss.base_score(label_mean);
+    let mut margins = vec![base_score; n];
+    let mut grads: Vec<GradPair> =
+        (0..n).map(|r| cfg.loss.grad(margins[r], f64::from(labels[r]))).collect();
+    let mut prev_loss =
+        (0..n).map(|r| cfg.loss.value(margins[r], f64::from(labels[r]))).sum::<f64>() / n as f64;
+
+    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
+    let mut work = WorkCounters::default();
+    let mut tree_logs: Vec<TreePhases> = Vec::new();
+    let mut loss_history = Vec::with_capacity(cfg.num_trees);
+    let mut trees: Vec<Tree> = Vec::with_capacity(cfg.num_trees);
+
+    for _tree_idx in 0..cfg.num_trees {
+        // ---- Grow one tree (Steps 1-4). ----
+        // Stochastic GB: sample the records this tree sees.
+        let root_rows: Vec<u32> = if cfg.subsample < 1.0 {
+            (0..n as u32).filter(|_| rng.random_bool(cfg.subsample)).collect()
+        } else {
+            (0..n as u32).collect()
+        };
+        if root_rows.is_empty() {
+            // A pathological subsample of a tiny dataset: skip this tree.
+            loss_history.push(prev_loss);
+            trees.push(Tree::leaf(0.0));
+            continue;
+        }
+        // Column sampling: restrict this tree's candidate fields.
+        let field_mask: Option<Vec<bool>> = if cfg.colsample_bytree < 1.0 {
+            let nf = data.num_fields();
+            let mut mask: Vec<bool> =
+                (0..nf).map(|_| rng.random_bool(cfg.colsample_bytree)).collect();
+            if !mask.iter().any(|&m| m) {
+                mask[rng.random_range(0..nf)] = true;
+            }
+            Some(mask)
+        } else {
+            None
+        };
+
+        let t1 = Instant::now();
+        let mut root_hist = NodeHistogram::zeroed(data);
+        let updates = exec.bin_records(data, &root_rows, &grads, &mut root_hist);
+        times.step1 += t1.elapsed();
+        work.step1_records += root_rows.len() as u64;
+        work.step1_updates += updates;
+
+        let root_phase = if cfg.collect_phases {
+            Some(BinPhase {
+                depth: 0,
+                n_reaching: root_rows.len(),
+                n_binned: root_rows.len(),
+                row_blocks: row_major_blocks(&root_rows, data.record_bytes()),
+                gh_stream_blocks: gh_blocks(&root_rows),
+            })
+        } else {
+            None
+        };
+
+        let mut builder = TreeBuilder {
+            data,
+            columnar,
+            grads: &grads,
+            cfg,
+            exec,
+            field_mask: field_mask.as_deref(),
+            nodes: Vec::new(),
+            phases: Vec::new(),
+            times: &mut times,
+            work: &mut work,
+        };
+        builder.grow(root_rows, root_hist, 0, root_phase);
+        let TreeBuilder { nodes, phases, .. } = builder;
+        let tree = Tree::new(nodes);
+
+        // ---- Step 5: one-tree traversal, gradient + loss update. ----
+        let t5 = Instant::now();
+        let (sum_path, total_loss) =
+            exec.traverse_update(data, &tree, cfg.loss, labels, &mut margins, &mut grads);
+        times.step5 += t5.elapsed();
+        work.step5_records += n as u64;
+        work.step5_lookups += sum_path;
+
+        if cfg.collect_phases {
+            tree_logs.push(TreePhases {
+                nodes: phases,
+                traversal: TraversalPhase {
+                    n_records: n,
+                    fields_used: tree.fields_used().len(),
+                    sum_path_len: sum_path,
+                    max_depth: tree.depth(),
+                },
+            });
+        }
+
+        let mean_loss = total_loss / n as f64;
+        loss_history.push(mean_loss);
+        trees.push(tree);
+
+        if let Some(min_dec) = cfg.min_loss_decrease {
+            if prev_loss - mean_loss < min_dec {
+                break;
+            }
+        }
+        prev_loss = mean_loss;
+    }
+
+    let model = Model {
+        trees,
+        base_score,
+        loss: cfg.loss,
+        schema: data.schema().clone(),
+        binnings: data.binnings().to_vec(),
+    };
+    let phase_log = cfg.collect_phases.then(|| PhaseLog {
+        trees: tree_logs,
+        num_records: n,
+        num_fields: data.num_fields(),
+        record_bytes: data.record_bytes(),
+        total_bins: data.total_bins(),
+        field_entry_bytes: (0..data.num_fields())
+            .map(|f| data.binnings()[f].encoded_bytes())
+            .collect(),
+        field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
+    });
+    (model, TrainReport { times, work, phase_log, loss_history })
+}
+
+/// Recursive leaf-splitting state for one tree.
+struct TreeBuilder<'a> {
+    data: &'a BinnedDataset,
+    columnar: &'a ColumnarMirror,
+    grads: &'a [GradPair],
+    cfg: &'a TrainConfig,
+    exec: &'a dyn StepExecutor,
+    /// Column-sampling mask for this tree (stochastic GB).
+    field_mask: Option<&'a [bool]>,
+    nodes: Vec<Node>,
+    phases: Vec<NodePhase>,
+    times: &'a mut StepTimes,
+    work: &'a mut WorkCounters,
+}
+
+impl TreeBuilder<'_> {
+    /// Grow the subtree for `rows` whose histogram is `hist`; returns the
+    /// node index. `bin_phase` describes how `hist` was produced (explicit
+    /// binning or sibling subtraction) for the phase log.
+    fn grow(
+        &mut self,
+        rows: Vec<u32>,
+        hist: NodeHistogram,
+        depth: u32,
+        bin_phase: Option<BinPhase>,
+    ) -> u32 {
+        let node_idx = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf { weight: 0.0 }); // placeholder
+
+        // Step 2: split finding (skipped at the depth limit).
+        let scanned = depth < self.cfg.max_depth;
+        let split = if scanned {
+            let t2 = Instant::now();
+            let (s, bins) = crate::split::find_best_split_masked(
+                &hist,
+                self.data.binnings(),
+                &self.cfg.split,
+                self.field_mask,
+            );
+            self.times.step2 += t2.elapsed();
+            self.work.step2_scans += 1;
+            self.work.step2_bins += bins;
+            s
+        } else {
+            None
+        };
+
+        let Some(split) = split else {
+            let w = leaf_weight(hist.total(), self.cfg.split.lambda) * self.cfg.learning_rate;
+            self.nodes[node_idx as usize] = Node::Leaf { weight: w };
+            if self.cfg.collect_phases {
+                self.phases.push(NodePhase {
+                    bin: bin_phase.unwrap_or_else(|| empty_bin_phase(depth, rows.len())),
+                    scanned,
+                    partition: None,
+                });
+            }
+            return node_idx;
+        };
+
+        // Step 3: partition the relevant records by the new predicate.
+        let t3 = Instant::now();
+        let field = split.field as usize;
+        let column = self.columnar.column(field);
+        let absent = self.data.binnings()[field].absent_bin();
+        let (lrows, rrows) =
+            self.exec.partition(&rows, column, split.rule, split.default_left, absent);
+        self.times.step3 += t3.elapsed();
+        self.work.step3_records += rows.len() as u64;
+
+        let partition_phase = if self.cfg.collect_phases {
+            Some(PartitionPhase {
+                n_records: rows.len(),
+                col_blocks: crate::phases::column_blocks(
+                    &rows,
+                    self.data.binnings()[field].encoded_bytes(),
+                ),
+                row_blocks: row_major_blocks(&rows, self.data.record_bytes()),
+                n_left: lrows.len(),
+                n_right: rrows.len(),
+            })
+        } else {
+            None
+        };
+        if self.cfg.collect_phases {
+            self.phases.push(NodePhase {
+                bin: bin_phase.unwrap_or_else(|| empty_bin_phase(depth, rows.len())),
+                scanned,
+                partition: partition_phase,
+            });
+        }
+        drop(rows);
+
+        // Step 1 at the children: bin only the smaller child explicitly;
+        // derive the larger by subtraction (Section II-A optimization).
+        let left_smaller = lrows.len() <= rrows.len();
+        let (srows, brows) = if left_smaller { (&lrows, &rrows) } else { (&rrows, &lrows) };
+
+        let t1 = Instant::now();
+        let mut small_hist = NodeHistogram::zeroed(self.data);
+        let updates = self.exec.bin_records(self.data, srows, self.grads, &mut small_hist);
+        let big_hist = NodeHistogram::subtract_from(&hist, &small_hist);
+        self.times.step1 += t1.elapsed();
+        self.work.step1_records += srows.len() as u64;
+        self.work.step1_updates += updates;
+
+        let (small_phase, big_phase) = if self.cfg.collect_phases {
+            (
+                Some(BinPhase {
+                    depth: depth + 1,
+                    n_reaching: srows.len(),
+                    n_binned: srows.len(),
+                    row_blocks: row_major_blocks(srows, self.data.record_bytes()),
+                    gh_stream_blocks: gh_blocks(srows),
+                }),
+                Some(empty_bin_phase(depth + 1, brows.len())),
+            )
+        } else {
+            (None, None)
+        };
+        drop(hist);
+
+        let (lhist, rhist, lphase, rphase) = if left_smaller {
+            (small_hist, big_hist, small_phase, big_phase)
+        } else {
+            (big_hist, small_hist, big_phase, small_phase)
+        };
+
+        let left = self.grow(lrows, lhist, depth + 1, lphase);
+        let right = self.grow(rrows, rhist, depth + 1, rphase);
+        self.nodes[node_idx as usize] = Node::Internal {
+            field: split.field,
+            rule: split.rule,
+            default_left: split.default_left,
+            left,
+            right,
+        };
+        node_idx
+    }
+}
+
+/// Phase entry for a vertex whose histogram came from sibling subtraction:
+/// no record traffic.
+fn empty_bin_phase(depth: u32, n_reaching: usize) -> BinPhase {
+    BinPhase { depth, n_reaching, n_binned: 0, row_blocks: 0, gh_stream_blocks: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, RawValue};
+    use crate::metrics;
+    use crate::schema::{DatasetSchema, FieldSchema};
+
+    fn xor_like_dataset(n: usize) -> (BinnedDataset, ColumnarMirror) {
+        // y = 1 iff (x0 >= 0.5) xor (x1 >= 0.5): needs depth >= 2.
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x0", 32),
+            FieldSchema::numeric_with_bins("x1", 32),
+        ]);
+        let mut ds = Dataset::new(schema);
+        let mut state = 0x12345678u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        for _ in 0..n {
+            let a = rng();
+            let b = rng();
+            let y = ((a >= 0.5) ^ (b >= 0.5)) as u8 as f32;
+            ds.push_record(&[RawValue::Num(a), RawValue::Num(b)], y);
+        }
+        let binned = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&binned);
+        (binned, mirror)
+    }
+
+    #[test]
+    fn training_reduces_loss_monotonically_at_start() {
+        let (data, mirror) = xor_like_dataset(2000);
+        let cfg = TrainConfig { num_trees: 20, max_depth: 3, ..Default::default() };
+        let (_, report) = train(&data, &mirror, &cfg);
+        assert_eq!(report.loss_history.len(), 20);
+        assert!(
+            report.loss_history.last().unwrap() < &report.loss_history[0],
+            "loss must decrease: {:?}",
+            report.loss_history
+        );
+    }
+
+    #[test]
+    fn learns_xor_to_high_accuracy() {
+        let (data, mirror) = xor_like_dataset(4000);
+        let cfg = TrainConfig {
+            num_trees: 60,
+            max_depth: 4,
+            learning_rate: 0.3,
+            loss: Loss::Logistic,
+            ..Default::default()
+        };
+        let (model, _) = train(&data, &mirror, &cfg);
+        let preds = model.predict_batch(&data);
+        let labels: Vec<f64> = data.labels().iter().map(|&y| f64::from(y)).collect();
+        let acc = metrics::accuracy(&preds, &labels, 0.5);
+        assert!(acc > 0.95, "xor accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (data, mirror) = xor_like_dataset(1000);
+        for depth in [1u32, 2, 4] {
+            let cfg = TrainConfig { num_trees: 5, max_depth: depth, ..Default::default() };
+            let (model, _) = train(&data, &mirror, &cfg);
+            assert!(model.max_depth() <= depth, "depth {depth} violated");
+        }
+    }
+
+    #[test]
+    fn phase_log_consistency() {
+        let (data, mirror) = xor_like_dataset(1500);
+        let cfg = TrainConfig {
+            num_trees: 8,
+            max_depth: 4,
+            collect_phases: true,
+            ..Default::default()
+        };
+        let (model, report) = train(&data, &mirror, &cfg);
+        let log = report.phase_log.expect("phases collected");
+        assert_eq!(log.trees.len(), model.num_trees());
+        assert_eq!(log.num_records, 1500);
+        // Work counters must agree with the log.
+        assert_eq!(log.total_bin_updates(), report.work.step1_updates);
+        assert_eq!(log.total_partition_records(), report.work.step3_records);
+        assert_eq!(log.total_traversal_lookups(), report.work.step5_lookups);
+        for (t, tp) in log.trees.iter().enumerate() {
+            // Root is always explicitly binned with all records.
+            assert_eq!(tp.nodes[0].bin.n_binned, 1500, "tree {t} root");
+            assert_eq!(tp.traversal.n_records, 1500);
+            // Partition children counts sum to the parent.
+            for np in &tp.nodes {
+                if let Some(p) = &np.partition {
+                    assert_eq!(p.n_left + p.n_right, p.n_records);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_child_binning_saves_work() {
+        let (data, mirror) = xor_like_dataset(2000);
+        let cfg = TrainConfig {
+            num_trees: 10,
+            max_depth: 5,
+            collect_phases: true,
+            ..Default::default()
+        };
+        let (_, report) = train(&data, &mirror, &cfg);
+        let log = report.phase_log.unwrap();
+        // Explicitly-binned records must be at most half of reaching
+        // records, over all non-root vertices.
+        let mut binned = 0u64;
+        let mut reaching = 0u64;
+        for tp in &log.trees {
+            for np in tp.nodes.iter().skip(1) {
+                binned += np.bin.n_binned as u64;
+                reaching += np.bin.n_reaching as u64;
+            }
+        }
+        assert!(binned * 2 <= reaching + 1, "binned {binned} vs reaching {reaching}");
+    }
+
+    #[test]
+    fn early_stop_on_no_improvement() {
+        let (data, mirror) = xor_like_dataset(500);
+        let cfg = TrainConfig {
+            num_trees: 200,
+            max_depth: 4,
+            learning_rate: 0.5,
+            min_loss_decrease: Some(1e-4),
+            ..Default::default()
+        };
+        let (model, _) = train(&data, &mirror, &cfg);
+        assert!(model.num_trees() < 200, "early stopping should have kicked in");
+    }
+
+    #[test]
+    fn constant_labels_yield_single_leaf_trees() {
+        let schema = DatasetSchema::new(vec![FieldSchema::numeric_with_bins("x", 8)]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..100 {
+            ds.push_record(&[RawValue::Num(i as f32)], 2.5);
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig { num_trees: 3, ..Default::default() };
+        let (model, _) = train(&data, &mirror, &cfg);
+        for t in &model.trees {
+            assert_eq!(t.num_leaves(), 1, "pure labels must not split");
+        }
+        // Prediction equals the label mean.
+        let p = model.predict_binned(&data, 0);
+        assert!((p - 2.5).abs() < 1e-9, "prediction {p}");
+    }
+
+    #[test]
+    fn early_stopping_trims_to_best_eval_iteration() {
+        let (data, mirror) = xor_like_dataset(3000);
+        // A *mismatched* eval set (different seed region): training loss
+        // keeps falling, eval loss bottoms out earlier.
+        let (eval, _) = {
+            let schema = data.schema().clone();
+            let mut ds = crate::dataset::Dataset::new(schema);
+            let mut state = 0xDEADBEEFu64;
+            let mut rng = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+            };
+            for _ in 0..1500 {
+                let a = rng();
+                let b = rng();
+                // 15% label noise on the eval distribution.
+                let mut y = (a >= 0.5) ^ (b >= 0.5);
+                if rng() < 0.15 {
+                    y = !y;
+                }
+                ds.push_record(
+                    &[RawValue::Num(a), RawValue::Num(b)],
+                    y as u8 as f32,
+                );
+            }
+            let binned = BinnedDataset::from_dataset(&ds);
+            let mirror = ColumnarMirror::from_binned(&binned);
+            (binned, mirror)
+        };
+        let cfg = TrainConfig {
+            num_trees: 120,
+            max_depth: 4,
+            learning_rate: 0.4,
+            loss: Loss::Logistic,
+            ..Default::default()
+        };
+        let (model, _, history) = train_with_eval(&data, &mirror, &cfg, &eval, 10);
+        assert!(!history.is_empty());
+        assert!(model.num_trees() <= history.len());
+        // The trimmed size is the argmin of the eval history.
+        let argmin = history
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert_eq!(model.num_trees(), argmin);
+    }
+
+    #[test]
+    fn subsample_reduces_step1_work_but_still_learns() {
+        let (data, mirror) = xor_like_dataset(4000);
+        let full_cfg = TrainConfig {
+            num_trees: 30,
+            max_depth: 4,
+            learning_rate: 0.3,
+            loss: Loss::Logistic,
+            ..Default::default()
+        };
+        let sub_cfg = TrainConfig { subsample: 0.5, seed: 5, ..full_cfg.clone() };
+        let (_, full_rep) = train(&data, &mirror, &full_cfg);
+        let (sub_model, sub_rep) = train(&data, &mirror, &sub_cfg);
+        // Roughly half the records binned per tree.
+        let ratio = sub_rep.work.step1_records as f64 / full_rep.work.step1_records as f64;
+        assert!((0.35..0.65).contains(&ratio), "subsample work ratio {ratio}");
+        // Still learns the function.
+        let preds = sub_model.predict_batch(&data);
+        let labels: Vec<f64> = data.labels().iter().map(|&y| f64::from(y)).collect();
+        assert!(metrics::accuracy(&preds, &labels, 0.5) > 0.9);
+    }
+
+    #[test]
+    fn colsample_restricts_fields_used() {
+        let (data, mirror) = xor_like_dataset(2000);
+        // With only 2 fields and colsample 0.5, some trees must use a
+        // single field; every tree uses only masked fields by
+        // construction — verify via determinism + convergence.
+        let cfg = TrainConfig {
+            num_trees: 20,
+            max_depth: 3,
+            colsample_bytree: 0.5,
+            seed: 9,
+            ..Default::default()
+        };
+        let (m1, _) = train(&data, &mirror, &cfg);
+        let (m2, _) = train(&data, &mirror, &cfg);
+        // Deterministic in the seed.
+        assert_eq!(m1.trees, m2.trees);
+        // Some tree used fewer fields than the full set.
+        assert!(
+            m1.trees.iter().any(|t| t.fields_used().len() < 2),
+            "expected at least one single-field tree"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_stochastic_models() {
+        let (data, mirror) = xor_like_dataset(2000);
+        let base = TrainConfig {
+            num_trees: 10,
+            max_depth: 3,
+            subsample: 0.6,
+            ..Default::default()
+        };
+        let (m1, _) = train(&data, &mirror, &TrainConfig { seed: 1, ..base.clone() });
+        let (m2, _) = train(&data, &mirror, &TrainConfig { seed: 2, ..base });
+        assert_ne!(m1.trees, m2.trees);
+    }
+
+    #[test]
+    #[should_panic(expected = "subsample")]
+    fn invalid_subsample_rejected() {
+        let (data, mirror) = xor_like_dataset(100);
+        let cfg = TrainConfig { subsample: 0.0, ..Default::default() };
+        let _ = train(&data, &mirror, &cfg);
+    }
+
+    #[test]
+    fn step_times_cover_total() {
+        let (data, mirror) = xor_like_dataset(1000);
+        let cfg = TrainConfig { num_trees: 5, ..Default::default() };
+        let (_, report) = train(&data, &mirror, &cfg);
+        let fr = report.times.fractions();
+        let sum: f64 = fr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(report.times.total() > Duration::ZERO);
+    }
+}

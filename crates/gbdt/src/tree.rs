@@ -1,0 +1,357 @@
+//! Decision trees and their flat table encoding.
+//!
+//! A trained tree is a vector of nodes (index 0 = root). For Step 5 and
+//! batch inference the tree is lowered to a [`TreeTable`] — the paper's
+//! "well-known idea of mapping the newly-grown tree to a table where each
+//! entry captures a vertex by encoding its predicate and pointers to the
+//! vertex's left and right children" (Section III-B), with fields
+//! *renumbered* among the fields the tree actually uses so the BU can index
+//! the fetched single-field columns compactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::preprocess::BinnedDataset;
+use crate::split::{goes_left, SplitRule};
+
+/// One tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Internal decision node.
+    Internal {
+        /// Field tested by the predicate.
+        field: u32,
+        /// The predicate.
+        rule: SplitRule,
+        /// Direction taken by records with the field absent.
+        default_left: bool,
+        /// Index of the left child.
+        left: u32,
+        /// Index of the right child.
+        right: u32,
+    },
+    /// Leaf carrying the weak prediction `w`.
+    Leaf {
+        /// Leaf weight (before learning-rate shrinkage is applied by the
+        /// trainer).
+        weight: f64,
+    },
+}
+
+/// A regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Build from nodes. Node 0 must be the root.
+    pub fn new(nodes: Vec<Node>) -> Self {
+        assert!(!nodes.is_empty(), "tree needs at least a root");
+        Tree { nodes }
+    }
+
+    /// A single-leaf tree.
+    pub fn leaf(weight: f64) -> Self {
+        Tree { nodes: vec![Node::Leaf { weight }] }
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Leaf count.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Maximum root-to-leaf edge count.
+    pub fn depth(&self) -> u32 {
+        self.depth_from(0)
+    }
+
+    fn depth_from(&self, idx: u32) -> u32 {
+        match &self.nodes[idx as usize] {
+            Node::Leaf { .. } => 0,
+            Node::Internal { left, right, .. } => {
+                1 + self.depth_from(*left).max(self.depth_from(*right))
+            }
+        }
+    }
+
+    /// Traverse with a per-field bin lookup; returns `(leaf weight,
+    /// path length in edges)`.
+    #[inline]
+    pub fn traverse<F>(&self, bin_of_field: F, absent_of_field: &dyn Fn(usize) -> u32) -> (f64, u32)
+    where
+        F: Fn(usize) -> u32,
+    {
+        let mut idx = 0u32;
+        let mut path = 0u32;
+        loop {
+            match &self.nodes[idx as usize] {
+                Node::Leaf { weight } => return (*weight, path),
+                Node::Internal { field, rule, default_left, left, right } => {
+                    let f = *field as usize;
+                    let bin = bin_of_field(f);
+                    let absent = absent_of_field(f);
+                    idx = if goes_left(*rule, *default_left, bin, absent) { *left } else { *right };
+                    path += 1;
+                }
+            }
+        }
+    }
+
+    /// Traverse for record `r` of a binned dataset.
+    #[inline]
+    pub fn traverse_binned(&self, data: &BinnedDataset, r: usize) -> (f64, u32) {
+        let row = data.row(r);
+        let binnings = data.binnings();
+        self.traverse(|f| row[f], &|f| binnings[f].absent_bin())
+    }
+
+    /// Sorted, deduplicated list of fields used by this tree's predicates
+    /// (the set whose single-field columns Step 5 fetches).
+    pub fn fields_used(&self) -> Vec<u32> {
+        let mut fields: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Internal { field, .. } => Some(*field),
+                Node::Leaf { .. } => None,
+            })
+            .collect();
+        fields.sort_unstable();
+        fields.dedup();
+        fields
+    }
+
+    /// Histogram of leaf depths weighted by nothing (structure only):
+    /// `(depth, leaf count)` pairs, ascending by depth.
+    pub fn leaf_depth_histogram(&self) -> Vec<(u32, usize)> {
+        let mut counts: Vec<(u32, usize)> = Vec::new();
+        self.collect_leaf_depths(0, 0, &mut counts);
+        counts.sort_unstable();
+        counts
+    }
+
+    fn collect_leaf_depths(&self, idx: u32, depth: u32, out: &mut Vec<(u32, usize)>) {
+        match &self.nodes[idx as usize] {
+            Node::Leaf { .. } => {
+                if let Some(e) = out.iter_mut().find(|(d, _)| *d == depth) {
+                    e.1 += 1;
+                } else {
+                    out.push((depth, 1));
+                }
+            }
+            Node::Internal { left, right, .. } => {
+                self.collect_leaf_depths(*left, depth + 1, out);
+                self.collect_leaf_depths(*right, depth + 1, out);
+            }
+        }
+    }
+
+    /// Lower to the flat table encoding used by the BUs.
+    pub fn to_table(&self) -> TreeTable {
+        TreeTable::from_tree(self)
+    }
+}
+
+/// One fixed-size table entry (the SRAM-resident encoding; 16 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Renumbered field index into [`TreeTable::fields_used`]
+    /// (`u16::MAX` for leaves).
+    pub field_renum: u16,
+    /// Entry kind: 0 = numeric internal, 1 = categorical internal,
+    /// 2 = leaf.
+    pub kind: u8,
+    /// Default direction for absent values (internal nodes).
+    pub default_left: bool,
+    /// Threshold bin (numeric) or category (categorical); unused for
+    /// leaves.
+    pub threshold: u32,
+    /// Left child entry index (internal) — leaves store 0.
+    pub left: u16,
+    /// Right child entry index (internal) — leaves store 0.
+    pub right: u16,
+    /// Leaf weight (f32, as stored on chip); 0 for internal nodes.
+    pub weight: f32,
+}
+
+/// Size in bytes of one table entry as laid out in a BU SRAM.
+pub const TABLE_ENTRY_BYTES: usize = 16;
+
+/// Flat tree table with field renumbering (Section III-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeTable {
+    /// Entries; index 0 is the root.
+    pub entries: Vec<TableEntry>,
+    /// Original field ids in renumbered order: `fields_used[renum] = field`.
+    pub fields_used: Vec<u32>,
+}
+
+impl TreeTable {
+    /// Lower a tree into table form.
+    pub fn from_tree(tree: &Tree) -> Self {
+        let fields_used = tree.fields_used();
+        let renum = |field: u32| -> u16 {
+            fields_used.binary_search(&field).expect("field in fields_used") as u16
+        };
+        let entries = tree
+            .nodes()
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { weight } => TableEntry {
+                    field_renum: u16::MAX,
+                    kind: 2,
+                    default_left: false,
+                    threshold: 0,
+                    left: 0,
+                    right: 0,
+                    weight: *weight as f32,
+                },
+                Node::Internal { field, rule, default_left, left, right } => {
+                    let (kind, threshold) = match rule {
+                        SplitRule::Numeric { threshold_bin } => (0u8, *threshold_bin),
+                        SplitRule::Categorical { category } => (1u8, *category),
+                    };
+                    TableEntry {
+                        field_renum: renum(*field),
+                        kind,
+                        default_left: *default_left,
+                        threshold,
+                        left: *left as u16,
+                        right: *right as u16,
+                        weight: 0.0,
+                    }
+                }
+            })
+            .collect();
+        TreeTable { entries, fields_used }
+    }
+
+    /// On-chip footprint of the table in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.entries.len() * TABLE_ENTRY_BYTES
+    }
+
+    /// Walk the table for a record presented as renumbered-field bins.
+    /// `bins[renum]` must be the record's bin in `fields_used[renum]`, and
+    /// `absents[renum]` that field's absent bin. Returns `(weight, path)`.
+    pub fn walk(&self, bins: &[u32], absents: &[u32]) -> (f32, u32) {
+        let mut idx = 0usize;
+        let mut path = 0u32;
+        loop {
+            let e = &self.entries[idx];
+            if e.kind == 2 {
+                return (e.weight, path);
+            }
+            let f = e.field_renum as usize;
+            let bin = bins[f];
+            let rule = if e.kind == 0 {
+                SplitRule::Numeric { threshold_bin: e.threshold }
+            } else {
+                SplitRule::Categorical { category: e.threshold }
+            };
+            let left = goes_left(rule, e.default_left, bin, absents[f]);
+            idx = if left { e.left as usize } else { e.right as usize };
+            path += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// depth-2 tree: root tests field 3 (numeric, bin<=5 left);
+    /// left child tests field 7 (cat == 2 right); leaves -1, 1, 2.
+    fn sample_tree() -> Tree {
+        Tree::new(vec![
+            Node::Internal {
+                field: 3,
+                rule: SplitRule::Numeric { threshold_bin: 5 },
+                default_left: false,
+                left: 1,
+                right: 2,
+            },
+            Node::Internal {
+                field: 7,
+                rule: SplitRule::Categorical { category: 2 },
+                default_left: true,
+                left: 3,
+                right: 4,
+            },
+            Node::Leaf { weight: 2.0 },
+            Node::Leaf { weight: -1.0 },
+            Node::Leaf { weight: 1.0 },
+        ])
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = sample_tree();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.fields_used(), vec![3, 7]);
+        assert_eq!(t.leaf_depth_histogram(), vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn traversal_routes_correctly() {
+        let t = sample_tree();
+        let absent = |_f: usize| 100u32;
+        // field3 bin 9 (>5) -> right leaf 2.0
+        let (w, p) = t.traverse(|f| if f == 3 { 9 } else { 0 }, &absent);
+        assert_eq!((w, p), (2.0, 1));
+        // field3 bin 2 (<=5), field7 cat 2 -> right leaf 1.0
+        let (w, p) = t.traverse(|_| 2, &absent);
+        assert_eq!((w, p), (1.0, 2));
+        // field3 bin 2, field7 cat 0 -> left leaf -1.0
+        let (w, p) = t.traverse(|f| if f == 3 { 2 } else { 0 }, &absent);
+        assert_eq!((w, p), (-1.0, 2));
+        // field3 absent -> default right (default_left=false)
+        let (w, _) = t.traverse(|f| if f == 3 { 100 } else { 0 }, &absent);
+        assert_eq!(w, 2.0);
+        // field7 absent -> default left
+        let (w, _) = t.traverse(|f| if f == 3 { 0 } else { 100 }, &absent);
+        assert_eq!(w, -1.0);
+    }
+
+    #[test]
+    fn table_matches_tree_traversal() {
+        let t = sample_tree();
+        let table = t.to_table();
+        assert_eq!(table.fields_used, vec![3, 7]);
+        assert_eq!(table.byte_size(), 5 * TABLE_ENTRY_BYTES);
+        // Exhaustive check over small bin spaces: field3 bins 0..12 or
+        // absent(100), field7 bins 0..4 or absent(100).
+        let absent = |_f: usize| 100u32;
+        for b3 in (0..12).chain([100]) {
+            for b7 in (0..4).chain([100]) {
+                let (w_tree, p_tree) =
+                    t.traverse(|f| if f == 3 { b3 } else { b7 }, &absent);
+                let (w_tab, p_tab) = table.walk(&[b3, b7], &[100, 100]);
+                assert_eq!(w_tab as f64, w_tree, "bins ({b3},{b7})");
+                assert_eq!(p_tab, p_tree, "bins ({b3},{b7})");
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = Tree::leaf(0.5);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.num_leaves(), 1);
+        assert!(t.fields_used().is_empty());
+        let (w, p) = t.traverse(|_| 0, &|_| 0);
+        assert_eq!((w, p), (0.5, 0));
+    }
+}

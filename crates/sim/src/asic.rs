@@ -1,0 +1,158 @@
+//! ASIC area and power model (45 nm, Table VI).
+//!
+//! Constants are calibrated to the paper's synthesis of a 50-cluster,
+//! 3200-BU chip at 1 GHz:
+//!
+//! | Component     | Area (mm²) | Power (W) |
+//! |---------------|------------|-----------|
+//! | Control logic | 8.4        | 4.3       |
+//! | FPU           | 18.4       | 9.5       |
+//! | SRAM          | 33.1       | 9.4       |
+//! | Total         | 60.0       | 23.2      |
+//!
+//! The 3200-banked 6.4 MB SRAM is ~70% larger than a monolithic array of
+//! the same capacity (Section V-G); the monolithic density is what the
+//! inter-record baseline's large per-copy histograms get.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::BoosterConfig;
+
+/// Reference values from Table VI (for a 3200-BU chip whose aggregate
+/// SRAM is 3200 × 2 KiB = 6.25 MiB — the paper rounds this to "6.4 MB"
+/// using 3200 × 2 KB decimal).
+const REF_BUS: f64 = 3200.0;
+const REF_SRAM_MB: f64 = 3200.0 * 2048.0 / (1024.0 * 1024.0);
+const AREA_CONTROL_REF: f64 = 8.4;
+const AREA_FPU_REF: f64 = 18.4;
+const AREA_SRAM_REF: f64 = 33.1;
+const POWER_CONTROL_REF: f64 = 4.3;
+const POWER_FPU_REF: f64 = 9.5;
+const POWER_SRAM_REF: f64 = 9.4;
+/// Banked-to-monolithic SRAM area ratio (banked is ~70% larger).
+const BANKING_OVERHEAD: f64 = 1.70;
+/// Banked-to-monolithic SRAM static power ratio (~59% higher).
+const BANKING_POWER_OVERHEAD: f64 = 1.59;
+
+/// Per-component breakdown in mm² or W.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Control logic.
+    pub control: f64,
+    /// Floating-point units.
+    pub fpu: f64,
+    /// SRAM arrays.
+    pub sram: f64,
+}
+
+impl Breakdown {
+    /// Sum of components.
+    pub fn total(&self) -> f64 {
+        self.control + self.fpu + self.sram
+    }
+}
+
+/// The 45-nm area/power model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsicModel;
+
+impl AsicModel {
+    /// Banked SRAM area density (mm² per MB) at the Booster banking
+    /// granularity.
+    pub fn banked_mm2_per_mb(&self) -> f64 {
+        AREA_SRAM_REF / REF_SRAM_MB
+    }
+
+    /// Monolithic (1-bank) SRAM area density (mm² per MB).
+    pub fn monolithic_mm2_per_mb(&self) -> f64 {
+        self.banked_mm2_per_mb() / BANKING_OVERHEAD
+    }
+
+    /// Per-BU FPU area (mm²).
+    pub fn fpu_mm2_per_bu(&self) -> f64 {
+        AREA_FPU_REF / REF_BUS
+    }
+
+    /// Per-BU control area (mm²).
+    pub fn control_mm2_per_bu(&self) -> f64 {
+        AREA_CONTROL_REF / REF_BUS
+    }
+
+    /// Area breakdown of a Booster configuration.
+    pub fn area(&self, cfg: &BoosterConfig) -> Breakdown {
+        let bus = f64::from(cfg.total_bus());
+        let sram_mb = cfg.total_sram_bytes() as f64 / (1024.0 * 1024.0);
+        Breakdown {
+            control: self.control_mm2_per_bu() * bus,
+            fpu: self.fpu_mm2_per_bu() * bus,
+            sram: self.banked_mm2_per_mb() * sram_mb,
+        }
+    }
+
+    /// Power breakdown of a Booster configuration (W).
+    pub fn power(&self, cfg: &BoosterConfig) -> Breakdown {
+        let bus = f64::from(cfg.total_bus());
+        let sram_mb = cfg.total_sram_bytes() as f64 / (1024.0 * 1024.0);
+        let clock_scale = cfg.clock_ghz / 1.0;
+        Breakdown {
+            control: POWER_CONTROL_REF / REF_BUS * bus * clock_scale,
+            fpu: POWER_FPU_REF / REF_BUS * bus * clock_scale,
+            sram: POWER_SRAM_REF / REF_SRAM_MB * sram_mb * clock_scale,
+        }
+    }
+
+    /// Power of a monolithic SRAM of the same capacity (for the paper's
+    /// "only ~59% higher than 1-bank" comparison).
+    pub fn monolithic_sram_power(&self, cfg: &BoosterConfig) -> f64 {
+        let sram_mb = cfg.total_sram_bytes() as f64 / (1024.0 * 1024.0);
+        POWER_SRAM_REF / REF_SRAM_MB * sram_mb / BANKING_POWER_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_reproduced() {
+        let m = AsicModel;
+        let cfg = BoosterConfig::default();
+        let a = m.area(&cfg);
+        assert!((a.control - 8.4).abs() < 1e-9);
+        assert!((a.fpu - 18.4).abs() < 1e-9);
+        assert!((a.sram - 33.1).abs() < 1e-9);
+        assert!((a.total() - 59.9).abs() < 0.2, "total {}", a.total());
+        let p = m.power(&cfg);
+        assert!((p.total() - 23.2).abs() < 0.1, "power {}", p.total());
+    }
+
+    #[test]
+    fn sram_majority_area() {
+        // "Almost half (55%) of Booster's area goes to the SRAMs."
+        let m = AsicModel;
+        let a = m.area(&BoosterConfig::default());
+        let frac = a.sram / a.total();
+        assert!(frac > 0.5 && frac < 0.6, "SRAM fraction {frac}");
+    }
+
+    #[test]
+    fn banked_vs_monolithic() {
+        let m = AsicModel;
+        // Banked 6.4 MB is ~70% larger than monolithic.
+        let banked = m.banked_mm2_per_mb() * 6.4;
+        let mono = m.monolithic_mm2_per_mb() * 6.4;
+        assert!((banked / mono - 1.70).abs() < 1e-9);
+        // Static-power overhead ~59%.
+        let cfg = BoosterConfig::default();
+        let ratio = m.power(&cfg).sram / m.monolithic_sram_power(&cfg);
+        assert!((ratio - 1.59).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_scales_with_chip_size() {
+        let m = AsicModel;
+        let half = BoosterConfig { clusters: 25, ..Default::default() };
+        let a = m.area(&half);
+        assert!((a.total() - 59.9 / 2.0).abs() < 0.2);
+    }
+}

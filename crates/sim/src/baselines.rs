@@ -1,0 +1,224 @@
+//! Ideal parallelism-limited baselines: *Ideal 32-core* and *Ideal GPU*
+//! (Section IV).
+//!
+//! Both are upper bounds on real machines: perfect pipelines, perfect
+//! caches and perfect SIMT convergence, limited only by their exploited
+//! parallelism (32 and 64 lanes at 2.2 GHz), sharing Booster's memory
+//! system. Per-step work-unit costs come from [`WorkModel`]; each
+//! record-heavy step is the max of compute and memory time, plus a small
+//! per-phase synchronization overhead (fork/join across lanes).
+
+use booster_gbdt::phases::PhaseLog;
+
+use crate::host::HostModel;
+use crate::machine::{IdealMachineConfig, WorkModel};
+use crate::phase_traffic::{step1_traffic, step3_traffic, step5_traffic};
+use crate::report::{ArchRun, StepSeconds};
+use crate::traffic::BandwidthModel;
+
+/// Per-phase synchronization overhead (seconds) for the ideal machines.
+/// Fork/join of tens of lanes on sub-millisecond phases is not free even
+/// in an optimistic model.
+pub const PHASE_SYNC_SECONDS: f64 = 5e-6;
+
+/// Timing model for an ideal lane-limited machine.
+#[derive(Debug)]
+pub struct IdealSim<'a> {
+    cfg: IdealMachineConfig,
+    work: WorkModel,
+    bw: &'a BandwidthModel,
+    name: &'static str,
+}
+
+impl<'a> IdealSim<'a> {
+    /// The Ideal 32-core baseline.
+    pub fn cpu(bw: &'a BandwidthModel) -> Self {
+        IdealSim {
+            cfg: IdealMachineConfig::ideal_cpu(),
+            work: WorkModel::default(),
+            bw,
+            name: "Ideal 32-core",
+        }
+    }
+
+    /// The Ideal GPU baseline.
+    pub fn gpu(bw: &'a BandwidthModel) -> Self {
+        IdealSim {
+            cfg: IdealMachineConfig::ideal_gpu(),
+            work: WorkModel::default(),
+            bw,
+            name: "Ideal GPU",
+        }
+    }
+
+    /// Custom machine.
+    pub fn new(
+        cfg: IdealMachineConfig,
+        work: WorkModel,
+        bw: &'a BandwidthModel,
+        name: &'static str,
+    ) -> Self {
+        IdealSim { cfg, work, bw, name }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &IdealMachineConfig {
+        &self.cfg
+    }
+
+    fn lane_seconds(&self, ops: f64) -> f64 {
+        ops / (f64::from(self.cfg.lanes) * self.cfg.clock_ghz * 1e9)
+    }
+
+    fn mem_seconds(&self, blocks: u64, density: f64) -> f64 {
+        let cycles = self.bw.cycles(blocks, density);
+        cycles as f64 / (self.bw.config().clock_ghz * 1e9)
+    }
+
+    /// Model the training time of a logged workload. Step 2 runs on the
+    /// host exactly as for Booster (the paper adds the same host time to
+    /// every system).
+    pub fn training_time(&self, log: &PhaseLog, host: &HostModel) -> ArchRun {
+        let w = &self.work;
+        let lanes = f64::from(self.cfg.lanes);
+        let mut s1 = 0.0f64;
+        let mut s3 = 0.0f64;
+        let mut s5 = 0.0f64;
+        let mut scans = 0u64;
+        let mut dram_blocks = 0u64;
+        let mut sram_accesses = 0u64;
+
+        for tree in &log.trees {
+            for node in &tree.nodes {
+                if node.bin.n_binned > 0 {
+                    let t = step1_traffic(log, node.bin.row_blocks, node.bin.gh_stream_blocks);
+                    let updates = node.bin.n_binned as f64 * log.num_fields as f64;
+                    // Binning plus the private-histogram reduction across
+                    // lanes (Section II-D).
+                    let ops = updates * w.step1_per_update
+                        + log.total_bins as f64 * lanes * w.reduce_per_bin;
+                    let compute = self.lane_seconds(ops);
+                    let mem = self.mem_seconds(t.total_blocks(), t.density);
+                    s1 += compute.max(mem) + PHASE_SYNC_SECONDS;
+                    dram_blocks += t.total_blocks();
+                    sram_accesses += node.bin.n_binned as u64 * log.num_fields as u64 * 2;
+                }
+                if node.scanned {
+                    scans += 1;
+                }
+                if let Some(p) = &node.partition {
+                    let t = step3_traffic(log, p, self.cfg.redundant_format);
+                    let compute = self.lane_seconds(p.n_records as f64 * w.step3_per_record);
+                    let mem = self.mem_seconds(t.total_blocks(), t.density);
+                    s3 += compute.max(mem) + PHASE_SYNC_SECONDS;
+                    dram_blocks += t.total_blocks();
+                }
+            }
+            let tr = &tree.traversal;
+            let t = step5_traffic(log, tr, self.cfg.redundant_format);
+            let ops = tr.sum_path_len as f64 * w.step5_per_level
+                + tr.n_records as f64 * w.step5_per_record;
+            let compute = self.lane_seconds(ops);
+            let mem = self.mem_seconds(t.total_blocks(), t.density);
+            s5 += compute.max(mem) + PHASE_SYNC_SECONDS;
+            dram_blocks += t.total_blocks();
+            sram_accesses += tr.sum_path_len;
+        }
+
+        let steps = StepSeconds {
+            step1: s1,
+            step2: host.step2_seconds(scans, log.total_bins),
+            step3: s3,
+            step5: s5,
+        };
+        ArchRun { name: self.name.into(), steps, dram_blocks, sram_accesses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booster_dram::DramConfig;
+    use booster_gbdt::phases::{
+        BinPhase, NodePhase, PartitionPhase, TraversalPhase, TreePhases,
+    };
+
+    fn log(n: usize, fields: usize) -> PhaseLog {
+        let row_blocks = (n * fields).div_ceil(64);
+        PhaseLog {
+            trees: vec![TreePhases {
+                nodes: vec![NodePhase {
+                    bin: BinPhase {
+                        depth: 0,
+                        n_reaching: n,
+                        n_binned: n,
+                        row_blocks,
+                        gh_stream_blocks: n.div_ceil(8),
+                    },
+                    scanned: true,
+                    partition: Some(PartitionPhase {
+                        n_records: n,
+                        col_blocks: n.div_ceil(64),
+                        row_blocks,
+                        n_left: n / 2,
+                        n_right: n - n / 2,
+                    }),
+                }],
+                traversal: TraversalPhase {
+                    n_records: n,
+                    fields_used: fields.min(3),
+                    sum_path_len: 6 * n as u64,
+                    max_depth: 6,
+                },
+            }],
+            num_records: n,
+            num_fields: fields,
+            record_bytes: fields as u32,
+            total_bins: fields as u64 * 257,
+            field_entry_bytes: vec![1; fields],
+            field_bins: vec![257; fields],
+        }
+    }
+
+    #[test]
+    fn gpu_is_faster_than_cpu_on_accelerated_steps() {
+        let bw = BandwidthModel::new(DramConfig::default());
+        let l = log(1_000_000, 28);
+        let host = HostModel::default();
+        let cpu = IdealSim::cpu(&bw).training_time(&l, &host);
+        let gpu = IdealSim::gpu(&bw).training_time(&l, &host);
+        assert!(gpu.steps.step1 < cpu.steps.step1);
+        assert!(gpu.steps.step5 < cpu.steps.step5);
+        // Step 2 identical (same host).
+        assert!((gpu.steps.step2 - cpu.steps.step2).abs() < 1e-12);
+        // Overall modest speedup in the paper's 1.5-2x class.
+        let sp = cpu.total() / gpu.total();
+        assert!(sp > 1.2 && sp < 2.1, "GPU over CPU speedup {sp}");
+    }
+
+    #[test]
+    fn step1_is_compute_bound_for_cpu() {
+        let bw = BandwidthModel::new(DramConfig::default());
+        let l = log(1_000_000, 28);
+        let cpu = IdealSim::cpu(&bw).training_time(&l, &HostModel::default());
+        // 28M updates x 8 ops / 70.4 Gops = ~3.2 ms; memory would be
+        // ~0.08 ms: compute-bound.
+        let expected = 1_000_000.0 * 28.0 * 8.0 / (32.0 * 2.2e9);
+        assert!(
+            cpu.steps.step1 > expected * 0.9,
+            "step1 {} vs compute bound {}",
+            cpu.steps.step1,
+            expected
+        );
+    }
+
+    #[test]
+    fn cpu_work_scales_with_records() {
+        let bw = BandwidthModel::new(DramConfig::default());
+        let host = HostModel::default();
+        let small = IdealSim::cpu(&bw).training_time(&log(100_000, 8), &host);
+        let large = IdealSim::cpu(&bw).training_time(&log(1_000_000, 8), &host);
+        let ratio = large.steps.step1 / small.steps.step1;
+        assert!(ratio > 5.0, "step1 should scale ~10x, got {ratio}");
+    }
+}

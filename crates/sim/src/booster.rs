@@ -1,0 +1,285 @@
+//! The Booster accelerator timing model (Section III-B).
+//!
+//! Every phase (Step 1 at a vertex, Step 3 at a split, Step 5 per tree)
+//! costs `max(memory cycles, compute cycles) + broadcast fill/drain`:
+//! double buffering overlaps fetch with compute, and the pipelined
+//! broadcast bus adds a fill/drain of `BUs / link-group` cycles
+//! (3200 / 16 = 200) per phase.
+//!
+//! - **Memory cycles** come from the DRAM bandwidth model at the phase's
+//!   subset density.
+//! - **Step-1 compute**: each record performs one update per SRAM-mapped
+//!   field costing `field_update_cycles` (8); bins of multiple fields
+//!   sharing an SRAM serialize (naive packing); records are partitioned
+//!   across histogram replicas, and the number of replicas actually used
+//!   is rate-matched to memory so reduction work is not wasted.
+//! - **Step-3 compute**: one predicate evaluation per record across all
+//!   BUs.
+//! - **Step-5 compute**: table walks of `tree_level_cycles` per level,
+//!   load-balanced across BUs by averaging over records (Section II-C).
+//! - **Step 2 + replica reduction** are offloaded to the host model.
+
+use booster_gbdt::phases::PhaseLog;
+
+use crate::host::HostModel;
+use crate::machine::BoosterConfig;
+use crate::mapping::{map_fields, replication_factor, FieldMapping};
+use crate::phase_traffic::{step1_traffic, step3_traffic, step5_traffic};
+use crate::report::{ArchRun, StepSeconds};
+use crate::traffic::BandwidthModel;
+
+/// Booster timing simulator.
+#[derive(Debug)]
+pub struct BoosterSim<'a> {
+    cfg: BoosterConfig,
+    bw: &'a BandwidthModel,
+}
+
+/// Extra diagnostics from a Booster run.
+#[derive(Debug, Clone)]
+pub struct BoosterDiagnostics {
+    /// The bin-to-SRAM mapping used.
+    pub mapping: FieldMapping,
+    /// Histogram replicas available.
+    pub replication: f64,
+    /// Total host reduction bins.
+    pub reduce_bins: f64,
+    /// Accelerator cycles per step (before conversion to seconds).
+    pub cycles: [u64; 3],
+}
+
+impl<'a> BoosterSim<'a> {
+    /// Create a simulator for a configuration, reusing a bandwidth model
+    /// calibrated for `cfg.dram`.
+    pub fn new(cfg: BoosterConfig, bw: &'a BandwidthModel) -> Self {
+        assert_eq!(
+            bw.config(), &cfg.dram,
+            "bandwidth model must be calibrated for the Booster DRAM config"
+        );
+        BoosterSim { cfg, bw }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BoosterConfig {
+        &self.cfg
+    }
+
+    /// Model the training time of a logged workload.
+    pub fn training_time(&self, log: &PhaseLog, host: &HostModel) -> (ArchRun, BoosterDiagnostics) {
+        let cfg = &self.cfg;
+        let mapping = map_fields(&log.field_bins, cfg);
+        // Field-aligned layouts (group-by-field, or naive packing that
+        // happens to place one field per SRAM) keep the fixed one-to-one
+        // fetch-to-BU wiring and replicate across the spare BUs. A packed
+        // layout with co-resident fields (Figure 4) breaks the alignment:
+        // it runs one copy per cluster and serializes co-packed updates.
+        let repl = if mapping.max_fields_per_sram == 1 {
+            replication_factor(cfg, mapping.srams_used())
+        } else {
+            f64::from(cfg.clusters)
+        };
+        let ser = mapping.max_fields_per_sram as f64;
+        let upd = f64::from(cfg.field_update_cycles);
+        let fill = cfg.fill_drain_cycles();
+        let total_bus = f64::from(cfg.total_bus());
+
+        let mut cyc1 = 0u64;
+        let mut cyc3 = 0u64;
+        let mut cyc5 = 0u64;
+        let mut scans = 0u64;
+        let mut reduce_bins = 0.0f64;
+        let mut dram_blocks = 0u64;
+        let mut sram_accesses = 0u64;
+
+        for tree in &log.trees {
+            for node in &tree.nodes {
+                if node.bin.n_binned > 0 {
+                    let t = step1_traffic(log, node.bin.row_blocks, node.bin.gh_stream_blocks);
+                    let mem = self.bw.cycles(t.total_blocks(), t.density);
+                    let work = node.bin.n_binned as f64 * ser * upd;
+                    // Rate-match replicas to memory: use just enough
+                    // copies to keep compute under the memory time.
+                    let needed = if mem == 0 { repl } else { (work / mem as f64).ceil() };
+                    let replicas_used = needed.clamp(1.0, repl);
+                    let compute = (work / replicas_used).ceil() as u64;
+                    cyc1 += mem.max(compute) + fill;
+                    reduce_bins += log.total_bins as f64 * replicas_used;
+                    dram_blocks += t.total_blocks();
+                    // One read-modify-write of (G,H) per field update.
+                    sram_accesses += node.bin.n_binned as u64 * log.num_fields as u64 * 2;
+                }
+                if node.scanned {
+                    scans += 1;
+                }
+                if let Some(p) = &node.partition {
+                    let t = step3_traffic(log, p, cfg.redundant_format);
+                    let mem = self.bw.cycles(t.total_blocks(), t.density);
+                    let compute = (p.n_records as f64 * f64::from(cfg.predicate_cycles)
+                        / total_bus)
+                        .ceil() as u64;
+                    cyc3 += mem.max(compute) + fill;
+                    dram_blocks += t.total_blocks();
+                }
+            }
+            let tr = &tree.traversal;
+            let t = step5_traffic(log, tr, cfg.redundant_format);
+            let mem = self.bw.cycles(t.total_blocks(), t.density);
+            let compute = (tr.sum_path_len as f64 * f64::from(cfg.tree_level_cycles) / total_bus)
+                .ceil() as u64;
+            cyc5 += mem.max(compute) + fill;
+            dram_blocks += t.total_blocks();
+            sram_accesses += tr.sum_path_len;
+        }
+
+        let hz = cfg.clock_ghz * 1e9;
+        let steps = StepSeconds {
+            step1: cyc1 as f64 / hz,
+            step2: host.step2_seconds(scans, log.total_bins) + host.reduce_seconds(reduce_bins),
+            step3: cyc3 as f64 / hz,
+            step5: cyc5 as f64 / hz,
+        };
+        let run = ArchRun { name: "Booster".into(), steps, dram_blocks, sram_accesses };
+        let diag = BoosterDiagnostics {
+            mapping,
+            replication: repl,
+            reduce_bins,
+            cycles: [cyc1, cyc3, cyc5],
+        };
+        (run, diag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booster_gbdt::phases::{
+        BinPhase, NodePhase, PartitionPhase, TraversalPhase, TreePhases,
+    };
+
+    fn small_log(n: usize, fields: usize) -> PhaseLog {
+        let rb = fields as u32;
+        let row_blocks = (n * fields).div_ceil(64);
+        let gh = n.div_ceil(8);
+        PhaseLog {
+            trees: vec![TreePhases {
+                nodes: vec![NodePhase {
+                    bin: BinPhase {
+                        depth: 0,
+                        n_reaching: n,
+                        n_binned: n,
+                        row_blocks,
+                        gh_stream_blocks: gh,
+                    },
+                    scanned: true,
+                    partition: Some(PartitionPhase {
+                        n_records: n,
+                        col_blocks: n.div_ceil(64),
+                        row_blocks,
+                        n_left: n / 2,
+                        n_right: n - n / 2,
+                    }),
+                }],
+                traversal: TraversalPhase {
+                    n_records: n,
+                    fields_used: 1,
+                    sum_path_len: n as u64,
+                    max_depth: 1,
+                },
+            }],
+            num_records: n,
+            num_fields: fields,
+            record_bytes: rb,
+            total_bins: fields as u64 * 256,
+            field_entry_bytes: vec![1; fields],
+            // 255 value bins + absent = 256: exactly one SRAM per field,
+            // as real preprocessing produces.
+            field_bins: vec![256; fields],
+        }
+    }
+
+    fn sim_env() -> BandwidthModel {
+        BandwidthModel::new(booster_dram::DramConfig::default())
+    }
+
+    #[test]
+    fn booster_is_memory_bound_on_dense_step1() {
+        let bw = sim_env();
+        let cfg = BoosterConfig::default();
+        let sim = BoosterSim::new(cfg, &bw);
+        let log = small_log(1_000_000, 28);
+        let (run, diag) = sim.training_time(&log, &HostModel::default());
+        assert!(run.steps.step1 > 0.0);
+        // Step-1 cycles should be close to the pure memory time: blocks /
+        // ~5.9 per cycle, plus fill.
+        let blocks = (1_000_000 * 28 / 64 + 1_000_000 / 8) as f64;
+        let mem_cycles = blocks / 6.0;
+        let actual = diag.cycles[0] as f64;
+        assert!(
+            actual < mem_cycles * 1.4 && actual > mem_cycles * 0.9,
+            "step1 cycles {actual} vs mem estimate {mem_cycles}"
+        );
+    }
+
+    #[test]
+    fn redundant_format_reduces_dram_blocks() {
+        let bw = sim_env();
+        let log = small_log(500_000, 28);
+        let with = BoosterSim::new(BoosterConfig::default(), &bw);
+        let without = BoosterSim::new(BoosterConfig::default().group_by_field_only(), &bw);
+        let (r_with, _) = with.training_time(&log, &HostModel::default());
+        let (r_without, _) = without.training_time(&log, &HostModel::default());
+        assert!(
+            r_with.dram_blocks < r_without.dram_blocks,
+            "redundant format must cut traffic: {} vs {}",
+            r_with.dram_blocks,
+            r_without.dram_blocks
+        );
+        assert!(r_with.steps.step5 <= r_without.steps.step5 + 1e-12);
+    }
+
+    #[test]
+    fn naive_packing_slows_categorical_step1() {
+        let bw = sim_env();
+        // Many tiny categorical fields: group-by-field keeps one update
+        // per SRAM; naive packing serializes dozens on one SRAM.
+        let mut log = small_log(500_000, 64);
+        log.field_bins = vec![5; 64];
+        log.total_bins = 5 * 64;
+        let grouped = BoosterSim::new(BoosterConfig::default(), &bw);
+        let packed = BoosterSim::new(
+            BoosterConfig { mapping: crate::machine::MappingStrategy::NaivePacking, ..Default::default() },
+            &bw,
+        );
+        let (g, _) = grouped.training_time(&log, &HostModel::default());
+        let (p, _) = packed.training_time(&log, &HostModel::default());
+        assert!(
+            p.steps.step1 > g.steps.step1 * 1.5,
+            "packing should serialize: grouped {} vs packed {}",
+            g.steps.step1,
+            p.steps.step1
+        );
+    }
+
+    #[test]
+    fn zero_binned_nodes_cost_nothing_in_step1() {
+        let bw = sim_env();
+        let mut log = small_log(100_000, 8);
+        log.trees[0].nodes[0].bin.n_binned = 0;
+        log.trees[0].nodes[0].bin.row_blocks = 0;
+        log.trees[0].nodes[0].bin.gh_stream_blocks = 0;
+        let sim = BoosterSim::new(BoosterConfig::default(), &bw);
+        let (run, diag) = sim.training_time(&log, &HostModel::default());
+        assert_eq!(diag.cycles[0], 0);
+        assert_eq!(run.steps.step1, 0.0);
+    }
+
+    #[test]
+    fn sram_access_accounting() {
+        let bw = sim_env();
+        let log = small_log(10_000, 4);
+        let sim = BoosterSim::new(BoosterConfig::default(), &bw);
+        let (run, _) = sim.training_time(&log, &HostModel::default());
+        // 10k records x 4 fields x 2 (RMW) + 10k tree lookups.
+        assert_eq!(run.sram_accesses, 10_000 * 4 * 2 + 10_000);
+    }
+}

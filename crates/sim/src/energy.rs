@@ -1,0 +1,117 @@
+//! SRAM and DRAM access-energy model (Section V-D, Fig 10).
+//!
+//! The paper models (1) SRAM access energy using each configuration's
+//! typical SRAM size with CACTI per-access costs (Table V normalized:
+//! Ideal 32-core's 32 KB L1D = 1.0, Ideal GPU's 32-way-banked 96 KB
+//! Shared Memory = 2.64, Booster's 2 KB SRAM = 0.71) and (2) DRAM energy
+//! from transfer activity. All architectures perform the same algorithmic
+//! data-structure accesses, so SRAM energy ratios follow the per-access
+//! norms, while DRAM ratios follow the block counts (Booster's redundant
+//! column format transfers fewer blocks).
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::ArchRun;
+
+/// Energy accounting for one architecture run (normalized units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// SRAM access energy (arbitrary units: accesses × per-access norm).
+    pub sram: f64,
+    /// DRAM transfer energy (arbitrary units: blocks × per-block cost).
+    pub dram: f64,
+}
+
+/// Per-block DRAM energy in the same arbitrary unit scale (one 64-byte
+/// transfer costs about as much as ~40 small-SRAM accesses; the constant
+/// cancels in the normalized Fig 10 comparison).
+pub const DRAM_UNIT_PER_BLOCK: f64 = 40.0;
+
+/// Compute the energy report for a run given its per-access SRAM norm.
+pub fn energy_of(run: &ArchRun, sram_norm: f64) -> EnergyReport {
+    EnergyReport {
+        sram: run.sram_accesses as f64 * sram_norm,
+        dram: run.dram_blocks as f64 * DRAM_UNIT_PER_BLOCK,
+    }
+}
+
+/// Normalize a set of reports to the first one (the Fig 10 presentation:
+/// everything relative to Ideal 32-core).
+pub fn normalize(reports: &[EnergyReport]) -> Vec<EnergyReport> {
+    assert!(!reports.is_empty());
+    let base = reports[0];
+    reports
+        .iter()
+        .map(|r| EnergyReport {
+            sram: r.sram / base.sram.max(1e-30),
+            dram: r.dram / base.dram.max(1e-30),
+        })
+        .collect()
+}
+
+/// Interpolated CACTI-style per-access energy norm for an SRAM of
+/// `kb` kilobytes (anchored at the paper's Table V points: 2 KB -> 0.71,
+/// 32 KB -> 1.0, 96 KB banked -> 2.64; log-linear between anchors).
+pub fn sram_norm_for_size(kb: f64) -> f64 {
+    let anchors = [(2.0f64, 0.71f64), (32.0, 1.0), (96.0, 2.64)];
+    if kb <= anchors[0].0 {
+        return anchors[0].1;
+    }
+    for w in anchors.windows(2) {
+        let (k0, e0) = w[0];
+        let (k1, e1) = w[1];
+        if kb <= k1 {
+            let t = (kb.ln() - k0.ln()) / (k1.ln() - k0.ln());
+            return e0 + t * (e1 - e0);
+        }
+    }
+    // Extrapolate beyond the last anchor.
+    let (k0, e0) = anchors[1];
+    let (k1, e1) = anchors[2];
+    let slope = (e1 - e0) / (k1.ln() - k0.ln());
+    e1 + slope * (kb.ln() - k1.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::StepSeconds;
+
+    fn run(sram: u64, dram: u64) -> ArchRun {
+        ArchRun {
+            name: "x".into(),
+            steps: StepSeconds::default(),
+            dram_blocks: dram,
+            sram_accesses: sram,
+        }
+    }
+
+    #[test]
+    fn fig10_ratios_from_equal_accesses() {
+        // Same access counts, different per-access norms -> Table V
+        // ratios.
+        let cpu = energy_of(&run(1000, 500), 1.0);
+        let gpu = energy_of(&run(1000, 500), 2.64);
+        let booster = energy_of(&run(1000, 400), 0.71);
+        let n = normalize(&[cpu, gpu, booster]);
+        assert!((n[0].sram - 1.0).abs() < 1e-12);
+        assert!((n[1].sram - 2.64).abs() < 1e-12);
+        assert!((n[2].sram - 0.71).abs() < 1e-12);
+        // DRAM: CPU == GPU, Booster lower.
+        assert!((n[1].dram - 1.0).abs() < 1e-12);
+        assert!((n[2].dram - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_anchors() {
+        assert!((sram_norm_for_size(2.0) - 0.71).abs() < 1e-12);
+        assert!((sram_norm_for_size(32.0) - 1.0).abs() < 1e-12);
+        assert!((sram_norm_for_size(96.0) - 2.64).abs() < 1e-12);
+        // Monotone between anchors.
+        assert!(sram_norm_for_size(8.0) > 0.71);
+        assert!(sram_norm_for_size(8.0) < 1.0);
+        assert!(sram_norm_for_size(64.0) > 1.0);
+        // Below the smallest anchor clamps.
+        assert!((sram_norm_for_size(1.0) - 0.71).abs() < 1e-12);
+    }
+}

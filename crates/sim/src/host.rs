@@ -1,0 +1,91 @@
+//! The host processor model: Step 2 (split finding) and the Step-1
+//! replica reduction, which Booster offloads (Section III-B).
+//!
+//! Step 2 is short but hardware-unfriendly (complex, loss-dependent
+//! formulae) and sits on the sequential critical path of vertex-by-vertex
+//! growth: each scan's result decides the next partition. It is therefore
+//! modeled as single-core work plus a fixed per-scan offload/dispatch
+//! overhead. The histogram replica reduction parallelizes across host
+//! cores. These unaccelerated costs are charged identically to every
+//! simulated system (Section IV: "we add the time for the step on a real
+//! 32-core multicore host to the execution time of all the systems") and
+//! dominate Booster's residual time (Fig 8).
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::HostConfig;
+
+/// Host cost model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HostModel {
+    /// Host configuration.
+    pub cfg: HostConfig,
+    /// Fixed overhead per Step-2 scan (offload round trip, dispatch) in
+    /// microseconds.
+    pub per_scan_us: f64,
+    /// Single-core cycles to evaluate one histogram-bin split candidate
+    /// (both missing-value directions, gain formula).
+    pub per_bin_cycles: f64,
+    /// Cycles per bin for the replica reduction (parallel across cores).
+    pub reduce_per_bin_cycles: f64,
+}
+
+impl Default for HostModel {
+    fn default() -> Self {
+        HostModel {
+            cfg: HostConfig::default(),
+            per_scan_us: 12.0,
+            per_bin_cycles: 10.0,
+            reduce_per_bin_cycles: 1.0,
+        }
+    }
+}
+
+impl HostModel {
+    /// Seconds for `scans` Step-2 scans over `bins_per_scan` bins each.
+    pub fn step2_seconds(&self, scans: u64, bins_per_scan: u64) -> f64 {
+        let overhead = scans as f64 * self.per_scan_us * 1e-6;
+        let compute =
+            scans as f64 * bins_per_scan as f64 * self.per_bin_cycles / (self.cfg.clock_ghz * 1e9);
+        overhead + compute
+    }
+
+    /// Seconds to reduce `total_bins` histogram-replica bins on all host
+    /// cores.
+    pub fn reduce_seconds(&self, total_bins: f64) -> f64 {
+        total_bins * self.reduce_per_bin_cycles
+            / (f64::from(self.cfg.cores) * self.cfg.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step2_has_fixed_and_variable_parts() {
+        let h = HostModel::default();
+        let small = h.step2_seconds(1000, 10);
+        let large = h.step2_seconds(1000, 100_000);
+        // Fixed part: 1000 scans x per_scan_us.
+        let fixed = 1000.0 * h.per_scan_us * 1e-6;
+        assert!(small >= fixed);
+        assert!(small < fixed * 1.5);
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn reduction_parallelizes() {
+        let h = HostModel::default();
+        // 70.4e9 bins at 1 cycle/bin over 32 cores @ 2.2 GHz = 1 s.
+        let s = h.reduce_seconds(70.4e9);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_is_zero() {
+        let h = HostModel::default();
+        assert_eq!(h.step2_seconds(0, 1000), 0.0);
+        assert_eq!(h.reduce_seconds(0.0), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The inter-record (IR) baseline [Tanaka et al.], re-simulated as an
+//! ASIC with the same area and clock as Booster (Sections II-E, V-A).
+//!
+//! IR parallelizes only across records: each processing unit owns a
+//! *complete private copy* of all histograms (per-feature, 256 bins of
+//! 8 bytes each — no group-by-field mapping, no one-hot bin compression)
+//! and streams records through it. Copies are large, so the number of
+//! units is area-limited: at Booster-equal area, the paper reports 271
+//! units for Higgs and 179 for Mq2008, and for the other benchmarks "even
+//! one copy does not fit" usefully. Our area model solves for the copy
+//! count with the same monolithic-SRAM density as Table VI.
+
+use booster_gbdt::phases::PhaseLog;
+
+use crate::asic::AsicModel;
+use crate::host::HostModel;
+use crate::machine::BoosterConfig;
+use crate::phase_traffic::{step1_traffic, step3_traffic, step5_traffic};
+use crate::report::{ArchRun, StepSeconds};
+use crate::traffic::BandwidthModel;
+
+/// Per-unit area overhead beyond histogram SRAM + FPU + control:
+/// record double-buffers and sequencing (mm², calibrated so the model
+/// lands on the paper's 271 / 179 copy counts).
+const UNIT_OVERHEAD_MM2: f64 = 0.055;
+
+/// Bins IR keeps per one-hot feature (it does not exploit the paper's
+/// per-field density observation).
+const IR_BINS_PER_FEATURE: f64 = 256.0;
+
+/// IR baseline model.
+#[derive(Debug)]
+pub struct InterRecordSim<'a> {
+    /// Area budget (Booster-equal, mm²).
+    area_budget_mm2: f64,
+    clock_ghz: f64,
+    field_update_cycles: f64,
+    tree_level_cycles: f64,
+    predicate_cycles: f64,
+    bw: &'a BandwidthModel,
+}
+
+impl<'a> InterRecordSim<'a> {
+    /// Build with the same area and clock as a Booster configuration
+    /// ("the only difference is the architecture").
+    pub fn matching_booster(cfg: &BoosterConfig, bw: &'a BandwidthModel) -> Self {
+        let area = AsicModel.area(cfg).total();
+        InterRecordSim {
+            area_budget_mm2: area,
+            clock_ghz: cfg.clock_ghz,
+            field_update_cycles: f64::from(cfg.field_update_cycles),
+            tree_level_cycles: f64::from(cfg.tree_level_cycles),
+            predicate_cycles: f64::from(cfg.predicate_cycles),
+            bw,
+        }
+    }
+
+    /// Histogram copy size for a workload in MB (per-feature 256-bin
+    /// histograms of 8-byte G/H entries).
+    pub fn copy_mb(features: u64) -> f64 {
+        features as f64 * IR_BINS_PER_FEATURE * 8.0 / (1024.0 * 1024.0)
+    }
+
+    /// Area-limited number of processing units for a workload with
+    /// `features` one-hot features (at least 1 — a single copy can spill,
+    /// modeled as one slow unit).
+    pub fn copies(&self, features: u64) -> u32 {
+        let asic = AsicModel;
+        let per_copy = Self::copy_mb(features) * asic.monolithic_mm2_per_mb()
+            + asic.fpu_mm2_per_bu()
+            + asic.control_mm2_per_bu()
+            + UNIT_OVERHEAD_MM2;
+        ((self.area_budget_mm2 / per_copy).floor() as u32).max(1)
+    }
+
+    /// Whether at least one full copy fits the area budget.
+    pub fn fits(&self, features: u64) -> bool {
+        let asic = AsicModel;
+        let per_copy = Self::copy_mb(features) * asic.monolithic_mm2_per_mb()
+            + asic.fpu_mm2_per_bu()
+            + asic.control_mm2_per_bu()
+            + UNIT_OVERHEAD_MM2;
+        per_copy <= self.area_budget_mm2
+    }
+
+    /// Model the training time of a logged workload. `features` is the
+    /// one-hot feature count (Table III).
+    pub fn training_time(&self, log: &PhaseLog, features: u64, host: &HostModel) -> ArchRun {
+        let copies = f64::from(self.copies(features));
+        let hz = self.clock_ghz * 1e9;
+        let fields = log.num_fields as f64;
+        let mut cyc1 = 0u64;
+        let mut cyc3 = 0u64;
+        let mut cyc5 = 0u64;
+        let mut scans = 0u64;
+        let mut reduce_bins = 0.0f64;
+        let mut dram_blocks = 0u64;
+        let mut sram_accesses = 0u64;
+
+        for tree in &log.trees {
+            for node in &tree.nodes {
+                if node.bin.n_binned > 0 {
+                    let t = step1_traffic(log, node.bin.row_blocks, node.bin.gh_stream_blocks);
+                    let mem = self.bw.cycles(t.total_blocks(), t.density);
+                    // A unit's single SRAM serializes all of a record's
+                    // field updates.
+                    let compute = (node.bin.n_binned as f64 * fields * self.field_update_cycles
+                        / copies)
+                        .ceil() as u64;
+                    cyc1 += mem.max(compute);
+                    reduce_bins += log.total_bins as f64 * copies.min(node.bin.n_binned as f64);
+                    dram_blocks += t.total_blocks();
+                    sram_accesses += node.bin.n_binned as u64 * log.num_fields as u64 * 2;
+                }
+                if node.scanned {
+                    scans += 1;
+                }
+                if let Some(p) = &node.partition {
+                    // IR has no redundant column format: whole records.
+                    let t = step3_traffic(log, p, false);
+                    let mem = self.bw.cycles(t.total_blocks(), t.density);
+                    let compute =
+                        (p.n_records as f64 * self.predicate_cycles / copies).ceil() as u64;
+                    cyc3 += mem.max(compute);
+                    dram_blocks += t.total_blocks();
+                }
+            }
+            let tr = &tree.traversal;
+            let t = step5_traffic(log, tr, false);
+            let mem = self.bw.cycles(t.total_blocks(), t.density);
+            let compute =
+                (tr.sum_path_len as f64 * self.tree_level_cycles / copies).ceil() as u64;
+            cyc5 += mem.max(compute);
+            dram_blocks += t.total_blocks();
+            sram_accesses += tr.sum_path_len;
+        }
+
+        let steps = StepSeconds {
+            step1: cyc1 as f64 / hz,
+            step2: host.step2_seconds(scans, log.total_bins) + host.reduce_seconds(reduce_bins),
+            step3: cyc3 as f64 / hz,
+            step5: cyc5 as f64 / hz,
+        };
+        ArchRun { name: "Inter-record".into(), steps, dram_blocks, sram_accesses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booster_dram::DramConfig;
+
+    fn sim(bw: &BandwidthModel) -> InterRecordSim<'_> {
+        InterRecordSim::matching_booster(&BoosterConfig::default(), bw)
+    }
+
+    #[test]
+    fn paper_copy_counts() {
+        let bw = BandwidthModel::new(DramConfig::default());
+        let s = sim(&bw);
+        // Higgs: 28 features -> paper says 271 copies; accept +-10%.
+        let higgs = s.copies(28);
+        assert!(
+            (244..=298).contains(&higgs),
+            "Higgs copies {higgs}, paper 271"
+        );
+        // Mq2008: 46 features -> paper says 179.
+        let mq = s.copies(46);
+        assert!((161..=197).contains(&mq), "Mq2008 copies {mq}, paper 179");
+    }
+
+    #[test]
+    fn categorical_datasets_get_few_copies() {
+        let bw = BandwidthModel::new(DramConfig::default());
+        let s = sim(&bw);
+        // Allstate: 4232 one-hot features -> 8.7 MB per copy.
+        let allstate = s.copies(4232);
+        assert!(allstate <= 3, "Allstate copies {allstate}");
+        // Flight: 666 features.
+        let flight = s.copies(666);
+        assert!(flight < 20, "Flight copies {flight}");
+        assert!(s.fits(28));
+    }
+
+    #[test]
+    fn copy_size_matches_paper_quote() {
+        // "28 numerical features yielding 7K bins (256 bins/field) of 8
+        // bytes each — i.e., 56 KB per warp."
+        let mb = InterRecordSim::copy_mb(28);
+        assert!((mb * 1024.0 - 56.0).abs() < 1.0, "copy KB {}", mb * 1024.0);
+    }
+}

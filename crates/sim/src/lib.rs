@@ -1,0 +1,59 @@
+//! # booster-sim
+//!
+//! Timing, energy and area models for the *Booster* GBDT accelerator
+//! (IPDPS 2022) and its comparison systems:
+//!
+//! - [`booster`] — the sea-of-small-SRAMs accelerator (Section III):
+//!   group-by-field bin mapping, pipelined broadcast, double-buffered
+//!   fetch, redundant column-major format, host offload of Step 2.
+//! - [`baselines`] — the parallelism-limited *Ideal 32-core* and *Ideal
+//!   GPU* upper bounds (Section IV).
+//! - [`real`] — artifact-degraded real CPU/GPU models for the Fig 11
+//!   validation (substitution: no physical Xeon/V100 here).
+//! - [`inter_record`] — the area-matched inter-record FPGA baseline
+//!   (Section II-E).
+//! - [`inference`] — batch-inference engine model (Section III-D).
+//! - [`energy`] / [`asic`] — CACTI-style access energy (Fig 10) and the
+//!   45-nm area/power model (Table VI).
+//!
+//! All timing models consume the [`booster_gbdt::phases::PhaseLog`]
+//! produced by instrumented functional training, and share a DRAM
+//! bandwidth model ([`traffic::BandwidthModel`]) calibrated by running
+//! representative access windows through the cycle-level `booster-dram`
+//! simulator.
+
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod baselines;
+pub mod booster;
+pub mod cluster_sim;
+pub mod energy;
+pub mod functional;
+pub mod host;
+pub mod inference;
+pub mod inter_record;
+pub mod machine;
+pub mod mapping;
+pub mod phase_traffic;
+pub mod real;
+pub mod report;
+pub mod runtime;
+pub mod traffic;
+
+pub use asic::{AsicModel, Breakdown};
+pub use baselines::IdealSim;
+pub use booster::{BoosterDiagnostics, BoosterSim};
+pub use energy::{energy_of, normalize, EnergyReport};
+pub use functional::{FunctionalBooster, FunctionalStats};
+pub use host::HostModel;
+pub use inference::{
+    booster_inference, booster_inference_deployed, ideal_inference, InferenceDeployment,
+    InferenceWorkload,
+};
+pub use inter_record::InterRecordSim;
+pub use machine::{BoosterConfig, HostConfig, IdealMachineConfig, MappingStrategy, WorkModel};
+pub use real::{real_cpu, real_gpu, Irregularity, RealModelParams};
+pub use report::{geomean, speedup_over, ArchRun, StepSeconds};
+pub use runtime::{accelerated_training, AcceleratedOutcome};
+pub use traffic::BandwidthModel;

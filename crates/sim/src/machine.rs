@@ -1,0 +1,260 @@
+//! Machine configurations (the paper's Table V).
+//!
+//! | Configuration   | Parallelism        | Clock  | SRAM        | energy (norm.) |
+//! |-----------------|--------------------|--------|-------------|----------------|
+//! | Ideal Multicore | 32 cores           | 2.2 GHz| 32 KB L1D   | 1.0            |
+//! | Ideal GPU       | 64 (64-wide) SMs   | 2.2 GHz| 96 KB shared| 2.64           |
+//! | Booster         | 3200 BUs           | 1 GHz  | 2 KB        | 0.71           |
+//!
+//! The Ideal configurations are *upper bounds*: they are constrained only
+//! by their exploited parallelism (32- and 64-way) with perfect pipelines,
+//! perfect caches and perfect SIMT behaviour, sharing Booster's memory
+//! system (Section IV).
+
+use booster_dram::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Strategy for mapping histogram bins to SRAMs (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingStrategy {
+    /// All bins of one field map to one SRAM (or a group of SRAMs for
+    /// wide fields): exactly one update per SRAM per record.
+    GroupByField,
+    /// Bins packed into SRAMs by capacity in field order: bins of multiple
+    /// fields can share an SRAM, serializing their updates.
+    NaivePacking,
+}
+
+/// Booster accelerator configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BoosterConfig {
+    /// Number of clusters (Table VI: 50).
+    pub clusters: u32,
+    /// BUs per cluster (Table VI: 64).
+    pub bus_per_cluster: u32,
+    /// SRAM bytes per BU (Table V: 2 KB).
+    pub sram_bytes: u32,
+    /// Bytes per histogram bin on chip (G + H as two f32: 8).
+    pub bin_bytes: u32,
+    /// Accelerator clock (GHz).
+    pub clock_ghz: f64,
+    /// Cycles for one field update at a BU: short integer subtract, SRAM
+    /// read, two pipelined FP adds, SRAM write (Section III-B: 8).
+    pub field_update_cycles: u32,
+    /// Cycles per tree level in a BU table walk (SRAM lookup + compare).
+    pub tree_level_cycles: u32,
+    /// Cycles per record for single-predicate evaluation at a BU.
+    pub predicate_cycles: u32,
+    /// BUs per point-to-point broadcast link (fill/drain = BUs / this).
+    pub bus_per_link: u32,
+    /// Bin-to-SRAM mapping strategy.
+    pub mapping: MappingStrategy,
+    /// Use the redundant per-field column-major format for Steps 3 and 5.
+    pub redundant_format: bool,
+    /// Memory system.
+    pub dram: DramConfig,
+}
+
+impl Default for BoosterConfig {
+    fn default() -> Self {
+        BoosterConfig {
+            clusters: 50,
+            bus_per_cluster: 64,
+            sram_bytes: 2048,
+            bin_bytes: 8,
+            clock_ghz: 1.0,
+            field_update_cycles: 8,
+            tree_level_cycles: 4,
+            predicate_cycles: 2,
+            bus_per_link: 16,
+            mapping: MappingStrategy::GroupByField,
+            redundant_format: true,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+impl BoosterConfig {
+    /// Total Booster Units (3200 by default).
+    pub fn total_bus(&self) -> u32 {
+        self.clusters * self.bus_per_cluster
+    }
+
+    /// Broadcast-pipeline fill/drain cycles for a phase
+    /// (e.g. 3200 / 16 = 200).
+    pub fn fill_drain_cycles(&self) -> u64 {
+        u64::from(self.total_bus() / self.bus_per_link)
+    }
+
+    /// Histogram bins that fit in one SRAM.
+    pub fn bins_per_sram(&self) -> u32 {
+        self.sram_bytes / self.bin_bytes
+    }
+
+    /// Total on-chip SRAM capacity in bytes.
+    pub fn total_sram_bytes(&self) -> u64 {
+        u64::from(self.total_bus()) * u64::from(self.sram_bytes)
+    }
+
+    /// The Fig 9 ablation point with no optimizations: naive packing and
+    /// no redundant format.
+    pub fn no_opts(self) -> Self {
+        BoosterConfig {
+            mapping: MappingStrategy::NaivePacking,
+            redundant_format: false,
+            ..self
+        }
+    }
+
+    /// Group-by-field mapping but no redundant format (the middle Fig 9
+    /// bar).
+    pub fn group_by_field_only(self) -> Self {
+        BoosterConfig {
+            mapping: MappingStrategy::GroupByField,
+            redundant_format: false,
+            ..self
+        }
+    }
+}
+
+/// An ideal parallelism-limited machine (Ideal 32-core / Ideal GPU).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IdealMachineConfig {
+    /// Exploited parallelism (lanes): 32 for the multicore, 64 for the
+    /// GPU (Section IV: "constrained only by 32- and 64-way parallelism").
+    pub lanes: u32,
+    /// Clock in GHz (2.2 for both).
+    pub clock_ghz: f64,
+    /// Per-lane SRAM/cache size in KB (Table V; used by the energy model).
+    pub sram_kb: u32,
+    /// Normalized SRAM energy per access (Table V).
+    pub sram_energy_norm: f64,
+    /// Whether the machine also uses the redundant column-major format
+    /// for Steps 3/5 (a software-only option; off by default, see Fig 9
+    /// discussion).
+    pub redundant_format: bool,
+}
+
+impl IdealMachineConfig {
+    /// The Ideal 32-core configuration of Table V.
+    pub fn ideal_cpu() -> Self {
+        IdealMachineConfig {
+            lanes: 32,
+            clock_ghz: 2.2,
+            sram_kb: 32,
+            sram_energy_norm: 1.0,
+            redundant_format: false,
+        }
+    }
+
+    /// The Ideal GPU configuration of Table V.
+    pub fn ideal_gpu() -> Self {
+        IdealMachineConfig {
+            lanes: 64,
+            clock_ghz: 2.2,
+            sram_kb: 96,
+            sram_energy_norm: 2.64,
+            redundant_format: false,
+        }
+    }
+}
+
+/// Work-unit costs (ideal-core operations) for the record-heavy steps.
+///
+/// These mirror the paper's per-field estimate for Booster (Section III-B:
+/// address arithmetic, read, two adds, write ≈ 8 cycles of work) applied
+/// to an ideal 1-op/cycle lane.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkModel {
+    /// Ops per histogram field update (Step 1).
+    pub step1_per_update: f64,
+    /// Ops per record for single-predicate evaluation (Step 3).
+    pub step3_per_record: f64,
+    /// Ops per tree level during traversal (Step 5).
+    pub step5_per_level: f64,
+    /// Ops per record for the end-of-traversal gradient update (Step 5).
+    pub step5_per_record: f64,
+    /// Ops per histogram bin for split finding (Step 2, host).
+    pub step2_per_bin: f64,
+    /// Ops per bin for the cluster-replica reduction (host).
+    pub reduce_per_bin: f64,
+}
+
+impl Default for WorkModel {
+    fn default() -> Self {
+        WorkModel {
+            step1_per_update: 10.0,
+            step3_per_record: 6.0,
+            step5_per_level: 8.0,
+            step5_per_record: 12.0,
+            step2_per_bin: 8.0,
+            reduce_per_bin: 1.0,
+        }
+    }
+}
+
+/// The host processor running Step 2 and the Step-1 replica reduction
+/// (a 32-core multicore, Section IV).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Host cores.
+    pub cores: u32,
+    /// Host clock in GHz.
+    pub clock_ghz: f64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig { cores: 32, clock_ghz: 2.2 }
+    }
+}
+
+impl HostConfig {
+    /// Seconds to execute `ops` ideal operations across the host cores.
+    pub fn seconds(&self, ops: f64) -> f64 {
+        ops / (f64::from(self.cores) * self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_chip() {
+        let c = BoosterConfig::default();
+        assert_eq!(c.total_bus(), 3200);
+        assert_eq!(c.fill_drain_cycles(), 200);
+        assert_eq!(c.bins_per_sram(), 256);
+        assert_eq!(c.total_sram_bytes(), 3200 * 2048); // 6.4 MB
+    }
+
+    #[test]
+    fn table_v_machines() {
+        let cpu = IdealMachineConfig::ideal_cpu();
+        let gpu = IdealMachineConfig::ideal_gpu();
+        assert_eq!((cpu.lanes, gpu.lanes), (32, 64));
+        assert_eq!(cpu.clock_ghz, 2.2);
+        assert_eq!(gpu.sram_energy_norm, 2.64);
+    }
+
+    #[test]
+    fn ablation_configs() {
+        let base = BoosterConfig::default();
+        let no = base.no_opts();
+        assert_eq!(no.mapping, MappingStrategy::NaivePacking);
+        assert!(!no.redundant_format);
+        let gbf = base.group_by_field_only();
+        assert_eq!(gbf.mapping, MappingStrategy::GroupByField);
+        assert!(!gbf.redundant_format);
+        assert!(base.redundant_format);
+    }
+
+    #[test]
+    fn host_seconds() {
+        let h = HostConfig::default();
+        // 70.4 Gops/s.
+        let s = h.seconds(70.4e9);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,271 @@
+//! Mapping histogram bins to SRAMs (Section III-A, Figure 4).
+//!
+//! The placement of bins in SRAMs determines Step-1 serialization and
+//! SRAM utilization:
+//!
+//! - **Group-by-field** maps all bins of one field to one SRAM (or a
+//!   logical group of SRAMs when a field's bins exceed one SRAM's
+//!   capacity — microarchitecture extension 3). Every record makes exactly
+//!   one update per SRAM: full SRAM bandwidth.
+//! - **Naive packing** fills SRAMs to capacity in field order; bins of
+//!   multiple fields can share an SRAM, so a record's updates to those
+//!   fields serialize while other SRAMs idle.
+
+use crate::machine::{BoosterConfig, MappingStrategy};
+
+/// The result of assigning every field's bins to SRAMs.
+#[derive(Debug, Clone)]
+pub struct FieldMapping {
+    /// For every SRAM in use, the fields with at least one bin there.
+    pub fields_per_sram: Vec<Vec<u32>>,
+    /// For every field, how many SRAMs its bins span.
+    pub srams_per_field: Vec<u32>,
+    /// For every field, the global bin offset of its first bin in the
+    /// SRAM stream (bin `b` of field `f` lives at SRAM
+    /// `(bin_origin[f] + b) / bins_per_sram`, entry
+    /// `(bin_origin[f] + b) % bins_per_sram`).
+    pub bin_origin: Vec<u64>,
+    /// Bins per SRAM used for the placement arithmetic.
+    pub bins_per_sram: u32,
+    /// Maximum number of distinct fields sharing one SRAM (the Step-1
+    /// serialization factor: a record updates each of its fields once,
+    /// and co-resident fields' updates serialize).
+    pub max_fields_per_sram: usize,
+    /// Fraction of allocated SRAM capacity actually holding bins.
+    pub capacity_utilization: f64,
+}
+
+impl FieldMapping {
+    /// Total SRAMs a single copy of all histograms occupies.
+    pub fn srams_used(&self) -> usize {
+        self.fields_per_sram.len()
+    }
+
+    /// Physical placement of bin `bin` of field `field`:
+    /// `(sram index, entry index)`.
+    #[inline]
+    pub fn locate(&self, field: usize, bin: u32) -> (u32, u32) {
+        let global = self.bin_origin[field] + u64::from(bin);
+        let cap = u64::from(self.bins_per_sram);
+        ((global / cap) as u32, (global % cap) as u32)
+    }
+}
+
+/// Assign fields' bins to SRAMs under a strategy.
+///
+/// `field_bins[f]` is field `f`'s bin count (including its absent bin).
+pub fn map_fields(field_bins: &[u32], cfg: &BoosterConfig) -> FieldMapping {
+    let cap = cfg.bins_per_sram();
+    assert!(cap > 0);
+    match cfg.mapping {
+        MappingStrategy::GroupByField => {
+            let mut fields_per_sram = Vec::new();
+            let mut srams_per_field = Vec::with_capacity(field_bins.len());
+            let mut bin_origin = Vec::with_capacity(field_bins.len());
+            let mut used_bins = 0u64;
+            for (f, &bins) in field_bins.iter().enumerate() {
+                // Each field starts at a fresh SRAM boundary.
+                bin_origin.push(fields_per_sram.len() as u64 * u64::from(cap));
+                let needed = bins.div_ceil(cap).max(1);
+                srams_per_field.push(needed);
+                for _ in 0..needed {
+                    fields_per_sram.push(vec![f as u32]);
+                }
+                used_bins += u64::from(bins);
+            }
+            let total_cap = fields_per_sram.len() as u64 * u64::from(cap);
+            FieldMapping {
+                max_fields_per_sram: 1,
+                capacity_utilization: used_bins as f64 / total_cap as f64,
+                fields_per_sram,
+                srams_per_field,
+                bin_origin,
+                bins_per_sram: cap,
+            }
+        }
+        MappingStrategy::NaivePacking => {
+            // Fill SRAMs bin-by-bin in field order (Figure 4's dashed
+            // boxes).
+            let mut fields_per_sram: Vec<Vec<u32>> = vec![Vec::new()];
+            let mut srams_per_field = vec![0u32; field_bins.len()];
+            let mut bin_origin = Vec::with_capacity(field_bins.len());
+            let mut free = cap;
+            let mut used_bins = 0u64;
+            for (f, &bins) in field_bins.iter().enumerate() {
+                bin_origin.push(used_bins);
+                let mut remaining = bins;
+                used_bins += u64::from(bins);
+                while remaining > 0 {
+                    if free == 0 {
+                        fields_per_sram.push(Vec::new());
+                        free = cap;
+                    }
+                    let take = remaining.min(free);
+                    let sram = fields_per_sram.last_mut().expect("at least one SRAM");
+                    if sram.last() != Some(&(f as u32)) {
+                        sram.push(f as u32);
+                    }
+                    srams_per_field[f] += 1;
+                    free -= take;
+                    remaining -= take;
+                }
+            }
+            let max_fields_per_sram =
+                fields_per_sram.iter().map(Vec::len).max().unwrap_or(1).max(1);
+            let total_cap = fields_per_sram.len() as u64 * u64::from(cap);
+            FieldMapping {
+                max_fields_per_sram,
+                capacity_utilization: used_bins as f64 / total_cap as f64,
+                fields_per_sram,
+                srams_per_field,
+                bin_origin,
+                bins_per_sram: cap,
+            }
+        }
+    }
+}
+
+/// Effective number of concurrent histogram copies (record-level
+/// parallelism) across the chip, respecting cluster boundaries:
+///
+/// - a copy that fits inside one cluster is replicated
+///   `floor(64 / srams_used)` times per cluster across all clusters
+///   (records are partitioned among the copies, Section III-B);
+/// - a copy spanning several clusters is replicated
+///   `floor(clusters / span)` times;
+/// - if the fields exceed the whole chip, records are processed partition
+///   by partition (extension 1) — effective parallelism drops below one
+///   copy, `total_bus / srams_used`.
+pub fn replication_factor(cfg: &BoosterConfig, srams_used: usize) -> f64 {
+    let per_cluster = cfg.bus_per_cluster as usize;
+    let clusters = cfg.clusters as usize;
+    if srams_used == 0 {
+        return clusters as f64;
+    }
+    if srams_used <= per_cluster {
+        let per = per_cluster / srams_used;
+        return (clusters * per) as f64;
+    }
+    let span = srams_used.div_ceil(per_cluster);
+    if span <= clusters {
+        return (clusters / span) as f64;
+    }
+    cfg.total_bus() as f64 / srams_used as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MappingStrategy;
+
+    fn cfg(strategy: MappingStrategy) -> BoosterConfig {
+        BoosterConfig { mapping: strategy, ..Default::default() }
+    }
+
+    #[test]
+    fn group_by_field_one_field_per_sram() {
+        // Paper's frequent-flier example: categorical 3+1, categorical
+        // 2+1, numeric 6+1 bins (Figure 4).
+        let bins = [4u32, 3, 7];
+        let m = map_fields(&bins, &cfg(MappingStrategy::GroupByField));
+        assert_eq!(m.srams_used(), 3);
+        assert_eq!(m.max_fields_per_sram, 1);
+        assert_eq!(m.srams_per_field, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn naive_packing_shares_srams() {
+        // With 256-bin SRAMs, three small fields (4 + 3 + 7 bins) all
+        // pack into one SRAM: three fields serialize on it.
+        let bins = [4u32, 3, 7];
+        let m = map_fields(&bins, &cfg(MappingStrategy::NaivePacking));
+        assert_eq!(m.srams_used(), 1);
+        assert_eq!(m.max_fields_per_sram, 3);
+    }
+
+    #[test]
+    fn wide_field_spans_multiple_srams() {
+        // A 600-bin field needs 3 SRAMs of 256 (extension 3).
+        let bins = [600u32, 100];
+        let m = map_fields(&bins, &cfg(MappingStrategy::GroupByField));
+        assert_eq!(m.srams_per_field[0], 3);
+        assert_eq!(m.srams_per_field[1], 1);
+        assert_eq!(m.srams_used(), 4);
+        assert_eq!(m.max_fields_per_sram, 1);
+    }
+
+    #[test]
+    fn numeric_only_datasets_pack_identically() {
+        // The paper notes naive packing equals group-by-field when every
+        // field is a 256-bin numeric field (SRAMs sized for exactly one).
+        let bins = vec![256u32; 28]; // Higgs-like
+        let g = map_fields(&bins, &cfg(MappingStrategy::GroupByField));
+        let p = map_fields(&bins, &cfg(MappingStrategy::NaivePacking));
+        assert_eq!(g.srams_used(), p.srams_used());
+        assert_eq!(g.max_fields_per_sram, p.max_fields_per_sram);
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let bins = [256u32; 10];
+        let m = map_fields(&bins, &cfg(MappingStrategy::GroupByField));
+        assert!((m.capacity_utilization - 1.0).abs() < 1e-12);
+        let half = [128u32; 10];
+        let m2 = map_fields(&half, &cfg(MappingStrategy::GroupByField));
+        assert!((m2.capacity_utilization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_scales_with_free_srams() {
+        let c = BoosterConfig::default();
+        // 28 SRAMs per copy -> floor(64/28) = 2 copies/cluster x 50.
+        assert!((replication_factor(&c, 28) - 100.0).abs() < 1e-12);
+        // Exactly one cluster per copy.
+        assert!((replication_factor(&c, 64) - 50.0).abs() < 1e-12);
+        // A copy spanning 2 clusters -> 25 copies.
+        assert!((replication_factor(&c, 100) - 25.0).abs() < 1e-12);
+        // More fields than the whole chip: partition-by-partition,
+        // fractional parallelism (extension 1).
+        let r = replication_factor(&c, 5000);
+        assert!(r < 1.0 && r > 0.0);
+        assert!((replication_factor(&c, 0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_places_every_bin_uniquely() {
+        for strategy in [MappingStrategy::GroupByField, MappingStrategy::NaivePacking] {
+            let bins = [300u32, 4, 256, 77];
+            let m = map_fields(&bins, &cfg(strategy));
+            let mut seen = std::collections::HashSet::new();
+            for (f, &b) in bins.iter().enumerate() {
+                for bin in 0..b {
+                    let loc = m.locate(f, bin);
+                    assert!(loc.0 < m.srams_used() as u32, "{strategy:?} sram OOB");
+                    assert!(loc.1 < m.bins_per_sram, "{strategy:?} entry OOB");
+                    assert!(seen.insert(loc), "{strategy:?} collision at f{f} b{bin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_field_locate_isolates_fields() {
+        // Under group-by-field, two different fields never share an SRAM.
+        let bins = [256u32, 256, 100];
+        let m = map_fields(&bins, &cfg(MappingStrategy::GroupByField));
+        let s0 = m.locate(0, 0).0;
+        let s1 = m.locate(1, 0).0;
+        let s2 = m.locate(2, 99).0;
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn naive_packing_serialization_with_categoricals() {
+        // Many small one-hot groups pack many fields per SRAM.
+        let bins: Vec<u32> = (0..64).map(|_| 4u32).collect();
+        let m = map_fields(&bins, &cfg(MappingStrategy::NaivePacking));
+        assert!(m.max_fields_per_sram >= 32, "expected heavy sharing");
+        assert_eq!(m.srams_used(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-phase DRAM traffic derived from the functional trainer's phase
+//! descriptors, for each data-format choice.
+//!
+//! Step 1 always reads row-major records plus the gradient-pair stream.
+//! Steps 3 and 5 read single-field columns under the redundant
+//! column-major format (Section III), or whole row-major records without
+//! it (the Fig 9 ablation / baseline behaviour).
+
+use booster_gbdt::phases::{PartitionPhase, PhaseLog, TraversalPhase};
+
+use crate::traffic::{density, span_blocks};
+
+/// Pointer size in the Step-3 output streams (bytes).
+const POINTER_BYTES: f64 = 4.0;
+/// Gradient-pair record size (two f32).
+const GH_BYTES: f64 = 8.0;
+
+/// Read/write blocks and subset density of one memory phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTraffic {
+    /// Blocks read.
+    pub read_blocks: u64,
+    /// Blocks written.
+    pub write_blocks: u64,
+    /// Density of the (read) subset within its span, for the bandwidth
+    /// model.
+    pub density: f64,
+}
+
+impl PhaseTraffic {
+    /// Total blocks moved.
+    pub fn total_blocks(&self) -> u64 {
+        self.read_blocks + self.write_blocks
+    }
+}
+
+/// Mean encoded column-entry size over all fields (bytes).
+pub fn avg_entry_bytes(log: &PhaseLog) -> f64 {
+    if log.field_entry_bytes.is_empty() {
+        return 1.0;
+    }
+    log.field_entry_bytes.iter().map(|&b| f64::from(b)).sum::<f64>()
+        / log.field_entry_bytes.len() as f64
+}
+
+/// Step-1 traffic at one vertex: the explicitly-binned subset's row-major
+/// record blocks plus its gradient-pair stream blocks.
+pub fn step1_traffic(log: &PhaseLog, row_blocks: usize, gh_blocks: usize) -> PhaseTraffic {
+    let span = span_blocks(log.num_records, f64::from(log.record_bytes));
+    PhaseTraffic {
+        read_blocks: (row_blocks + gh_blocks) as u64,
+        write_blocks: 0,
+        density: density(row_blocks, span),
+    }
+}
+
+/// Step-3 traffic: single-field column reads (or whole records without
+/// the redundant format) plus the two output pointer streams.
+pub fn step3_traffic(log: &PhaseLog, p: &PartitionPhase, redundant: bool) -> PhaseTraffic {
+    let (read_blocks, dens) = if redundant {
+        let span = span_blocks(log.num_records, avg_entry_bytes(log));
+        (p.col_blocks as u64, density(p.col_blocks, span))
+    } else {
+        let span = span_blocks(log.num_records, f64::from(log.record_bytes));
+        (p.row_blocks as u64, density(p.row_blocks, span))
+    };
+    let out = ((p.n_left as f64 * POINTER_BYTES / 64.0).ceil()
+        + (p.n_right as f64 * POINTER_BYTES / 64.0).ceil()) as u64;
+    PhaseTraffic { read_blocks, write_blocks: out, density: dens }
+}
+
+/// Step-5 traffic: either the used fields' full columns (redundant
+/// format) or all full records; plus the gradient-pair stream read and
+/// write-back.
+pub fn step5_traffic(log: &PhaseLog, t: &TraversalPhase, redundant: bool) -> PhaseTraffic {
+    let n = t.n_records as f64;
+    let gh = (n * GH_BYTES / 64.0).ceil() as u64;
+    let data_blocks = if redundant {
+        (t.fields_used as f64 * (n * avg_entry_bytes(log) / 64.0).ceil()) as u64
+    } else {
+        (n * f64::from(log.record_bytes) / 64.0).ceil() as u64
+    };
+    PhaseTraffic {
+        read_blocks: data_blocks + gh,
+        write_blocks: gh,
+        density: 1.0, // full-record streams are dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booster_gbdt::phases::{PartitionPhase, TraversalPhase};
+
+    fn log() -> PhaseLog {
+        PhaseLog {
+            trees: Vec::new(),
+            num_records: 64_000,
+            num_fields: 4,
+            record_bytes: 4,
+            total_bins: 100,
+            field_entry_bytes: vec![1, 1, 1, 1],
+            field_bins: vec![25, 25, 25, 25],
+        }
+    }
+
+    #[test]
+    fn step1_density_and_blocks() {
+        let l = log();
+        // Root: all records. Row span = 64k x 4B / 64 = 4000 blocks.
+        let t = step1_traffic(&l, 4000, 8000);
+        assert_eq!(t.read_blocks, 12_000);
+        assert_eq!(t.write_blocks, 0);
+        assert!((t.density - 1.0).abs() < 1e-12);
+        // Deep vertex: 100 of 4000 blocks.
+        let t2 = step1_traffic(&l, 100, 200);
+        assert!((t2.density - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step3_redundant_vs_row() {
+        let l = log();
+        let p = PartitionPhase {
+            n_records: 64_000,
+            col_blocks: 1000,
+            row_blocks: 4000,
+            n_left: 32_000,
+            n_right: 32_000,
+        };
+        let red = step3_traffic(&l, &p, true);
+        let row = step3_traffic(&l, &p, false);
+        assert_eq!(red.read_blocks, 1000);
+        assert_eq!(row.read_blocks, 4000);
+        assert!(
+            red.read_blocks < row.read_blocks,
+            "redundant format must save read bandwidth"
+        );
+        // Pointer output: 2 x 32k x 4B / 64 = 2 x 2000.
+        assert_eq!(red.write_blocks, 4000);
+        assert_eq!(row.write_blocks, 4000);
+    }
+
+    #[test]
+    fn step5_redundant_vs_row() {
+        let l = log();
+        let t = TraversalPhase {
+            n_records: 64_000,
+            fields_used: 2,
+            sum_path_len: 300_000,
+            max_depth: 6,
+        };
+        let red = step5_traffic(&l, &t, true);
+        let row = step5_traffic(&l, &t, false);
+        // Redundant: 2 fields x 1000 blocks + 8000 gh; row: 4000 + 8000.
+        assert_eq!(red.read_blocks, 2 * 1000 + 8000);
+        assert_eq!(row.read_blocks, 4000 + 8000);
+        assert_eq!(red.write_blocks, 8000);
+        assert!(red.read_blocks < row.read_blocks);
+    }
+
+    #[test]
+    fn step5_many_fields_row_major_wins() {
+        // When a tree uses nearly every field, columns exceed rows; the
+        // traffic model must reflect that honestly.
+        let l = log();
+        let t = TraversalPhase {
+            n_records: 64_000,
+            fields_used: 4,
+            sum_path_len: 0,
+            max_depth: 6,
+        };
+        let red = step5_traffic(&l, &t, true);
+        let row = step5_traffic(&l, &t, false);
+        assert_eq!(red.read_blocks, row.read_blocks);
+    }
+
+    #[test]
+    fn avg_entry() {
+        let mut l = log();
+        assert!((avg_entry_bytes(&l) - 1.0).abs() < 1e-12);
+        l.field_entry_bytes = vec![1, 2, 2, 1];
+        assert!((avg_entry_bytes(&l) - 1.5).abs() < 1e-12);
+    }
+}

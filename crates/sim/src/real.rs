@@ -1,0 +1,263 @@
+//! Real-hardware validation models (Section V-E, Fig 11).
+//!
+//! We have no physical 32-core Xeon or V100 in this environment
+//! (substitution documented in DESIGN.md §5), so the *real* machines are
+//! modeled as the ideal machines degraded by implementation artifacts
+//! whose magnitudes are driven by **measured workload statistics**, not
+//! per-dataset constants:
+//!
+//! - **Real 32-core**: finite caches (thread-private histogram replicas
+//!   spill past L1/L2), synchronization on short phases.
+//! - **Real GPU**: atomic serialization on hot histogram bins (driven by
+//!   the measured bin-concentration of the dataset — Zipf categorical
+//!   data concentrates updates on few bins), SIMT divergence in tree
+//!   traversal (driven by measured leaf-depth variance), and per-phase
+//!   kernel-launch overhead that bites on small datasets.
+//!
+//! These reproduce the paper's two ordinal findings: ideal is always an
+//! upper bound, and the real GPU loses to the real multicore on the
+//! irregular benchmarks (Allstate, Mq2008).
+
+use booster_gbdt::histogram::NodeHistogram;
+use booster_gbdt::preprocess::BinnedDataset;
+use booster_gbdt::tree::Tree;
+use serde::{Deserialize, Serialize};
+
+use crate::report::ArchRun;
+
+/// Measured irregularity statistics of a workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Irregularity {
+    /// Mean over fields of the largest bin's record-mass fraction
+    /// (atomic-conflict proxy; ~1/bins for uniform numeric data, large
+    /// for Zipf categorical data).
+    pub bin_concentration: f64,
+    /// Coefficient of variation of leaf depths across trees (divergence
+    /// proxy).
+    pub path_cv: f64,
+    /// Total histogram footprint in bytes (cache-pressure proxy).
+    pub histogram_bytes: u64,
+    /// Records in the dataset (GPU-utilization proxy).
+    pub num_records: usize,
+}
+
+impl Irregularity {
+    /// Measure the statistics from a binned dataset and a trained model's
+    /// trees.
+    pub fn measure(data: &BinnedDataset, trees: &[Tree]) -> Self {
+        // Bin concentration: build a count-only histogram of all records.
+        let grads = vec![booster_gbdt::gradients::GradPair::new(0.0, 1.0); data.num_records()];
+        let rows: Vec<u32> = (0..data.num_records() as u32).collect();
+        let mut hist = NodeHistogram::zeroed(data);
+        hist.bin_records(data, &rows, &grads);
+        let n = data.num_records().max(1) as f64;
+        let mut conc = 0.0;
+        for f in 0..data.num_fields() {
+            let max = hist.field(f).iter().map(|b| b.count).max().unwrap_or(0);
+            conc += max as f64 / n;
+        }
+        conc /= data.num_fields().max(1) as f64;
+
+        // Leaf-depth coefficient of variation.
+        let mut depths: Vec<f64> = Vec::new();
+        for t in trees {
+            for (d, c) in t.leaf_depth_histogram() {
+                for _ in 0..c {
+                    depths.push(f64::from(d));
+                }
+            }
+        }
+        let path_cv = if depths.len() > 1 {
+            let mean = depths.iter().sum::<f64>() / depths.len() as f64;
+            let var =
+                depths.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / depths.len() as f64;
+            if mean > 0.0 {
+                var.sqrt() / mean
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        Irregularity {
+            bin_concentration: conc,
+            path_cv,
+            histogram_bytes: data.total_bins() * 8,
+            num_records: data.num_records(),
+        }
+    }
+}
+
+/// Artifact-model constants (documented in DESIGN.md §5).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RealModelParams {
+    /// CPU: base slowdown from non-ideal IPC and caches.
+    pub cpu_base: f64,
+    /// CPU: additional slowdown when 32 thread-private histogram replicas
+    /// exceed the last-level cache.
+    pub cpu_cache_penalty: f64,
+    /// CPU last-level cache bytes.
+    pub cpu_llc_bytes: f64,
+    /// GPU: base slowdown from non-ideal occupancy.
+    pub gpu_base: f64,
+    /// GPU: slowdown per unit of bin concentration (atomic serialization
+    /// on hot bins; Section II-D's read-modify-write problem).
+    pub gpu_atomic_penalty: f64,
+    /// GPU: slowdown per unit of path-length CV (SIMT divergence in
+    /// Steps 3/5).
+    pub gpu_divergence_penalty: f64,
+    /// GPU per-phase kernel-launch overhead (seconds).
+    pub gpu_launch_seconds: f64,
+    /// GPU Shared Memory capacity (KB). Histograms larger than this fall
+    /// back to global-memory atomics (Section II-D: privatization does
+    /// not fit).
+    pub gpu_shared_kb: f64,
+    /// GPU: slowdown per unit of `min(hist_kb / shared_kb, 2)` from the
+    /// global-atomic fallback.
+    pub gpu_overflow_penalty: f64,
+    /// GPU: underutilization slowdown per halving of the record count
+    /// below `gpu_full_util_records` (small batches cannot fill the
+    /// machine or hide latency).
+    pub gpu_util_penalty: f64,
+    /// Records needed for full GPU utilization.
+    pub gpu_full_util_records: f64,
+}
+
+impl Default for RealModelParams {
+    fn default() -> Self {
+        RealModelParams {
+            cpu_base: 1.5,
+            cpu_cache_penalty: 1.0,
+            cpu_llc_bytes: 32.0 * 1024.0 * 1024.0,
+            gpu_base: 1.6,
+            gpu_atomic_penalty: 8.0,
+            gpu_divergence_penalty: 2.0,
+            gpu_launch_seconds: 8e-6,
+            gpu_shared_kb: 96.0,
+            gpu_overflow_penalty: 0.6,
+            gpu_util_penalty: 0.6,
+            gpu_full_util_records: 8e6,
+        }
+    }
+}
+
+/// Degrade an Ideal 32-core run into a modeled real multicore run.
+pub fn real_cpu(ideal: &ArchRun, irr: &Irregularity, p: &RealModelParams) -> ArchRun {
+    // 32 private replicas of the histograms compete for the LLC.
+    let spill = (irr.histogram_bytes as f64 * 32.0 / p.cpu_llc_bytes).min(1.0);
+    let f1 = p.cpu_base + p.cpu_cache_penalty * spill;
+    let f35 = p.cpu_base;
+    ArchRun {
+        name: "Real 32-core".into(),
+        steps: ideal.steps.scaled(f1, 1.0, f35, f35),
+        dram_blocks: ideal.dram_blocks,
+        sram_accesses: ideal.sram_accesses,
+    }
+}
+
+/// Degrade an Ideal GPU run into a modeled real GPU run. `phases` is the
+/// number of kernel launches (three per processed vertex class).
+pub fn real_gpu(
+    ideal: &ArchRun,
+    irr: &Irregularity,
+    phases: u64,
+    p: &RealModelParams,
+) -> ArchRun {
+    // Shared-memory overflow: histograms that cannot be privatized fall
+    // back to global atomics.
+    let hist_kb = irr.histogram_bytes as f64 / 1024.0;
+    let overflow = p.gpu_overflow_penalty * (hist_kb / p.gpu_shared_kb).min(2.0);
+    // Small batches underutilize the machine and cannot hide latency.
+    let deficit = (p.gpu_full_util_records / irr.num_records.max(1) as f64).log2().max(0.0);
+    let util = 1.0 + p.gpu_util_penalty * deficit;
+    let f1 = (p.gpu_base + p.gpu_atomic_penalty * irr.bin_concentration + overflow) * util;
+    let f35 = (p.gpu_base + p.gpu_divergence_penalty * irr.path_cv) * util;
+    let launch = phases as f64 * p.gpu_launch_seconds;
+    let mut steps = ideal.steps.scaled(f1, 1.0, f35, f35);
+    // Launch overhead lands on the accelerated steps.
+    steps.step1 += launch * 0.4;
+    steps.step3 += launch * 0.3;
+    steps.step5 += launch * 0.3;
+    ArchRun {
+        name: "Real GPU".into(),
+        steps,
+        dram_blocks: ideal.dram_blocks,
+        sram_accesses: ideal.sram_accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::StepSeconds;
+
+    fn ideal(t: f64) -> ArchRun {
+        ArchRun {
+            name: "ideal".into(),
+            steps: StepSeconds { step1: t * 0.6, step2: t * 0.05, step3: t * 0.15, step5: t * 0.2 },
+            dram_blocks: 100,
+            sram_accesses: 100,
+        }
+    }
+
+    fn regular() -> Irregularity {
+        Irregularity {
+            bin_concentration: 0.004, // uniform 256-bin numeric
+            path_cv: 0.05,
+            histogram_bytes: 56 * 1024,
+            num_records: 10_000_000,
+        }
+    }
+
+    fn irregular() -> Irregularity {
+        Irregularity {
+            bin_concentration: 0.5, // Zipf head category
+            path_cv: 0.4,
+            histogram_bytes: 8 * 1024 * 1024,
+            num_records: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn real_is_always_slower_than_ideal() {
+        let p = RealModelParams::default();
+        for irr in [regular(), irregular()] {
+            let i = ideal(10.0);
+            let rc = real_cpu(&i, &irr, &p);
+            let rg = real_gpu(&i, &irr, 1000, &p);
+            assert!(rc.total() > i.total(), "real CPU must be slower");
+            assert!(rg.total() > i.total(), "real GPU must be slower");
+        }
+    }
+
+    #[test]
+    fn gpu_loses_on_irregular_workloads() {
+        let p = RealModelParams::default();
+        // GPU ideal is 2x faster than CPU ideal on accelerated steps.
+        let cpu_ideal = ideal(10.0);
+        let gpu_ideal = ideal(5.5);
+        // Regular workload: real GPU still wins.
+        let rc = real_cpu(&cpu_ideal, &regular(), &p);
+        let rg = real_gpu(&gpu_ideal, &regular(), 1000, &p);
+        assert!(rg.total() < rc.total(), "GPU should win on regular data");
+        // Irregular workload: real GPU loses (the paper's Allstate /
+        // Mq2008 observation).
+        let rc2 = real_cpu(&cpu_ideal, &irregular(), &p);
+        let rg2 = real_gpu(&gpu_ideal, &irregular(), 1000, &p);
+        assert!(
+            rg2.total() > rc2.total(),
+            "GPU should lose on irregular data: {} vs {}",
+            rg2.total(),
+            rc2.total()
+        );
+    }
+
+    #[test]
+    fn step2_untouched() {
+        let p = RealModelParams::default();
+        let i = ideal(10.0);
+        let rc = real_cpu(&i, &regular(), &p);
+        assert!((rc.steps.step2 - i.steps.step2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-architecture timing results and comparison helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Modeled seconds per training step for one architecture.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepSeconds {
+    /// Step 1: histogram binning.
+    pub step1: f64,
+    /// Step 2: split finding (+ histogram reduction), on the host.
+    pub step2: f64,
+    /// Step 3: single-predicate partitioning.
+    pub step3: f64,
+    /// Step 5: one-tree traversal.
+    pub step5: f64,
+}
+
+impl StepSeconds {
+    /// Total modeled time.
+    pub fn total(&self) -> f64 {
+        self.step1 + self.step2 + self.step3 + self.step5
+    }
+
+    /// Fractions `[step1, step2, step3, step5]` of the total.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total().max(1e-30);
+        [self.step1 / t, self.step2 / t, self.step3 / t, self.step5 / t]
+    }
+
+    /// Element-wise scale (used by artifact models).
+    pub fn scaled(&self, f1: f64, f2: f64, f3: f64, f5: f64) -> StepSeconds {
+        StepSeconds {
+            step1: self.step1 * f1,
+            step2: self.step2 * f2,
+            step3: self.step3 * f3,
+            step5: self.step5 * f5,
+        }
+    }
+}
+
+/// A complete modeled run of one architecture on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchRun {
+    /// Architecture label (e.g. "Booster", "Ideal 32-core").
+    pub name: String,
+    /// Per-step seconds.
+    pub steps: StepSeconds,
+    /// Total DRAM blocks transferred (reads + writes) — DRAM energy
+    /// proxy.
+    pub dram_blocks: u64,
+    /// Data-structure SRAM accesses (histogram updates, tree lookups) —
+    /// SRAM energy proxy.
+    pub sram_accesses: u64,
+}
+
+impl ArchRun {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.steps.total()
+    }
+}
+
+/// Speedup of `x` over the baseline `base` (>1 means `x` is faster).
+pub fn speedup_over(base: &ArchRun, x: &ArchRun) -> f64 {
+    base.total() / x.total().max(1e-30)
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let s: f64 = xs.iter().map(|x| x.max(1e-30).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(name: &str, t: f64) -> ArchRun {
+        ArchRun {
+            name: name.into(),
+            steps: StepSeconds { step1: t * 0.6, step2: t * 0.1, step3: t * 0.1, step5: t * 0.2 },
+            dram_blocks: 0,
+            sram_accesses: 0,
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = StepSeconds { step1: 1.0, step2: 2.0, step3: 3.0, step5: 4.0 };
+        assert!((s.total() - 10.0).abs() < 1e-12);
+        let f = s.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup() {
+        let base = run("cpu", 10.0);
+        let fast = run("booster", 1.0);
+        assert!((speedup_over(&base, &fast) - 10.0).abs() < 1e-9);
+        assert!((speedup_over(&base, &base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_steps() {
+        let s = StepSeconds { step1: 1.0, step2: 1.0, step3: 1.0, step5: 1.0 };
+        let x = s.scaled(2.0, 1.0, 3.0, 0.5);
+        assert_eq!(x.step1, 2.0);
+        assert_eq!(x.step3, 3.0);
+        assert_eq!(x.step5, 0.5);
+    }
+}

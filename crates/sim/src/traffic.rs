@@ -1,0 +1,152 @@
+//! Memory-traffic timing: a bandwidth model calibrated by running
+//! representative access windows through the cycle-level DRAM simulator.
+//!
+//! Training phases are long, homogeneous streams (Section III-B: all
+//! pointers are known a priori and double-buffered), so per-phase memory
+//! cycles extrapolate accurately from the sustained bandwidth of a
+//! same-density window. Dense streams (roots, Step-5 columns) run near
+//! the ~400 GB/s sustained figure; sparse relevant-record subsets at deep
+//! vertices lose row locality and channel balance, which the window
+//! simulations capture.
+
+use booster_dram::{sustained_bandwidth, DramConfig, Pattern};
+
+/// Calibration window length in blocks. Long enough to amortize warm-up,
+/// short enough to keep model construction fast.
+const WINDOW_BLOCKS: u64 = 6_000;
+
+/// Densities at which windows are simulated; interpolation covers the
+/// rest. Logarithmically spaced over the range training produces.
+const DENSITY_POINTS: [f64; 8] = [1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.01, 0.003];
+
+/// Sustained-bandwidth model: density -> blocks per accelerator cycle.
+#[derive(Debug, Clone)]
+pub struct BandwidthModel {
+    cfg: DramConfig,
+    /// `(density, blocks_per_cycle)` in descending density order.
+    points: Vec<(f64, f64)>,
+}
+
+impl BandwidthModel {
+    /// Build the model by measuring windows on the cycle-level simulator.
+    pub fn new(cfg: DramConfig) -> Self {
+        let mut points = Vec::with_capacity(DENSITY_POINTS.len());
+        for &d in &DENSITY_POINTS {
+            let pattern = if d >= 1.0 {
+                Pattern::Sequential
+            } else {
+                Pattern::SparseAscending { density: d }
+            };
+            let gbps = sustained_bandwidth(cfg, pattern, WINDOW_BLOCKS);
+            let blocks_per_cycle = gbps / (f64::from(cfg.block_bytes) * cfg.clock_ghz);
+            points.push((d, blocks_per_cycle));
+        }
+        BandwidthModel { cfg, points }
+    }
+
+    /// The DRAM configuration this model was calibrated for.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Blocks per cycle sustained at a subset density (log-interpolated
+    /// between calibration points).
+    pub fn blocks_per_cycle(&self, density: f64) -> f64 {
+        let d = density.clamp(1e-6, 1.0);
+        // points are in descending density order.
+        if d >= self.points[0].0 {
+            return self.points[0].1;
+        }
+        for w in self.points.windows(2) {
+            let (d_hi, b_hi) = w[0];
+            let (d_lo, b_lo) = w[1];
+            if d >= d_lo {
+                let t = (d.ln() - d_lo.ln()) / (d_hi.ln() - d_lo.ln());
+                return b_lo + t * (b_hi - b_lo);
+            }
+        }
+        self.points.last().expect("non-empty").1
+    }
+
+    /// Cycles to transfer `blocks` at a subset density.
+    pub fn cycles(&self, blocks: u64, density: f64) -> u64 {
+        if blocks == 0 {
+            return 0;
+        }
+        (blocks as f64 / self.blocks_per_cycle(density)).ceil() as u64
+    }
+
+    /// Sustained GB/s at a density (diagnostics / Table IV reporting).
+    pub fn gbps(&self, density: f64) -> f64 {
+        self.blocks_per_cycle(density) * f64::from(self.cfg.block_bytes) * self.cfg.clock_ghz
+    }
+}
+
+/// Subset density of `blocks_touched` out of a span of `span_blocks`.
+pub fn density(blocks_touched: usize, span_blocks: usize) -> f64 {
+    if span_blocks == 0 {
+        return 1.0;
+    }
+    (blocks_touched as f64 / span_blocks as f64).clamp(0.0, 1.0)
+}
+
+/// Blocks spanned by `n` records of `bytes_per_record` bytes laid out
+/// contiguously.
+pub fn span_blocks(n_records: usize, bytes_per_record: f64) -> usize {
+    ((n_records as f64 * bytes_per_record) / 64.0).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> BandwidthModel {
+        BandwidthModel::new(DramConfig::default())
+    }
+
+    #[test]
+    fn dense_near_peak() {
+        let m = model();
+        let bpc = m.blocks_per_cycle(1.0);
+        // 384 GB/s peak = 6 blocks/cycle; sustained must be close.
+        assert!(bpc > 5.0, "dense blocks/cycle {bpc}");
+        assert!(bpc <= 6.01);
+    }
+
+    #[test]
+    fn bandwidth_decreases_with_sparsity() {
+        let m = model();
+        let dense = m.blocks_per_cycle(1.0);
+        let sparse = m.blocks_per_cycle(0.01);
+        assert!(sparse < dense);
+        assert!(sparse > 0.0);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_enough() {
+        let m = model();
+        let mut prev = m.blocks_per_cycle(0.001);
+        for d in [0.004, 0.02, 0.06, 0.2, 0.6, 1.0] {
+            let b = m.blocks_per_cycle(d);
+            assert!(b >= prev * 0.9, "bandwidth dropped sharply at {d}: {b} vs {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn cycles_scale_linearly() {
+        let m = model();
+        let c1 = m.cycles(10_000, 1.0);
+        let c2 = m.cycles(20_000, 1.0);
+        assert!(c2 >= 2 * c1 - 2 && c2 <= 2 * c1 + 2);
+        assert_eq!(m.cycles(0, 1.0), 0);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(span_blocks(100, 64.0), 100);
+        assert_eq!(span_blocks(100, 1.0), 2);
+        assert!((density(5, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(density(5, 0), 1.0);
+    }
+}

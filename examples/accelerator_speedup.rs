@@ -1,0 +1,86 @@
+//! End-to-end accelerator comparison on one workload: functional
+//! training drives the Booster / Ideal CPU / Ideal GPU / inter-record
+//! timing models plus the energy accounting — a miniature of the paper's
+//! Figs 7, 8 and 10 on the Higgs-like dataset.
+//!
+//! Run with: `cargo run --release --example accelerator_speedup`
+
+use booster_repro::datagen::{default_loss, generate_binned, Benchmark};
+use booster_repro::gbdt::prelude::*;
+use booster_repro::sim::{
+    energy_of, speedup_over, ArchRun, BandwidthModel, BoosterConfig, BoosterSim, HostModel,
+    IdealMachineConfig, IdealSim, InterRecordSim,
+};
+
+fn line(run: &ArchRun, base: &ArchRun) {
+    let s = &run.steps;
+    println!(
+        "  {:<14} {:8.2} s  (step1 {:6.2}  step2 {:6.2}  step3 {:6.2}  step5 {:6.2})  {:>7.2}x",
+        run.name,
+        run.total(),
+        s.step1,
+        s.step2,
+        s.step3,
+        s.step5,
+        speedup_over(base, run)
+    );
+}
+
+fn main() {
+    let benchmark = Benchmark::Higgs;
+    println!("workload: {} (10M records at paper scale, 500 trees)", benchmark.name());
+
+    // Functional training at sample scale, instrumented.
+    let (data, mirror) = generate_binned(benchmark, 40_000, 3);
+    let cfg = TrainConfig {
+        num_trees: 40,
+        max_depth: 6,
+        loss: default_loss(benchmark),
+        collect_phases: true,
+        ..Default::default()
+    };
+    let (_, report) = train(&data, &mirror, &cfg);
+    // Scale to the paper's dataset size and tree count.
+    let log = report.phase_log.unwrap().scaled(10_000_000.0 / 40_000.0);
+    let tree_scale = 500.0 / 40.0;
+
+    let bw = BandwidthModel::new(booster_dram::DramConfig::default());
+    let host = HostModel::default();
+    let (booster, diag) =
+        BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host);
+    let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
+    let gpu = IdealSim::gpu(&bw).training_time(&log, &host);
+    let ir = InterRecordSim::matching_booster(&BoosterConfig::default(), &bw).training_time(
+        &log,
+        benchmark.spec().features,
+        &host,
+    );
+
+    let scale = |r: &ArchRun| ArchRun {
+        name: r.name.clone(),
+        steps: r.steps.scaled(tree_scale, tree_scale, tree_scale, tree_scale),
+        dram_blocks: (r.dram_blocks as f64 * tree_scale) as u64,
+        sram_accesses: (r.sram_accesses as f64 * tree_scale) as u64,
+    };
+    let (booster, cpu, gpu, ir) = (scale(&booster), scale(&cpu), scale(&gpu), scale(&ir));
+
+    println!("\nmodeled training time (500 trees):");
+    line(&cpu, &cpu);
+    line(&gpu, &cpu);
+    line(&ir, &cpu);
+    line(&booster, &cpu);
+    println!(
+        "\nBooster diagnostics: {} SRAMs/copy, {:.0} histogram replicas, capacity \
+         utilization {:.0}%",
+        diag.mapping.srams_used(),
+        diag.replication,
+        diag.mapping.capacity_utilization * 100.0
+    );
+
+    let e_cpu = energy_of(&cpu, IdealMachineConfig::ideal_cpu().sram_energy_norm);
+    let e_gpu = energy_of(&gpu, IdealMachineConfig::ideal_gpu().sram_energy_norm);
+    let e_b = energy_of(&booster, 0.71);
+    println!("\nenergy (normalized to Ideal 32-core):");
+    println!("  SRAM : CPU 1.00   GPU {:.2}   Booster {:.2}", e_gpu.sram / e_cpu.sram, e_b.sram / e_cpu.sram);
+    println!("  DRAM : CPU 1.00   GPU {:.2}   Booster {:.2}", e_gpu.dram / e_cpu.dram, e_b.dram / e_cpu.dram);
+}

@@ -1,0 +1,86 @@
+//! Batch inference (offline analytics / scoring): train an ensemble,
+//! score a large batch functionally (sequential vs rayon), and model the
+//! same batch on Booster's inference engine (Section III-D).
+//!
+//! Run with: `cargo run --release --example batch_inference`
+
+use std::time::Instant;
+
+use booster_repro::datagen::{default_loss, generate_binned, Benchmark};
+use booster_repro::gbdt::prelude::*;
+use booster_repro::sim::{
+    booster_inference, ideal_inference, BandwidthModel, BoosterConfig, IdealMachineConfig,
+    InferenceWorkload, WorkModel,
+};
+
+fn main() {
+    let (data, mirror) = generate_binned(Benchmark::Allstate, 60_000, 17);
+    let cfg = TrainConfig {
+        num_trees: 100,
+        max_depth: 6,
+        loss: default_loss(Benchmark::Allstate),
+        ..Default::default()
+    };
+    let (model, _) = train(&data, &mirror, &cfg);
+    println!(
+        "model: {} trees, max depth {} ({} KB of tree tables)",
+        model.num_trees(),
+        model.max_depth(),
+        model.trees.iter().map(|t| t.to_table().byte_size()).sum::<usize>() / 1024
+    );
+
+    // --- Functional batch scoring. --------------------------------------
+    let t0 = Instant::now();
+    let seq = model.predict_batch(&data);
+    let t_seq = t0.elapsed();
+    let t1 = Instant::now();
+    let par = model.predict_batch_parallel(&data);
+    let t_par = t1.elapsed();
+    assert_eq!(seq, par);
+    println!(
+        "functional scoring of {} records: sequential {:.1} ms, rayon {:.1} ms ({:.1}x)",
+        data.num_records(),
+        t_seq.as_secs_f64() * 1e3,
+        t_par.as_secs_f64() * 1e3,
+        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9)
+    );
+
+    // --- Accelerator model, scaled to a 10M-record batch x 500 trees. --
+    let measured = InferenceWorkload::measure(&model, &data);
+    let per_tree = measured.total_path_len as f64 / model.num_trees() as f64;
+    let w = InferenceWorkload {
+        n_records: 10_000_000,
+        record_bytes: measured.record_bytes,
+        num_trees: 500,
+        total_path_len: (per_tree * 500.0 * (10_000_000.0 / 60_000.0)) as u64,
+        max_depth: measured.max_depth,
+    };
+    let bw = BandwidthModel::new(booster_dram::DramConfig::default());
+    let booster_cfg = BoosterConfig::default();
+    let b = booster_inference(&booster_cfg, &bw, &w);
+    let c = ideal_inference(
+        &IdealMachineConfig::ideal_cpu(),
+        &WorkModel::default(),
+        &bw,
+        &w,
+        "Ideal 32-core",
+    );
+    let replicas = booster_cfg.total_bus() as usize / w.num_trees;
+    println!(
+        "\nmodeled batch inference (10M records x 500 trees, {} ensemble replicas on \
+         {} BUs):",
+        replicas,
+        replicas * w.num_trees
+    );
+    println!(
+        "  Ideal 32-core : {:8.1} ms  ({:.1} M records/s)",
+        c.total() * 1e3,
+        w.n_records as f64 / c.total() / 1e6
+    );
+    println!(
+        "  Booster       : {:8.1} ms  ({:.1} M records/s)  -> {:.1}x",
+        b.total() * 1e3,
+        w.n_records as f64 / b.total() / 1e6,
+        c.total() / b.total()
+    );
+}

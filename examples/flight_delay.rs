@@ -1,0 +1,71 @@
+//! Flight-delay prediction — one of the paper's motivating tabular
+//! workloads (Table III). Trains on the synthetic Flight equivalent,
+//! evaluates on held-out data, and then asks the accelerator models what
+//! this training job would cost on Booster versus the ideal baselines.
+//!
+//! Run with: `cargo run --release --example flight_delay`
+
+use booster_repro::datagen::{generate, Benchmark};
+use booster_repro::gbdt::metrics;
+use booster_repro::gbdt::prelude::*;
+use booster_repro::sim::{
+    speedup_over, BandwidthModel, BoosterConfig, BoosterSim, HostModel, IdealSim,
+};
+
+fn main() {
+    // --- Generate train/test splits of the Flight-like dataset. --------
+    let train_raw = generate(Benchmark::Flight, 60_000, 11);
+    let test_raw = generate(Benchmark::Flight, 20_000, 99);
+    let train_binned = BinnedDataset::from_dataset(&train_raw);
+    let mirror = ColumnarMirror::from_binned(&train_binned);
+
+    let cfg = TrainConfig {
+        num_trees: 80,
+        max_depth: 6,
+        learning_rate: 0.15,
+        loss: Loss::Logistic,
+        collect_phases: true,
+        ..Default::default()
+    };
+    let (model, report) = train(&train_binned, &mirror, &cfg);
+
+    // --- Evaluate out of sample (raw records through the stored bins). -
+    let mut preds = Vec::with_capacity(test_raw.num_records());
+    let mut record = Vec::new();
+    for r in 0..test_raw.num_records() {
+        record.clear();
+        for f in 0..test_raw.num_fields() {
+            record.push(test_raw.value(r, f));
+        }
+        preds.push(model.predict_raw(&record));
+    }
+    let labels: Vec<f64> = test_raw.labels().iter().map(|&y| f64::from(y)).collect();
+    println!(
+        "flight delay: test accuracy {:.3}, AUC {:.3} ({} trees, mean leaf depth {:.2})",
+        metrics::accuracy(&preds, &labels, 0.5),
+        metrics::auc(&preds, &labels),
+        model.num_trees(),
+        model.mean_leaf_depth()
+    );
+
+    // --- What would this training run cost on the accelerator? ---------
+    // Scale the phase log to the paper's 10M-record Flight dataset.
+    let log = report.phase_log.unwrap().scaled(10_000_000.0 / 60_000.0);
+    let bw = BandwidthModel::new(booster_dram::DramConfig::default());
+    let host = HostModel::default();
+    let booster = BoosterSim::new(BoosterConfig::default(), &bw);
+    let (b_run, diag) = booster.training_time(&log, &host);
+    let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
+    let gpu = IdealSim::gpu(&bw).training_time(&log, &host);
+
+    println!("\nmodeled training time at 10M records, {} trees:", model.num_trees());
+    println!("  Ideal 32-core : {:8.2} s", cpu.total());
+    println!("  Ideal GPU     : {:8.2} s ({:.2}x)", gpu.total(), speedup_over(&cpu, &gpu));
+    println!("  Booster       : {:8.2} s ({:.2}x)", b_run.total(), speedup_over(&cpu, &b_run));
+    println!(
+        "  (group-by-field mapping: {} SRAMs/copy, serialization {}, {:.0} replicas)",
+        diag.mapping.srams_used(),
+        diag.mapping.max_fields_per_sram,
+        diag.replication
+    );
+}

@@ -1,0 +1,19 @@
+//! # booster-repro
+//!
+//! Top-level facade for the Booster reproduction workspace. Re-exports the
+//! public APIs of the member crates so examples and downstream users can
+//! depend on a single crate.
+//!
+//! - [`gbdt`] — histogram-based gradient boosting decision trees
+//!   (training + inference), the workload Booster accelerates.
+//! - [`dram`] — cycle-level high-bandwidth DRAM simulator (DRAMSim2
+//!   equivalent, Table IV of the paper).
+//! - [`sim`] — the Booster accelerator timing/energy/area models and the
+//!   Ideal CPU / Ideal GPU / inter-record baselines.
+//! - [`datagen`] — deterministic synthetic equivalents of the paper's five
+//!   evaluation datasets (Table III).
+
+pub use booster_datagen as datagen;
+pub use booster_dram as dram;
+pub use booster_gbdt as gbdt;
+pub use booster_sim as sim;

@@ -1,0 +1,184 @@
+//! Edge cases and failure injection across crates: degenerate dataset
+//! shapes, extreme configurations, and resource-starved simulators must
+//! behave predictably, never hang or panic.
+
+use booster_repro::dram::{run_trace, pattern_trace, DramConfig, Pattern, Request};
+use booster_repro::gbdt::columnar::ColumnarMirror;
+use booster_repro::gbdt::dataset::{Dataset, RawValue};
+use booster_repro::gbdt::preprocess::BinnedDataset;
+use booster_repro::gbdt::schema::{DatasetSchema, FieldSchema};
+use booster_repro::gbdt::train::{train, TrainConfig};
+use booster_repro::sim::{BandwidthModel, BoosterConfig, BoosterSim, HostModel, IdealSim};
+
+// ------------------------------------------------------------------ gbdt
+
+#[test]
+fn single_record_dataset_trains() {
+    let schema = DatasetSchema::new(vec![FieldSchema::numeric("x")]);
+    let mut ds = Dataset::new(schema);
+    ds.push_record(&[RawValue::Num(1.0)], 3.0);
+    let data = BinnedDataset::from_dataset(&ds);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let (model, _) = train(&data, &mirror, &TrainConfig::default());
+    // A single record can never split; the model predicts its label.
+    assert!((model.predict_binned(&data, 0) - 3.0).abs() < 1e-6);
+    assert!(model.trees.iter().all(|t| t.num_leaves() == 1));
+}
+
+#[test]
+fn max_depth_zero_yields_stump_free_model() {
+    let schema = DatasetSchema::new(vec![FieldSchema::numeric("x")]);
+    let mut ds = Dataset::new(schema);
+    for i in 0..100 {
+        ds.push_record(&[RawValue::Num(i as f32)], (i % 2) as f32);
+    }
+    let data = BinnedDataset::from_dataset(&ds);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let cfg = TrainConfig { max_depth: 0, num_trees: 5, ..Default::default() };
+    let (model, _) = train(&data, &mirror, &cfg);
+    assert_eq!(model.max_depth(), 0, "depth-0 budget means leaf-only trees");
+}
+
+#[test]
+fn all_missing_column_is_harmless() {
+    let schema = DatasetSchema::new(vec![
+        FieldSchema::numeric("useful"),
+        FieldSchema::numeric("ghost"),
+    ]);
+    let mut ds = Dataset::new(schema);
+    for i in 0..400 {
+        ds.push_record(
+            &[RawValue::Num(i as f32), RawValue::Missing],
+            f32::from(u8::from(i >= 200)),
+        );
+    }
+    let data = BinnedDataset::from_dataset(&ds);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let cfg = TrainConfig { num_trees: 10, learning_rate: 0.5, ..Default::default() };
+    let (model, report) = train(&data, &mirror, &cfg);
+    assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
+    // The ghost column never splits (all records share its absent bin).
+    assert_eq!(model.feature_importance()[1], 0);
+}
+
+#[test]
+fn constant_feature_never_selected() {
+    let schema = DatasetSchema::new(vec![
+        FieldSchema::numeric("constant"),
+        FieldSchema::numeric("signal"),
+    ]);
+    let mut ds = Dataset::new(schema);
+    for i in 0..300 {
+        ds.push_record(
+            &[RawValue::Num(7.0), RawValue::Num(i as f32)],
+            f32::from(u8::from(i >= 150)),
+        );
+    }
+    let data = BinnedDataset::from_dataset(&ds);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let (model, _) = train(&data, &mirror, &TrainConfig::default());
+    assert_eq!(model.feature_importance()[0], 0);
+    assert!(model.feature_importance()[1] > 0);
+}
+
+#[test]
+fn wide_categorical_field_uses_two_byte_entries() {
+    // > 255 categories forces 2-byte column entries; everything still
+    // round-trips.
+    let schema = DatasetSchema::new(vec![FieldSchema::categorical("wide", 1000)]);
+    let mut ds = Dataset::new(schema);
+    for i in 0..2_000u32 {
+        ds.push_record(&[RawValue::Cat(i % 1000)], f32::from(u8::from(i % 1000 < 500)));
+    }
+    let data = BinnedDataset::from_dataset(&ds);
+    assert_eq!(data.record_bytes(), 2);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let cfg = TrainConfig { num_trees: 5, learning_rate: 0.5, ..Default::default() };
+    let (_, report) = train(&data, &mirror, &cfg);
+    assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
+}
+
+// ------------------------------------------------------------------ dram
+
+#[test]
+fn queue_depth_one_still_completes_everything() {
+    let cfg = DramConfig { queue_depth: 1, ..Default::default() };
+    let res = run_trace(cfg, pattern_trace(Pattern::Sequential, 2_000));
+    assert_eq!(res.blocks, 2_000);
+    // Head-of-line blocking costs bandwidth but not correctness.
+    let deep = run_trace(DramConfig::default(), pattern_trace(Pattern::Sequential, 2_000));
+    assert!(res.cycles >= deep.cycles);
+}
+
+#[test]
+fn refresh_dominated_config_still_makes_progress() {
+    // Pathological refresh: 50% of time in tRFC. Requests still finish.
+    // The trace must be long enough to straddle several refresh windows.
+    let cfg = DramConfig { t_refi: 320, t_rfc: 160, ..Default::default() };
+    let res = run_trace(cfg, pattern_trace(Pattern::Sequential, 20_000));
+    assert_eq!(res.blocks, 20_000);
+    let normal =
+        run_trace(DramConfig::default(), pattern_trace(Pattern::Sequential, 20_000));
+    assert!(
+        res.cycles as f64 > normal.cycles as f64 * 1.3,
+        "heavy refresh must cost cycles: {} vs {}",
+        res.cycles,
+        normal.cycles
+    );
+}
+
+#[test]
+fn single_channel_single_bank_worst_case() {
+    let cfg = DramConfig { channels: 1, banks: 1, t_refi: 0, ..Default::default() };
+    // Row-conflict-heavy trace on one bank: strictly serialized rows.
+    let trace: Vec<Request> = (0..100).map(|i| Request::read(i * 16)).collect();
+    let res = run_trace(cfg, trace);
+    assert_eq!(res.blocks, 100);
+    // Every access after the first opens a new row: ~tRC per access.
+    assert!(res.cycles >= 99 * 40, "cycles {}", res.cycles);
+}
+
+// ------------------------------------------------------------------- sim
+
+#[test]
+fn one_cluster_chip_is_slow_but_sound() {
+    let (data, mirror) = booster_repro::datagen::generate_binned(
+        booster_repro::datagen::Benchmark::Higgs,
+        3_000,
+        1,
+    );
+    let cfg = TrainConfig { num_trees: 3, collect_phases: true, ..Default::default() };
+    let (_, report) = train(&data, &mirror, &cfg);
+    let log = report.phase_log.unwrap().scaled(100.0);
+    let bw = BandwidthModel::new(booster_dram::DramConfig::default());
+    let host = HostModel::default();
+    let tiny = BoosterConfig { clusters: 1, ..Default::default() };
+    let (tiny_run, _) = BoosterSim::new(tiny, &bw).training_time(&log, &host);
+    let (full_run, _) =
+        BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host);
+    let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
+    assert!(tiny_run.total() > full_run.total(), "64 BUs must be slower than 3200");
+    // Even one cluster has 64-way parallelism at 8 cycles/update; it
+    // should still not collapse below the 32-lane CPU by much.
+    assert!(tiny_run.total() < cpu.total() * 3.0);
+}
+
+#[test]
+fn empty_phase_log_times_to_zero_accelerated_work() {
+    let log = booster_gbdt::phases::PhaseLog {
+        trees: Vec::new(),
+        num_records: 0,
+        num_fields: 1,
+        record_bytes: 1,
+        total_bins: 10,
+        field_entry_bytes: vec![1],
+        field_bins: vec![10],
+    };
+    let bw = BandwidthModel::new(booster_dram::DramConfig::default());
+    let (run, _) =
+        BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &HostModel::default());
+    assert_eq!(run.steps.step1, 0.0);
+    assert_eq!(run.steps.step3, 0.0);
+    assert_eq!(run.steps.step5, 0.0);
+    assert_eq!(run.dram_blocks, 0);
+}

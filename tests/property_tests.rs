@@ -1,0 +1,394 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning the gbdt and dram crates.
+
+use proptest::prelude::*;
+
+use booster_repro::dram::{run_trace, DramConfig, Request};
+use booster_repro::gbdt::binning::BinBoundaries;
+use booster_repro::gbdt::dataset::{Dataset, RawValue};
+use booster_repro::gbdt::gradients::GradPair;
+use booster_repro::gbdt::histogram::NodeHistogram;
+use booster_repro::gbdt::partition::partition_rows;
+use booster_repro::gbdt::phases::{column_blocks, distinct_blocks, row_major_blocks};
+use booster_repro::gbdt::preprocess::BinnedDataset;
+use booster_repro::gbdt::schema::{DatasetSchema, FieldSchema};
+use booster_repro::gbdt::split::{goes_left, SplitRule};
+
+// ---------------------------------------------------------------- binning
+
+proptest! {
+    #[test]
+    fn binning_is_monotone_and_total(mut values in prop::collection::vec(-1e6f32..1e6, 2..400), bins in 2u16..64) {
+        let b = BinBoundaries::from_values(&mut values, bins);
+        prop_assert!(b.num_bins() >= 1);
+        prop_assert!(b.num_bins() <= u32::from(bins));
+        // Monotone: larger values never map to smaller bins.
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let mut prev = 0u32;
+        for v in sorted {
+            let bin = b.bin_of(v);
+            prop_assert!(bin >= prev);
+            prop_assert!(bin < b.num_bins());
+            prev = bin;
+        }
+        // Boundaries strictly increasing.
+        for w in b.uppers().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_a_bin_containing_it(mut values in prop::collection::vec(-1e3f32..1e3, 2..200)) {
+        let b = BinBoundaries::from_values(&mut values, 16);
+        for &v in &values {
+            let bin = b.bin_of(v);
+            // v must be <= its bin's upper boundary (if bounded) and
+            // greater than the previous boundary.
+            if let Some(up) = b.upper(bin) {
+                prop_assert!(v <= up);
+            }
+            if bin > 0 {
+                let below = b.upper(bin - 1).unwrap();
+                prop_assert!(v > below);
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- histograms
+
+fn arb_dataset_and_grads(
+) -> impl Strategy<Value = (BinnedDataset, Vec<GradPair>, Vec<u32>)> {
+    (2usize..6, 20usize..150).prop_flat_map(|(nf, n)| {
+        let schema = DatasetSchema::new(
+            (0..nf)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        FieldSchema::numeric_with_bins(format!("n{i}"), 8)
+                    } else {
+                        FieldSchema::categorical(format!("c{i}"), 4)
+                    }
+                })
+                .collect(),
+        );
+        (
+            Just(schema),
+            prop::collection::vec(
+                prop::collection::vec(any::<u8>(), nf),
+                n..=n,
+            ),
+            prop::collection::vec((-10.0f64..10.0, 0.1f64..2.0), n..=n),
+            prop::collection::vec(any::<bool>(), n..=n),
+        )
+            .prop_map(move |(schema, raw_rows, grads, mask)| {
+                let mut ds = Dataset::new(schema);
+                let mut row = Vec::with_capacity(nf);
+                for cells in &raw_rows {
+                    row.clear();
+                    for (f, &c) in cells.iter().enumerate() {
+                        if f % 2 == 0 {
+                            row.push(RawValue::Num(f32::from(c)));
+                        } else {
+                            row.push(RawValue::Cat(u32::from(c % 4)));
+                        }
+                    }
+                    ds.push_record(&row, 0.0);
+                }
+                let binned = BinnedDataset::from_dataset(&ds);
+                let grads: Vec<GradPair> =
+                    grads.into_iter().map(|(g, h)| GradPair::new(g, h)).collect();
+                let subset: Vec<u32> = mask
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                (binned, grads, subset)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_subtraction_equals_direct((data, grads, subset) in arb_dataset_and_grads()) {
+        let n = data.num_records() as u32;
+        let all: Vec<u32> = (0..n).collect();
+        let rest: Vec<u32> = all.iter().copied().filter(|r| !subset.contains(r)).collect();
+
+        let mut parent = NodeHistogram::zeroed(&data);
+        parent.bin_records(&data, &all, &grads);
+        let mut small = NodeHistogram::zeroed(&data);
+        small.bin_records(&data, &subset, &grads);
+        let derived = NodeHistogram::subtract_from(&parent, &small);
+        let mut direct = NodeHistogram::zeroed(&data);
+        direct.bin_records(&data, &rest, &grads);
+
+        prop_assert_eq!(derived.total_count(), direct.total_count());
+        for f in 0..data.num_fields() {
+            for (a, b) in derived.field(f).iter().zip(direct.field(f)) {
+                prop_assert_eq!(a.count, b.count);
+                prop_assert!((a.grad.g - b.grad.g).abs() < 1e-6);
+                prop_assert!((a.grad.h - b.grad.h).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_field_sums_equal_totals((data, grads, subset) in arb_dataset_and_grads()) {
+        let mut h = NodeHistogram::zeroed(&data);
+        h.bin_records(&data, &subset, &grads);
+        for f in 0..data.num_fields() {
+            let count: u64 = h.field(f).iter().map(|b| b.count).sum();
+            prop_assert_eq!(count, subset.len() as u64, "field {} count", f);
+            let g: f64 = h.field(f).iter().map(|b| b.grad.g).sum();
+            prop_assert!((g - h.total().g).abs() < 1e-6);
+        }
+    }
+}
+
+// ------------------------------------------------------------- partitioning
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn partition_is_a_stable_disjoint_cover(
+        column in prop::collection::vec(0u32..10, 10..200),
+        threshold in 0u32..10,
+        default_left in any::<bool>(),
+    ) {
+        let rows: Vec<u32> = (0..column.len() as u32).collect();
+        let rule = SplitRule::Numeric { threshold_bin: threshold };
+        let absent = 9u32;
+        let (l, r) = partition_rows(&rows, &column, rule, default_left, absent);
+        prop_assert_eq!(l.len() + r.len(), rows.len());
+        // Stable: both sides sorted.
+        prop_assert!(l.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(r.windows(2).all(|w| w[0] < w[1]));
+        // Routing agrees with goes_left.
+        for &x in &l {
+            prop_assert!(goes_left(rule, default_left, column[x as usize], absent));
+        }
+        for &x in &r {
+            prop_assert!(!goes_left(rule, default_left, column[x as usize], absent));
+        }
+    }
+
+    #[test]
+    fn block_counting_bounds(
+        mask in prop::collection::vec(any::<bool>(), 1..500),
+        record_bytes in 1u32..130,
+    ) {
+        let rows: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let rb = row_major_blocks(&rows, record_bytes);
+        let cb = column_blocks(&rows, 1);
+        // Never more blocks than records x blocks-per-record; never fewer
+        // than the dense minimum.
+        let per_record = (record_bytes as usize).div_ceil(64).max(1);
+        prop_assert!(rb <= rows.len() * per_record);
+        prop_assert!(cb <= rows.len());
+        if !rows.is_empty() {
+            prop_assert!(rb >= 1);
+            prop_assert!(cb >= 1);
+            // Lower bound: even perfectly packed, the subset's bytes need
+            // this many blocks.
+            let min_blocks = (rows.len() * record_bytes as usize) / 64;
+            prop_assert!(rb >= min_blocks.max(1));
+        }
+        // Distinct blocks of a sorted list is monotone in items/block.
+        prop_assert!(distinct_blocks(&rows, 64) <= distinct_blocks(&rows, 32));
+    }
+}
+
+// ----------------------------------------------------------- split finding
+
+/// Exhaustively evaluate every (rule, default) candidate by routing the
+/// records directly, and return the best gain — the oracle the scan must
+/// match.
+fn brute_force_best_gain(
+    data: &BinnedDataset,
+    grads: &[GradPair],
+    lambda: f64,
+) -> Option<f64> {
+    use booster_repro::gbdt::preprocess::FieldBinning;
+    let n = data.num_records();
+    let total: GradPair = (0..n).fold(GradPair::zero(), |acc, r| acc + grads[r]);
+    let score = |gp: GradPair| gp.g * gp.g / (gp.h + lambda);
+    let parent = score(total);
+    let mut best: Option<f64> = None;
+    for f in 0..data.num_fields() {
+        let binning = &data.binnings()[f];
+        let absent = binning.absent_bin();
+        let candidates: Vec<SplitRule> = match binning {
+            FieldBinning::Numeric(b) => (0..b.num_bins().saturating_sub(1))
+                .map(|i| SplitRule::Numeric { threshold_bin: i })
+                .collect(),
+            FieldBinning::Categorical { categories } => {
+                (0..*categories).map(|c| SplitRule::Categorical { category: c }).collect()
+            }
+        };
+        for rule in candidates {
+            for default_left in [false, true] {
+                let mut left = GradPair::zero();
+                let mut left_n = 0u64;
+                for (r, g) in grads.iter().enumerate().take(n) {
+                    if goes_left(rule, default_left, data.bin(r, f), absent) {
+                        left += *g;
+                        left_n += 1;
+                    }
+                }
+                let right = total - left;
+                let right_n = n as u64 - left_n;
+                if left_n == 0 || right_n == 0 || left.h < 1.0 || right.h < 1.0 {
+                    continue;
+                }
+                let gain = 0.5 * (score(left) + score(right) - parent);
+                if gain > 0.0 && best.is_none_or(|b| gain > b) {
+                    best = Some(gain);
+                }
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn split_scan_matches_brute_force((data, grads, _) in arb_dataset_and_grads()) {
+        use booster_repro::gbdt::histogram::NodeHistogram;
+        use booster_repro::gbdt::split::{find_best_split, SplitParams};
+        let rows: Vec<u32> = (0..data.num_records() as u32).collect();
+        let mut hist = NodeHistogram::zeroed(&data);
+        hist.bin_records(&data, &rows, &grads);
+        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 1.0 };
+        let (scan, _) = find_best_split(&hist, data.binnings(), &params);
+        let oracle = brute_force_best_gain(&data, &grads, 1.0);
+        match (scan, oracle) {
+            (Some(s), Some(o)) => {
+                prop_assert!(
+                    (s.gain - o).abs() < 1e-6 * (1.0 + o.abs()),
+                    "scan gain {} vs brute force {}", s.gain, o
+                );
+            }
+            (None, None) => {}
+            (s, o) => prop_assert!(
+                false,
+                "scan {:?} vs oracle {:?} disagree on existence",
+                s.map(|x| x.gain),
+                o
+            ),
+        }
+    }
+}
+
+// ------------------------------------------------- growth-mode equivalence
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Vertex-by-vertex and level-by-level growth visit the same vertices
+    /// with the same histograms, so both trainers must produce identical
+    /// predictions on any dataset.
+    #[test]
+    fn levelwise_equals_vertexwise((data, grads, _) in arb_dataset_and_grads()) {
+        use booster_repro::gbdt::columnar::ColumnarMirror;
+        use booster_repro::gbdt::levelwise::train_levelwise;
+        use booster_repro::gbdt::train::{train, TrainConfig};
+        let _ = grads;
+        // Give the all-zero labels some variety so trees actually split.
+        let labels: Vec<f32> =
+            (0..data.num_records()).map(|r| (data.bin(r, 0) % 3) as f32).collect();
+        let data = BinnedDataset::from_parts(
+            data.schema().clone(),
+            data.binnings().to_vec(),
+            (0..data.num_records())
+                .flat_map(|r| data.row(r).to_vec())
+                .collect(),
+            labels,
+        );
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig { num_trees: 3, max_depth: 4, ..Default::default() };
+        let (mv, _) = train(&data, &mirror, &cfg);
+        let (ml, _) = train_levelwise(&data, &mirror, &cfg);
+        for r in 0..data.num_records() {
+            let pv = mv.predict_binned(&data, r);
+            let pl = ml.predict_binned(&data, r);
+            prop_assert!((pv - pl).abs() < 1e-9, "record {}: {} vs {}", r, pv, pl);
+        }
+    }
+}
+
+// ----------------------------------------------------------- serialization
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn model_serialization_roundtrips((data, grads, _) in arb_dataset_and_grads()) {
+        use booster_repro::gbdt::columnar::ColumnarMirror;
+        use booster_repro::gbdt::serialize::{model_from_bytes, model_to_bytes};
+        use booster_repro::gbdt::train::{train, TrainConfig};
+        let _ = grads;
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig { num_trees: 3, max_depth: 3, ..Default::default() };
+        let (model, _) = train(&data, &mirror, &cfg);
+        let restored = model_from_bytes(&model_to_bytes(&model)).expect("roundtrip");
+        for r in 0..data.num_records() {
+            prop_assert_eq!(
+                restored.predict_binned(&data, r).to_bits(),
+                model.predict_binned(&data, r).to_bits()
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------- DRAM
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dram_completes_every_request_within_physical_bounds(
+        blocks in prop::collection::vec(0u64..100_000, 1..300),
+        writes in prop::collection::vec(any::<bool>(), 300),
+    ) {
+        let cfg = DramConfig::default();
+        let trace: Vec<Request> = blocks
+            .iter()
+            .zip(&writes)
+            .map(|(&b, &w)| Request { block: b, is_write: w })
+            .collect();
+        let res = run_trace(cfg, trace.clone());
+        prop_assert_eq!(res.blocks, trace.len() as u64);
+        // Cannot beat the data bus: at most one block per t_burst per
+        // channel per cycle.
+        let min_cycles = trace.len() as u64 * u64::from(cfg.t_burst)
+            / u64::from(cfg.channels);
+        prop_assert!(res.cycles + u64::from(cfg.t_cas) >= min_cycles);
+        // A single request's latency floor: tRCD + tCAS + tBURST.
+        let floor = u64::from(cfg.t_rcd + cfg.t_cas + cfg.t_burst);
+        prop_assert!(res.cycles >= floor);
+    }
+
+    #[test]
+    fn dram_row_hits_bounded_by_completed(
+        start in 0u64..1_000,
+        len in 1u64..500,
+    ) {
+        let cfg = DramConfig { t_refi: 0, ..Default::default() };
+        let trace: Vec<Request> = (start..start + len).map(Request::read).collect();
+        let res = run_trace(cfg, trace);
+        prop_assert!(res.stats.channels.row_hits <= res.stats.channels.completed);
+        prop_assert_eq!(res.stats.channels.completed, len);
+    }
+}

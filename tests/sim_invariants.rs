@@ -1,0 +1,161 @@
+//! Cross-crate invariants of the timing/energy models: orderings the
+//! paper's evaluation depends on must hold for any workload the
+//! functional trainer produces.
+
+use booster_repro::datagen::{default_loss, generate_binned, Benchmark};
+use booster_repro::gbdt::phases::PhaseLog;
+use booster_repro::gbdt::prelude::*;
+use booster_repro::sim::{
+    real_cpu, real_gpu, BandwidthModel, BoosterConfig, BoosterSim, HostModel, IdealSim,
+    Irregularity, RealModelParams,
+};
+
+fn phase_log(b: Benchmark, n: usize, scale: f64) -> (PhaseLog, BinnedDataset, Model) {
+    let (data, mirror) = generate_binned(b, n, 77);
+    let cfg = TrainConfig {
+        num_trees: 6,
+        max_depth: 6,
+        loss: default_loss(b),
+        collect_phases: true,
+        ..Default::default()
+    };
+    let (model, report) = train(&data, &mirror, &cfg);
+    (report.phase_log.unwrap().scaled(scale), data, model)
+}
+
+fn env() -> (BandwidthModel, HostModel) {
+    (BandwidthModel::new(booster_dram::DramConfig::default()), HostModel::default())
+}
+
+#[test]
+fn architecture_ordering_holds_across_benchmarks() {
+    let (bw, host) = env();
+    for b in [Benchmark::Higgs, Benchmark::Flight, Benchmark::Mq2008] {
+        let (log, _, _) = phase_log(b, 5_000, 500.0);
+        let (booster, _) =
+            BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host);
+        let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
+        let gpu = IdealSim::gpu(&bw).training_time(&log, &host);
+        assert!(
+            booster.total() < gpu.total() && gpu.total() < cpu.total(),
+            "{b:?}: ordering violated (booster {}, gpu {}, cpu {})",
+            booster.total(),
+            gpu.total(),
+            cpu.total()
+        );
+        // Step 2 is charged identically (host offload).
+        assert!((cpu.steps.step2 - gpu.steps.step2).abs() < 1e-12);
+        // Booster pays step 2 plus the replica reduction.
+        assert!(booster.steps.step2 >= cpu.steps.step2);
+    }
+}
+
+#[test]
+fn ablation_ordering_no_opts_never_faster() {
+    let (bw, host) = env();
+    for b in [Benchmark::Allstate, Benchmark::Flight, Benchmark::Higgs] {
+        let (log, _, _) = phase_log(b, 5_000, 200.0);
+        let full = BoosterConfig::default();
+        let run = |cfg: BoosterConfig| {
+            BoosterSim::new(cfg, &bw).training_time(&log, &host).0.total()
+        };
+        let t_full = run(full);
+        let t_gbf = run(full.group_by_field_only());
+        let t_none = run(full.no_opts());
+        assert!(
+            t_full <= t_gbf + 1e-12 && t_gbf <= t_none + 1e-12,
+            "{b:?}: ablation ordering violated: full {t_full}, gbf {t_gbf}, none {t_none}"
+        );
+    }
+}
+
+#[test]
+fn redundant_format_never_increases_traffic() {
+    let (bw, host) = env();
+    for b in Benchmark::ALL {
+        let (log, _, _) = phase_log(b, 4_000, 100.0);
+        let with = BoosterSim::new(BoosterConfig::default(), &bw)
+            .training_time(&log, &host)
+            .0;
+        let without = BoosterSim::new(BoosterConfig::default().group_by_field_only(), &bw)
+            .training_time(&log, &host)
+            .0;
+        assert!(
+            with.dram_blocks <= without.dram_blocks,
+            "{b:?}: redundant format increased traffic"
+        );
+    }
+}
+
+#[test]
+fn real_machines_are_never_faster_than_ideal() {
+    let (bw, host) = env();
+    let params = RealModelParams::default();
+    for b in [Benchmark::Higgs, Benchmark::Allstate] {
+        let (log, data, model) = phase_log(b, 5_000, 500.0);
+        let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
+        let gpu = IdealSim::gpu(&bw).training_time(&log, &host);
+        let mut irr = Irregularity::measure(&data, &model.trees);
+        irr.num_records = log.num_records;
+        let rc = real_cpu(&cpu, &irr, &params);
+        let rg = real_gpu(&gpu, &irr, 10_000, &params);
+        assert!(rc.total() >= cpu.total(), "{b:?} real CPU faster than ideal");
+        assert!(rg.total() >= gpu.total(), "{b:?} real GPU faster than ideal");
+    }
+}
+
+#[test]
+fn speedup_grows_with_dataset_scale() {
+    // The Fig 12 property: bigger datasets amortize the unaccelerated
+    // residual, so Booster's speedup must not shrink.
+    let (bw, host) = env();
+    let (log1, _, _) = phase_log(Benchmark::Higgs, 5_000, 100.0);
+    let log10 = log1.scaled(10.0);
+    let speedup = |log: &PhaseLog| {
+        let (booster, _) =
+            BoosterSim::new(BoosterConfig::default(), &bw).training_time(log, &host);
+        let cpu = IdealSim::cpu(&bw).training_time(log, &host);
+        cpu.total() / booster.total()
+    };
+    let s1 = speedup(&log1);
+    let s10 = speedup(&log10);
+    assert!(s10 > s1, "scaling decreased speedup: {s1} -> {s10}");
+}
+
+#[test]
+fn booster_accelerated_steps_scale_sublinearly_with_fields() {
+    // Wide records bring more intra-record parallelism: Booster's time
+    // per record must grow far slower than the field count.
+    let (bw, host) = env();
+    let (log_narrow, _, _) = phase_log(Benchmark::Flight, 5_000, 100.0); // 8 fields
+    let (log_wide, _, _) = phase_log(Benchmark::Iot, 5_000, 100.0); // 115 fields
+    let t = |log: &PhaseLog| {
+        let (b, _) = BoosterSim::new(BoosterConfig::default(), &bw).training_time(log, &host);
+        (b.steps.step1 + b.steps.step3 + b.steps.step5)
+            / log.trees.iter().map(|t| t.traversal.n_records as f64).sum::<f64>()
+    };
+    let per_record_narrow = t(&log_narrow);
+    let per_record_wide = t(&log_wide);
+    let ratio = per_record_wide / per_record_narrow;
+    assert!(
+        ratio < 115.0 / 8.0,
+        "per-record cost grew linearly with fields: {ratio}"
+    );
+}
+
+#[test]
+fn energy_counters_are_consistent() {
+    let (bw, host) = env();
+    let (log, _, _) = phase_log(Benchmark::Higgs, 4_000, 1.0);
+    let (booster, _) = BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host);
+    let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
+    // Same algorithmic data-structure accesses on both machines.
+    assert_eq!(booster.sram_accesses, cpu.sram_accesses);
+    // Booster transfers no more DRAM blocks than the CPU.
+    assert!(booster.dram_blocks <= cpu.dram_blocks);
+    // Counters match the log.
+    assert_eq!(
+        booster.sram_accesses,
+        log.total_bin_updates() * 2 + log.total_traversal_lookups()
+    );
+}
