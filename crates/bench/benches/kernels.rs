@@ -19,8 +19,7 @@ fn bench_histogram(c: &mut Criterion) {
     g.sample_size(10);
     for bench in [Benchmark::Higgs, Benchmark::Flight] {
         let (data, _) = generate_binned(bench, N, 1);
-        let grads: Vec<GradPair> =
-            (0..N).map(|i| GradPair::new((i as f64).sin(), 1.0)).collect();
+        let grads: Vec<GradPair> = (0..N).map(|i| GradPair::new((i as f64).sin(), 1.0)).collect();
         let rows: Vec<u32> = (0..N as u32).collect();
         g.throughput(Throughput::Elements((N * data.num_fields()) as u64));
         g.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
@@ -39,8 +38,7 @@ fn bench_split_scan(c: &mut Criterion) {
     g.sample_size(10);
     for bench in [Benchmark::Higgs, Benchmark::Allstate] {
         let (data, _) = generate_binned(bench, N, 1);
-        let grads: Vec<GradPair> =
-            (0..N).map(|i| GradPair::new((i as f64).cos(), 1.0)).collect();
+        let grads: Vec<GradPair> = (0..N).map(|i| GradPair::new((i as f64).cos(), 1.0)).collect();
         let rows: Vec<u32> = (0..N as u32).collect();
         let mut h = NodeHistogram::zeroed(&data);
         h.bin_records(&data, &rows, &grads);
@@ -95,11 +93,5 @@ fn bench_traversal(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_histogram,
-    bench_split_scan,
-    bench_partition,
-    bench_traversal
-);
+criterion_group!(benches, bench_histogram, bench_split_scan, bench_partition, bench_traversal);
 criterion_main!(benches);

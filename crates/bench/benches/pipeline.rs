@@ -34,12 +34,8 @@ fn bench_training(c: &mut Criterion) {
 
 fn bench_timing_model(c: &mut Criterion) {
     let (data, mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
-    let cfg = TrainConfig {
-        num_trees: 10,
-        max_depth: 6,
-        collect_phases: true,
-        ..Default::default()
-    };
+    let cfg =
+        TrainConfig { num_trees: 10, max_depth: 6, collect_phases: true, ..Default::default() };
     let (_, report) = train(&data, &mirror, &cfg);
     let log = report.phase_log.unwrap().scaled(500.0);
     let bw = BandwidthModel::new(booster_dram::DramConfig::default());

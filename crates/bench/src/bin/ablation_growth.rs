@@ -36,10 +36,7 @@ fn main() {
             max_depth: cfg.max_depth,
             loss: default_loss(b),
             collect_phases: true,
-            split: booster_gbdt::split::SplitParams {
-                gamma: cfg.gamma,
-                ..Default::default()
-            },
+            split: booster_gbdt::split::SplitParams { gamma: cfg.gamma, ..Default::default() },
             ..Default::default()
         };
         let scale = spec.full_records as f64 / sample as f64;

@@ -14,10 +14,7 @@ fn main() {
     );
     let cfg = BenchConfig::from_env();
     let env = SimEnv::new();
-    println!(
-        "{:<10} {:>12} {:>14} {:>12}",
-        "dataset", "speedup", "mean path len", "max depth"
-    );
+    println!("{:<10} {:>12} {:>14} {:>12}", "dataset", "speedup", "mean path len", "max depth");
     let mut sps = Vec::new();
     for w in PreparedWorkload::prepare_all(&cfg) {
         // Measure the per-tree traversal statistics functionally, then
@@ -29,8 +26,7 @@ fn main() {
             n_records: w.log.num_records,
             record_bytes: measured.record_bytes,
             num_trees: booster_bench::PAPER_TREES,
-            total_path_len: (per_tree * booster_bench::PAPER_TREES as f64 * w.record_scale)
-                as u64,
+            total_path_len: (per_tree * booster_bench::PAPER_TREES as f64 * w.record_scale) as u64,
             max_depth: measured.max_depth,
         };
         let b = booster_inference(&env.booster_cfg, &env.bw, &full);

@@ -29,10 +29,7 @@ fn main() {
         let res = env.run_training(&w);
         let base = res.cpu.total();
         println!("{}:", w.benchmark.name());
-        println!(
-            "  {:<14} {:>8} {:>8} {:>8} {:>8}",
-            "", "step1", "step2", "step3", "step5"
-        );
+        println!("  {:<14} {:>8} {:>8} {:>8} {:>8}", "", "step1", "step2", "step3", "step5");
         row("Ideal 32-core", &res.cpu, base);
         row("Ideal GPU", &res.gpu, base);
         row("Booster", &res.booster, base);

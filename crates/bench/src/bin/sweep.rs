@@ -23,12 +23,7 @@ fn main() {
     for clusters in [6u32, 13, 25, 50, 100, 200] {
         let bc = BoosterConfig { clusters, ..BoosterConfig::default() };
         let (run, _) = BoosterSim::new(bc, &env.bw).training_time(&w.log, &env.host);
-        println!(
-            "{:>10} {:>8} {:>11.2}x",
-            clusters,
-            bc.total_bus(),
-            speedup_over(&base_cpu, &run)
-        );
+        println!("{:>10} {:>8} {:>11.2}x", clusters, bc.total_bus(), speedup_over(&base_cpu, &run));
     }
 
     println!("\n(b) DRAM channel sweep on Higgs (50 clusters):");
@@ -54,12 +49,7 @@ fn main() {
     for sram in [512u32, 1024, 2048, 4096] {
         let bc = BoosterConfig { sram_bytes: sram, ..BoosterConfig::default() };
         let (run, _) = BoosterSim::new(bc, &env.bw).training_time(&wa.log, &env.host);
-        println!(
-            "{:>12} {:>12} {:>11.2}x",
-            sram,
-            bc.bins_per_sram(),
-            speedup_over(&cpu_a, &run)
-        );
+        println!("{:>12} {:>12} {:>11.2}x", sram, bc.bins_per_sram(), speedup_over(&cpu_a, &run));
     }
 
     println!("\n(d) Step-2 offload overhead sweep on Mq2008 (Amdahl on the host):");

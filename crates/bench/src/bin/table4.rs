@@ -11,7 +11,10 @@ fn main() {
          ~400 GB/s sustained",
     );
     let cfg = DramConfig::default();
-    println!("channels, banks, row          : {}, {}, {} B", cfg.channels, cfg.banks, cfg.row_bytes);
+    println!(
+        "channels, banks, row          : {}, {}, {} B",
+        cfg.channels, cfg.banks, cfg.row_bytes
+    );
     println!(
         "tCAS-tRP-tRCD-tRAS            : {}-{}-{}-{}",
         cfg.t_cas, cfg.t_rp, cfg.t_rcd, cfg.t_ras

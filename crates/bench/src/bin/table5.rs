@@ -17,12 +17,18 @@ fn main() {
     );
     println!(
         "{:<18} {:>12} {:>7.1}GHz {:>10}KB {:>14.2}",
-        "Ideal Multicore", format!("{} cores", cpu.lanes), cpu.clock_ghz, cpu.sram_kb,
+        "Ideal Multicore",
+        format!("{} cores", cpu.lanes),
+        cpu.clock_ghz,
+        cpu.sram_kb,
         cpu.sram_energy_norm
     );
     println!(
         "{:<18} {:>12} {:>7.1}GHz {:>10}KB {:>14.2}",
-        "Ideal GPU", format!("{} SMs", gpu.lanes), gpu.clock_ghz, gpu.sram_kb,
+        "Ideal GPU",
+        format!("{} SMs", gpu.lanes),
+        gpu.clock_ghz,
+        gpu.sram_kb,
         gpu.sram_energy_norm
     );
     println!(

@@ -21,10 +21,7 @@ fn main() {
     let bpc = bw.blocks_per_cycle(1.0);
 
     println!("Step 1 (histogram binning), 200k-record phases:");
-    println!(
-        "{:<26} {:>12} {:>12} {:>8}",
-        "workload", "detailed", "analytic", "ratio"
-    );
+    println!("{:<26} {:>12} {:>12} {:>8}", "workload", "detailed", "analytic", "ratio");
     for (name, fields, blocks_per_record) in [
         ("Higgs-like (28 fields)", 28usize, 0.56f64),
         ("IoT-like (115 fields)", 115, 1.92),
@@ -38,9 +35,9 @@ fn main() {
         let arrival = ArrivalRate::from_bandwidth(bpc, blocks_per_record);
         let detailed = simulate_step1(&cfg, &mapping, repl as u32, n, arrival);
         let mem = (n as f64 * blocks_per_record / bpc).ceil();
-        let compute = n as f64 * mapping.max_fields_per_sram as f64
-            * f64::from(cfg.field_update_cycles)
-            / repl;
+        let compute =
+            n as f64 * mapping.max_fields_per_sram as f64 * f64::from(cfg.field_update_cycles)
+                / repl;
         let analytic = mem.max(compute) + cfg.fill_drain_cycles() as f64;
         println!(
             "{:<26} {:>12} {:>12.0} {:>8.3}",
@@ -56,13 +53,12 @@ fn main() {
          vs analytic,\n25k-block dense stream, 2 records/block:"
     );
     println!("{:<26} {:>12} {:>12} {:>8}", "replicas", "coupled", "analytic", "ratio");
-    let mapping = map_fields(&vec![256u32; 28], &cfg);
+    let mapping = map_fields(&[256u32; 28], &cfg);
     let trace: Vec<u64> = (0..25_000).collect();
     for replicas in [1u32, 8, 100] {
         let res = simulate_step1_coupled(&cfg, &mapping, replicas, &trace, 2);
         let mem = 25_000.0 / bpc;
-        let compute =
-            50_000.0 * f64::from(cfg.field_update_cycles) / f64::from(replicas);
+        let compute = 50_000.0 * f64::from(cfg.field_update_cycles) / f64::from(replicas);
         let analytic = mem.max(compute) + cfg.fill_drain_cycles() as f64;
         println!(
             "{:<26} {:>12} {:>12.0} {:>8.3}",

@@ -286,10 +286,7 @@ mod tests {
         let res = env.run_training(&w);
         let sp_booster = res.cpu.total() / res.booster.total();
         let sp_gpu = res.cpu.total() / res.gpu.total();
-        assert!(
-            sp_booster > sp_gpu,
-            "Booster ({sp_booster:.2}x) must beat the GPU ({sp_gpu:.2}x)"
-        );
+        assert!(sp_booster > sp_gpu, "Booster ({sp_booster:.2}x) must beat the GPU ({sp_gpu:.2}x)");
         assert!(sp_gpu > 1.0 && sp_gpu < 2.2, "GPU speedup {sp_gpu:.2}");
         assert!(sp_booster > 3.0, "Booster speedup {sp_booster:.2}");
     }

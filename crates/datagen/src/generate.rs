@@ -122,7 +122,8 @@ fn gen_higgs(n: usize, rng: &mut StdRng) -> Dataset {
             *v = normal(rng);
         }
         // Interactions spanning several features force deep trees.
-        let score = 0.8 * row[0] * row[1] + 0.6 * row[2] * row[3] * row[4].signum()
+        let score = 0.8 * row[0] * row[1]
+            + 0.6 * row[2] * row[3] * row[4].signum()
             + 0.5 * (row[5] + row[6]).tanh()
             + 0.4 * row[7]
             - 0.3 * row[8] * row[9]

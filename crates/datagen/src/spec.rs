@@ -32,8 +32,13 @@ pub enum Benchmark {
 
 impl Benchmark {
     /// All five, in the paper's Table III order.
-    pub const ALL: [Benchmark; 5] =
-        [Benchmark::Iot, Benchmark::Higgs, Benchmark::Allstate, Benchmark::Mq2008, Benchmark::Flight];
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Iot,
+        Benchmark::Higgs,
+        Benchmark::Allstate,
+        Benchmark::Mq2008,
+        Benchmark::Flight,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {

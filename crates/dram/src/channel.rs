@@ -121,12 +121,7 @@ impl Channel {
         while i < self.inflight.len() {
             let (finish, id, is_write, enq) = self.inflight[i];
             if finish <= cycle {
-                done.push(Completion {
-                    id,
-                    finished_at: finish,
-                    is_write,
-                    latency: finish - enq,
-                });
+                done.push(Completion { id, finished_at: finish, is_write, latency: finish - enq });
                 self.stats.completed += 1;
                 self.stats.total_latency += finish - enq;
                 if is_write {
@@ -236,10 +231,8 @@ impl Channel {
             let open = self.banks[p.bank as usize].open_row;
             if let Some(open_row) = open {
                 if open_row != p.row {
-                    let has_pending_hit = self
-                        .queue
-                        .iter()
-                        .any(|q| q.bank == p.bank && q.row == open_row);
+                    let has_pending_hit =
+                        self.queue.iter().any(|q| q.bank == p.bank && q.row == open_row);
                     let b = &mut self.banks[p.bank as usize];
                     if !has_pending_hit && b.pre_at <= cycle {
                         b.open_row = None;
@@ -404,13 +397,7 @@ mod tests {
         // 5th ACT must wait until cycle >= first ACT + 16.
         let mut ch = channel();
         for i in 0..8u64 {
-            ch.enqueue(Pending {
-                id: i,
-                bank: i as u32,
-                row: 0,
-                is_write: false,
-                enqueued_at: 0,
-            });
+            ch.enqueue(Pending { id: i, bank: i as u32, row: 0, is_write: false, enqueued_at: 0 });
         }
         let (_, done) = run_until_done(&mut ch);
         assert_eq!(done.len(), 8);

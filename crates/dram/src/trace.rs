@@ -158,10 +158,7 @@ mod tests {
     fn sequential_stream_approaches_peak() {
         let bw = sustained_bandwidth(cfg(), Pattern::Sequential, 20_000);
         let peak = cfg().peak_bandwidth_gbps();
-        assert!(
-            bw > 0.9 * peak,
-            "sequential sustained {bw} GB/s should be near peak {peak}"
-        );
+        assert!(bw > 0.9 * peak, "sequential sustained {bw} GB/s should be near peak {peak}");
     }
 
     #[test]
@@ -176,12 +173,8 @@ mod tests {
     #[test]
     fn sparse_access_loses_bandwidth() {
         let dense = sustained_bandwidth(cfg(), Pattern::Sequential, 10_000);
-        let sparse =
-            sustained_bandwidth(cfg(), Pattern::SparseAscending { density: 0.05 }, 10_000);
-        assert!(
-            sparse < dense,
-            "sparse ({sparse}) must be below dense ({dense})"
-        );
+        let sparse = sustained_bandwidth(cfg(), Pattern::SparseAscending { density: 0.05 }, 10_000);
+        assert!(sparse < dense, "sparse ({sparse}) must be below dense ({dense})");
         assert!(sparse > 0.0);
     }
 
@@ -233,8 +226,7 @@ mod tests {
     fn bandwidth_monotone_in_density() {
         let mut prev = 0.0;
         for d in [0.05, 0.2, 0.5, 1.0] {
-            let bw =
-                sustained_bandwidth(cfg(), Pattern::SparseAscending { density: d }, 8_000);
+            let bw = sustained_bandwidth(cfg(), Pattern::SparseAscending { density: d }, 8_000);
             assert!(
                 bw >= prev * 0.95,
                 "bandwidth should not collapse as density rises: {bw} at {d} (prev {prev})"

@@ -79,10 +79,7 @@ mod tests {
         ]);
         let mut ds = Dataset::new(schema);
         for i in 0..100 {
-            ds.push_record(
-                &[RawValue::Num(i as f32), RawValue::Cat(i % 4)],
-                (i % 2) as f32,
-            );
+            ds.push_record(&[RawValue::Num(i as f32), RawValue::Cat(i % 4)], (i % 2) as f32);
         }
         BinnedDataset::from_dataset(&ds)
     }

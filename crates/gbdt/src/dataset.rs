@@ -133,10 +133,7 @@ mod tests {
     use crate::schema::FieldSchema;
 
     fn small_schema() -> DatasetSchema {
-        DatasetSchema::new(vec![
-            FieldSchema::numeric("x"),
-            FieldSchema::categorical("c", 3),
-        ])
+        DatasetSchema::new(vec![FieldSchema::numeric("x"), FieldSchema::categorical("c", 3)])
     }
 
     #[test]

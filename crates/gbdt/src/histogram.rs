@@ -91,12 +91,7 @@ impl NodeHistogram {
     /// property of Section III-A). Returns the number of histogram updates
     /// performed (records × fields), the SRAM-access count used by the
     /// energy model.
-    pub fn bin_records(
-        &mut self,
-        data: &BinnedDataset,
-        rows: &[u32],
-        grads: &[GradPair],
-    ) -> u64 {
+    pub fn bin_records(&mut self, data: &BinnedDataset, rows: &[u32], grads: &[GradPair]) -> u64 {
         let nf = self.num_fields();
         debug_assert_eq!(nf, data.num_fields());
         for &r in rows {
@@ -188,9 +183,8 @@ mod tests {
             ds.push_record(&[x, RawValue::Cat((i % 3) as u32)], (i % 2) as f32);
         }
         let b = BinnedDataset::from_dataset(&ds);
-        let grads = (0..n)
-            .map(|i| GradPair::new((i as f64).sin(), 1.0 + (i as f64 % 3.0)))
-            .collect();
+        let grads =
+            (0..n).map(|i| GradPair::new((i as f64).sin(), 1.0 + (i as f64 % 3.0))).collect();
         (b, grads)
     }
 

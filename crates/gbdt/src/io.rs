@@ -156,16 +156,10 @@ fn tokenize(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, CsvError> {
 /// the dataset and the per-categorical-field category name tables
 /// (`category_names[field_index]` maps category index → original token;
 /// numeric fields have empty tables).
-pub fn parse_csv(
-    text: &str,
-    opts: &CsvOptions,
-) -> Result<(Dataset, Vec<Vec<String>>), CsvError> {
+pub fn parse_csv(text: &str, opts: &CsvOptions) -> Result<(Dataset, Vec<Vec<String>>), CsvError> {
     let mut rows = tokenize(text, opts.delimiter)?;
-    let header: Option<Vec<String>> = if opts.has_header && !rows.is_empty() {
-        Some(rows.remove(0))
-    } else {
-        None
-    };
+    let header: Option<Vec<String>> =
+        if opts.has_header && !rows.is_empty() { Some(rows.remove(0)) } else { None };
     if rows.is_empty() {
         return Err(CsvError::Empty);
     }
@@ -181,8 +175,7 @@ pub fn parse_csv(
     let is_missing = |s: &str| opts.missing_tokens.iter().any(|t| t == s.trim());
 
     // Infer each feature column: numeric iff every present value parses.
-    let feature_cols: Vec<usize> =
-        (0..width).filter(|&c| c != opts.label_column).collect();
+    let feature_cols: Vec<usize> = (0..width).filter(|&c| c != opts.label_column).collect();
     let mut numeric = vec![true; width];
     for r in &rows {
         for &c in &feature_cols {
@@ -198,11 +191,8 @@ pub fn parse_csv(
         if numeric[c] {
             continue;
         }
-        let mut distinct: Vec<&str> = rows
-            .iter()
-            .map(|r| r[c].trim())
-            .filter(|s| !is_missing(s))
-            .collect();
+        let mut distinct: Vec<&str> =
+            rows.iter().map(|r| r[c].trim()).filter(|s| !is_missing(s)).collect();
         distinct.sort_unstable();
         distinct.dedup();
         if distinct.len() > opts.max_categories {
@@ -217,10 +207,7 @@ pub fn parse_csv(
     let fields: Vec<FieldSchema> = feature_cols
         .iter()
         .map(|&c| {
-            let name = header
-                .as_ref()
-                .map(|h| h[c].clone())
-                .unwrap_or_else(|| format!("col{c}"));
+            let name = header.as_ref().map(|h| h[c].clone()).unwrap_or_else(|| format!("col{c}"));
             if numeric[c] {
                 FieldSchema::numeric(name)
             } else {
@@ -235,8 +222,7 @@ pub fn parse_csv(
     let mut record: Vec<RawValue> = Vec::with_capacity(feature_cols.len());
     for (i, r) in rows.iter().enumerate() {
         let label_cell = r[opts.label_column].trim();
-        let label: f32 =
-            label_cell.parse().map_err(|_| CsvError::BadLabel { row: i })?;
+        let label: f32 = label_cell.parse().map_err(|_| CsvError::BadLabel { row: i })?;
         record.clear();
         for &c in &feature_cols {
             let cell = r[c].trim();
@@ -250,10 +236,8 @@ pub fn parse_csv(
         }
         ds.push_record(&record, label);
     }
-    let names: Vec<Vec<String>> = feature_cols
-        .iter()
-        .map(|&c| cat_maps[c].keys().cloned().collect())
-        .collect();
+    let names: Vec<Vec<String>> =
+        feature_cols.iter().map(|&c| cat_maps[c].keys().cloned().collect()).collect();
     Ok((ds, names))
 }
 
@@ -343,10 +327,7 @@ label,age,status,miles
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(
-            parse_csv("label,x\n", &CsvOptions::default()),
-            Err(CsvError::Empty)
-        ));
+        assert!(matches!(parse_csv("label,x\n", &CsvOptions::default()), Err(CsvError::Empty)));
         assert!(matches!(
             parse_csv("label,x\n1,2\n3\n", &CsvOptions::default()),
             Err(CsvError::RaggedRow { row: 1, found: 1, expected: 2 })
@@ -360,10 +341,7 @@ label,age,status,miles
             Err(CsvError::UnterminatedQuote { .. })
         ));
         let opts = CsvOptions { label_column: 9, ..Default::default() };
-        assert!(matches!(
-            parse_csv("a,b\n1,2\n", &opts),
-            Err(CsvError::BadLabelColumn(9))
-        ));
+        assert!(matches!(parse_csv("a,b\n1,2\n", &opts), Err(CsvError::BadLabelColumn(9))));
     }
 
     #[test]
@@ -373,10 +351,7 @@ label,age,status,miles
             text.push_str(&format!("0,tok{i}\n"));
         }
         let opts = CsvOptions { max_categories: 10, ..Default::default() };
-        assert!(matches!(
-            parse_csv(&text, &opts),
-            Err(CsvError::TooManyCategories { column: 1 })
-        ));
+        assert!(matches!(parse_csv(&text, &opts), Err(CsvError::TooManyCategories { column: 1 })));
     }
 
     #[test]
@@ -408,12 +383,8 @@ label,age,status,miles
         let (ds, _) = parse_csv(&text, &CsvOptions::default()).unwrap();
         let binned = BinnedDataset::from_dataset(&ds);
         let mirror = ColumnarMirror::from_binned(&binned);
-        let cfg = TrainConfig {
-            num_trees: 10,
-            max_depth: 3,
-            learning_rate: 0.5,
-            ..Default::default()
-        };
+        let cfg =
+            TrainConfig { num_trees: 10, max_depth: 3, learning_rate: 0.5, ..Default::default() };
         let (model, report) = train(&binned, &mirror, &cfg);
         assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
         // The categorical column perfectly predicts the label.

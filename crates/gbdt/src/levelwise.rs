@@ -21,9 +21,7 @@ use std::time::Instant;
 use crate::columnar::ColumnarMirror;
 use crate::gradients::GradPair;
 use crate::histogram::NodeHistogram;
-use crate::phases::{
-    BinPhase, NodePhase, PartitionPhase, PhaseLog, TraversalPhase, TreePhases,
-};
+use crate::phases::{BinPhase, NodePhase, PartitionPhase, PhaseLog, TraversalPhase, TreePhases};
 use crate::predict::Model;
 use crate::preprocess::{BinnedDataset, BLOCK_BYTES};
 use crate::split::{find_best_split, goes_left, leaf_weight, SplitInfo};
@@ -112,8 +110,7 @@ pub fn train_levelwise(
             if !any_split {
                 for ((node_idx, hist), _) in frontier.iter().zip(&splits) {
                     nodes[*node_idx as usize] = Node::Leaf {
-                        weight: leaf_weight(hist.total(), cfg.split.lambda)
-                            * cfg.learning_rate,
+                        weight: leaf_weight(hist.total(), cfg.split.lambda) * cfg.learning_rate,
                     };
                 }
                 if cfg.collect_phases {
@@ -140,8 +137,7 @@ pub fn train_levelwise(
                 match split {
                     None => {
                         nodes[*node_idx as usize] = Node::Leaf {
-                            weight: leaf_weight(hist.total(), cfg.split.lambda)
-                                * cfg.learning_rate,
+                            weight: leaf_weight(hist.total(), cfg.split.lambda) * cfg.learning_rate,
                         };
                         child_map.push(None);
                     }
@@ -196,12 +192,10 @@ pub fn train_levelwise(
             for (fi, (_, _)) in frontier.iter().enumerate() {
                 let Some((left, right)) = child_map[fi] else { continue };
                 let s = splits[fi].as_ref().expect("split exists");
-                let smaller =
-                    if s.left_count <= s.right_count { left } else { right };
+                let smaller = if s.left_count <= s.right_count { left } else { right };
                 explicit_nodes.insert(smaller, explicit_hists.len());
                 explicit_hists.push(NodeHistogram::zeroed(data));
-                explicit_total +=
-                    s.left_count.min(s.right_count) as usize;
+                explicit_total += s.left_count.min(s.right_count) as usize;
             }
             // The dense binning pass.
             let nf = data.num_fields();
@@ -219,10 +213,8 @@ pub fn train_levelwise(
                 let smaller = if s.left_count <= s.right_count { left } else { right };
                 let larger = if smaller == left { right } else { left };
                 let hi = explicit_nodes[&smaller];
-                let small_hist = std::mem::replace(
-                    &mut explicit_hists[hi],
-                    NodeHistogram::zeroed(data),
-                );
+                let small_hist =
+                    std::mem::replace(&mut explicit_hists[hi], NodeHistogram::zeroed(data));
                 let large_hist = NodeHistogram::subtract_from(parent_hist, &small_hist);
                 next_frontier.push((smaller, small_hist));
                 next_frontier.push((larger, large_hist));
@@ -405,12 +397,8 @@ mod tests {
     #[test]
     fn levelwise_phase_log_streams_densely() {
         let (data, mirror) = dataset(3_000);
-        let cfg = TrainConfig {
-            num_trees: 4,
-            max_depth: 4,
-            collect_phases: true,
-            ..Default::default()
-        };
+        let cfg =
+            TrainConfig { num_trees: 4, max_depth: 4, collect_phases: true, ..Default::default() };
         let (_, report) = train_levelwise(&data, &mirror, &cfg);
         let log = report.phase_log.unwrap();
         let full_blocks = (3_000 * log.record_bytes as usize).div_ceil(64);

@@ -35,11 +35,8 @@ pub fn logloss(preds: &[f64], labels: &[f64]) -> f64 {
 pub fn accuracy(preds: &[f64], labels: &[f64], threshold: f64) -> f64 {
     assert_eq!(preds.len(), labels.len());
     assert!(!preds.is_empty());
-    let correct = preds
-        .iter()
-        .zip(labels)
-        .filter(|(&p, &y)| (p >= threshold) == (y >= 0.5))
-        .count();
+    let correct =
+        preds.iter().zip(labels).filter(|(&p, &y)| (p >= threshold) == (y >= 0.5)).count();
     correct as f64 / preds.len() as f64
 }
 

@@ -200,13 +200,8 @@ mod tests {
         let exec = ParallelExec { chunk_size: 7 };
         let column: Vec<u32> = (0..100).map(|i| i % 10).collect();
         let rows: Vec<u32> = (0..100).collect();
-        let (l, r) = exec.partition(
-            &rows,
-            &column,
-            SplitRule::Numeric { threshold_bin: 4 },
-            false,
-            99,
-        );
+        let (l, r) =
+            exec.partition(&rows, &column, SplitRule::Numeric { threshold_bin: 4 }, false, 99);
         assert!(l.windows(2).all(|w| w[0] < w[1]));
         assert!(r.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(l.len() + r.len(), 100);

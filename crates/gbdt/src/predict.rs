@@ -71,10 +71,7 @@ impl Model {
 
     /// Record-parallel batch prediction (rayon).
     pub fn predict_batch_parallel(&self, data: &BinnedDataset) -> Vec<f64> {
-        (0..data.num_records())
-            .into_par_iter()
-            .map(|r| self.predict_binned(data, r))
-            .collect()
+        (0..data.num_records()).into_par_iter().map(|r| self.predict_binned(data, r)).collect()
     }
 
     /// Batch prediction returning per-record total path length across all

@@ -285,12 +285,8 @@ mod tests {
         }
         let binned = BinnedDataset::from_dataset(&ds);
         let mirror = ColumnarMirror::from_binned(&binned);
-        let cfg = TrainConfig {
-            num_trees: 8,
-            max_depth: 4,
-            loss: Loss::Logistic,
-            ..Default::default()
-        };
+        let cfg =
+            TrainConfig { num_trees: 8, max_depth: 4, loss: Loss::Logistic, ..Default::default() };
         let (model, _) = train(&binned, &mirror, &cfg);
         (model, binned)
     }
@@ -350,10 +346,7 @@ mod tests {
         let (model, _) = trained_model();
         let mut bytes = model_to_bytes(&model).to_vec();
         bytes.push(0);
-        assert!(matches!(
-            model_from_bytes(&bytes),
-            Err(SerError::Corrupt("trailing bytes"))
-        ));
+        assert!(matches!(model_from_bytes(&bytes), Err(SerError::Corrupt("trailing bytes"))));
     }
 
     #[test]

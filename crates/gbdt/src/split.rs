@@ -130,36 +130,34 @@ pub fn find_best_split_masked(
     let mut best: Option<SplitInfo> = None;
     let mut bins_scanned = 0u64;
 
-    let mut consider = |field: u32,
-                        rule: SplitRule,
-                        default_left: bool,
-                        left: GradPair,
-                        left_count: u64| {
-        let right = total - left;
-        let right_count = total_count - left_count;
-        if left_count == 0 || right_count == 0 {
-            return;
-        }
-        if left.h < params.min_child_weight || right.h < params.min_child_weight {
-            return;
-        }
-        let gain = 0.5 * (score(left, params.lambda) + score(right, params.lambda) - parent_score);
-        if gain <= params.gamma {
-            return;
-        }
-        if best.as_ref().is_none_or(|b| gain > b.gain) {
-            best = Some(SplitInfo {
-                field,
-                rule,
-                default_left,
-                gain,
-                left_grad: left,
-                right_grad: right,
-                left_count,
-                right_count,
-            });
-        }
-    };
+    let mut consider =
+        |field: u32, rule: SplitRule, default_left: bool, left: GradPair, left_count: u64| {
+            let right = total - left;
+            let right_count = total_count - left_count;
+            if left_count == 0 || right_count == 0 {
+                return;
+            }
+            if left.h < params.min_child_weight || right.h < params.min_child_weight {
+                return;
+            }
+            let gain =
+                0.5 * (score(left, params.lambda) + score(right, params.lambda) - parent_score);
+            if gain <= params.gamma {
+                return;
+            }
+            if best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(SplitInfo {
+                    field,
+                    rule,
+                    default_left,
+                    gain,
+                    left_grad: left,
+                    right_grad: right,
+                    left_count,
+                    right_count,
+                });
+            }
+        };
 
     for (f, binning) in binnings.iter().enumerate() {
         if let Some(mask) = field_mask {
@@ -230,9 +228,7 @@ mod tests {
         }
         let b = BinnedDataset::from_dataset(&ds);
         // squared error at margin 0.5: g = 0.5 - y
-        let grads = (0..100)
-            .map(|i| GradPair::new(if i < 50 { 0.5 } else { -0.5 }, 1.0))
-            .collect();
+        let grads = (0..100).map(|i| GradPair::new(if i < 50 { 0.5 } else { -0.5 }, 1.0)).collect();
         (b, grads)
     }
 
@@ -242,8 +238,7 @@ mod tests {
         let rows: Vec<u32> = (0..100).collect();
         let mut h = NodeHistogram::zeroed(&data);
         h.bin_records(&data, &rows, &grads);
-        let (split, scanned) =
-            find_best_split(&h, data.binnings(), &SplitParams::default());
+        let (split, scanned) = find_best_split(&h, data.binnings(), &SplitParams::default());
         let s = split.expect("split must exist");
         assert_eq!(s.field, 0);
         assert!(scanned > 0);

@@ -263,11 +263,7 @@ pub fn train_with_eval(
     patience: usize,
 ) -> (Model, TrainReport, Vec<f64>) {
     assert!(patience > 0, "patience must be positive");
-    assert_eq!(
-        eval.num_fields(),
-        data.num_fields(),
-        "eval set schema must match training schema"
-    );
+    assert_eq!(eval.num_fields(), data.num_fields(), "eval set schema must match training schema");
     // Train fully, then trim: trees are independent given earlier ones,
     // so evaluating incrementally after the fact is equivalent and keeps
     // one training path.
@@ -304,10 +300,7 @@ pub fn train_with(
     exec: &dyn StepExecutor,
 ) -> (Model, TrainReport) {
     assert!(data.num_records() > 0, "cannot train on an empty dataset");
-    assert!(
-        cfg.subsample > 0.0 && cfg.subsample <= 1.0,
-        "subsample must be in (0, 1]"
-    );
+    assert!(cfg.subsample > 0.0 && cfg.subsample <= 1.0, "subsample must be in (0, 1]");
     assert!(
         cfg.colsample_bytree > 0.0 && cfg.colsample_bytree <= 1.0,
         "colsample_bytree must be in (0, 1]"
@@ -668,12 +661,8 @@ mod tests {
     #[test]
     fn phase_log_consistency() {
         let (data, mirror) = xor_like_dataset(1500);
-        let cfg = TrainConfig {
-            num_trees: 8,
-            max_depth: 4,
-            collect_phases: true,
-            ..Default::default()
-        };
+        let cfg =
+            TrainConfig { num_trees: 8, max_depth: 4, collect_phases: true, ..Default::default() };
         let (model, report) = train(&data, &mirror, &cfg);
         let log = report.phase_log.expect("phases collected");
         assert_eq!(log.trees.len(), model.num_trees());
@@ -698,12 +687,8 @@ mod tests {
     #[test]
     fn smaller_child_binning_saves_work() {
         let (data, mirror) = xor_like_dataset(2000);
-        let cfg = TrainConfig {
-            num_trees: 10,
-            max_depth: 5,
-            collect_phases: true,
-            ..Default::default()
-        };
+        let cfg =
+            TrainConfig { num_trees: 10, max_depth: 5, collect_phases: true, ..Default::default() };
         let (_, report) = train(&data, &mirror, &cfg);
         let log = report.phase_log.unwrap();
         // Explicitly-binned records must be at most half of reaching
@@ -762,9 +747,7 @@ mod tests {
             let mut ds = crate::dataset::Dataset::new(schema);
             let mut state = 0xDEADBEEFu64;
             let mut rng = move || {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 ((state >> 33) as f32) / (u32::MAX >> 1) as f32
             };
             for _ in 0..1500 {
@@ -775,10 +758,7 @@ mod tests {
                 if rng() < 0.15 {
                     y = !y;
                 }
-                ds.push_record(
-                    &[RawValue::Num(a), RawValue::Num(b)],
-                    y as u8 as f32,
-                );
+                ds.push_record(&[RawValue::Num(a), RawValue::Num(b)], y as u8 as f32);
             }
             let binned = BinnedDataset::from_dataset(&ds);
             let mirror = ColumnarMirror::from_binned(&binned);
@@ -795,13 +775,8 @@ mod tests {
         assert!(!history.is_empty());
         assert!(model.num_trees() <= history.len());
         // The trimmed size is the argmin of the eval history.
-        let argmin = history
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0
-            + 1;
+        let argmin =
+            history.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0 + 1;
         assert_eq!(model.num_trees(), argmin);
     }
 
@@ -854,12 +829,8 @@ mod tests {
     #[test]
     fn different_seeds_give_different_stochastic_models() {
         let (data, mirror) = xor_like_dataset(2000);
-        let base = TrainConfig {
-            num_trees: 10,
-            max_depth: 3,
-            subsample: 0.6,
-            ..Default::default()
-        };
+        let base =
+            TrainConfig { num_trees: 10, max_depth: 3, subsample: 0.6, ..Default::default() };
         let (m1, _) = train(&data, &mirror, &TrainConfig { seed: 1, ..base.clone() });
         let (m2, _) = train(&data, &mirror, &TrainConfig { seed: 2, ..base });
         assert_ne!(m1.trees, m2.trees);

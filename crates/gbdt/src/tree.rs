@@ -336,8 +336,7 @@ mod tests {
         let absent = |_f: usize| 100u32;
         for b3 in (0..12).chain([100]) {
             for b7 in (0..4).chain([100]) {
-                let (w_tree, p_tree) =
-                    t.traverse(|f| if f == 3 { b3 } else { b7 }, &absent);
+                let (w_tree, p_tree) = t.traverse(|f| if f == 3 { b3 } else { b7 }, &absent);
                 let (w_tab, p_tab) = table.walk(&[b3, b7], &[100, 100]);
                 assert_eq!(w_tab as f64, w_tree, "bins ({b3},{b7})");
                 assert_eq!(p_tab, p_tree, "bins ({b3},{b7})");

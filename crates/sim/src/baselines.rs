@@ -139,9 +139,7 @@ impl<'a> IdealSim<'a> {
 mod tests {
     use super::*;
     use booster_dram::DramConfig;
-    use booster_gbdt::phases::{
-        BinPhase, NodePhase, PartitionPhase, TraversalPhase, TreePhases,
-    };
+    use booster_gbdt::phases::{BinPhase, NodePhase, PartitionPhase, TraversalPhase, TreePhases};
 
     fn log(n: usize, fields: usize) -> PhaseLog {
         let row_blocks = (n * fields).div_ceil(64);

@@ -53,7 +53,8 @@ impl<'a> BoosterSim<'a> {
     /// calibrated for `cfg.dram`.
     pub fn new(cfg: BoosterConfig, bw: &'a BandwidthModel) -> Self {
         assert_eq!(
-            bw.config(), &cfg.dram,
+            bw.config(),
+            &cfg.dram,
             "bandwidth model must be calibrated for the Booster DRAM config"
         );
         BoosterSim { cfg, bw }
@@ -114,8 +115,7 @@ impl<'a> BoosterSim<'a> {
                 if let Some(p) = &node.partition {
                     let t = step3_traffic(log, p, cfg.redundant_format);
                     let mem = self.bw.cycles(t.total_blocks(), t.density);
-                    let compute = (p.n_records as f64 * f64::from(cfg.predicate_cycles)
-                        / total_bus)
+                    let compute = (p.n_records as f64 * f64::from(cfg.predicate_cycles) / total_bus)
                         .ceil() as u64;
                     cyc3 += mem.max(compute) + fill;
                     dram_blocks += t.total_blocks();
@@ -152,9 +152,7 @@ impl<'a> BoosterSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use booster_gbdt::phases::{
-        BinPhase, NodePhase, PartitionPhase, TraversalPhase, TreePhases,
-    };
+    use booster_gbdt::phases::{BinPhase, NodePhase, PartitionPhase, TraversalPhase, TreePhases};
 
     fn small_log(n: usize, fields: usize) -> PhaseLog {
         let rb = fields as u32;
@@ -247,7 +245,10 @@ mod tests {
         log.total_bins = 5 * 64;
         let grouped = BoosterSim::new(BoosterConfig::default(), &bw);
         let packed = BoosterSim::new(
-            BoosterConfig { mapping: crate::machine::MappingStrategy::NaivePacking, ..Default::default() },
+            BoosterConfig {
+                mapping: crate::machine::MappingStrategy::NaivePacking,
+                ..Default::default()
+            },
             &bw,
         );
         let (g, _) = grouped.training_time(&log, &HostModel::default());

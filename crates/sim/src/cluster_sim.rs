@@ -76,10 +76,11 @@ pub fn simulate_step1(
 ) -> DetailedResult {
     assert!(replicas >= 1);
     let upd = u64::from(cfg.field_update_cycles);
-    let fill = u64::from(cfg.bus_per_cluster / cfg.bus_per_link); // segments
-    // Per replica, the critical port is the SRAM with the most co-packed
-    // fields: it receives `max_fields_per_sram` serialized updates per
-    // record, so the replica accepts a record every `ser * upd` cycles.
+    // Bus fill latency in segments, then per-replica service: the
+    // critical port is the SRAM with the most co-packed fields — it
+    // receives `max_fields_per_sram` serialized updates per record, so
+    // the replica accepts a record every `ser * upd` cycles.
+    let fill = u64::from(cfg.bus_per_cluster / cfg.bus_per_link);
     let ser = mapping.max_fields_per_sram as u64;
     let service = ser * upd;
 
@@ -300,10 +301,7 @@ mod tests {
         let one = simulate_step1(&cfg(), &mapping, 1, 8_000, arrival);
         let four = simulate_step1(&cfg(), &mapping, 4, 8_000, arrival);
         let speedup = one.cycles as f64 / four.cycles as f64;
-        assert!(
-            (speedup - 4.0).abs() < 0.3,
-            "4 replicas should give ~4x: {speedup}"
-        );
+        assert!((speedup - 4.0).abs() < 0.3, "4 replicas should give ~4x: {speedup}");
     }
 
     #[test]
@@ -313,8 +311,7 @@ mod tests {
         // SRAMs.
         let bins = vec![5u32; 64];
         let grouped = map_fields(&bins, &cfg());
-        let packed_cfg =
-            BoosterConfig { mapping: MappingStrategy::NaivePacking, ..cfg() };
+        let packed_cfg = BoosterConfig { mapping: MappingStrategy::NaivePacking, ..cfg() };
         let packed = map_fields(&bins, &packed_cfg);
         let arrival = ArrivalRate { num: 1, den: 1 };
         let g = simulate_step1(&cfg(), &grouped, 1, 2_000, arrival);
@@ -348,7 +345,8 @@ mod tests {
             let detailed = simulate_step1(&c, &mapping, repl as u32, n_records, arrival);
 
             let mem = (n_records as f64 * blocks_per_record / bpc).ceil();
-            let compute = n_records as f64 * mapping.max_fields_per_sram as f64
+            let compute = n_records as f64
+                * mapping.max_fields_per_sram as f64
                 * f64::from(c.field_update_cycles)
                 / repl;
             let analytic = mem.max(compute) + c.fill_drain_cycles() as f64;
@@ -371,10 +369,8 @@ mod tests {
         // Dense stream: 20k blocks, 2 records each.
         let trace: Vec<u64> = (0..20_000).collect();
         let res = simulate_step1_coupled(&c, &mapping, 100, &trace, 2);
-        let pure_mem = booster_dram::run_trace(
-            c.dram,
-            trace.iter().map(|&b| booster_dram::Request::read(b)),
-        );
+        let pure_mem =
+            booster_dram::run_trace(c.dram, trace.iter().map(|&b| booster_dram::Request::read(b)));
         let ratio = res.cycles as f64 / pure_mem.cycles as f64;
         assert!(
             (0.95..=1.3).contains(&ratio),
@@ -430,15 +426,9 @@ mod tests {
         let paths = vec![6u32; 100_000];
         let arrival = ArrivalRate { num: 1, den: 10_000 };
         let res = simulate_tree_walk(&c, c.total_bus(), &paths, arrival);
-        let analytic =
-            100_000.0 * 6.0 * f64::from(c.tree_level_cycles) / f64::from(c.total_bus());
+        let analytic = 100_000.0 * 6.0 * f64::from(c.tree_level_cycles) / f64::from(c.total_bus());
         let ratio = res.cycles as f64 / (analytic + 200.0);
-        assert!(
-            (0.9..=1.15).contains(&ratio),
-            "detailed {} vs analytic {}",
-            res.cycles,
-            analytic
-        );
+        assert!((0.9..=1.15).contains(&ratio), "detailed {} vs analytic {}", res.cycles, analytic);
     }
 
     #[test]

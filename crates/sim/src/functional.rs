@@ -75,8 +75,7 @@ impl FunctionalBooster {
     }
 
     fn mapping_for(&self, data: &BinnedDataset) -> FieldMapping {
-        let field_bins: Vec<u32> =
-            (0..data.num_fields()).map(|f| data.field_bins(f)).collect();
+        let field_bins: Vec<u32> = (0..data.num_fields()).map(|f| data.field_bins(f)).collect();
         map_fields(&field_bins, &self.cfg)
     }
 }
@@ -142,9 +141,8 @@ impl StepExecutor for FunctionalBooster {
         stats.sram_updates += rows.len() as u64 * nf as u64;
         stats.sram_readouts += readouts;
         stats.records_binned += rows.len() as u64;
-        stats.max_accesses_per_sram_per_record = stats
-            .max_accesses_per_sram_per_record
-            .max(mapping.max_fields_per_sram as u32);
+        stats.max_accesses_per_sram_per_record =
+            stats.max_accesses_per_sram_per_record.max(mapping.max_fields_per_sram as u32);
         rows.len() as u64 * nf as u64
     }
 
@@ -174,11 +172,8 @@ impl StepExecutor for FunctionalBooster {
         grads: &mut [GradPair],
     ) -> (u64, f64) {
         let table = tree.to_table();
-        let absents: Vec<u32> = table
-            .fields_used
-            .iter()
-            .map(|&f| data.binnings()[f as usize].absent_bin())
-            .collect();
+        let absents: Vec<u32> =
+            table.fields_used.iter().map(|&f| data.binnings()[f as usize].absent_bin()).collect();
         let mut bins_buf = vec![0u32; table.fields_used.len()];
         let mut sum_path = 0u64;
         let mut total_loss = 0.0f64;
@@ -277,18 +272,11 @@ mod tests {
         let labels: Vec<f64> = data.labels().iter().map(|&y| f64::from(y)).collect();
         let sw_acc = metrics::accuracy(&sw_model.predict_batch(&data), &labels, 0.5);
         let hw_acc = metrics::accuracy(&hw_model.predict_batch(&data), &labels, 0.5);
-        assert!(
-            (sw_acc - hw_acc).abs() < 0.02,
-            "accuracy diverged: sw {sw_acc} vs hw {hw_acc}"
-        );
+        assert!((sw_acc - hw_acc).abs() < 0.02, "accuracy diverged: sw {sw_acc} vs hw {hw_acc}");
         // Predictions track closely record by record.
         let sw_p = sw_model.predict_batch(&data);
         let hw_p = hw_model.predict_batch(&data);
-        let max_diff = sw_p
-            .iter()
-            .zip(&hw_p)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_diff = sw_p.iter().zip(&hw_p).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(max_diff < 0.25, "max prediction diff {max_diff}");
     }
 

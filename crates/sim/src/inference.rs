@@ -123,8 +123,7 @@ pub fn booster_inference_deployed(
     let compute = (w.n_records as f64 * interval / reps).ceil() as u64;
     // Each chip broadcasts every record once (full row-major record;
     // trees use many fields), outputs one f32 per record per chip.
-    let read_blocks =
-        (w.n_records as f64 * f64::from(w.record_bytes) / 64.0).ceil() as u64;
+    let read_blocks = (w.n_records as f64 * f64::from(w.record_bytes) / 64.0).ceil() as u64;
     let write_blocks = (w.n_records as f64 * 4.0 / 64.0).ceil() as u64;
     let mem = bw.cycles(read_blocks + write_blocks, 1.0);
     let cycles = mem.max(compute) + cfg.fill_drain_cycles();
@@ -150,18 +149,14 @@ pub fn ideal_inference(
     w: &InferenceWorkload,
     name: &'static str,
 ) -> ArchRun {
-    let ops = w.total_path_len as f64 * work.step5_per_level
-        + w.n_records as f64 * w.num_trees as f64; // output combining
+    let ops =
+        w.total_path_len as f64 * work.step5_per_level + w.n_records as f64 * w.num_trees as f64; // output combining
     let compute = ops / (f64::from(cfg.lanes) * cfg.clock_ghz * 1e9);
-    let read_blocks =
-        (w.n_records as f64 * f64::from(w.record_bytes) / 64.0).ceil() as u64;
+    let read_blocks = (w.n_records as f64 * f64::from(w.record_bytes) / 64.0).ceil() as u64;
     let write_blocks = (w.n_records as f64 * 4.0 / 64.0).ceil() as u64;
     let mem_cycles = bw.cycles(read_blocks + write_blocks, 1.0);
     let mem = mem_cycles as f64 / (bw.config().clock_ghz * 1e9);
-    let steps = crate::report::StepSeconds {
-        step5: compute.max(mem),
-        ..Default::default()
-    };
+    let steps = crate::report::StepSeconds { step5: compute.max(mem), ..Default::default() };
     ArchRun {
         name: name.into(),
         steps,

@@ -128,8 +128,7 @@ impl<'a> InterRecordSim<'a> {
             let tr = &tree.traversal;
             let t = step5_traffic(log, tr, false);
             let mem = self.bw.cycles(t.total_blocks(), t.density);
-            let compute =
-                (tr.sum_path_len as f64 * self.tree_level_cycles / copies).ceil() as u64;
+            let compute = (tr.sum_path_len as f64 * self.tree_level_cycles / copies).ceil() as u64;
             cyc5 += mem.max(compute);
             dram_blocks += t.total_blocks();
             sram_accesses += tr.sum_path_len;
@@ -160,10 +159,7 @@ mod tests {
         let s = sim(&bw);
         // Higgs: 28 features -> paper says 271 copies; accept +-10%.
         let higgs = s.copies(28);
-        assert!(
-            (244..=298).contains(&higgs),
-            "Higgs copies {higgs}, paper 271"
-        );
+        assert!((244..=298).contains(&higgs), "Higgs copies {higgs}, paper 271");
         // Mq2008: 46 features -> paper says 179.
         let mq = s.copies(46);
         assert!((161..=197).contains(&mq), "Mq2008 copies {mq}, paper 179");

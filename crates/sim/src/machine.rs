@@ -99,21 +99,13 @@ impl BoosterConfig {
     /// The Fig 9 ablation point with no optimizations: naive packing and
     /// no redundant format.
     pub fn no_opts(self) -> Self {
-        BoosterConfig {
-            mapping: MappingStrategy::NaivePacking,
-            redundant_format: false,
-            ..self
-        }
+        BoosterConfig { mapping: MappingStrategy::NaivePacking, redundant_format: false, ..self }
     }
 
     /// Group-by-field mapping but no redundant format (the middle Fig 9
     /// bar).
     pub fn group_by_field_only(self) -> Self {
-        BoosterConfig {
-            mapping: MappingStrategy::GroupByField,
-            redundant_format: false,
-            ..self
-        }
+        BoosterConfig { mapping: MappingStrategy::GroupByField, redundant_format: false, ..self }
     }
 }
 

@@ -131,10 +131,7 @@ mod tests {
         let row = step3_traffic(&l, &p, false);
         assert_eq!(red.read_blocks, 1000);
         assert_eq!(row.read_blocks, 4000);
-        assert!(
-            red.read_blocks < row.read_blocks,
-            "redundant format must save read bandwidth"
-        );
+        assert!(red.read_blocks < row.read_blocks, "redundant format must save read bandwidth");
         // Pointer output: 2 x 32k x 4B / 64 = 2 x 2000.
         assert_eq!(red.write_blocks, 4000);
         assert_eq!(row.write_blocks, 4000);
@@ -163,12 +160,7 @@ mod tests {
         // When a tree uses nearly every field, columns exceed rows; the
         // traffic model must reflect that honestly.
         let l = log();
-        let t = TraversalPhase {
-            n_records: 64_000,
-            fields_used: 4,
-            sum_path_len: 0,
-            max_depth: 6,
-        };
+        let t = TraversalPhase { n_records: 64_000, fields_used: 4, sum_path_len: 0, max_depth: 6 };
         let red = step5_traffic(&l, &t, true);
         let row = step5_traffic(&l, &t, false);
         assert_eq!(red.read_blocks, row.read_blocks);

@@ -158,12 +158,7 @@ pub fn real_cpu(ideal: &ArchRun, irr: &Irregularity, p: &RealModelParams) -> Arc
 
 /// Degrade an Ideal GPU run into a modeled real GPU run. `phases` is the
 /// number of kernel launches (three per processed vertex class).
-pub fn real_gpu(
-    ideal: &ArchRun,
-    irr: &Irregularity,
-    phases: u64,
-    p: &RealModelParams,
-) -> ArchRun {
+pub fn real_gpu(ideal: &ArchRun, irr: &Irregularity, phases: u64, p: &RealModelParams) -> ArchRun {
     // Shared-memory overflow: histograms that cannot be privatized fall
     // back to global atomics.
     let hist_kb = irr.histogram_bytes as f64 / 1024.0;

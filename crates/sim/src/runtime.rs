@@ -59,11 +59,7 @@ pub fn accelerated_training(
     let device = FunctionalBooster::new(booster_cfg);
     let (model, report) = train_with(data, mirror, &cfg, &device);
 
-    let log = report
-        .phase_log
-        .as_ref()
-        .expect("phases collected")
-        .scaled(record_scale);
+    let log = report.phase_log.as_ref().expect("phases collected").scaled(record_scale);
     let bw = BandwidthModel::new(booster_cfg.dram);
     let host = HostModel::default();
     let (booster, diagnostics) = BoosterSim::new(booster_cfg, &bw).training_time(&log, &host);
@@ -115,10 +111,8 @@ mod tests {
     fn record_scale_scales_time_not_model() {
         let (data, mirror) = generate_binned(Benchmark::Mq2008, 4_000, 5);
         let cfg = TrainConfig { num_trees: 4, max_depth: 3, ..Default::default() };
-        let small =
-            accelerated_training(&data, &mirror, &cfg, BoosterConfig::default(), 1.0);
-        let large =
-            accelerated_training(&data, &mirror, &cfg, BoosterConfig::default(), 100.0);
+        let small = accelerated_training(&data, &mirror, &cfg, BoosterConfig::default(), 1.0);
+        let large = accelerated_training(&data, &mirror, &cfg, BoosterConfig::default(), 100.0);
         // Record-proportional steps scale with the dataset; the total
         // scales less (fixed per-phase and host costs — Amdahl).
         assert!(

@@ -46,8 +46,7 @@ fn main() {
 
     let bw = BandwidthModel::new(booster_dram::DramConfig::default());
     let host = HostModel::default();
-    let (booster, diag) =
-        BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host);
+    let (booster, diag) = BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host);
     let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
     let gpu = IdealSim::gpu(&bw).training_time(&log, &host);
     let ir = InterRecordSim::matching_booster(&BoosterConfig::default(), &bw).training_time(
@@ -81,6 +80,14 @@ fn main() {
     let e_gpu = energy_of(&gpu, IdealMachineConfig::ideal_gpu().sram_energy_norm);
     let e_b = energy_of(&booster, 0.71);
     println!("\nenergy (normalized to Ideal 32-core):");
-    println!("  SRAM : CPU 1.00   GPU {:.2}   Booster {:.2}", e_gpu.sram / e_cpu.sram, e_b.sram / e_cpu.sram);
-    println!("  DRAM : CPU 1.00   GPU {:.2}   Booster {:.2}", e_gpu.dram / e_cpu.dram, e_b.dram / e_cpu.dram);
+    println!(
+        "  SRAM : CPU 1.00   GPU {:.2}   Booster {:.2}",
+        e_gpu.sram / e_cpu.sram,
+        e_b.sram / e_cpu.sram
+    );
+    println!(
+        "  DRAM : CPU 1.00   GPU {:.2}   Booster {:.2}",
+        e_gpu.dram / e_cpu.dram,
+        e_b.dram / e_cpu.dram
+    );
 }

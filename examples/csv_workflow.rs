@@ -27,8 +27,7 @@ fn main() {
         let churn_p = if tenure < 12.0 && plan == "basic" { 0.8 } else { 0.1 };
         let churned = u8::from(rng() < churn_p);
         // 2% of rows are missing the spend column.
-        let spend_cell =
-            if rng() < 0.02 { String::new() } else { format!("{spend:.2}") };
+        let spend_cell = if rng() < 0.02 { String::new() } else { format!("{spend:.2}") };
         csv.push_str(&format!("{churned},{tenure},{plan},{spend_cell},{region}\n"));
     }
 
@@ -64,12 +63,11 @@ fn main() {
     let served = model_from_bytes(&bytes).unwrap();
 
     // --- 5. Serve predictions on raw records. ----------------------------
-    let plan_idx =
-        |name: &str| category_names[1].iter().position(|p| p == name).unwrap() as u32;
+    let plan_idx = |name: &str| category_names[1].iter().position(|p| p == name).unwrap() as u32;
     let risky = served.predict_raw(&[
-        RawValue::Num(3.0),                   // 3 months tenure
+        RawValue::Num(3.0), // 3 months tenure
         RawValue::Cat(plan_idx("basic")),
-        RawValue::Missing,                    // spend unknown
+        RawValue::Missing, // spend unknown
         RawValue::Cat(0),
     ]);
     let loyal = served.predict_raw(&[

@@ -85,11 +85,8 @@ fn main() {
     let auc = booster_repro::gbdt::metrics::auc(&preds, &labels);
     println!("training accuracy {:.3}, AUC {:.3}", acc, auc);
 
-    let gold_flier = model.predict_raw(&[
-        RawValue::Cat(1),
-        RawValue::Cat(0),
-        RawValue::Num(80_000.0),
-    ]);
+    let gold_flier =
+        model.predict_raw(&[RawValue::Cat(1), RawValue::Cat(0), RawValue::Num(80_000.0)]);
     let new_customer =
         model.predict_raw(&[RawValue::Cat(0), RawValue::Missing, RawValue::Num(4_000.0)]);
     println!("P(upgrade | gold, 80k miles)     = {gold_flier:.3}");

@@ -2,7 +2,7 @@
 //! shapes, extreme configurations, and resource-starved simulators must
 //! behave predictably, never hang or panic.
 
-use booster_repro::dram::{run_trace, pattern_trace, DramConfig, Pattern, Request};
+use booster_repro::dram::{pattern_trace, run_trace, DramConfig, Pattern, Request};
 use booster_repro::gbdt::columnar::ColumnarMirror;
 use booster_repro::gbdt::dataset::{Dataset, RawValue};
 use booster_repro::gbdt::preprocess::BinnedDataset;
@@ -41,10 +41,8 @@ fn max_depth_zero_yields_stump_free_model() {
 
 #[test]
 fn all_missing_column_is_harmless() {
-    let schema = DatasetSchema::new(vec![
-        FieldSchema::numeric("useful"),
-        FieldSchema::numeric("ghost"),
-    ]);
+    let schema =
+        DatasetSchema::new(vec![FieldSchema::numeric("useful"), FieldSchema::numeric("ghost")]);
     let mut ds = Dataset::new(schema);
     for i in 0..400 {
         ds.push_record(
@@ -63,10 +61,8 @@ fn all_missing_column_is_harmless() {
 
 #[test]
 fn constant_feature_never_selected() {
-    let schema = DatasetSchema::new(vec![
-        FieldSchema::numeric("constant"),
-        FieldSchema::numeric("signal"),
-    ]);
+    let schema =
+        DatasetSchema::new(vec![FieldSchema::numeric("constant"), FieldSchema::numeric("signal")]);
     let mut ds = Dataset::new(schema);
     for i in 0..300 {
         ds.push_record(
@@ -117,8 +113,7 @@ fn refresh_dominated_config_still_makes_progress() {
     let cfg = DramConfig { t_refi: 320, t_rfc: 160, ..Default::default() };
     let res = run_trace(cfg, pattern_trace(Pattern::Sequential, 20_000));
     assert_eq!(res.blocks, 20_000);
-    let normal =
-        run_trace(DramConfig::default(), pattern_trace(Pattern::Sequential, 20_000));
+    let normal = run_trace(DramConfig::default(), pattern_trace(Pattern::Sequential, 20_000));
     assert!(
         res.cycles as f64 > normal.cycles as f64 * 1.3,
         "heavy refresh must cost cycles: {} vs {}",
@@ -142,11 +137,8 @@ fn single_channel_single_bank_worst_case() {
 
 #[test]
 fn one_cluster_chip_is_slow_but_sound() {
-    let (data, mirror) = booster_repro::datagen::generate_binned(
-        booster_repro::datagen::Benchmark::Higgs,
-        3_000,
-        1,
-    );
+    let (data, mirror) =
+        booster_repro::datagen::generate_binned(booster_repro::datagen::Benchmark::Higgs, 3_000, 1);
     let cfg = TrainConfig { num_trees: 3, collect_phases: true, ..Default::default() };
     let (_, report) = train(&data, &mirror, &cfg);
     let log = report.phase_log.unwrap().scaled(100.0);
@@ -154,8 +146,7 @@ fn one_cluster_chip_is_slow_but_sound() {
     let host = HostModel::default();
     let tiny = BoosterConfig { clusters: 1, ..Default::default() };
     let (tiny_run, _) = BoosterSim::new(tiny, &bw).training_time(&log, &host);
-    let (full_run, _) =
-        BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host);
+    let (full_run, _) = BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host);
     let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
     assert!(tiny_run.total() > full_run.total(), "64 BUs must be slower than 3200");
     // Even one cluster has 64-way parallelism at 8 cycles/update; it

@@ -94,10 +94,7 @@ fn categorical_benchmarks_have_lopsided_splits() {
             }
         }
         let frac = binned as f64 / reaching.max(1) as f64;
-        assert!(
-            frac < 0.35,
-            "{b:?}: explicitly-binned fraction {frac} not lopsided"
-        );
+        assert!(frac < 0.35, "{b:?}: explicitly-binned fraction {frac} not lopsided");
     }
 }
 
@@ -111,10 +108,7 @@ fn parallel_training_matches_sequential_on_benchmarks() {
         let labels: Vec<f64> = data.labels().iter().map(|&y| f64::from(y)).collect();
         let l_seq = metrics::logloss(&m_seq.predict_batch(&data), &labels);
         let l_par = metrics::logloss(&m_par.predict_batch(&data), &labels);
-        assert!(
-            (l_seq - l_par).abs() < 0.02 * (1.0 + l_seq),
-            "{b:?}: seq {l_seq} vs par {l_par}"
-        );
+        assert!((l_seq - l_par).abs() < 0.02 * (1.0 + l_seq), "{b:?}: seq {l_seq} vs par {l_par}");
     }
 }
 
@@ -132,10 +126,7 @@ fn raw_and_binned_prediction_agree() {
         }
         let p_raw = model.predict_raw(&record);
         let p_binned = model.predict_binned(&binned, r);
-        assert!(
-            (p_raw - p_binned).abs() < 1e-9,
-            "record {r}: raw {p_raw} vs binned {p_binned}"
-        );
+        assert!((p_raw - p_binned).abs() < 1e-9, "record {r}: raw {p_raw} vs binned {p_binned}");
     }
 }
 
@@ -143,16 +134,14 @@ fn raw_and_binned_prediction_agree() {
 fn tree_tables_reproduce_model_predictions() {
     let (data, mirror) = generate_binned(Benchmark::Higgs, 4_000, 12);
     let (model, _) = train(&data, &mirror, &train_cfg(Benchmark::Higgs, 6));
-    let absents: Vec<u32> =
-        data.binnings().iter().map(|b| b.absent_bin()).collect();
+    let absents: Vec<u32> = data.binnings().iter().map(|b| b.absent_bin()).collect();
     for r in (0..4_000).step_by(131) {
         let mut margin = model.base_score;
         for tree in &model.trees {
             let table = tree.to_table();
             let bins: Vec<u32> =
                 table.fields_used.iter().map(|&f| data.bin(r, f as usize)).collect();
-            let abs: Vec<u32> =
-                table.fields_used.iter().map(|&f| absents[f as usize]).collect();
+            let abs: Vec<u32> = table.fields_used.iter().map(|&f| absents[f as usize]).collect();
             let (w, _) = table.walk(&bins, &abs);
             margin += f64::from(w);
         }

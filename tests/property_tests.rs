@@ -58,8 +58,7 @@ proptest! {
 
 // -------------------------------------------------------------- histograms
 
-fn arb_dataset_and_grads(
-) -> impl Strategy<Value = (BinnedDataset, Vec<GradPair>, Vec<u32>)> {
+fn arb_dataset_and_grads() -> impl Strategy<Value = (BinnedDataset, Vec<GradPair>, Vec<u32>)> {
     (2usize..6, 20usize..150).prop_flat_map(|(nf, n)| {
         let schema = DatasetSchema::new(
             (0..nf)
@@ -74,10 +73,7 @@ fn arb_dataset_and_grads(
         );
         (
             Just(schema),
-            prop::collection::vec(
-                prop::collection::vec(any::<u8>(), nf),
-                n..=n,
-            ),
+            prop::collection::vec(prop::collection::vec(any::<u8>(), nf), n..=n),
             prop::collection::vec((-10.0f64..10.0, 0.1f64..2.0), n..=n),
             prop::collection::vec(any::<bool>(), n..=n),
         )
@@ -98,12 +94,8 @@ fn arb_dataset_and_grads(
                 let binned = BinnedDataset::from_dataset(&ds);
                 let grads: Vec<GradPair> =
                     grads.into_iter().map(|(g, h)| GradPair::new(g, h)).collect();
-                let subset: Vec<u32> = mask
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &m)| m)
-                    .map(|(i, _)| i as u32)
-                    .collect();
+                let subset: Vec<u32> =
+                    mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i as u32).collect();
                 (binned, grads, subset)
             })
     })
@@ -213,11 +205,7 @@ proptest! {
 /// Exhaustively evaluate every (rule, default) candidate by routing the
 /// records directly, and return the best gain — the oracle the scan must
 /// match.
-fn brute_force_best_gain(
-    data: &BinnedDataset,
-    grads: &[GradPair],
-    lambda: f64,
-) -> Option<f64> {
+fn brute_force_best_gain(data: &BinnedDataset, grads: &[GradPair], lambda: f64) -> Option<f64> {
     use booster_repro::gbdt::preprocess::FieldBinning;
     let n = data.num_records();
     let total: GradPair = (0..n).fold(GradPair::zero(), |acc, r| acc + grads[r]);

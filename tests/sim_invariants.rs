@@ -56,9 +56,8 @@ fn ablation_ordering_no_opts_never_faster() {
     for b in [Benchmark::Allstate, Benchmark::Flight, Benchmark::Higgs] {
         let (log, _, _) = phase_log(b, 5_000, 200.0);
         let full = BoosterConfig::default();
-        let run = |cfg: BoosterConfig| {
-            BoosterSim::new(cfg, &bw).training_time(&log, &host).0.total()
-        };
+        let run =
+            |cfg: BoosterConfig| BoosterSim::new(cfg, &bw).training_time(&log, &host).0.total();
         let t_full = run(full);
         let t_gbf = run(full.group_by_field_only());
         let t_none = run(full.no_opts());
@@ -74,9 +73,7 @@ fn redundant_format_never_increases_traffic() {
     let (bw, host) = env();
     for b in Benchmark::ALL {
         let (log, _, _) = phase_log(b, 4_000, 100.0);
-        let with = BoosterSim::new(BoosterConfig::default(), &bw)
-            .training_time(&log, &host)
-            .0;
+        let with = BoosterSim::new(BoosterConfig::default(), &bw).training_time(&log, &host).0;
         let without = BoosterSim::new(BoosterConfig::default().group_by_field_only(), &bw)
             .training_time(&log, &host)
             .0;
@@ -112,8 +109,7 @@ fn speedup_grows_with_dataset_scale() {
     let (log1, _, _) = phase_log(Benchmark::Higgs, 5_000, 100.0);
     let log10 = log1.scaled(10.0);
     let speedup = |log: &PhaseLog| {
-        let (booster, _) =
-            BoosterSim::new(BoosterConfig::default(), &bw).training_time(log, &host);
+        let (booster, _) = BoosterSim::new(BoosterConfig::default(), &bw).training_time(log, &host);
         let cpu = IdealSim::cpu(&bw).training_time(log, &host);
         cpu.total() / booster.total()
     };
@@ -137,10 +133,7 @@ fn booster_accelerated_steps_scale_sublinearly_with_fields() {
     let per_record_narrow = t(&log_narrow);
     let per_record_wide = t(&log_wide);
     let ratio = per_record_wide / per_record_narrow;
-    assert!(
-        ratio < 115.0 / 8.0,
-        "per-record cost grew linearly with fields: {ratio}"
-    );
+    assert!(ratio < 115.0 / 8.0, "per-record cost grew linearly with fields: {ratio}");
 }
 
 #[test]
@@ -154,8 +147,5 @@ fn energy_counters_are_consistent() {
     // Booster transfers no more DRAM blocks than the CPU.
     assert!(booster.dram_blocks <= cpu.dram_blocks);
     // Counters match the log.
-    assert_eq!(
-        booster.sram_accesses,
-        log.total_bin_updates() * 2 + log.total_traversal_lookups()
-    );
+    assert_eq!(booster.sram_accesses, log.total_bin_updates() * 2 + log.total_traversal_lookups());
 }

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion` with the same authoring surface
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, throughput,
+//! parameterized IDs) and a deliberately simple runner: each benchmark is
+//! warmed up once, timed for `sample_size` iterations, and the per-
+//! iteration median / min are printed with a derived throughput line.
+//!
+//! No statistical analysis, no HTML reports, no baseline comparison —
+//! those belong to the real crate. What this keeps is (a) the benches
+//! compile and run under `cargo bench` with `harness = false`, and
+//! (b) the numbers are honest wall-clock medians usable for coarse
+//! regression spotting in a hermetic environment.
+
+use std::time::{Duration, Instant};
+
+/// Work performed per iteration, for deriving a rate from elapsed time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter, e.g.
+    /// `sequential/higgs`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Identifier that is just a parameter, e.g. `higgs`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Hands the benchmark closure to the timing loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Time `f` for the configured number of samples (after one warmup
+    /// call) and record per-iteration durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warmup; also forces lazy setup
+        self.samples.clear();
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), iters: self.sample_size };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id.name);
+            return self;
+        }
+        s.sort_unstable();
+        let median = s[s.len() / 2];
+        let min = s[0];
+        let mut line = format!(
+            "{}/{}  median {}  min {}  ({} samples)",
+            self.name,
+            id.name,
+            fmt_duration(median),
+            fmt_duration(min),
+            s.len()
+        );
+        if let Some(t) = self.throughput {
+            let secs = median.as_secs_f64().max(1e-12);
+            let rate = match t {
+                Throughput::Elements(n) => fmt_rate(n as f64 / secs, "elem"),
+                Throughput::Bytes(n) => fmt_rate(n as f64 / secs, "B"),
+            };
+            line.push_str(&format!("  [{rate}]"));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (prints a separator for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { name, sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group(name.to_string()).bench_function("run", f);
+        self
+    }
+}
+
+/// Declare a group-runner function from benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench invokes the harness with `--bench` (and any
+            // user filter); this minimal runner executes everything.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).throughput(Throughput::Elements(64));
+        let mut ran = 0u32;
+        g.bench_function(BenchmarkId::from_parameter("case"), |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..64u64).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(ran >= 3, "closure ran {ran} times");
+    }
+}

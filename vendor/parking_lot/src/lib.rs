@@ -1,0 +1,107 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Exposes [`Mutex`] and [`RwLock`] with parking_lot's ergonomics: no
+//! lock poisoning, so `lock()` / `read()` / `write()` return guards
+//! directly rather than `Result`s. A poisoned std lock (a panic while
+//! held) just hands back the inner data, matching parking_lot semantics.
+
+use std::sync::{MutexGuard as StdMutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock without poisoning, mirroring
+/// `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Mutable access without locking (the `&mut` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(StdMutexGuard<'a, T>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A reader-writer lock without poisoning, mirroring
+/// `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_roundtrip_and_contention() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for `rand`, exposing the slice of the API this
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! the [`RngExt`] extension methods `random`, `random_bool` and
+//! `random_range`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — small,
+//! fast, and statistically solid for synthetic-data generation. It is
+//! **deterministic across platforms and builds**, which the datagen
+//! crate relies on (same seed ⇒ same dataset), but it is *not* the same
+//! stream as the real `rand::rngs::StdRng` (ChaCha12), and it is not
+//! cryptographically secure.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types samplable uniformly from a bit stream (the `Standard`
+/// distribution of real `rand`).
+pub trait StandardUniform: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for u8 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one value uniformly from the range. Panics on empty ranges.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny
+                // modulo bias of one 64-bit draw is irrelevant here.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return ((rng.next_u64() as u128) & (<$t>::MAX as u128)) as $t;
+                }
+                let span = (end - start) as u64 + 1;
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, mirroring the `rand::Rng` extension
+/// trait (named `RngExt` throughout this workspace).
+pub trait RngExt: RngCore {
+    /// Sample a value of `T` from its standard uniform distribution.
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+
+    /// Uniform draw from a range. Panics if the range is empty.
+    #[inline]
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let k = rng.random_range(3usize..17);
+            assert!((3..17).contains(&k));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for `rayon` covering the data-parallel surface the
+//! GBDT crate uses: `par_chunks`, `par_chunks_mut`, `into_par_iter`, and
+//! the `zip` / `enumerate` / `map` / `collect` / `reduce` combinators.
+//!
+//! Unlike the serde/criterion stubs this one is **really parallel**:
+//! lazy adapters (`zip`, `enumerate`) stay sequential, and the terminal
+//! operations of a [`ParMap`] gather the source items, split them into
+//! one contiguous span per available core, and apply the mapping closure
+//! on scoped `std::thread`s. Order is preserved end-to-end and
+//! reductions fold in input order, so results are deterministic up to
+//! the same floating-point association rayon's chunked reductions give —
+//! which is exactly what `booster_gbdt::parallel` documents.
+//!
+//! There is no work-stealing pool: spans are static, threads are spawned
+//! per call. That is the right trade-off for this workspace's few, large,
+//! uniform batches (histogram chunks, record blocks).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel terminal operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() > 1 {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon stub: joined task panicked"))
+        })
+    } else {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    }
+}
+
+/// Apply `f` to every item, in parallel, preserving order.
+fn parallel_map_vec<T, B, F>(mut items: Vec<T>, f: &F) -> Vec<B>
+where
+    T: Send,
+    B: Send,
+    F: Fn(T) -> B + Sync,
+{
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let span = items.len().div_ceil(workers);
+    let mut spans = Vec::with_capacity(workers);
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(span));
+        spans.push(tail);
+    }
+    spans.reverse(); // split_off peeled from the back; restore input order
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<B>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon stub: worker panicked"));
+        }
+    });
+    out
+}
+
+/// A "parallel" iterator: a lazy sequential pipeline whose mapping
+/// terminal runs on scoped threads.
+pub struct ParIter<I> {
+    it: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Pair up with another parallel iterator, element-wise.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter { it: self.it.zip(other.it) }
+    }
+
+    /// Attach the element index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { it: self.it.enumerate() }
+    }
+
+    /// Map each element through `f`; the terminal op parallelizes.
+    pub fn map<B, F: Fn(I::Item) -> B>(self, f: F) -> ParMap<I, F> {
+        ParMap { it: self.it, f }
+    }
+
+    /// Gather elements in order (sequential: nothing left to offload).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.it.collect()
+    }
+}
+
+/// A mapped [`ParIter`]; its terminal operations fan the closure out
+/// across cores.
+pub struct ParMap<I, F> {
+    it: I,
+    f: F,
+}
+
+impl<I, B, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    B: Send,
+    F: Fn(I::Item) -> B + Sync,
+{
+    /// Apply the map in parallel and gather results in input order.
+    pub fn collect<C: FromIterator<B>>(self) -> C {
+        let items: Vec<I::Item> = self.it.collect();
+        parallel_map_vec(items, &self.f).into_iter().collect()
+    }
+
+    /// Apply the map in parallel, then fold the outputs **in input
+    /// order** starting from `identity()` — deterministic association.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> B
+    where
+        ID: Fn() -> B,
+        OP: Fn(B, B) -> B,
+    {
+        let items: Vec<I::Item> = self.it.collect();
+        parallel_map_vec(items, &self.f).into_iter().fold(identity(), op)
+    }
+
+    /// Run the closure for its effect on every element, in parallel.
+    pub fn for_each(self)
+    where
+        B: Sized,
+    {
+        let _: Vec<B> = self.collect();
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Contiguous non-overlapping chunks of at most `size` elements.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+
+    /// One element at a time, by reference.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter { it: self.chunks(size) }
+    }
+
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { it: self.iter() }
+    }
+}
+
+/// `par_chunks_mut` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Contiguous non-overlapping mutable chunks of at most `size`
+    /// elements.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+
+    /// One element at a time, by mutable reference.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter { it: self.chunks_mut(size) }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter { it: self.iter_mut() }
+    }
+}
+
+/// Owned conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential source.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { it: self.into_iter() }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = std::ops::Range<$t>;
+            fn into_par_iter(self) -> ParIter<Self::Iter> {
+                ParIter { it: self }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize);
+
+/// The traits and types user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_map_collect_preserves_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let sums: Vec<u64> = data.par_chunks(64).map(|c| c.iter().sum::<u64>()).collect();
+        let expect: Vec<u64> = data.chunks(64).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn zip_enumerate_reduce_is_in_order() {
+        let mut a = vec![1.0f64; 1000];
+        let mut b = vec![2.0f64; 1000];
+        let (count, total) = a
+            .par_chunks_mut(128)
+            .zip(b.par_chunks_mut(128))
+            .enumerate()
+            .map(|(ci, (xa, xb))| {
+                for (x, y) in xa.iter_mut().zip(xb.iter_mut()) {
+                    *x += *y;
+                }
+                (ci as u64, xa.iter().sum::<f64>())
+            })
+            .reduce(|| (0, 0.0), |p, q| (p.0 + q.0, p.1 + q.1));
+        assert_eq!(count, (0..1000u64.div_ceil(128)).sum::<u64>());
+        assert_eq!(total, 3000.0);
+        assert!(a.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn range_into_par_iter_maps() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[99], 99 * 99);
+    }
+}

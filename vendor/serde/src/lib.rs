@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the trait names and derive macros the workspace imports
+//! (`use serde::{Deserialize, Serialize}` plus `#[derive(...)]`), so the
+//! code compiles unchanged in the hermetic build environment. The derives
+//! are no-ops (see `vendor/serde_derive`); nothing in the workspace calls
+//! serde serialization at runtime — model persistence uses the explicit
+//! binary format in `booster-gbdt::serialize`.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Present so `use serde::Serialize` resolves; the no-op derive emits no
+/// impls and no workspace code uses it as a bound.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Present so `use serde::Deserialize` resolves; the no-op derive emits
+/// no impls and no workspace code uses it as a bound.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in a hermetic environment with no crates.io
+//! access, and the codebase only *derives* `Serialize` / `Deserialize`
+//! (model persistence uses the explicit binary format in
+//! `booster-gbdt::serialize`, not serde). These derive macros therefore
+//! expand to nothing: the annotated types keep compiling, and no serde
+//! runtime code is generated. Swapping in the real `serde_derive` is a
+//! one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts the input, emits no impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts the input, emits no impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
