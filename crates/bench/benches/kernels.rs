@@ -46,7 +46,7 @@ fn bench_split_scan(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
             b.iter(|| {
                 let (s, bins) =
-                    find_best_split(black_box(&h), data.binnings(), &SplitParams::default());
+                    find_best_split(black_box(&h), data.binnings(), &SplitParams::default(), None);
                 black_box((s, bins))
             })
         });

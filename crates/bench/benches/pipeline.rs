@@ -1,13 +1,15 @@
 //! Criterion benchmarks of the full pipelines: sequential vs rayon
-//! training throughput, and the end-to-end timing-model evaluation used
-//! by the figure harnesses.
+//! training throughput, the growth-mode × executor matrix of the unified
+//! engine, and the end-to-end timing-model evaluation used by the figure
+//! harnesses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use booster_datagen::{default_loss, generate_binned, Benchmark};
-use booster_gbdt::parallel::train_parallel;
-use booster_gbdt::train::{train, TrainConfig};
+use booster_gbdt::grow::GrowthStrategy;
+use booster_gbdt::parallel::{train_parallel, ParallelExec};
+use booster_gbdt::train::{train, train_with, TrainConfig};
 use booster_sim::{BandwidthModel, BoosterConfig, BoosterSim, HostModel};
 
 fn bench_training(c: &mut Criterion) {
@@ -27,6 +29,39 @@ fn bench_training(c: &mut Criterion) {
         });
         g.bench_function(BenchmarkId::new("parallel", bench.name()), |b| {
             b.iter(|| black_box(train_parallel(&data, &mirror, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+/// Every growth mode on every executor through the one engine: the
+/// matrix the unified `booster_gbdt::grow` engine makes reachable
+/// (parallel level-wise included).
+fn bench_growth_modes(c: &mut Criterion) {
+    let (data, mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
+    let modes = [
+        ("vertex", GrowthStrategy::VertexWise),
+        ("level", GrowthStrategy::LevelWise),
+        ("leaf", GrowthStrategy::LeafWise { max_leaves: 48 }),
+    ];
+    let mut g = c.benchmark_group("growth_modes_10trees");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(data.num_records() as u64));
+    for (name, growth) in modes {
+        let cfg = TrainConfig {
+            num_trees: 10,
+            max_depth: 6,
+            loss: default_loss(Benchmark::Higgs),
+            growth,
+            ..Default::default()
+        };
+        g.bench_function(BenchmarkId::new("sequential", name), |b| {
+            b.iter(|| black_box(train(&data, &mirror, &cfg)))
+        });
+        g.bench_function(BenchmarkId::new("parallel", name), |b| {
+            b.iter(|| {
+                black_box(train_with(&data, &mirror, &cfg, &ParallelExec { chunk_size: 4096 }))
+            })
         });
     }
     g.finish();
@@ -52,5 +87,5 @@ fn bench_timing_model(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_training, bench_timing_model);
+criterion_group!(benches, bench_training, bench_growth_modes, bench_timing_model);
 criterion_main!(benches);

@@ -1,70 +1,94 @@
-//! Growth-mode ablation: vertex-by-vertex vs level-by-level training
-//! (the two configurations of Section II-A) on Booster and the Ideal
-//! 32-core.
+//! Growth-mode ablation: vertex-by-vertex vs level-by-level vs best-first
+//! leaf-wise training on Booster and the Ideal 32-core.
 //!
-//! Vertex-wise fetches per-node sparse record subsets (fewer bytes, lower
-//! DRAM efficiency at deep vertices); level-wise streams the whole
-//! dataset once per level (more bytes, unit density). This binary
-//! quantifies that trade-off with the same timing models used for Fig 7.
+//! Section II-A describes the first two configurations; the paper
+//! evaluates the former. Vertex-wise fetches per-node sparse record
+//! subsets (fewer bytes, lower DRAM efficiency at deep vertices);
+//! level-wise streams the whole dataset once per level (more bytes, unit
+//! density). Leaf-wise — the budgeted best-first order LightGBM-style
+//! systems default to, dominant in Anghel et al.'s GBDT benchmarking
+//! study (arXiv:1809.04559) — spends a fixed leaf budget on the
+//! highest-gain vertices, trading a slightly different tree shape for
+//! strictly less Step-1/Step-3 work. All three run through the same
+//! unified engine (`booster_gbdt::grow`), so this binary quantifies pure
+//! scheduling effects with the same timing models used for Fig 7.
 
 use booster_bench::{print_header, scale_run, BenchConfig, PAPER_TREES};
 use booster_datagen::{default_loss, generate_binned, Benchmark};
-use booster_gbdt::levelwise::train_levelwise;
+use booster_gbdt::grow::GrowthStrategy;
 use booster_gbdt::train::{train, TrainConfig};
 use booster_sim::{BandwidthModel, BoosterConfig, BoosterSim, HostModel, IdealSim};
 
 fn main() {
     print_header(
-        "Ablation: vertex-by-vertex vs level-by-level growth",
-        "Section II-A describes both configurations; the paper evaluates \
-         the former",
+        "Ablation: vertex-wise vs level-wise vs leaf-wise growth",
+        "Section II-A describes vertex- and level-wise; leaf-wise is the \
+         LightGBM-style budgeted best-first order",
     );
     let cfg = BenchConfig::from_env();
     let bw = BandwidthModel::new(booster_dram::DramConfig::default());
     let host = HostModel::default();
 
+    // A leaf budget of 3/4 of the full tree: enough to capture the
+    // high-gain structure, strictly less work than level-wise.
+    let max_leaves = ((1u32 << cfg.max_depth.min(30)) * 3 / 4).max(2);
+    let modes = [
+        ("vertex", GrowthStrategy::VertexWise),
+        ("level", GrowthStrategy::LevelWise),
+        ("leaf", GrowthStrategy::LeafWise { max_leaves }),
+    ];
+
     println!(
-        "{:<10} {:>16} {:>16} {:>14} {:>14}",
-        "dataset", "Booster vertex", "Booster level", "CPU vertex", "CPU level"
+        "{:<10} {:>13} {:>13} {:>13} {:>11} {:>11} {:>11}",
+        "dataset",
+        "Boost vertex",
+        "Boost level",
+        "Boost leaf",
+        "CPU vertex",
+        "CPU level",
+        "CPU leaf"
     );
     for b in Benchmark::ALL {
         let spec = b.spec();
         let sample = cfg.sample_records.min(spec.full_records);
         let (data, mirror) = generate_binned(b, sample, cfg.seed);
-        let tc = TrainConfig {
-            num_trees: cfg.trees,
-            max_depth: cfg.max_depth,
-            loss: default_loss(b),
-            collect_phases: true,
-            split: booster_gbdt::split::SplitParams { gamma: cfg.gamma, ..Default::default() },
-            ..Default::default()
-        };
         let scale = spec.full_records as f64 / sample as f64;
 
-        let (m_v, rep_v) = train(&data, &mirror, &tc);
-        let (m_l, rep_l) = train_levelwise(&data, &mirror, &tc);
-        let log_v = rep_v.phase_log.unwrap().scaled(scale);
-        let log_l = rep_l.phase_log.unwrap().scaled(scale);
-
-        let sim = BoosterSim::new(BoosterConfig::default(), &bw);
-        let (bv, _) = sim.training_time(&log_v, &host);
-        let (bl, _) = sim.training_time(&log_l, &host);
-        let cv = IdealSim::cpu(&bw).training_time(&log_v, &host);
-        let cl = IdealSim::cpu(&bw).training_time(&log_l, &host);
-
-        let tsv = PAPER_TREES as f64 / m_v.num_trees() as f64;
-        let tsl = PAPER_TREES as f64 / m_l.num_trees() as f64;
+        let mut booster_secs = Vec::new();
+        let mut cpu_secs = Vec::new();
+        for (_, growth) in modes {
+            let tc = TrainConfig {
+                num_trees: cfg.trees,
+                max_depth: cfg.max_depth,
+                loss: default_loss(b),
+                collect_phases: true,
+                growth,
+                split: booster_gbdt::split::SplitParams { gamma: cfg.gamma, ..Default::default() },
+                ..Default::default()
+            };
+            let (model, report) = train(&data, &mirror, &tc);
+            let log = report.phase_log.unwrap().scaled(scale);
+            let ts = PAPER_TREES as f64 / model.num_trees() as f64;
+            let sim = BoosterSim::new(BoosterConfig::default(), &bw);
+            let (boost, _) = sim.training_time(&log, &host);
+            let cpu = IdealSim::cpu(&bw).training_time(&log, &host);
+            booster_secs.push(scale_run(&boost, ts).total());
+            cpu_secs.push(scale_run(&cpu, ts).total());
+        }
         println!(
-            "{:<10} {:>14.2}s {:>14.2}s {:>12.2}s {:>12.2}s",
+            "{:<10} {:>12.2}s {:>12.2}s {:>12.2}s {:>10.2}s {:>10.2}s {:>10.2}s",
             b.name(),
-            scale_run(&bv, tsv).total(),
-            scale_run(&bl, tsl).total(),
-            scale_run(&cv, tsv).total(),
-            scale_run(&cl, tsl).total(),
+            booster_secs[0],
+            booster_secs[1],
+            booster_secs[2],
+            cpu_secs[0],
+            cpu_secs[1],
+            cpu_secs[2],
         );
     }
     println!(
         "\n(level-wise trades larger, denser streams for the vertex-wise \
-         mode's sparse per-node gathers)"
+         mode's sparse per-node gathers; leaf-wise spends a {max_leaves}-leaf \
+         budget on the highest-gain vertices only)"
     );
 }

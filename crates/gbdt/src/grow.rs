@@ -1,0 +1,620 @@
+//! The unified tree-growth engine: one loop for every growth order ×
+//! execution backend.
+//!
+//! Section II-A of the paper contrasts two ways of scheduling Steps 1–4
+//! of Table I: **vertex-by-vertex** (explore one vertex at a time,
+//! fetching each vertex's sparse relevant-record subset) and
+//! **level-by-level** (explore all valid vertices of a level together,
+//! streaming the whole dataset once per level at unit density). A third
+//! order used by LightGBM-style systems — **leaf-wise / best-first**
+//! growth, where the frontier leaf with the highest split gain is always
+//! expanded next under a leaf budget — dominates the wall-clock
+//! comparisons in Anghel et al.'s GBDT benchmarking study
+//! (arXiv:1809.04559).
+//!
+//! All three orders perform the *same* per-vertex work: scan the vertex's
+//! histograms for the best split (Step 2), partition its relevant records
+//! by the chosen predicate (Step 3), then histogram-bin the smaller child
+//! explicitly and derive the larger sibling by subtraction (Step 1, the
+//! smaller-child optimization). They differ only in *which* frontier
+//! vertex is expanded next. This module therefore implements a single
+//! engine: a frontier of split-ready vertices plus a [`GrowthStrategy`]
+//! that picks the expansion order — depth-first ([`GrowthStrategy::VertexWise`]),
+//! breadth-first ([`GrowthStrategy::LevelWise`]), or a best-first priority
+//! order ([`GrowthStrategy::LeafWise`]). Every record-heavy step runs
+//! through the [`StepExecutor`] trait, so every mode composes with both
+//! [`crate::train::SequentialExec`] and [`crate::parallel::ParallelExec`]
+//! (including the previously unreachable parallel level-wise
+//! configuration) and with the functional device model in `booster-sim`.
+//!
+//! Shared machinery — base-score/margin/gradient initialization, the
+//! outer tree loop with stochastic row/column sampling, [`StepTimes`] /
+//! [`WorkCounters`] instrumentation, Step-5 traversal, and
+//! [`PhaseLog`] emission — lives here once. Phase descriptors keep their
+//! mode-specific *memory access patterns*: vertex-wise and leaf-wise log
+//! per-vertex sparse gathers, while level-wise logs dense full-dataset
+//! streams per level, which is exactly the trade-off the
+//! `ablation_growth` harness quantifies on the timing models.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::columnar::ColumnarMirror;
+use crate::gradients::GradPair;
+use crate::histogram::NodeHistogram;
+use crate::phases::{
+    column_blocks, gh_blocks, row_major_blocks, BinPhase, NodePhase, PartitionPhase, PhaseLog,
+    TraversalPhase, TreePhases,
+};
+use crate::predict::Model;
+use crate::preprocess::{BinnedDataset, BLOCK_BYTES};
+use crate::split::{find_best_split, leaf_weight, SplitInfo};
+use crate::train::{StepExecutor, StepTimes, TrainConfig, TrainReport, WorkCounters};
+use crate::tree::{Node, Tree};
+
+/// The order in which frontier vertices are expanded while growing a
+/// tree. Orthogonal to the execution backend: every strategy runs its
+/// record-heavy steps through a [`StepExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum GrowthStrategy {
+    /// Depth-first, one vertex at a time (the paper's evaluated
+    /// configuration). Each vertex fetches only its sparse
+    /// relevant-record subset.
+    #[default]
+    VertexWise,
+    /// Breadth-first: all valid vertices of a level are explored
+    /// together, modeling one dense full-dataset stream per level
+    /// (Section II-A's second configuration).
+    LevelWise,
+    /// Best-first: always expand the frontier leaf with the highest
+    /// split gain, stopping once the tree has `max_leaves` leaves
+    /// (LightGBM-style growth). `cfg.max_depth` still caps depth.
+    LeafWise {
+        /// Leaf budget per tree; growth stops when reached. Must be
+        /// at least 2 (a budget of 1 never splits the root).
+        max_leaves: u32,
+    },
+}
+
+impl GrowthStrategy {
+    /// Short human-readable name (used by benches and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrowthStrategy::VertexWise => "vertex-wise",
+            GrowthStrategy::LevelWise => "level-wise",
+            GrowthStrategy::LeafWise { .. } => "leaf-wise",
+        }
+    }
+}
+
+/// Train a model: the single engine behind [`crate::train::train`],
+/// [`crate::levelwise::train_levelwise`] and
+/// [`crate::parallel::train_parallel`].
+///
+/// Grows `cfg.num_trees` trees in `cfg.growth` order, executing Steps 1,
+/// 3 and 5 on `exec`, and returns the model plus the instrumented
+/// report.
+///
+/// # Panics
+/// Panics with a descriptive message if `cfg` fails
+/// [`TrainConfig::validate`] or `data` is empty.
+pub fn grow_forest(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+    exec: &dyn StepExecutor,
+) -> (Model, TrainReport) {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid TrainConfig: {e}");
+    }
+    assert!(data.num_records() > 0, "cannot train on an empty dataset");
+    debug_assert!(columnar.is_consistent_with(data), "columnar mirror out of sync");
+    let n = data.num_records();
+    let labels = data.labels();
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+
+    let t_init = Instant::now();
+    let label_mean = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / n as f64;
+    let base_score = cfg.loss.base_score(label_mean);
+    let mut margins = vec![base_score; n];
+    let mut grads: Vec<GradPair> =
+        (0..n).map(|r| cfg.loss.grad(margins[r], f64::from(labels[r]))).collect();
+    let mut prev_loss =
+        (0..n).map(|r| cfg.loss.value(margins[r], f64::from(labels[r]))).sum::<f64>() / n as f64;
+
+    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
+    let mut work = WorkCounters::default();
+    let mut tree_logs: Vec<TreePhases> = Vec::new();
+    let mut loss_history = Vec::with_capacity(cfg.num_trees);
+    let mut trees: Vec<Tree> = Vec::with_capacity(cfg.num_trees);
+
+    for _tree_idx in 0..cfg.num_trees {
+        // Stochastic GB: sample the records this tree sees.
+        let root_rows: Vec<u32> = if cfg.subsample < 1.0 {
+            (0..n as u32).filter(|_| rng.random_bool(cfg.subsample)).collect()
+        } else {
+            (0..n as u32).collect()
+        };
+        if root_rows.is_empty() {
+            // A pathological subsample of a tiny dataset: skip this tree.
+            loss_history.push(prev_loss);
+            trees.push(Tree::leaf(0.0));
+            continue;
+        }
+        // Column sampling: restrict this tree's candidate fields.
+        let field_mask: Option<Vec<bool>> = if cfg.colsample_bytree < 1.0 {
+            let nf = data.num_fields();
+            let mut mask: Vec<bool> =
+                (0..nf).map(|_| rng.random_bool(cfg.colsample_bytree)).collect();
+            if !mask.iter().any(|&m| m) {
+                mask[rng.random_range(0..nf)] = true;
+            }
+            Some(mask)
+        } else {
+            None
+        };
+
+        // ---- Grow one tree (Steps 1-4) through the shared engine. ----
+        let mut grower = TreeGrower {
+            data,
+            columnar,
+            grads: &grads,
+            cfg,
+            exec,
+            field_mask: field_mask.as_deref(),
+            nodes: vec![Node::Leaf { weight: 0.0 }],
+            phases: Vec::new(),
+            frontier: Vec::new(),
+            leaves: 1,
+            seq: 0,
+            dense_scanned_depth: None,
+            times: &mut times,
+            work: &mut work,
+        };
+        grower.seed_root(root_rows);
+        match cfg.growth {
+            GrowthStrategy::VertexWise => grower.grow_depth_first(),
+            GrowthStrategy::LevelWise => grower.grow_breadth_first(),
+            GrowthStrategy::LeafWise { max_leaves } => grower.grow_best_first(max_leaves),
+        }
+        let (nodes, phases) = grower.finish();
+        let tree = Tree::new(nodes);
+
+        // ---- Step 5: one-tree traversal, gradient + loss update. ----
+        let t5 = Instant::now();
+        let (sum_path, total_loss) =
+            exec.traverse_update(data, &tree, cfg.loss, labels, &mut margins, &mut grads);
+        times.step5 += t5.elapsed();
+        work.step5_records += n as u64;
+        work.step5_lookups += sum_path;
+
+        if cfg.collect_phases {
+            tree_logs.push(TreePhases {
+                nodes: phases,
+                traversal: TraversalPhase {
+                    n_records: n,
+                    fields_used: tree.fields_used().len(),
+                    sum_path_len: sum_path,
+                    max_depth: tree.depth(),
+                },
+            });
+        }
+
+        let mean_loss = total_loss / n as f64;
+        loss_history.push(mean_loss);
+        trees.push(tree);
+
+        if let Some(min_dec) = cfg.min_loss_decrease {
+            if prev_loss - mean_loss < min_dec {
+                break;
+            }
+        }
+        prev_loss = mean_loss;
+    }
+
+    let model = Model {
+        trees,
+        base_score,
+        loss: cfg.loss,
+        schema: data.schema().clone(),
+        binnings: data.binnings().to_vec(),
+    };
+    let phase_log = cfg.collect_phases.then(|| PhaseLog {
+        trees: tree_logs,
+        num_records: n,
+        num_fields: data.num_fields(),
+        record_bytes: data.record_bytes(),
+        total_bins: data.total_bins(),
+        field_entry_bytes: (0..data.num_fields())
+            .map(|f| data.binnings()[f].encoded_bytes())
+            .collect(),
+        field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
+    });
+    (model, TrainReport { times, work, phase_log, loss_history })
+}
+
+/// A split-ready frontier vertex: its relevant records, its histogram,
+/// and the best split already found for it (vertices with no valid
+/// split never enter the frontier — they are finalized as leaves on
+/// admission).
+struct Pending {
+    node: u32,
+    depth: u32,
+    rows: Vec<u32>,
+    hist: NodeHistogram,
+    split: SplitInfo,
+    bin: Option<BinPhase>,
+    seq: u64,
+}
+
+/// Priority-queue key for leaf-wise growth: split gain with total order.
+/// Gains returned by `find_best_split` are finite (they exceed the
+/// validated-finite `gamma`), so `partial_cmp` cannot fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Gain(f64);
+
+impl Eq for Gain {}
+
+impl PartialOrd for Gain {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Gain {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("split gains are finite")
+    }
+}
+
+/// Per-level accumulator for the level-wise mode's aggregated phase
+/// descriptor (one dense stream per level, not per vertex).
+#[derive(Default)]
+struct LevelAgg {
+    partitioned: usize,
+    explicit_binned: usize,
+    active_splits: usize,
+}
+
+/// Growth state for one tree.
+struct TreeGrower<'a> {
+    data: &'a BinnedDataset,
+    columnar: &'a ColumnarMirror,
+    grads: &'a [GradPair],
+    cfg: &'a TrainConfig,
+    exec: &'a dyn StepExecutor,
+    /// Column-sampling mask for this tree (stochastic GB).
+    field_mask: Option<&'a [bool]>,
+    nodes: Vec<Node>,
+    phases: Vec<NodePhase>,
+    frontier: Vec<Pending>,
+    /// Leaves the tree would have if every frontier vertex stopped now.
+    leaves: usize,
+    /// Monotone admission counter (deterministic priority tie-break).
+    seq: u64,
+    /// Level-wise only: depth of the most recent Step-2 scans not yet
+    /// covered by a per-level phase descriptor (a level whose vertices
+    /// were all scanned but none split still costs host scan time).
+    dense_scanned_depth: Option<u32>,
+    times: &'a mut StepTimes,
+    work: &'a mut WorkCounters,
+}
+
+impl TreeGrower<'_> {
+    fn collect(&self) -> bool {
+        self.cfg.collect_phases
+    }
+
+    fn dense(&self) -> bool {
+        self.cfg.growth == GrowthStrategy::LevelWise
+    }
+
+    /// Dense full-dataset row-stream block count (the level-wise access
+    /// pattern).
+    fn dense_row_blocks(&self) -> usize {
+        (self.data.num_records() * self.data.record_bytes() as usize).div_ceil(BLOCK_BYTES)
+    }
+
+    /// Dense full-dataset gradient-pair stream block count.
+    fn dense_gh_blocks(&self) -> usize {
+        (self.data.num_records() * 8).div_ceil(BLOCK_BYTES)
+    }
+
+    /// Step 1 at the root, then admit it to the frontier.
+    fn seed_root(&mut self, rows: Vec<u32>) {
+        let t1 = Instant::now();
+        let mut hist = NodeHistogram::zeroed(self.data);
+        let updates = self.exec.bin_records(self.data, &rows, self.grads, &mut hist);
+        self.times.step1 += t1.elapsed();
+        self.work.step1_records += rows.len() as u64;
+        self.work.step1_updates += updates;
+
+        let bin = self.collect().then(|| {
+            if self.dense() {
+                // Level-wise streams the whole dataset to bin the root.
+                BinPhase {
+                    depth: 0,
+                    n_reaching: rows.len(),
+                    n_binned: rows.len(),
+                    row_blocks: self.dense_row_blocks(),
+                    gh_stream_blocks: self.dense_gh_blocks(),
+                }
+            } else {
+                BinPhase {
+                    depth: 0,
+                    n_reaching: rows.len(),
+                    n_binned: rows.len(),
+                    row_blocks: row_major_blocks(&rows, self.data.record_bytes()),
+                    gh_stream_blocks: gh_blocks(&rows),
+                }
+            }
+        });
+        if self.dense() {
+            // Level-wise logs the root stream immediately; subsequent
+            // levels log one aggregated descriptor each. (Its Step-2
+            // scan is accounted with the level scans, hence
+            // `scanned: false` here.)
+            if let Some(bin) = bin.clone() {
+                self.phases.push(NodePhase { bin, scanned: false, partition: None });
+            }
+        }
+        self.admit(0, 0, rows, hist, bin);
+    }
+
+    /// Scan a vertex for its best split (Step 2) and either queue it on
+    /// the frontier or finalize it as a leaf.
+    fn admit(
+        &mut self,
+        node: u32,
+        depth: u32,
+        rows: Vec<u32>,
+        hist: NodeHistogram,
+        bin: Option<BinPhase>,
+    ) {
+        let scanned = depth < self.cfg.max_depth;
+        let split = if scanned {
+            let t2 = Instant::now();
+            let (s, bins) =
+                find_best_split(&hist, self.data.binnings(), &self.cfg.split, self.field_mask);
+            self.times.step2 += t2.elapsed();
+            self.work.step2_scans += 1;
+            self.work.step2_bins += bins;
+            if self.dense() {
+                self.dense_scanned_depth = Some(depth);
+            }
+            s
+        } else {
+            None
+        };
+        match split {
+            Some(split) => {
+                let seq = self.seq;
+                self.seq += 1;
+                self.frontier.push(Pending { node, depth, rows, hist, split, bin, seq });
+            }
+            None => self.finalize_leaf(node, depth, rows.len(), &hist, bin, scanned),
+        }
+    }
+
+    /// Set a vertex's leaf weight and (in per-vertex modes) log its
+    /// phase descriptor.
+    fn finalize_leaf(
+        &mut self,
+        node: u32,
+        depth: u32,
+        n_reaching: usize,
+        hist: &NodeHistogram,
+        bin: Option<BinPhase>,
+        scanned: bool,
+    ) {
+        let w = leaf_weight(hist.total(), self.cfg.split.lambda) * self.cfg.learning_rate;
+        self.nodes[node as usize] = Node::Leaf { weight: w };
+        if self.collect() && !self.dense() {
+            self.phases.push(NodePhase {
+                bin: bin.unwrap_or_else(|| empty_bin_phase(depth, n_reaching)),
+                scanned,
+                partition: None,
+            });
+        }
+    }
+
+    /// Expand one frontier vertex: partition its records (Step 3), grow
+    /// its two children, bin the smaller child and derive the larger by
+    /// subtraction (Step 1), then admit both children.
+    fn expand(&mut self, p: Pending, mut level: Option<&mut LevelAgg>) {
+        let Pending { node, depth, rows, hist, split, bin, .. } = p;
+        let field = split.field as usize;
+
+        // ---- Step 3: partition by the new predicate's single column. ----
+        let t3 = Instant::now();
+        let column = self.columnar.column(field);
+        let absent = self.data.binnings()[field].absent_bin();
+        let (lrows, rrows) =
+            self.exec.partition(&rows, column, split.rule, split.default_left, absent);
+        self.times.step3 += t3.elapsed();
+        self.work.step3_records += rows.len() as u64;
+
+        if self.collect() {
+            match level.as_deref_mut() {
+                Some(agg) => {
+                    agg.partitioned += rows.len();
+                    agg.active_splits += 1;
+                }
+                None => {
+                    let entry_bytes = self.data.binnings()[field].encoded_bytes();
+                    self.phases.push(NodePhase {
+                        bin: bin.unwrap_or_else(|| empty_bin_phase(depth, rows.len())),
+                        scanned: true,
+                        partition: Some(PartitionPhase {
+                            n_records: rows.len(),
+                            col_blocks: column_blocks(&rows, entry_bytes),
+                            row_blocks: row_major_blocks(&rows, self.data.record_bytes()),
+                            n_left: lrows.len(),
+                            n_right: rrows.len(),
+                        }),
+                    });
+                }
+            }
+        }
+        drop(rows);
+
+        // ---- Materialize the internal node and its children. ----
+        let left = self.nodes.len() as u32;
+        let right = left + 1;
+        self.nodes.push(Node::Leaf { weight: 0.0 });
+        self.nodes.push(Node::Leaf { weight: 0.0 });
+        self.nodes[node as usize] = Node::Internal {
+            field: split.field,
+            rule: split.rule,
+            default_left: split.default_left,
+            left,
+            right,
+        };
+        self.leaves += 1;
+
+        // ---- Step 1 at the children: bin only the smaller child
+        // explicitly; derive the larger by subtraction. ----
+        let left_smaller = lrows.len() <= rrows.len();
+        let (srows, brows) = if left_smaller { (&lrows, &rrows) } else { (&rrows, &lrows) };
+
+        let t1 = Instant::now();
+        let mut small_hist = NodeHistogram::zeroed(self.data);
+        let updates = self.exec.bin_records(self.data, srows, self.grads, &mut small_hist);
+        let big_hist = NodeHistogram::subtract_from(&hist, &small_hist);
+        self.times.step1 += t1.elapsed();
+        self.work.step1_records += srows.len() as u64;
+        self.work.step1_updates += updates;
+        if let Some(agg) = level {
+            agg.explicit_binned += srows.len();
+        }
+
+        let (small_bin, big_bin) = if self.collect() && !self.dense() {
+            (
+                Some(BinPhase {
+                    depth: depth + 1,
+                    n_reaching: srows.len(),
+                    n_binned: srows.len(),
+                    row_blocks: row_major_blocks(srows, self.data.record_bytes()),
+                    gh_stream_blocks: gh_blocks(srows),
+                }),
+                Some(empty_bin_phase(depth + 1, brows.len())),
+            )
+        } else {
+            (None, None)
+        };
+        drop(hist);
+
+        let (lhist, rhist, lbin, rbin) = if left_smaller {
+            (small_hist, big_hist, small_bin, big_bin)
+        } else {
+            (big_hist, small_hist, big_bin, small_bin)
+        };
+        self.admit(left, depth + 1, lrows, lhist, lbin);
+        self.admit(right, depth + 1, rrows, rhist, rbin);
+    }
+
+    /// Vertex-wise: depth-first, one vertex at a time (LIFO frontier).
+    fn grow_depth_first(&mut self) {
+        while let Some(p) = self.frontier.pop() {
+            self.expand(p, None);
+        }
+    }
+
+    /// Level-wise: expand every frontier vertex of the current depth
+    /// together, logging one dense-stream phase descriptor per level.
+    fn grow_breadth_first(&mut self) {
+        while !self.frontier.is_empty() {
+            let batch = std::mem::take(&mut self.frontier);
+            let depth = batch[0].depth;
+            // This batch's descriptor covers the scans of its vertices.
+            self.dense_scanned_depth = None;
+            let mut agg = LevelAgg::default();
+            for p in batch {
+                self.expand(p, Some(&mut agg));
+            }
+            if self.collect() {
+                let n = self.data.num_records();
+                let binned = agg.explicit_binned;
+                self.phases.push(NodePhase {
+                    bin: BinPhase {
+                        depth: depth + 1,
+                        n_reaching: agg.partitioned,
+                        n_binned: binned,
+                        // Level-wise streams the whole dataset densely.
+                        row_blocks: if binned > 0 { self.dense_row_blocks() } else { 0 },
+                        gh_stream_blocks: if binned > 0 { self.dense_gh_blocks() } else { 0 },
+                    },
+                    scanned: true,
+                    partition: Some(PartitionPhase {
+                        n_records: agg.partitioned,
+                        // One dense pass over the predicate columns used
+                        // at this level (one column per active split).
+                        col_blocks: agg.active_splits * n.div_ceil(BLOCK_BYTES),
+                        row_blocks: self.dense_row_blocks(),
+                        n_left: agg.partitioned / 2,
+                        n_right: agg.partitioned - agg.partitioned / 2,
+                    }),
+                });
+            }
+        }
+        // A level whose vertices were all scanned but none split never
+        // forms a batch; its Step-2 host work still needs a descriptor.
+        if let Some(depth) = self.dense_scanned_depth.take() {
+            if self.collect() {
+                self.phases.push(NodePhase {
+                    bin: empty_bin_phase(depth, 0),
+                    scanned: true,
+                    partition: None,
+                });
+            }
+        }
+    }
+
+    /// Leaf-wise: always expand the frontier vertex with the highest
+    /// split gain (ties broken by admission order), until the leaf
+    /// budget is spent or no vertex can split. The frontier is driven
+    /// by a priority queue: O(log L) per expansion instead of a linear
+    /// scan.
+    fn grow_best_first(&mut self, max_leaves: u32) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        // Heap entries index `slots`; each slot is expanded at most once.
+        let mut heap: BinaryHeap<(Gain, Reverse<u64>, usize)> = BinaryHeap::new();
+        let mut slots: Vec<Option<Pending>> = Vec::new();
+        loop {
+            for p in self.frontier.drain(..) {
+                heap.push((Gain(p.split.gain), Reverse(p.seq), slots.len()));
+                slots.push(Some(p));
+            }
+            if self.leaves >= max_leaves as usize {
+                break;
+            }
+            let Some((_, _, slot)) = heap.pop() else { break };
+            let p = slots[slot].take().expect("each slot is expanded once");
+            self.expand(p, None);
+        }
+        // Unexpanded vertices go back to the frontier (in admission
+        // order) for `finish` to finalize as leaves.
+        self.frontier = slots.into_iter().flatten().collect();
+    }
+
+    /// Finalize any unexpanded frontier vertices (leaf-wise budget
+    /// exhaustion) and return the grown tree's nodes and phases.
+    fn finish(mut self) -> (Vec<Node>, Vec<NodePhase>) {
+        let mut rest = std::mem::take(&mut self.frontier);
+        rest.sort_by_key(|p| p.seq);
+        for p in rest {
+            let Pending { node, depth, rows, hist, bin, .. } = p;
+            self.finalize_leaf(node, depth, rows.len(), &hist, bin, true);
+        }
+        (self.nodes, self.phases)
+    }
+}
+
+/// Phase entry for a vertex whose histogram came from sibling
+/// subtraction: no record traffic.
+fn empty_bin_phase(depth: u32, n_reaching: usize) -> BinPhase {
+    BinPhase { depth, n_reaching, n_binned: 0, row_blocks: 0, gh_stream_blocks: 0 }
+}

@@ -153,6 +153,25 @@ impl NodeHistogram {
         }
     }
 
+    /// Mutable per-field bin slices, in field order.
+    ///
+    /// This is the unit of work for backends that parallelize Step 1
+    /// **across fields** rather than records (LightGBM's
+    /// feature-parallel histogram construction): each worker owns whole
+    /// fields, so every bin still accumulates its records in the exact
+    /// sequential row order and the result is bit-identical to
+    /// [`Self::bin_records`].
+    pub fn fields_mut(&mut self) -> Vec<&mut [BinStats]> {
+        let mut out = Vec::with_capacity(self.num_fields());
+        let mut rest: &mut [BinStats] = &mut self.bins;
+        for w in self.offsets.windows(2) {
+            let (head, tail) = rest.split_at_mut((w[1] - w[0]) as usize);
+            out.push(head);
+            rest = tail;
+        }
+        out
+    }
+
     /// Merge another histogram into this one (the per-cluster /
     /// per-thread replica reduction at the end of Step 1).
     pub fn merge(&mut self, other: &NodeHistogram) {
@@ -163,6 +182,26 @@ impl NodeHistogram {
         }
         self.total += other.total;
         self.total_count += other.total_count;
+    }
+}
+
+/// Bin `rows` into a single field's bins (one slice from
+/// [`NodeHistogram::fields_mut`]).
+///
+/// Records are visited in the given order, so running this for every
+/// field — concurrently or not — reproduces [`NodeHistogram::bin_records`]
+/// bit for bit; only the vertex totals remain to be accumulated (see
+/// [`NodeHistogram::add_total`]).
+pub fn bin_field_records(
+    data: &BinnedDataset,
+    field: usize,
+    rows: &[u32],
+    grads: &[GradPair],
+    bins: &mut [BinStats],
+) {
+    for &r in rows {
+        let r = r as usize;
+        bins[data.bin(r, field) as usize].add(grads[r]);
     }
 }
 
@@ -263,6 +302,26 @@ mod tests {
         let absent = data.binnings()[0].absent_bin() as usize;
         // i % 11 == 0 -> 10 missing records (0, 11, ..., 99) in 0..110 is 10.
         assert_eq!(h.field(0)[absent].count, 10);
+    }
+
+    #[test]
+    fn field_wise_binning_is_bit_identical_to_row_wise() {
+        let (data, grads) = make_data(250);
+        let rows: Vec<u32> = (0..250).filter(|r| r % 3 != 1).collect();
+        let mut whole = NodeHistogram::zeroed(&data);
+        whole.bin_records(&data, &rows, &grads);
+
+        let mut by_field = NodeHistogram::zeroed(&data);
+        for (f, bins) in by_field.fields_mut().into_iter().enumerate() {
+            bin_field_records(&data, f, &rows, &grads, bins);
+        }
+        let mut total = GradPair::zero();
+        for &r in &rows {
+            total += grads[r as usize];
+        }
+        by_field.add_total(total, rows.len() as u64);
+
+        assert_eq!(by_field, whole, "field-parallel binning must match exactly");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Level-by-level (breadth-first) tree growth.
+//! Level-by-level (breadth-first) tree growth — compatibility wrapper.
 //!
 //! Section II-A: "GB implementations can be configured to proceed vertex
 //! by vertex or level by level (i.e., explore together all the valid
@@ -7,313 +7,32 @@
 //! multiple vertices are explored together, this configuration maintains
 //! a separate histogram per vertex."
 //!
-//! Compared to the vertex-by-vertex trainer in [`crate::train`], the
-//! level-wise trainer keeps a per-record *position* array instead of
-//! per-node pointer lists: every level performs one dense pass over all
-//! records (binning the records whose new vertex is explicitly binned —
-//! the smaller-child optimization still applies per split) and one dense
-//! partition pass updating positions. The memory system sees full-dataset
-//! streams at unit density instead of per-node sparse gathers — the
-//! trade-off the growth-mode ablation (`ablation_growth`) quantifies.
-
-use std::time::Instant;
+//! The growth loop itself lives in the unified engine
+//! ([`crate::grow`]): level-wise is [`GrowthStrategy::LevelWise`], which
+//! expands every frontier vertex of a depth together and logs one
+//! *dense* full-dataset stream per level instead of the vertex-wise
+//! mode's per-node sparse gathers — the trade-off the growth-mode
+//! ablation (`ablation_growth`) quantifies. This module keeps the
+//! historical one-call entry point.
 
 use crate::columnar::ColumnarMirror;
-use crate::gradients::GradPair;
-use crate::histogram::NodeHistogram;
-use crate::phases::{BinPhase, NodePhase, PartitionPhase, PhaseLog, TraversalPhase, TreePhases};
+use crate::grow::GrowthStrategy;
 use crate::predict::Model;
-use crate::preprocess::{BinnedDataset, BLOCK_BYTES};
-use crate::split::{find_best_split, goes_left, leaf_weight, SplitInfo};
-use crate::train::{StepTimes, TrainConfig, TrainReport, WorkCounters};
-use crate::tree::{Node, Tree};
+use crate::preprocess::BinnedDataset;
+use crate::train::{train_with, SequentialExec, TrainConfig, TrainReport};
 
-/// Train a model growing each tree level by level.
+/// Train a model growing each tree level by level (sequential backend).
+///
+/// Equivalent to setting [`TrainConfig::growth`] to
+/// [`GrowthStrategy::LevelWise`] and calling [`crate::train::train`];
+/// any growth mode already set on `cfg` is overridden.
 pub fn train_levelwise(
     data: &BinnedDataset,
     columnar: &ColumnarMirror,
     cfg: &TrainConfig,
 ) -> (Model, TrainReport) {
-    assert!(data.num_records() > 0, "cannot train on an empty dataset");
-    debug_assert!(columnar.is_consistent_with(data), "columnar mirror out of sync");
-    let n = data.num_records();
-    let labels = data.labels();
-
-    let t_init = Instant::now();
-    let label_mean = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / n as f64;
-    let base_score = cfg.loss.base_score(label_mean);
-    let mut margins = vec![base_score; n];
-    let mut grads: Vec<GradPair> =
-        (0..n).map(|r| cfg.loss.grad(margins[r], f64::from(labels[r]))).collect();
-    let mut prev_loss =
-        (0..n).map(|r| cfg.loss.value(margins[r], f64::from(labels[r]))).sum::<f64>() / n as f64;
-
-    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
-    let mut work = WorkCounters::default();
-    let mut tree_logs: Vec<TreePhases> = Vec::new();
-    let mut loss_history = Vec::with_capacity(cfg.num_trees);
-    let mut trees: Vec<Tree> = Vec::with_capacity(cfg.num_trees);
-
-    // Dense per-level stream footprints (the level-wise access pattern).
-    let full_row_blocks = (n * data.record_bytes() as usize).div_ceil(BLOCK_BYTES);
-    let full_gh_blocks = (n * 8).div_ceil(BLOCK_BYTES);
-
-    for _ in 0..cfg.num_trees {
-        let mut nodes: Vec<Node> = vec![Node::Leaf { weight: 0.0 }];
-        let mut phases: Vec<NodePhase> = Vec::new();
-        // positions[r] = tree-node index record r currently sits at.
-        let mut positions = vec![0u32; n];
-
-        // Root histogram: one dense pass over everything.
-        let t1 = Instant::now();
-        let all: Vec<u32> = (0..n as u32).collect();
-        let mut root_hist = NodeHistogram::zeroed(data);
-        let updates = root_hist.bin_records(data, &all, &grads);
-        times.step1 += t1.elapsed();
-        work.step1_records += n as u64;
-        work.step1_updates += updates;
-        if cfg.collect_phases {
-            phases.push(NodePhase {
-                bin: BinPhase {
-                    depth: 0,
-                    n_reaching: n,
-                    n_binned: n,
-                    row_blocks: full_row_blocks,
-                    gh_stream_blocks: full_gh_blocks,
-                },
-                scanned: false, // logged with the level scan below
-                partition: None,
-            });
-        }
-
-        // Frontier: (node index, histogram).
-        let mut frontier: Vec<(u32, NodeHistogram)> = vec![(0, root_hist)];
-
-        for depth in 0..cfg.max_depth {
-            if frontier.is_empty() {
-                break;
-            }
-            // ---- Step 2 for every frontier vertex. ----
-            let t2 = Instant::now();
-            let splits: Vec<Option<SplitInfo>> = frontier
-                .iter()
-                .map(|(_, hist)| {
-                    let (s, bins) = find_best_split(hist, data.binnings(), &cfg.split);
-                    work.step2_bins += bins;
-                    work.step2_scans += 1;
-                    s
-                })
-                .collect();
-            times.step2 += t2.elapsed();
-
-            let any_split = splits.iter().any(Option::is_some);
-            if !any_split {
-                for ((node_idx, hist), _) in frontier.iter().zip(&splits) {
-                    nodes[*node_idx as usize] = Node::Leaf {
-                        weight: leaf_weight(hist.total(), cfg.split.lambda) * cfg.learning_rate,
-                    };
-                }
-                if cfg.collect_phases {
-                    phases.push(NodePhase {
-                        bin: BinPhase {
-                            depth,
-                            n_reaching: 0,
-                            n_binned: 0,
-                            row_blocks: 0,
-                            gh_stream_blocks: 0,
-                        },
-                        scanned: true,
-                        partition: None,
-                    });
-                }
-                frontier.clear();
-                break;
-            }
-
-            // Materialize splits: create children, finalize leaves.
-            // child_map[frontier idx] = (left child node, right child node)
-            let mut child_map: Vec<Option<(u32, u32)>> = Vec::with_capacity(frontier.len());
-            for ((node_idx, hist), split) in frontier.iter().zip(&splits) {
-                match split {
-                    None => {
-                        nodes[*node_idx as usize] = Node::Leaf {
-                            weight: leaf_weight(hist.total(), cfg.split.lambda) * cfg.learning_rate,
-                        };
-                        child_map.push(None);
-                    }
-                    Some(s) => {
-                        let left = nodes.len() as u32;
-                        let right = left + 1;
-                        nodes.push(Node::Leaf { weight: 0.0 });
-                        nodes.push(Node::Leaf { weight: 0.0 });
-                        nodes[*node_idx as usize] = Node::Internal {
-                            field: s.field,
-                            rule: s.rule,
-                            default_left: s.default_left,
-                            left,
-                            right,
-                        };
-                        child_map.push(Some((left, right)));
-                    }
-                }
-            }
-
-            // ---- Step 3: one dense pass updating every position. ----
-            let t3 = Instant::now();
-            // frontier node -> frontier index lookup.
-            let mut fidx_of = std::collections::HashMap::new();
-            for (fi, (node_idx, _)) in frontier.iter().enumerate() {
-                fidx_of.insert(*node_idx, fi);
-            }
-            let mut partitioned = 0u64;
-            for (r, pos) in positions.iter_mut().enumerate() {
-                let Some(&fi) = fidx_of.get(pos) else { continue };
-                let Some((left, right)) = child_map[fi] else { continue };
-                let s = splits[fi].as_ref().expect("split exists for children");
-                let field = s.field as usize;
-                let absent = data.binnings()[field].absent_bin();
-                let bin = columnar.column(field)[r];
-                partitioned += 1;
-                *pos = if goes_left(s.rule, s.default_left, bin, absent) { left } else { right };
-            }
-            times.step3 += t3.elapsed();
-            work.step3_records += partitioned;
-
-            // ---- Step 1 at the next level: stream all records once,
-            // bin those landing in each split's smaller child. ----
-            let t1 = Instant::now();
-            // Decide per split which child is smaller (by H-count from
-            // the split info).
-            let mut next_frontier: Vec<(u32, NodeHistogram)> = Vec::new();
-            let mut explicit_nodes: std::collections::HashMap<u32, usize> =
-                std::collections::HashMap::new();
-            let mut explicit_hists: Vec<NodeHistogram> = Vec::new();
-            let mut explicit_total = 0usize;
-            for (fi, (_, _)) in frontier.iter().enumerate() {
-                let Some((left, right)) = child_map[fi] else { continue };
-                let s = splits[fi].as_ref().expect("split exists");
-                let smaller = if s.left_count <= s.right_count { left } else { right };
-                explicit_nodes.insert(smaller, explicit_hists.len());
-                explicit_hists.push(NodeHistogram::zeroed(data));
-                explicit_total += s.left_count.min(s.right_count) as usize;
-            }
-            // The dense binning pass.
-            let nf = data.num_fields();
-            for (r, pos) in positions.iter().enumerate() {
-                if let Some(&hi) = explicit_nodes.get(pos) {
-                    explicit_hists[hi].bin_records(data, &[r as u32], &grads);
-                    work.step1_updates += nf as u64;
-                }
-            }
-            work.step1_records += explicit_total as u64;
-            // Derive siblings by subtraction and build the next frontier.
-            for (fi, (_, parent_hist)) in frontier.iter().enumerate() {
-                let Some((left, right)) = child_map[fi] else { continue };
-                let s = splits[fi].as_ref().expect("split exists");
-                let smaller = if s.left_count <= s.right_count { left } else { right };
-                let larger = if smaller == left { right } else { left };
-                let hi = explicit_nodes[&smaller];
-                let small_hist =
-                    std::mem::replace(&mut explicit_hists[hi], NodeHistogram::zeroed(data));
-                let large_hist = NodeHistogram::subtract_from(parent_hist, &small_hist);
-                next_frontier.push((smaller, small_hist));
-                next_frontier.push((larger, large_hist));
-            }
-            times.step1 += t1.elapsed();
-
-            if cfg.collect_phases {
-                phases.push(NodePhase {
-                    bin: BinPhase {
-                        depth: depth + 1,
-                        n_reaching: partitioned as usize,
-                        n_binned: explicit_total,
-                        // Level-wise streams the whole dataset densely.
-                        row_blocks: if explicit_total > 0 { full_row_blocks } else { 0 },
-                        gh_stream_blocks: if explicit_total > 0 { full_gh_blocks } else { 0 },
-                    },
-                    scanned: true,
-                    partition: Some(PartitionPhase {
-                        n_records: partitioned as usize,
-                        // One dense pass over the predicate columns used
-                        // at this level (one column per active split).
-                        col_blocks: child_map.iter().filter(|c| c.is_some()).count()
-                            * n.div_ceil(BLOCK_BYTES),
-                        row_blocks: full_row_blocks,
-                        n_left: partitioned as usize / 2,
-                        n_right: partitioned as usize - partitioned as usize / 2,
-                    }),
-                });
-            }
-
-            frontier = next_frontier;
-        }
-
-        // Finalize any remaining frontier vertices as leaves.
-        for (node_idx, hist) in frontier.drain(..) {
-            nodes[node_idx as usize] = Node::Leaf {
-                weight: leaf_weight(hist.total(), cfg.split.lambda) * cfg.learning_rate,
-            };
-        }
-        let tree = Tree::new(nodes);
-
-        // ---- Step 5: identical to the vertex-wise trainer. ----
-        let t5 = Instant::now();
-        let mut sum_path = 0u64;
-        let mut total_loss = 0.0f64;
-        for r in 0..n {
-            let (w, path) = tree.traverse_binned(data, r);
-            sum_path += u64::from(path);
-            margins[r] += w;
-            let y = f64::from(labels[r]);
-            grads[r] = cfg.loss.grad(margins[r], y);
-            total_loss += cfg.loss.value(margins[r], y);
-        }
-        times.step5 += t5.elapsed();
-        work.step5_records += n as u64;
-        work.step5_lookups += sum_path;
-
-        if cfg.collect_phases {
-            tree_logs.push(TreePhases {
-                nodes: phases,
-                traversal: TraversalPhase {
-                    n_records: n,
-                    fields_used: tree.fields_used().len(),
-                    sum_path_len: sum_path,
-                    max_depth: tree.depth(),
-                },
-            });
-        }
-
-        let mean_loss = total_loss / n as f64;
-        loss_history.push(mean_loss);
-        trees.push(tree);
-        if let Some(min_dec) = cfg.min_loss_decrease {
-            if prev_loss - mean_loss < min_dec {
-                break;
-            }
-        }
-        prev_loss = mean_loss;
-    }
-
-    let model = Model {
-        trees,
-        base_score,
-        loss: cfg.loss,
-        schema: data.schema().clone(),
-        binnings: data.binnings().to_vec(),
-    };
-    let phase_log = cfg.collect_phases.then(|| PhaseLog {
-        trees: tree_logs,
-        num_records: n,
-        num_fields: data.num_fields(),
-        record_bytes: data.record_bytes(),
-        total_bins: data.total_bins(),
-        field_entry_bytes: (0..data.num_fields())
-            .map(|f| data.binnings()[f].encoded_bytes())
-            .collect(),
-        field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
-    });
-    (model, TrainReport { times, work, phase_log, loss_history })
+    let cfg = TrainConfig { growth: GrowthStrategy::LevelWise, ..cfg.clone() };
+    train_with(data, columnar, &cfg, &SequentialExec)
 }
 
 #[cfg(test)]
@@ -420,5 +139,52 @@ mod tests {
         let cfg = TrainConfig { num_trees: 12, max_depth: 4, ..Default::default() };
         let (_, report) = train_levelwise(&data, &mirror, &cfg);
         assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
+    }
+
+    #[test]
+    fn levelwise_logs_terminal_no_split_scan() {
+        // Constant labels: the root is scanned but never splits. The
+        // host still paid for that scan, so the phase log must carry a
+        // trailing scanned descriptor (root + terminal scan = 2 phases).
+        let schema = DatasetSchema::new(vec![FieldSchema::numeric_with_bins("x", 8)]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..200 {
+            ds.push_record(&[RawValue::Num(i as f32)], 1.0);
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg =
+            TrainConfig { num_trees: 2, max_depth: 4, collect_phases: true, ..Default::default() };
+        let (model, report) = train_levelwise(&data, &mirror, &cfg);
+        assert!(model.trees.iter().all(|t| t.num_leaves() == 1));
+        let log = report.phase_log.unwrap();
+        for t in &log.trees {
+            assert_eq!(t.nodes.len(), 2, "root stream + terminal scan");
+            assert!(!t.nodes[0].scanned);
+            assert!(t.nodes[1].scanned);
+            assert_eq!(t.nodes[1].bin.n_binned, 0);
+            assert!(t.nodes[1].partition.is_none());
+        }
+    }
+
+    #[test]
+    fn levelwise_wrapper_overrides_growth_mode() {
+        // The wrapper must reach the level-wise path even when the config
+        // says otherwise: dense per-level phases are its fingerprint.
+        let (data, mirror) = dataset(1_000);
+        let cfg = TrainConfig {
+            num_trees: 2,
+            max_depth: 3,
+            collect_phases: true,
+            growth: GrowthStrategy::VertexWise,
+            ..Default::default()
+        };
+        let (_, report) = train_levelwise(&data, &mirror, &cfg);
+        let log = report.phase_log.unwrap();
+        let full_blocks = (1_000 * log.record_bytes as usize).div_ceil(64);
+        assert!(log.trees[0]
+            .nodes
+            .iter()
+            .all(|np| np.bin.n_binned == 0 || np.bin.row_blocks == full_blocks));
     }
 }

@@ -14,18 +14,21 @@
 //!    ([`split`]),
 //! 3. **single-predicate partitioning** of the relevant records
 //!    ([`partition`]),
-//! 4. leaf-wise growth to a depth limit ([`train`]),
+//! 4. tree growth to a depth (or leaf) budget ([`grow`]),
 //! 5. **one-tree traversal** updating every record's gradient statistics
 //!    ([`train`], [`tree`]),
 //! 6. the outer loop over trees.
 //!
-//! It also implements the data-layout machinery the accelerator relies
-//! on: quantile [`binning`], one-hot-aware [`preprocess`]ing with per-field
+//! All training flows through **one growth engine** ([`grow`]): a
+//! [`grow::GrowthStrategy`] (vertex-wise, level-wise, or best-first
+//! leaf-wise) composed with a [`train::StepExecutor`] backend
+//! (sequential, or the multicore backend of Section II-D in
+//! [`parallel`]) — any growth order runs on any backend. The crate also
+//! implements the data-layout machinery the accelerator relies on:
+//! quantile [`binning`], one-hot-aware [`preprocess`]ing with per-field
 //! absent bins, and the **redundant per-field column-major format**
-//! ([`columnar`]). Training can run sequentially or with the multicore
-//! backend of Section II-D ([`parallel`]). Per-step wall-clock times,
-//! work counters and phase descriptors ([`phases`]) feed the `booster-sim`
-//! timing models.
+//! ([`columnar`]). Per-step wall-clock times, work counters and phase
+//! descriptors ([`phases`]) feed the `booster-sim` timing models.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +64,7 @@ pub mod binning;
 pub mod columnar;
 pub mod dataset;
 pub mod gradients;
+pub mod grow;
 pub mod histogram;
 pub mod io;
 pub mod levelwise;
@@ -81,13 +85,16 @@ pub mod prelude {
     pub use crate::columnar::ColumnarMirror;
     pub use crate::dataset::{Dataset, RawValue};
     pub use crate::gradients::{GradPair, Loss};
+    pub use crate::grow::GrowthStrategy;
     pub use crate::levelwise::train_levelwise;
-    pub use crate::parallel::train_parallel;
+    pub use crate::parallel::{train_parallel, ParallelExec};
     pub use crate::predict::Model;
     pub use crate::preprocess::BinnedDataset;
     pub use crate::schema::{DatasetSchema, FieldKind, FieldSchema};
     pub use crate::serialize::{model_from_bytes, model_to_bytes};
     pub use crate::split::SplitParams;
-    pub use crate::train::{train, TrainConfig, TrainReport};
+    pub use crate::train::{
+        train, train_with, SequentialExec, StepExecutor, TrainConfig, TrainReport,
+    };
     pub use crate::tree::{Tree, TreeTable};
 }

@@ -5,17 +5,24 @@
 //! histograms are reduced. Step 3 is parallelized by partitioning the
 //! input records and replicating the current tree among the threads."
 //!
-//! This is the software baseline the paper's Ideal 32-core idealizes. The
-//! rayon backend keeps chunking deterministic (fixed chunk boundaries,
-//! in-order reduction), so results are reproducible across runs; floating-
-//! point summation order differs from the sequential backend, so gradients
-//! match only up to rounding.
+//! This is the software baseline the paper's Ideal 32-core idealizes,
+//! with one refinement: Step 1 is parallelized **across fields**
+//! (LightGBM's feature-parallel histogram construction) instead of
+//! across records. Each worker owns whole fields, so every histogram bin
+//! accumulates its records in the exact sequential row order — no
+//! cross-thread reduction, no floating-point reassociation — and the
+//! trained model is **bit-identical** to [`SequentialExec`](crate::train::SequentialExec)'s on every
+//! growth mode (the property `tests/property_tests.rs` asserts). Steps 3
+//! and 5 chunk records deterministically with in-order concatenation,
+//! and the Step-5 loss total is folded in record order over the updated
+//! margins, so `loss_history` — and with it `min_loss_decrease` early
+//! stopping — is bit-identical across backends too.
 
 use rayon::prelude::*;
 
 use crate::columnar::ColumnarMirror;
 use crate::gradients::{GradPair, Loss};
-use crate::histogram::NodeHistogram;
+use crate::histogram::{bin_field_records, NodeHistogram};
 use crate::partition::partition_rows;
 use crate::predict::Model;
 use crate::preprocess::BinnedDataset;
@@ -23,11 +30,14 @@ use crate::split::SplitRule;
 use crate::train::{train_with, StepExecutor, TrainConfig, TrainReport};
 use crate::tree::Tree;
 
-/// Rayon-parallel execution of the record-heavy steps.
+/// Parallel execution of the record-heavy steps: field-parallel Step 1,
+/// record-chunked Steps 3 and 5. Bit-identical models to
+/// [`crate::train::SequentialExec`] under every [`crate::grow::GrowthStrategy`].
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelExec {
-    /// Rows per parallel chunk. Chunk boundaries are fixed so reductions
-    /// happen in a deterministic order.
+    /// Minimum rows before a step goes parallel (below it, the scalar
+    /// path is cheaper), and the rows per chunk for Steps 3 and 5.
+    /// Chunk boundaries are fixed so outputs are deterministic.
     pub chunk_size: usize,
 }
 
@@ -48,19 +58,21 @@ impl StepExecutor for ParallelExec {
         if rows.len() < self.chunk_size {
             return hist.bin_records(data, rows, grads);
         }
-        // Private histogram per chunk (the multicore replication), then an
-        // in-order reduction.
-        let partials: Vec<NodeHistogram> = rows
-            .par_chunks(self.chunk_size)
-            .map(|chunk| {
-                let mut h = NodeHistogram::zeroed(data);
-                h.bin_records(data, chunk, grads);
-                h
-            })
+        // One worker per field: every bin sees its records in sequential
+        // row order, so the result matches the scalar path bit for bit.
+        let _: Vec<()> = hist
+            .fields_mut()
+            .into_par_iter()
+            .enumerate()
+            .map(|(f, bins)| bin_field_records(data, f, rows, grads, bins))
             .collect();
-        for p in &partials {
-            hist.merge(p);
+        // Vertex totals: same left-to-right accumulation as the scalar
+        // path.
+        let mut total = GradPair::zero();
+        for &r in rows {
+            total += grads[r as usize];
         }
+        hist.add_total(total, rows.len() as u64);
         rows.len() as u64 * data.num_fields() as u64
     }
 
@@ -98,30 +110,37 @@ impl StepExecutor for ParallelExec {
         grads: &mut [GradPair],
     ) -> (u64, f64) {
         let chunk = self.chunk_size;
-        margins
+        let sum_path = margins
             .par_chunks_mut(chunk)
             .zip(grads.par_chunks_mut(chunk))
             .enumerate()
             .map(|(ci, (mchunk, gchunk))| {
                 let base = ci * chunk;
                 let mut sum_path = 0u64;
-                let mut total_loss = 0.0f64;
                 for (i, (m, g)) in mchunk.iter_mut().zip(gchunk.iter_mut()).enumerate() {
                     let r = base + i;
                     let (w, path) = tree.traverse_binned(data, r);
                     sum_path += u64::from(path);
                     *m += w;
-                    let y = f64::from(labels[r]);
-                    *g = loss.grad(*m, y);
-                    total_loss += loss.value(*m, y);
+                    *g = loss.grad(*m, f64::from(labels[r]));
                 }
-                (sum_path, total_loss)
+                sum_path
             })
-            .reduce(|| (0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1))
+            .reduce(|| 0, |a, b| a + b);
+        // Loss: a record-ordered fold over the (exactly updated) margins —
+        // the same association as the scalar path, so `loss_history` and
+        // therefore `min_loss_decrease` early stopping are bit-identical
+        // across backends, not just the model.
+        let mut total_loss = 0.0f64;
+        for (m, &y) in margins.iter().zip(labels) {
+            total_loss += loss.value(*m, f64::from(y));
+        }
+        (sum_path, total_loss)
     }
 }
 
-/// Train with the rayon-parallel backend.
+/// Train with the parallel backend; the growth order is taken from
+/// `cfg.growth`, so every mode — including level-wise — parallelizes.
 pub fn train_parallel(
     data: &BinnedDataset,
     columnar: &ColumnarMirror,
@@ -134,9 +153,10 @@ pub fn train_parallel(
 mod tests {
     use super::*;
     use crate::dataset::{Dataset, RawValue};
+    use crate::grow::GrowthStrategy;
     use crate::metrics;
     use crate::schema::{DatasetSchema, FieldSchema};
-    use crate::train::train;
+    use crate::train::{train, SequentialExec};
 
     fn dataset(n: usize) -> (BinnedDataset, ColumnarMirror) {
         let schema = DatasetSchema::new(vec![
@@ -163,24 +183,40 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential_quality() {
+    fn parallel_is_bit_identical_to_sequential() {
         let (data, mirror) = dataset(8000);
         let cfg = TrainConfig { num_trees: 10, max_depth: 4, ..Default::default() };
         let (m_seq, rep_seq) = train(&data, &mirror, &cfg);
-        let (m_par, rep_par) = train_parallel(&data, &mirror, &cfg);
-        assert_eq!(m_seq.num_trees(), m_par.num_trees());
-        // Final losses agree closely (float order differs).
-        let l_seq = *rep_seq.loss_history.last().unwrap();
-        let l_par = *rep_par.loss_history.last().unwrap();
-        assert!(
-            (l_seq - l_par).abs() < 1e-3 * (1.0 + l_seq.abs()),
-            "losses diverge: {l_seq} vs {l_par}"
-        );
-        // Predictions agree on RMSE.
+        // Small chunks force the parallel paths on every step.
+        let exec = ParallelExec { chunk_size: 512 };
+        let (m_par, rep_par) = crate::train::train_with(&data, &mirror, &cfg, &exec);
+        assert_eq!(m_seq.trees, m_par.trees, "field-parallel Step 1 must not reassociate");
+        // The loss fold is record-ordered too, so early stopping can
+        // never diverge between backends.
+        assert_eq!(rep_seq.loss_history, rep_par.loss_history);
+        // Predictions agree on RMSE too, trivially.
         let labels: Vec<f64> = data.labels().iter().map(|&y| f64::from(y)).collect();
         let r_seq = metrics::rmse(&m_seq.predict_batch(&data), &labels);
         let r_par = metrics::rmse(&m_par.predict_batch(&data), &labels);
-        assert!((r_seq - r_par).abs() < 1e-3, "rmse diverge: {r_seq} vs {r_par}");
+        assert_eq!(r_seq, r_par);
+    }
+
+    #[test]
+    fn parallel_reaches_every_growth_mode() {
+        let (data, mirror) = dataset(3000);
+        for growth in [
+            GrowthStrategy::VertexWise,
+            GrowthStrategy::LevelWise,
+            GrowthStrategy::LeafWise { max_leaves: 8 },
+        ] {
+            let cfg = TrainConfig { num_trees: 4, max_depth: 4, growth, ..Default::default() };
+            let (m_par, rep) = train_parallel(&data, &mirror, &cfg);
+            assert_eq!(m_par.num_trees(), 4, "{growth:?}");
+            assert!(
+                rep.loss_history.last().unwrap() < &rep.loss_history[0],
+                "{growth:?} loss must decrease"
+            );
+        }
     }
 
     #[test]
@@ -189,9 +225,8 @@ mod tests {
         let cfg = TrainConfig { num_trees: 3, max_depth: 3, ..Default::default() };
         // chunk_size larger than n: everything goes through the scalar path.
         let exec = ParallelExec { chunk_size: 1 << 20 };
-        let (m_par, _) = train_with(&data, &mirror, &cfg, &exec);
+        let (m_par, _) = crate::train::train_with(&data, &mirror, &cfg, &exec);
         let (m_seq, _) = train(&data, &mirror, &cfg);
-        // With identical float order, the models must be identical.
         assert_eq!(m_par.trees, m_seq.trees);
     }
 
@@ -208,7 +243,7 @@ mod tests {
     }
 
     #[test]
-    fn chunked_binning_matches_unchunked() {
+    fn chunked_binning_matches_unchunked_exactly() {
         let (data, _) = dataset(5000);
         let grads: Vec<GradPair> =
             (0..5000).map(|i| GradPair::new((i as f64).cos(), 1.0)).collect();
@@ -218,12 +253,23 @@ mod tests {
         exec.bin_records(&data, &rows, &grads, &mut h_par);
         let mut h_seq = NodeHistogram::zeroed(&data);
         h_seq.bin_records(&data, &rows, &grads);
-        assert_eq!(h_par.total_count(), h_seq.total_count());
-        for f in 0..data.num_fields() {
-            for (a, b) in h_par.field(f).iter().zip(h_seq.field(f)) {
-                assert_eq!(a.count, b.count);
-                assert!((a.grad.g - b.grad.g).abs() < 1e-9);
-            }
-        }
+        // Field-parallel accumulation preserves the row order per bin:
+        // exact equality, not tolerance.
+        assert_eq!(h_par, h_seq);
+    }
+
+    #[test]
+    fn parallel_works_as_a_boxed_executor() {
+        // The engine takes `&dyn StepExecutor`; make sure both backends
+        // coexist behind the trait object surface.
+        let (data, mirror) = dataset(600);
+        let cfg = TrainConfig { num_trees: 2, max_depth: 3, ..Default::default() };
+        let execs: Vec<Box<dyn StepExecutor>> =
+            vec![Box::new(SequentialExec), Box::new(ParallelExec { chunk_size: 64 })];
+        let models: Vec<Model> = execs
+            .iter()
+            .map(|e| crate::train::train_with(&data, &mirror, &cfg, e.as_ref()).0)
+            .collect();
+        assert_eq!(models[0].trees, models[1].trees);
     }
 }

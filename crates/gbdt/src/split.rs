@@ -108,17 +108,12 @@ pub fn goes_left(rule: SplitRule, default_left: bool, bin: u32, absent_bin: u32)
 /// Scan every feature's bins and return the best valid split, if any has
 /// positive gain exceeding `gamma`. Also returns the number of bins
 /// scanned (the Step-2 work offloaded to the host).
+///
+/// `field_mask` restricts the scan to fields whose entry is `true`
+/// (column subsampling, stochastic GB); `None` allows every field. This
+/// masked form is the single implementation — there is no separate
+/// unmasked scan.
 pub fn find_best_split(
-    hist: &NodeHistogram,
-    binnings: &[FieldBinning],
-    params: &SplitParams,
-) -> (Option<SplitInfo>, u64) {
-    find_best_split_masked(hist, binnings, params, None)
-}
-
-/// [`find_best_split`] restricted to fields whose mask entry is `true`
-/// (column subsampling, stochastic GB). `None` allows every field.
-pub fn find_best_split_masked(
     hist: &NodeHistogram,
     binnings: &[FieldBinning],
     params: &SplitParams,
@@ -142,7 +137,10 @@ pub fn find_best_split_masked(
             }
             let gain =
                 0.5 * (score(left, params.lambda) + score(right, params.lambda) - parent_score);
-            if gain <= params.gamma {
+            // Reject NaN explicitly: `gain <= gamma` alone would let it
+            // through — with lambda == 0 and min_child_weight == 0 a
+            // zero-gradient side scores 0/0.
+            if gain.is_nan() || gain <= params.gamma {
                 return;
             }
             if best.as_ref().is_none_or(|b| gain > b.gain) {
@@ -238,7 +236,7 @@ mod tests {
         let rows: Vec<u32> = (0..100).collect();
         let mut h = NodeHistogram::zeroed(&data);
         h.bin_records(&data, &rows, &grads);
-        let (split, scanned) = find_best_split(&h, data.binnings(), &SplitParams::default());
+        let (split, scanned) = find_best_split(&h, data.binnings(), &SplitParams::default(), None);
         let s = split.expect("split must exist");
         assert_eq!(s.field, 0);
         assert!(scanned > 0);
@@ -279,7 +277,7 @@ mod tests {
             .collect();
         let mut h = NodeHistogram::zeroed(&data);
         h.bin_records(&data, &(0..200).collect::<Vec<_>>(), &grads);
-        let (split, _) = find_best_split(&h, data.binnings(), &SplitParams::default());
+        let (split, _) = find_best_split(&h, data.binnings(), &SplitParams::default(), None);
         let s = split.expect("split must exist");
         assert_eq!(s.rule, SplitRule::Categorical { category: 2 });
         assert_eq!(s.right_count, 50);
@@ -298,7 +296,7 @@ mod tests {
         let grads = vec![GradPair::new(0.0, 1.0); 50];
         let mut h = NodeHistogram::zeroed(&data);
         h.bin_records(&data, &(0..50).collect::<Vec<_>>(), &grads);
-        let (split, _) = find_best_split(&h, data.binnings(), &SplitParams::default());
+        let (split, _) = find_best_split(&h, data.binnings(), &SplitParams::default(), None);
         assert!(split.is_none(), "pure node must not split: {split:?}");
     }
 
@@ -307,11 +305,26 @@ mod tests {
         let (data, grads) = separable_numeric();
         let mut h = NodeHistogram::zeroed(&data);
         h.bin_records(&data, &(0..100).collect::<Vec<_>>(), &grads);
-        let (strong, _) = find_best_split(&h, data.binnings(), &SplitParams::default());
+        let (strong, _) = find_best_split(&h, data.binnings(), &SplitParams::default(), None);
         let gain = strong.unwrap().gain;
         let params = SplitParams { gamma: gain + 1.0, ..Default::default() };
-        let (suppressed, _) = find_best_split(&h, data.binnings(), &params);
+        let (suppressed, _) = find_best_split(&h, data.binnings(), &params, None);
         assert!(suppressed.is_none());
+    }
+
+    #[test]
+    fn nan_gains_are_rejected() {
+        // lambda == 0 && min_child_weight == 0 with all-zero gradient
+        // pairs makes every score 0/0 = NaN; the scan must return no
+        // split rather than a NaN-gain one (which would corrupt
+        // best-split selection and panic the leaf-wise priority queue).
+        let (data, _) = separable_numeric();
+        let grads = vec![GradPair::new(0.0, 0.0); 100];
+        let mut h = NodeHistogram::zeroed(&data);
+        h.bin_records(&data, &(0..100).collect::<Vec<_>>(), &grads);
+        let params = SplitParams { lambda: 0.0, gamma: 0.0, min_child_weight: 0.0 };
+        let (split, _) = find_best_split(&h, data.binnings(), &params, None);
+        assert!(split.is_none(), "NaN gain must not be selected: {split:?}");
     }
 
     #[test]
@@ -321,7 +334,7 @@ mod tests {
         h.bin_records(&data, &(0..100).collect::<Vec<_>>(), &grads);
         // Each record has h=1.0; requiring 1000 on each side is impossible.
         let params = SplitParams { min_child_weight: 1000.0, ..Default::default() };
-        let (split, _) = find_best_split(&h, data.binnings(), &params);
+        let (split, _) = find_best_split(&h, data.binnings(), &params, None);
         assert!(split.is_none());
     }
 
@@ -346,7 +359,7 @@ mod tests {
             .collect();
         let mut h = NodeHistogram::zeroed(&data);
         h.bin_records(&data, &(0..120).collect::<Vec<_>>(), &grads);
-        let (split, _) = find_best_split(&h, data.binnings(), &SplitParams::default());
+        let (split, _) = find_best_split(&h, data.binnings(), &SplitParams::default(), None);
         let s = split.expect("split must exist");
         assert!(!s.default_left, "missing positives should default right");
     }
@@ -356,7 +369,7 @@ mod tests {
         let (data, grads) = separable_numeric();
         let mut h = NodeHistogram::zeroed(&data);
         h.bin_records(&data, &(0..100).collect::<Vec<_>>(), &grads);
-        let (split, _) = find_best_split(&h, data.binnings(), &SplitParams::default());
+        let (split, _) = find_best_split(&h, data.binnings(), &SplitParams::default(), None);
         let s = split.unwrap();
         assert_eq!(s.left_count + s.right_count, 100);
         let sum = s.left_grad + s.right_grad;

@@ -1,7 +1,11 @@
-//! Sequential GBDT training: the six steps of Table I, instrumented.
+//! Training configuration, instrumentation types and the sequential
+//! execution backend — plus the classic entry points (`train`,
+//! `train_with`, `train_with_eval`), which are thin wrappers over the
+//! unified growth engine in [`crate::grow`].
 //!
-//! The trainer grows the ensemble one tree at a time (Step 6) and each tree
-//! one vertex at a time (Step 4), interleaving:
+//! The engine grows the ensemble one tree at a time (Step 6 of Table I)
+//! and each tree in the order picked by
+//! [`TrainConfig::growth`](crate::grow::GrowthStrategy), interleaving:
 //!
 //! 1. histogram binning of the relevant records (with the smaller-child
 //!    subtraction optimization — only the child with fewer records is
@@ -16,22 +20,21 @@
 //! and work-counted, and — when enabled — logged as phase descriptors
 //! ([`PhaseLog`]) that the `booster-sim` timing models consume.
 
-use std::time::{Duration, Instant};
+use std::fmt;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
 use crate::columnar::ColumnarMirror;
 use crate::gradients::{GradPair, Loss};
+use crate::grow::{grow_forest, GrowthStrategy};
 use crate::histogram::NodeHistogram;
 use crate::partition::partition_rows;
-use crate::phases::{
-    gh_blocks, row_major_blocks, BinPhase, NodePhase, PartitionPhase, PhaseLog, TraversalPhase,
-    TreePhases,
-};
+use crate::phases::PhaseLog;
 use crate::predict::Model;
 use crate::preprocess::BinnedDataset;
-use crate::split::{leaf_weight, SplitParams, SplitRule};
-use crate::tree::{Node, Tree};
+use crate::split::{SplitParams, SplitRule};
+use crate::tree::Tree;
 
 /// Pluggable execution backend for the record-heavy steps (1, 3 and 5).
 ///
@@ -149,6 +152,9 @@ pub struct TrainConfig {
     pub colsample_bytree: f64,
     /// Seed for the sampling RNG (training is deterministic in it).
     pub seed: u64,
+    /// Tree-growth order: vertex-wise (default), level-wise, or
+    /// best-first leaf-wise under a leaf budget.
+    pub growth: GrowthStrategy,
 }
 
 impl Default for TrainConfig {
@@ -164,14 +170,100 @@ impl Default for TrainConfig {
             subsample: 1.0,
             colsample_bytree: 1.0,
             seed: 0,
+            growth: GrowthStrategy::VertexWise,
         }
     }
 }
+
+/// A [`TrainConfig`] bound violation, reported by
+/// [`TrainConfig::validate`] before any training work starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending configuration field.
+    pub field: &'static str,
+    /// Human-readable description of the violated bound.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Deepest tree the flat `u32` node indexing can sensibly address; far
+/// beyond any useful GBDT depth (the paper trains at depth 6).
+pub const MAX_SUPPORTED_DEPTH: u32 = 30;
 
 impl TrainConfig {
     /// The paper's evaluation configuration: 500 trees of depth up to 6.
     pub fn paper() -> Self {
         TrainConfig { num_trees: 500, max_depth: 6, ..Default::default() }
+    }
+
+    /// Check every field against its documented bounds, returning a
+    /// descriptive [`ConfigError`] for the first violation instead of
+    /// failing deep inside the training loop.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |field: &'static str, message: String| Err(ConfigError { field, message });
+        if self.num_trees == 0 {
+            return err("num_trees", "must be at least 1".into());
+        }
+        if self.max_depth > MAX_SUPPORTED_DEPTH {
+            return err(
+                "max_depth",
+                format!("must be at most {MAX_SUPPORTED_DEPTH}, got {}", self.max_depth),
+            );
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return err(
+                "learning_rate",
+                format!("must be finite and positive, got {}", self.learning_rate),
+            );
+        }
+        if !(self.subsample > 0.0 && self.subsample <= 1.0) {
+            return err("subsample", format!("must be in (0, 1], got {}", self.subsample));
+        }
+        if !(self.colsample_bytree > 0.0 && self.colsample_bytree <= 1.0) {
+            return err(
+                "colsample_bytree",
+                format!("must be in (0, 1], got {}", self.colsample_bytree),
+            );
+        }
+        if !(self.split.lambda.is_finite() && self.split.lambda >= 0.0) {
+            return err(
+                "split.lambda",
+                format!("must be finite and non-negative, got {}", self.split.lambda),
+            );
+        }
+        if !(self.split.gamma.is_finite() && self.split.gamma >= 0.0) {
+            return err(
+                "split.gamma",
+                format!("must be finite and non-negative, got {}", self.split.gamma),
+            );
+        }
+        if !(self.split.min_child_weight.is_finite() && self.split.min_child_weight >= 0.0) {
+            return err(
+                "split.min_child_weight",
+                format!("must be finite and non-negative, got {}", self.split.min_child_weight),
+            );
+        }
+        if let Some(d) = self.min_loss_decrease {
+            if !d.is_finite() {
+                return err("min_loss_decrease", format!("must be finite, got {d}"));
+            }
+        }
+        if let GrowthStrategy::LeafWise { max_leaves } = self.growth {
+            if max_leaves < 2 {
+                return err(
+                    "growth.max_leaves",
+                    format!("leaf-wise growth needs a budget of at least 2, got {max_leaves}"),
+                );
+            }
+        }
+        Ok(())
     }
 }
 
@@ -292,300 +384,16 @@ pub fn train_with_eval(
     (trimmed, report, eval_history)
 }
 
-/// Train a model with an explicit execution backend.
+/// Train a model with an explicit execution backend. Compatibility
+/// wrapper over the unified engine in [`crate::grow`]; the growth order
+/// is taken from `cfg.growth`.
 pub fn train_with(
     data: &BinnedDataset,
     columnar: &ColumnarMirror,
     cfg: &TrainConfig,
     exec: &dyn StepExecutor,
 ) -> (Model, TrainReport) {
-    assert!(data.num_records() > 0, "cannot train on an empty dataset");
-    assert!(cfg.subsample > 0.0 && cfg.subsample <= 1.0, "subsample must be in (0, 1]");
-    assert!(
-        cfg.colsample_bytree > 0.0 && cfg.colsample_bytree <= 1.0,
-        "colsample_bytree must be in (0, 1]"
-    );
-    debug_assert!(columnar.is_consistent_with(data), "columnar mirror out of sync");
-    let n = data.num_records();
-    let labels = data.labels();
-    use rand::{RngExt, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-
-    let t_init = Instant::now();
-    let label_mean = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / n as f64;
-    let base_score = cfg.loss.base_score(label_mean);
-    let mut margins = vec![base_score; n];
-    let mut grads: Vec<GradPair> =
-        (0..n).map(|r| cfg.loss.grad(margins[r], f64::from(labels[r]))).collect();
-    let mut prev_loss =
-        (0..n).map(|r| cfg.loss.value(margins[r], f64::from(labels[r]))).sum::<f64>() / n as f64;
-
-    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
-    let mut work = WorkCounters::default();
-    let mut tree_logs: Vec<TreePhases> = Vec::new();
-    let mut loss_history = Vec::with_capacity(cfg.num_trees);
-    let mut trees: Vec<Tree> = Vec::with_capacity(cfg.num_trees);
-
-    for _tree_idx in 0..cfg.num_trees {
-        // ---- Grow one tree (Steps 1-4). ----
-        // Stochastic GB: sample the records this tree sees.
-        let root_rows: Vec<u32> = if cfg.subsample < 1.0 {
-            (0..n as u32).filter(|_| rng.random_bool(cfg.subsample)).collect()
-        } else {
-            (0..n as u32).collect()
-        };
-        if root_rows.is_empty() {
-            // A pathological subsample of a tiny dataset: skip this tree.
-            loss_history.push(prev_loss);
-            trees.push(Tree::leaf(0.0));
-            continue;
-        }
-        // Column sampling: restrict this tree's candidate fields.
-        let field_mask: Option<Vec<bool>> = if cfg.colsample_bytree < 1.0 {
-            let nf = data.num_fields();
-            let mut mask: Vec<bool> =
-                (0..nf).map(|_| rng.random_bool(cfg.colsample_bytree)).collect();
-            if !mask.iter().any(|&m| m) {
-                mask[rng.random_range(0..nf)] = true;
-            }
-            Some(mask)
-        } else {
-            None
-        };
-
-        let t1 = Instant::now();
-        let mut root_hist = NodeHistogram::zeroed(data);
-        let updates = exec.bin_records(data, &root_rows, &grads, &mut root_hist);
-        times.step1 += t1.elapsed();
-        work.step1_records += root_rows.len() as u64;
-        work.step1_updates += updates;
-
-        let root_phase = if cfg.collect_phases {
-            Some(BinPhase {
-                depth: 0,
-                n_reaching: root_rows.len(),
-                n_binned: root_rows.len(),
-                row_blocks: row_major_blocks(&root_rows, data.record_bytes()),
-                gh_stream_blocks: gh_blocks(&root_rows),
-            })
-        } else {
-            None
-        };
-
-        let mut builder = TreeBuilder {
-            data,
-            columnar,
-            grads: &grads,
-            cfg,
-            exec,
-            field_mask: field_mask.as_deref(),
-            nodes: Vec::new(),
-            phases: Vec::new(),
-            times: &mut times,
-            work: &mut work,
-        };
-        builder.grow(root_rows, root_hist, 0, root_phase);
-        let TreeBuilder { nodes, phases, .. } = builder;
-        let tree = Tree::new(nodes);
-
-        // ---- Step 5: one-tree traversal, gradient + loss update. ----
-        let t5 = Instant::now();
-        let (sum_path, total_loss) =
-            exec.traverse_update(data, &tree, cfg.loss, labels, &mut margins, &mut grads);
-        times.step5 += t5.elapsed();
-        work.step5_records += n as u64;
-        work.step5_lookups += sum_path;
-
-        if cfg.collect_phases {
-            tree_logs.push(TreePhases {
-                nodes: phases,
-                traversal: TraversalPhase {
-                    n_records: n,
-                    fields_used: tree.fields_used().len(),
-                    sum_path_len: sum_path,
-                    max_depth: tree.depth(),
-                },
-            });
-        }
-
-        let mean_loss = total_loss / n as f64;
-        loss_history.push(mean_loss);
-        trees.push(tree);
-
-        if let Some(min_dec) = cfg.min_loss_decrease {
-            if prev_loss - mean_loss < min_dec {
-                break;
-            }
-        }
-        prev_loss = mean_loss;
-    }
-
-    let model = Model {
-        trees,
-        base_score,
-        loss: cfg.loss,
-        schema: data.schema().clone(),
-        binnings: data.binnings().to_vec(),
-    };
-    let phase_log = cfg.collect_phases.then(|| PhaseLog {
-        trees: tree_logs,
-        num_records: n,
-        num_fields: data.num_fields(),
-        record_bytes: data.record_bytes(),
-        total_bins: data.total_bins(),
-        field_entry_bytes: (0..data.num_fields())
-            .map(|f| data.binnings()[f].encoded_bytes())
-            .collect(),
-        field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
-    });
-    (model, TrainReport { times, work, phase_log, loss_history })
-}
-
-/// Recursive leaf-splitting state for one tree.
-struct TreeBuilder<'a> {
-    data: &'a BinnedDataset,
-    columnar: &'a ColumnarMirror,
-    grads: &'a [GradPair],
-    cfg: &'a TrainConfig,
-    exec: &'a dyn StepExecutor,
-    /// Column-sampling mask for this tree (stochastic GB).
-    field_mask: Option<&'a [bool]>,
-    nodes: Vec<Node>,
-    phases: Vec<NodePhase>,
-    times: &'a mut StepTimes,
-    work: &'a mut WorkCounters,
-}
-
-impl TreeBuilder<'_> {
-    /// Grow the subtree for `rows` whose histogram is `hist`; returns the
-    /// node index. `bin_phase` describes how `hist` was produced (explicit
-    /// binning or sibling subtraction) for the phase log.
-    fn grow(
-        &mut self,
-        rows: Vec<u32>,
-        hist: NodeHistogram,
-        depth: u32,
-        bin_phase: Option<BinPhase>,
-    ) -> u32 {
-        let node_idx = self.nodes.len() as u32;
-        self.nodes.push(Node::Leaf { weight: 0.0 }); // placeholder
-
-        // Step 2: split finding (skipped at the depth limit).
-        let scanned = depth < self.cfg.max_depth;
-        let split = if scanned {
-            let t2 = Instant::now();
-            let (s, bins) = crate::split::find_best_split_masked(
-                &hist,
-                self.data.binnings(),
-                &self.cfg.split,
-                self.field_mask,
-            );
-            self.times.step2 += t2.elapsed();
-            self.work.step2_scans += 1;
-            self.work.step2_bins += bins;
-            s
-        } else {
-            None
-        };
-
-        let Some(split) = split else {
-            let w = leaf_weight(hist.total(), self.cfg.split.lambda) * self.cfg.learning_rate;
-            self.nodes[node_idx as usize] = Node::Leaf { weight: w };
-            if self.cfg.collect_phases {
-                self.phases.push(NodePhase {
-                    bin: bin_phase.unwrap_or_else(|| empty_bin_phase(depth, rows.len())),
-                    scanned,
-                    partition: None,
-                });
-            }
-            return node_idx;
-        };
-
-        // Step 3: partition the relevant records by the new predicate.
-        let t3 = Instant::now();
-        let field = split.field as usize;
-        let column = self.columnar.column(field);
-        let absent = self.data.binnings()[field].absent_bin();
-        let (lrows, rrows) =
-            self.exec.partition(&rows, column, split.rule, split.default_left, absent);
-        self.times.step3 += t3.elapsed();
-        self.work.step3_records += rows.len() as u64;
-
-        let partition_phase = if self.cfg.collect_phases {
-            Some(PartitionPhase {
-                n_records: rows.len(),
-                col_blocks: crate::phases::column_blocks(
-                    &rows,
-                    self.data.binnings()[field].encoded_bytes(),
-                ),
-                row_blocks: row_major_blocks(&rows, self.data.record_bytes()),
-                n_left: lrows.len(),
-                n_right: rrows.len(),
-            })
-        } else {
-            None
-        };
-        if self.cfg.collect_phases {
-            self.phases.push(NodePhase {
-                bin: bin_phase.unwrap_or_else(|| empty_bin_phase(depth, rows.len())),
-                scanned,
-                partition: partition_phase,
-            });
-        }
-        drop(rows);
-
-        // Step 1 at the children: bin only the smaller child explicitly;
-        // derive the larger by subtraction (Section II-A optimization).
-        let left_smaller = lrows.len() <= rrows.len();
-        let (srows, brows) = if left_smaller { (&lrows, &rrows) } else { (&rrows, &lrows) };
-
-        let t1 = Instant::now();
-        let mut small_hist = NodeHistogram::zeroed(self.data);
-        let updates = self.exec.bin_records(self.data, srows, self.grads, &mut small_hist);
-        let big_hist = NodeHistogram::subtract_from(&hist, &small_hist);
-        self.times.step1 += t1.elapsed();
-        self.work.step1_records += srows.len() as u64;
-        self.work.step1_updates += updates;
-
-        let (small_phase, big_phase) = if self.cfg.collect_phases {
-            (
-                Some(BinPhase {
-                    depth: depth + 1,
-                    n_reaching: srows.len(),
-                    n_binned: srows.len(),
-                    row_blocks: row_major_blocks(srows, self.data.record_bytes()),
-                    gh_stream_blocks: gh_blocks(srows),
-                }),
-                Some(empty_bin_phase(depth + 1, brows.len())),
-            )
-        } else {
-            (None, None)
-        };
-        drop(hist);
-
-        let (lhist, rhist, lphase, rphase) = if left_smaller {
-            (small_hist, big_hist, small_phase, big_phase)
-        } else {
-            (big_hist, small_hist, big_phase, small_phase)
-        };
-
-        let left = self.grow(lrows, lhist, depth + 1, lphase);
-        let right = self.grow(rrows, rhist, depth + 1, rphase);
-        self.nodes[node_idx as usize] = Node::Internal {
-            field: split.field,
-            rule: split.rule,
-            default_left: split.default_left,
-            left,
-            right,
-        };
-        node_idx
-    }
-}
-
-/// Phase entry for a vertex whose histogram came from sibling subtraction:
-/// no record traffic.
-fn empty_bin_phase(depth: u32, n_reaching: usize) -> BinPhase {
-    BinPhase { depth, n_reaching, n_binned: 0, row_blocks: 0, gh_stream_blocks: 0 }
+    grow_forest(data, columnar, cfg, exec)
 }
 
 #[cfg(test)]
@@ -841,6 +649,73 @@ mod tests {
     fn invalid_subsample_rejected() {
         let (data, mirror) = xor_like_dataset(100);
         let cfg = TrainConfig { subsample: 0.0, ..Default::default() };
+        let _ = train(&data, &mirror, &cfg);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_paper_config() {
+        assert_eq!(TrainConfig::default().validate(), Ok(()));
+        assert_eq!(TrainConfig::paper().validate(), Ok(()));
+        // Depth 0 is a legal budget (leaf-only trees).
+        assert_eq!(TrainConfig { max_depth: 0, ..Default::default() }.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bound_fields() {
+        let cases: Vec<(TrainConfig, &str)> = vec![
+            (TrainConfig { num_trees: 0, ..Default::default() }, "num_trees"),
+            (TrainConfig { max_depth: 31, ..Default::default() }, "max_depth"),
+            (TrainConfig { learning_rate: 0.0, ..Default::default() }, "learning_rate"),
+            (TrainConfig { learning_rate: f64::NAN, ..Default::default() }, "learning_rate"),
+            (TrainConfig { subsample: 0.0, ..Default::default() }, "subsample"),
+            (TrainConfig { subsample: 1.5, ..Default::default() }, "subsample"),
+            (TrainConfig { colsample_bytree: -0.1, ..Default::default() }, "colsample_bytree"),
+            (
+                TrainConfig {
+                    split: SplitParams { lambda: -1.0, ..Default::default() },
+                    ..Default::default()
+                },
+                "split.lambda",
+            ),
+            (
+                TrainConfig {
+                    split: SplitParams { gamma: f64::INFINITY, ..Default::default() },
+                    ..Default::default()
+                },
+                "split.gamma",
+            ),
+            (
+                TrainConfig {
+                    split: SplitParams { min_child_weight: -2.0, ..Default::default() },
+                    ..Default::default()
+                },
+                "split.min_child_weight",
+            ),
+            (
+                TrainConfig { min_loss_decrease: Some(f64::NAN), ..Default::default() },
+                "min_loss_decrease",
+            ),
+            (
+                TrainConfig {
+                    growth: crate::grow::GrowthStrategy::LeafWise { max_leaves: 1 },
+                    ..Default::default()
+                },
+                "growth.max_leaves",
+            ),
+        ];
+        for (cfg, field) in cases {
+            let err = cfg.validate().expect_err(field);
+            assert_eq!(err.field, field);
+            // The Display form names the field for panic messages.
+            assert!(err.to_string().contains(field), "{err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_trees")]
+    fn invalid_num_trees_rejected_up_front() {
+        let (data, mirror) = xor_like_dataset(50);
+        let cfg = TrainConfig { num_trees: 0, ..Default::default() };
         let _ = train(&data, &mirror, &cfg);
     }
 

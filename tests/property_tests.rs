@@ -259,7 +259,7 @@ proptest! {
         let mut hist = NodeHistogram::zeroed(&data);
         hist.bin_records(&data, &rows, &grads);
         let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 1.0 };
-        let (scan, _) = find_best_split(&hist, data.binnings(), &params);
+        let (scan, _) = find_best_split(&hist, data.binnings(), &params, None);
         let oracle = brute_force_best_gain(&data, &grads, 1.0);
         match (scan, oracle) {
             (Some(s), Some(o)) => {
@@ -281,6 +281,21 @@ proptest! {
 
 // ------------------------------------------------- growth-mode equivalence
 
+/// Replace the generated dataset's all-zero labels with bin-derived ones
+/// so trees actually split, and build the columnar mirror.
+fn relabel(data: &BinnedDataset) -> (BinnedDataset, booster_repro::gbdt::columnar::ColumnarMirror) {
+    use booster_repro::gbdt::columnar::ColumnarMirror;
+    let labels: Vec<f32> = (0..data.num_records()).map(|r| (data.bin(r, 0) % 3) as f32).collect();
+    let data = BinnedDataset::from_parts(
+        data.schema().clone(),
+        data.binnings().to_vec(),
+        (0..data.num_records()).flat_map(|r| data.row(r).to_vec()).collect(),
+        labels,
+    );
+    let mirror = ColumnarMirror::from_binned(&data);
+    (data, mirror)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -289,22 +304,10 @@ proptest! {
     /// predictions on any dataset.
     #[test]
     fn levelwise_equals_vertexwise((data, grads, _) in arb_dataset_and_grads()) {
-        use booster_repro::gbdt::columnar::ColumnarMirror;
         use booster_repro::gbdt::levelwise::train_levelwise;
         use booster_repro::gbdt::train::{train, TrainConfig};
         let _ = grads;
-        // Give the all-zero labels some variety so trees actually split.
-        let labels: Vec<f32> =
-            (0..data.num_records()).map(|r| (data.bin(r, 0) % 3) as f32).collect();
-        let data = BinnedDataset::from_parts(
-            data.schema().clone(),
-            data.binnings().to_vec(),
-            (0..data.num_records())
-                .flat_map(|r| data.row(r).to_vec())
-                .collect(),
-            labels,
-        );
-        let mirror = ColumnarMirror::from_binned(&data);
+        let (data, mirror) = relabel(&data);
         let cfg = TrainConfig { num_trees: 3, max_depth: 4, ..Default::default() };
         let (mv, _) = train(&data, &mirror, &cfg);
         let (ml, _) = train_levelwise(&data, &mirror, &cfg);
@@ -312,6 +315,74 @@ proptest! {
             let pv = mv.predict_binned(&data, r);
             let pl = ml.predict_binned(&data, r);
             prop_assert!((pv - pl).abs() < 1e-9, "record {}: {} vs {}", r, pv, pl);
+        }
+    }
+
+    /// The parallel backend must produce **bit-identical** models to the
+    /// sequential one under every growth strategy: field-parallel Step-1
+    /// binning preserves per-bin accumulation order, and Steps 3/5 are
+    /// exact per record.
+    #[test]
+    fn executors_are_bit_identical_for_every_growth_mode(
+        (data, grads, _) in arb_dataset_and_grads()
+    ) {
+        use booster_repro::gbdt::grow::GrowthStrategy;
+        use booster_repro::gbdt::parallel::ParallelExec;
+        use booster_repro::gbdt::train::{train_with, SequentialExec, TrainConfig};
+        let _ = grads;
+        let (data, mirror) = relabel(&data);
+        for growth in [
+            GrowthStrategy::VertexWise,
+            GrowthStrategy::LevelWise,
+            GrowthStrategy::LeafWise { max_leaves: 6 },
+        ] {
+            let cfg = TrainConfig { num_trees: 2, max_depth: 3, growth, ..Default::default() };
+            let (ms, _) = train_with(&data, &mirror, &cfg, &SequentialExec);
+            // A tiny chunk size forces the parallel paths even on these
+            // small generated datasets.
+            let (mp, _) = train_with(&data, &mirror, &cfg, &ParallelExec { chunk_size: 8 });
+            prop_assert_eq!(&ms.trees, &mp.trees, "growth mode {:?}", growth);
+            for r in 0..data.num_records() {
+                prop_assert_eq!(
+                    ms.predict_binned(&data, r).to_bits(),
+                    mp.predict_binned(&data, r).to_bits(),
+                    "growth mode {:?}, record {}", growth, r
+                );
+            }
+        }
+    }
+
+    /// With a leaf budget of `2^max_depth` the best-first order can never
+    /// run out of budget before the depth limit, so leaf-wise must grow
+    /// exactly the trees level-wise grows (identical predictions, leaf
+    /// counts and depths) — the orders differ only in scheduling.
+    #[test]
+    fn leafwise_with_full_budget_equals_levelwise(
+        (data, grads, _) in arb_dataset_and_grads()
+    ) {
+        use booster_repro::gbdt::grow::GrowthStrategy;
+        use booster_repro::gbdt::train::{train_with, SequentialExec, TrainConfig};
+        let _ = grads;
+        let (data, mirror) = relabel(&data);
+        let max_depth = 4u32;
+        let base = TrainConfig { num_trees: 3, max_depth, ..Default::default() };
+        let level = TrainConfig { growth: GrowthStrategy::LevelWise, ..base.clone() };
+        let leaf = TrainConfig {
+            growth: GrowthStrategy::LeafWise { max_leaves: 1 << max_depth },
+            ..base
+        };
+        let (ml, _) = train_with(&data, &mirror, &level, &SequentialExec);
+        let (mf, _) = train_with(&data, &mirror, &leaf, &SequentialExec);
+        for (tl, tf) in ml.trees.iter().zip(&mf.trees) {
+            prop_assert_eq!(tl.num_leaves(), tf.num_leaves());
+            prop_assert_eq!(tl.depth(), tf.depth());
+        }
+        for r in 0..data.num_records() {
+            prop_assert_eq!(
+                ml.predict_binned(&data, r).to_bits(),
+                mf.predict_binned(&data, r).to_bits(),
+                "record {}", r
+            );
         }
     }
 }
