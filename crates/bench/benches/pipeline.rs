@@ -1,13 +1,15 @@
 //! Criterion benchmarks of the full pipelines: sequential vs rayon
 //! training throughput, the growth-mode × executor matrix of the unified
-//! engine, and the end-to-end timing-model evaluation used by the figure
-//! harnesses.
+//! engine, batch inference (per-record node walk vs the flat-ensemble
+//! blocked engine and its parallel modes), and the end-to-end
+//! timing-model evaluation used by the figure harnesses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use booster_datagen::{default_loss, generate_binned, Benchmark};
 use booster_gbdt::grow::GrowthStrategy;
+use booster_gbdt::infer::{ExecMode, FlatEnsemble};
 use booster_gbdt::parallel::{train_parallel, ParallelExec};
 use booster_gbdt::train::{train, train_with, TrainConfig};
 use booster_sim::{BandwidthModel, BoosterConfig, BoosterSim, HostModel};
@@ -67,6 +69,36 @@ fn bench_growth_modes(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batch scoring: the per-record `Vec<Node>` pointer walk
+/// (`Model::predict_batch`) against the flat-ensemble blocked engine in
+/// its three execution modes. The node-walk/flat-blocked ratio is the
+/// speedup the contiguous 16-byte-entry layout buys on one core.
+fn bench_inference(c: &mut Criterion) {
+    let (data, mirror) = generate_binned(Benchmark::Higgs, 30_000, 1);
+    let cfg = TrainConfig {
+        num_trees: 50,
+        max_depth: 6,
+        loss: default_loss(Benchmark::Higgs),
+        ..Default::default()
+    };
+    let (model, _) = train(&data, &mirror, &cfg);
+    let flat = FlatEnsemble::from_model(&model).expect("depth-6 trees lower to tables");
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(data.num_records() as u64));
+    g.bench_function("node_walk", |b| b.iter(|| black_box(model.predict_batch(black_box(&data)))));
+    g.bench_function("flat_blocked", |b| {
+        b.iter(|| black_box(flat.predict_batch(black_box(&data), ExecMode::Sequential)))
+    });
+    g.bench_function("flat_record_parallel", |b| {
+        b.iter(|| black_box(flat.predict_batch(black_box(&data), ExecMode::RecordParallel)))
+    });
+    g.bench_function("flat_tree_parallel", |b| {
+        b.iter(|| black_box(flat.predict_batch(black_box(&data), ExecMode::TreeParallel)))
+    });
+    g.finish();
+}
+
 fn bench_timing_model(c: &mut Criterion) {
     let (data, mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
     let cfg =
@@ -87,5 +119,5 @@ fn bench_timing_model(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_training, bench_growth_modes, bench_timing_model);
+criterion_group!(benches, bench_training, bench_growth_modes, bench_inference, bench_timing_model);
 criterion_main!(benches);

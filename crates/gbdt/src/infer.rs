@@ -1,0 +1,570 @@
+//! Flat-ensemble batch inference engine (Section III-D, Fig 13).
+//!
+//! [`crate::predict::Model`] walks per-record over `Vec<Node>` trees —
+//! pointer-chasing through wide enum nodes with a dynamic absent-bin
+//! callback per step, re-touching every tree's nodes for every record.
+//! Booster's batch-inference engine instead streams records through
+//! SRAM-resident flat tree tables. This module is the software analogue:
+//! [`FlatEnsemble`] lowers the *whole* model into one contiguous
+//! structure-of-arrays — every tree's 16-byte [`TableEntry`] row
+//! concatenated behind per-tree offsets, alongside the renumbered-field
+//! gather lists ([`TreeTable::fields_used`], the per-tree fetch pattern
+//! a BU performs) and exact `f64` leaf weights — and scores a
+//! [`BinnedDataset`] in cache-sized record blocks: a block's rows are
+//! brought into cache once, then **all** trees walk the block while each
+//! tree's contiguous entries stay hot.
+//!
+//! Two lowering choices make the CPU walk fast and exact:
+//!
+//! * the gather lists are pre-resolved into per-entry original-field and
+//!   absent-bin arrays, so a walk step is straight-line loads (entry,
+//!   field id, absent bin, record bin) with no renumbering indirection
+//!   and no virtual dispatch;
+//! * leaf weights are kept in a parallel `f64` array (the 16-byte
+//!   entries store the on-chip `f32`), and per-record accumulation
+//!   always folds tree weights in tree order — so every execution mode
+//!   is **bit-identical** to [`Model::predict_batch`], enforced across
+//!   all growth strategies by `tests/property_tests.rs`.
+//!
+//! Three execution modes mirror the parallelism structure of the
+//! accelerator ([`ExecMode`]): sequential blocked, record-parallel
+//! (blocks fan out across cores, as records fan out across ensemble
+//! replicas), and tree-parallel (trees fan out, as trees fan out across
+//! BUs). [`Predictor`] wraps the same engine for serving-style
+//! raw-record scoring with reusable buffers and absent bins precomputed
+//! once.
+
+use rayon::prelude::*;
+
+use crate::dataset::RawValue;
+use crate::gradients::Loss;
+use crate::predict::Model;
+use crate::preprocess::{BinnedDataset, FieldBinning};
+use crate::split::{goes_left, SplitRule};
+use crate::tree::{Node, TableEntry, TableLoweringError, TreeTable, TABLE_ENTRY_BYTES};
+
+/// Records per scoring block: with tens of 4-byte bins per record, a
+/// block's rows and the current tree's table fit comfortably in L1/L2
+/// while the block is walked by every tree.
+const BLOCK_RECORDS: usize = 256;
+
+/// Records per tree-parallel outer block: larger, so the per-block
+/// thread fan-out over trees is amortized.
+const TREE_PARALLEL_BLOCK: usize = 8192;
+
+/// How a [`FlatEnsemble`] batch call executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One thread, blocked over records (trees inner): the cache-blocked
+    /// baseline.
+    Sequential,
+    /// Record blocks fan out across cores (rayon) — the analogue of
+    /// streaming record shards through ensemble replicas.
+    RecordParallel,
+    /// Trees fan out across cores per record block — the analogue of one
+    /// BU per tree; per-record sums still fold in tree order.
+    TreeParallel,
+}
+
+/// A whole trained model lowered into one contiguous flat form.
+///
+/// Built from per-tree [`TreeTable`]s; construction fails (rather than
+/// corrupting child pointers) if any tree exceeds the `u16` index space
+/// — see [`TableLoweringError`].
+#[derive(Debug, Clone)]
+pub struct FlatEnsemble {
+    /// All trees' 16-byte table entries, concatenated.
+    entries: Vec<TableEntry>,
+    /// Exact `f64` leaf weight per entry (internal entries hold 0); kept
+    /// alongside the `f32` on-chip encoding so batch results match
+    /// [`Model::predict_batch`] bit-for-bit.
+    weights: Vec<f64>,
+    /// Original field tested by each entry, pre-resolved from the
+    /// renumbered gather list (leaves hold 0, never read).
+    entry_fields: Vec<u32>,
+    /// Absent bin of each entry's field, pre-resolved likewise.
+    entry_absents: Vec<u32>,
+    /// `entries[tree_offsets[t]..tree_offsets[t + 1]]` is tree `t`.
+    tree_offsets: Vec<usize>,
+    /// All trees' renumbered-field gather lists, concatenated: original
+    /// field id per `(tree, renumbered index)` slot — the per-tree
+    /// single-field-column fetch pattern of the accelerator.
+    gather_fields: Vec<u32>,
+    /// Absent bin of each gathered slot, precomputed from the model's
+    /// binnings.
+    gather_absents: Vec<u32>,
+    /// `gather_fields[gather_offsets[t]..gather_offsets[t + 1]]` is tree
+    /// `t`'s gather list.
+    gather_offsets: Vec<usize>,
+    /// Field arity the ensemble expects of every record.
+    num_fields: usize,
+    /// Initial margin added to every prediction.
+    base_score: f64,
+    /// Output transform of the training loss.
+    loss: Loss,
+}
+
+/// Walk one tree for a record presented as a full per-field bin row
+/// (indexed by original field id); returns `(leaf entry index, path
+/// length in edges)`. `fields`/`absents` are the tree's per-entry
+/// resolved arrays.
+#[inline]
+fn walk_row(entries: &[TableEntry], fields: &[u32], absents: &[u32], row: &[u32]) -> (usize, u32) {
+    let mut idx = 0usize;
+    let mut path = 0u32;
+    loop {
+        let e = &entries[idx];
+        if e.kind == 2 {
+            return (idx, path);
+        }
+        let rule = if e.kind == 0 {
+            SplitRule::Numeric { threshold_bin: e.threshold }
+        } else {
+            SplitRule::Categorical { category: e.threshold }
+        };
+        let bin = row[fields[idx] as usize];
+        let left = goes_left(rule, e.default_left, bin, absents[idx]);
+        idx = if left { e.left as usize } else { e.right as usize };
+        path += 1;
+    }
+}
+
+impl FlatEnsemble {
+    /// Lower a trained model into flat form.
+    ///
+    /// # Errors
+    /// Returns the first tree's [`TableLoweringError`] if any tree is
+    /// too large for the 16-byte entry encoding.
+    pub fn from_model(model: &Model) -> Result<Self, TableLoweringError> {
+        let mut entries = Vec::new();
+        let mut weights = Vec::new();
+        let mut entry_fields = Vec::new();
+        let mut entry_absents = Vec::new();
+        let mut tree_offsets = Vec::with_capacity(model.trees.len() + 1);
+        tree_offsets.push(0);
+        let mut gather_fields = Vec::new();
+        let mut gather_absents = Vec::new();
+        let mut gather_offsets = Vec::with_capacity(model.trees.len() + 1);
+        gather_offsets.push(0);
+        for tree in &model.trees {
+            let table = TreeTable::try_from_tree(tree)?;
+            for node in tree.nodes() {
+                match node {
+                    Node::Leaf { weight } => {
+                        weights.push(*weight);
+                        entry_fields.push(0);
+                        entry_absents.push(0);
+                    }
+                    Node::Internal { field, .. } => {
+                        weights.push(0.0);
+                        entry_fields.push(*field);
+                        entry_absents.push(model.binnings[*field as usize].absent_bin());
+                    }
+                }
+            }
+            gather_absents
+                .extend(table.fields_used.iter().map(|&f| model.binnings[f as usize].absent_bin()));
+            gather_fields.extend_from_slice(&table.fields_used);
+            entries.extend_from_slice(&table.entries);
+            tree_offsets.push(entries.len());
+            gather_offsets.push(gather_fields.len());
+        }
+        Ok(FlatEnsemble {
+            entries,
+            weights,
+            entry_fields,
+            entry_absents,
+            tree_offsets,
+            gather_fields,
+            gather_absents,
+            gather_offsets,
+            num_fields: model.binnings.len(),
+            base_score: model.base_score,
+            loss: model.loss,
+        })
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.tree_offsets.len() - 1
+    }
+
+    /// Total table entries across trees.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// On-chip footprint of all tree tables in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.entries.len() * TABLE_ENTRY_BYTES
+    }
+
+    /// Initial margin added to every prediction.
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// Output transform applied to summed margins.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// Tree `t`'s renumbered-field gather list: the original field ids,
+    /// in renumbered order, whose single-field columns a BU fetches for
+    /// this tree (Section III-B).
+    pub fn gather_list(&self, t: usize) -> &[u32] {
+        &self.gather_fields[self.gather_offsets[t]..self.gather_offsets[t + 1]]
+    }
+
+    /// Absent bin per slot of [`FlatEnsemble::gather_list`], precomputed
+    /// from the model's binnings.
+    pub fn gather_absents(&self, t: usize) -> &[u32] {
+        &self.gather_absents[self.gather_offsets[t]..self.gather_offsets[t + 1]]
+    }
+
+    fn check_arity(&self, data: &BinnedDataset) {
+        assert_eq!(
+            data.num_fields(),
+            self.num_fields,
+            "dataset field arity does not match the lowered model"
+        );
+    }
+
+    /// Walk tree `t` over records `r0..r1` and report `(block-local
+    /// index, f64 leaf weight, path length)` per record.
+    fn walk_tree_block<F>(&self, t: usize, data: &BinnedDataset, r0: usize, r1: usize, mut visit: F)
+    where
+        F: FnMut(usize, f64, u32),
+    {
+        let entries = &self.entries[self.tree_offsets[t]..self.tree_offsets[t + 1]];
+        let weights = &self.weights[self.tree_offsets[t]..self.tree_offsets[t + 1]];
+        let fields = &self.entry_fields[self.tree_offsets[t]..self.tree_offsets[t + 1]];
+        let absents = &self.entry_absents[self.tree_offsets[t]..self.tree_offsets[t + 1]];
+        for r in r0..r1 {
+            let (leaf, path) = walk_row(entries, fields, absents, data.row(r));
+            visit(r - r0, weights[leaf], path);
+        }
+    }
+
+    /// Accumulate every tree's leaf weights (and optionally path
+    /// lengths) for one record block. `margins` must be pre-seeded with
+    /// the base score.
+    fn score_block(
+        &self,
+        data: &BinnedDataset,
+        r0: usize,
+        r1: usize,
+        margins: &mut [f64],
+        mut paths: Option<&mut [u64]>,
+    ) {
+        for t in 0..self.num_trees() {
+            match paths.as_deref_mut() {
+                Some(p) => self.walk_tree_block(t, data, r0, r1, |i, w, len| {
+                    margins[i] += w;
+                    p[i] += u64::from(len);
+                }),
+                None => self.walk_tree_block(t, data, r0, r1, |i, w, _| margins[i] += w),
+            }
+        }
+    }
+
+    /// Batch prediction over a binned dataset.
+    ///
+    /// All modes return bit-identical results to
+    /// [`Model::predict_batch`]; the dataset must be binned with the
+    /// model's own binnings (the same precondition `Model`'s binned
+    /// entry points carry).
+    pub fn predict_batch(&self, data: &BinnedDataset, mode: ExecMode) -> Vec<f64> {
+        self.check_arity(data);
+        let n = data.num_records();
+        match mode {
+            ExecMode::Sequential => {
+                let mut margins = vec![self.base_score; n];
+                for (b, chunk) in margins.chunks_mut(BLOCK_RECORDS).enumerate() {
+                    let r0 = b * BLOCK_RECORDS;
+                    self.score_block(data, r0, r0 + chunk.len(), chunk, None);
+                }
+                margins.into_iter().map(|m| self.loss.transform(m)).collect()
+            }
+            ExecMode::RecordParallel => {
+                let mut out = vec![self.base_score; n];
+                out.par_chunks_mut(BLOCK_RECORDS)
+                    .enumerate()
+                    .map(|(b, chunk)| {
+                        let r0 = b * BLOCK_RECORDS;
+                        self.score_block(data, r0, r0 + chunk.len(), chunk, None);
+                        for m in chunk.iter_mut() {
+                            *m = self.loss.transform(*m);
+                        }
+                    })
+                    .for_each();
+                out
+            }
+            ExecMode::TreeParallel => self.predict_tree_parallel(data),
+        }
+    }
+
+    /// Tree-parallel execution: per outer block, every tree walks the
+    /// block on its own core into a per-tree weight buffer, then the
+    /// combine folds those weights **in tree order** — the same addition
+    /// sequence as sequential execution, hence bit-identical.
+    fn predict_tree_parallel(&self, data: &BinnedDataset) -> Vec<f64> {
+        let n = data.num_records();
+        let mut out = vec![self.base_score; n];
+        let mut r0 = 0;
+        while r0 < n {
+            let r1 = (r0 + TREE_PARALLEL_BLOCK).min(n);
+            let per_tree: Vec<Vec<f64>> = (0..self.num_trees())
+                .into_par_iter()
+                .map(|t| {
+                    let mut w = vec![0.0f64; r1 - r0];
+                    self.walk_tree_block(t, data, r0, r1, |i, wt, _| w[i] = wt);
+                    w
+                })
+                .collect();
+            for tw in &per_tree {
+                for (m, &w) in out[r0..r1].iter_mut().zip(tw) {
+                    *m += w;
+                }
+            }
+            r0 = r1;
+        }
+        for m in &mut out {
+            *m = self.loss.transform(*m);
+        }
+        out
+    }
+
+    /// Batch prediction returning per-record total path length across
+    /// all trees (the SRAM-lookup count batch inference performs per
+    /// record) — the flat-engine replacement for
+    /// [`Model::predict_batch_with_paths`], with identical output.
+    pub fn predict_batch_with_paths(&self, data: &BinnedDataset) -> (Vec<f64>, Vec<u64>) {
+        self.check_arity(data);
+        let n = data.num_records();
+        let mut margins = vec![self.base_score; n];
+        let mut paths = vec![0u64; n];
+        let mut r0 = 0;
+        while r0 < n {
+            let r1 = (r0 + BLOCK_RECORDS).min(n);
+            self.score_block(data, r0, r1, &mut margins[r0..r1], Some(&mut paths[r0..r1]));
+            r0 = r1;
+        }
+        (margins.into_iter().map(|m| self.loss.transform(m)).collect(), paths)
+    }
+
+    /// Raw margin for one record presented as per-field bins (indexed by
+    /// original field id).
+    fn margin_of_row(&self, row: &[u32]) -> f64 {
+        let mut m = self.base_score;
+        for t in 0..self.num_trees() {
+            let span = self.tree_offsets[t]..self.tree_offsets[t + 1];
+            let (leaf, _) = walk_row(
+                &self.entries[span.clone()],
+                &self.entry_fields[span.clone()],
+                &self.entry_absents[span.clone()],
+                row,
+            );
+            m += self.weights[span][leaf];
+        }
+        m
+    }
+}
+
+/// Serving-style scorer over raw records: the flat engine plus the
+/// model's binnings, with **no per-call heap allocations** — the absent
+/// bins are precomputed once at construction and the bins scratch
+/// buffer is reused across calls, unlike [`Model::predict_raw`] which
+/// re-discretizes into a fresh vector per record.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    flat: FlatEnsemble,
+    binnings: Vec<FieldBinning>,
+    bins: Vec<u32>,
+}
+
+impl Predictor {
+    /// Build a predictor from a trained model.
+    ///
+    /// # Errors
+    /// Propagates [`TableLoweringError`] for trees too large to encode.
+    pub fn from_model(model: &Model) -> Result<Self, TableLoweringError> {
+        Ok(Predictor {
+            flat: FlatEnsemble::from_model(model)?,
+            binnings: model.binnings.clone(),
+            bins: Vec::new(),
+        })
+    }
+
+    /// Transformed prediction for one raw record; bit-identical to
+    /// [`Model::predict_raw`].
+    pub fn predict_one(&mut self, record: &[RawValue]) -> f64 {
+        assert_eq!(record.len(), self.binnings.len(), "record arity mismatch");
+        self.bins.clear();
+        self.bins.extend(record.iter().zip(&self.binnings).map(|(v, b)| b.bin_of(*v)));
+        self.flat.loss.transform(self.flat.margin_of_row(&self.bins))
+    }
+
+    /// Score a mini-batch of raw records into a reusable output buffer
+    /// (cleared first).
+    pub fn predict_many<'a, I>(&mut self, records: I, out: &mut Vec<f64>)
+    where
+        I: IntoIterator<Item = &'a [RawValue]>,
+    {
+        out.clear();
+        for r in records {
+            out.push(self.predict_one(r));
+        }
+    }
+
+    /// The underlying flat ensemble.
+    pub fn flat(&self) -> &FlatEnsemble {
+        &self.flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::ColumnarMirror;
+    use crate::dataset::Dataset;
+    use crate::schema::{DatasetSchema, FieldSchema};
+    use crate::train::{train, TrainConfig};
+    use crate::tree::Tree;
+
+    /// Train a real multi-tree model on > 2 blocks of records (mixed
+    /// numeric/categorical, with missing values) so blocked scoring
+    /// crosses block boundaries.
+    fn trained_model() -> (Model, BinnedDataset, Dataset) {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x", 16),
+            FieldSchema::categorical("c", 3),
+            FieldSchema::numeric_with_bins("y", 8),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..700 {
+            let x = if i % 13 == 0 { RawValue::Missing } else { RawValue::Num(i as f32) };
+            let c = RawValue::Cat(i % 3);
+            let y = RawValue::Num(((i * 7) % 100) as f32);
+            let label = f32::from(u8::from(i >= 350)) + ((i % 3) as f32) * 0.1;
+            ds.push_record(&[x, c, y], label);
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig { num_trees: 6, max_depth: 4, ..Default::default() };
+        let (model, _) = train(&data, &mirror, &cfg);
+        (model, data, ds)
+    }
+
+    #[test]
+    fn all_exec_modes_match_node_walk_bitwise() {
+        let (model, data, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("small trees lower");
+        let expect = model.predict_batch(&data);
+        for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+            let got = flat.predict_batch(&data, mode);
+            assert_eq!(got.len(), expect.len());
+            for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "mode {mode:?}, record {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_match_node_walk() {
+        let (model, data, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        let (preds_a, paths_a) = model.predict_batch_with_paths(&data);
+        let (preds_b, paths_b) = flat.predict_batch_with_paths(&data);
+        assert_eq!(paths_a, paths_b);
+        for (a, b) in preds_a.iter().zip(&preds_b) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_lists_cover_each_trees_fields() {
+        let (model, _, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        for (t, tree) in model.trees.iter().enumerate() {
+            assert_eq!(flat.gather_list(t), tree.fields_used().as_slice(), "tree {t}");
+            let absents: Vec<u32> = tree
+                .fields_used()
+                .iter()
+                .map(|&f| model.binnings[f as usize].absent_bin())
+                .collect();
+            assert_eq!(flat.gather_absents(t), absents.as_slice(), "tree {t}");
+        }
+    }
+
+    #[test]
+    fn predictor_matches_predict_raw_and_reuses_buffers() {
+        let (model, _, ds) = trained_model();
+        let mut pred = Predictor::from_model(&model).expect("lowering");
+        let mut record = Vec::new();
+        for r in (0..700).step_by(53) {
+            record.clear();
+            for f in 0..ds.num_fields() {
+                record.push(ds.value(r, f));
+            }
+            let a = pred.predict_one(&record);
+            let b = model.predict_raw(&record);
+            assert_eq!(a.to_bits(), b.to_bits(), "record {r}");
+        }
+        // Mini-batch into a reused output buffer.
+        let recs: Vec<Vec<RawValue>> =
+            (0..5).map(|r| (0..ds.num_fields()).map(|f| ds.value(r, f)).collect()).collect();
+        let mut out = vec![0.0; 99]; // stale content must be cleared
+        pred.predict_many(recs.iter().map(Vec::as_slice), &mut out);
+        assert_eq!(out.len(), 5);
+        for (r, p) in out.iter().enumerate() {
+            let rec: Vec<RawValue> = (0..ds.num_fields()).map(|f| ds.value(r, f)).collect();
+            assert_eq!(p.to_bits(), model.predict_raw(&rec).to_bits());
+        }
+    }
+
+    #[test]
+    fn leaf_only_ensemble_scores_base_plus_leaves() {
+        let (model, data, _) = trained_model();
+        let stub = Model {
+            trees: vec![Tree::leaf(0.25), Tree::leaf(-0.125)],
+            base_score: 0.5,
+            loss: crate::gradients::Loss::SquaredError,
+            schema: model.schema.clone(),
+            binnings: model.binnings.clone(),
+        };
+        let flat = FlatEnsemble::from_model(&stub).expect("leaf trees lower");
+        assert_eq!(flat.num_trees(), 2);
+        assert!(flat.gather_list(0).is_empty());
+        for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+            let got = flat.predict_batch(&data, mode);
+            assert!(got.iter().all(|&p| p == 0.625), "mode {mode:?}");
+        }
+        let (_, paths) = flat.predict_batch_with_paths(&data);
+        assert!(paths.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn flat_layout_accounting() {
+        let (model, _, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        assert_eq!(flat.num_trees(), model.num_trees());
+        let nodes: usize = model.trees.iter().map(Tree::num_nodes).sum();
+        assert_eq!(flat.num_entries(), nodes);
+        assert_eq!(flat.byte_size(), nodes * TABLE_ENTRY_BYTES);
+        assert_eq!(flat.base_score(), model.base_score);
+        assert_eq!(flat.loss(), model.loss);
+    }
+
+    #[test]
+    #[should_panic(expected = "field arity")]
+    fn arity_mismatch_is_rejected() {
+        let (model, _, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        let schema = DatasetSchema::new(vec![FieldSchema::numeric_with_bins("only", 4)]);
+        let mut ds = Dataset::new(schema);
+        ds.push_record(&[RawValue::Num(1.0)], 0.0);
+        let narrow = BinnedDataset::from_dataset(&ds);
+        let _ = flat.predict_batch(&narrow, ExecMode::Sequential);
+    }
+}

@@ -30,6 +30,13 @@
 //! ([`columnar`]). Per-step wall-clock times, work counters and phase
 //! descriptors ([`phases`]) feed the `booster-sim` timing models.
 //!
+//! Batch **inference** runs on the flat-ensemble engine ([`infer`]):
+//! the whole model lowered into one contiguous structure-of-arrays of
+//! 16-byte tree-table entries, scored in cache-sized record blocks with
+//! sequential, record-parallel, and tree-parallel execution — the
+//! software analogue of Booster's SRAM-resident batch-inference engine
+//! (Section III-D).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -66,6 +73,7 @@ pub mod dataset;
 pub mod gradients;
 pub mod grow;
 pub mod histogram;
+pub mod infer;
 pub mod io;
 pub mod levelwise;
 pub mod metrics;
@@ -86,6 +94,7 @@ pub mod prelude {
     pub use crate::dataset::{Dataset, RawValue};
     pub use crate::gradients::{GradPair, Loss};
     pub use crate::grow::GrowthStrategy;
+    pub use crate::infer::{ExecMode, FlatEnsemble, Predictor};
     pub use crate::levelwise::train_levelwise;
     pub use crate::parallel::{train_parallel, ParallelExec};
     pub use crate::predict::Model;
@@ -96,5 +105,5 @@ pub mod prelude {
     pub use crate::train::{
         train, train_with, SequentialExec, StepExecutor, TrainConfig, TrainReport,
     };
-    pub use crate::tree::{Tree, TreeTable};
+    pub use crate::tree::{TableLoweringError, Tree, TreeTable};
 }

@@ -41,16 +41,27 @@ pub fn accuracy(preds: &[f64], labels: &[f64], threshold: f64) -> f64 {
 }
 
 /// Area under the ROC curve (rank-based; ties get the average rank).
+///
+/// NaN predictions are totally ordered via [`f64::total_cmp`] (positive
+/// NaN above `+inf`, negative NaN below `-inf`) instead of panicking,
+/// and tie-averaged like any other equal predictions, so a model that
+/// emits NaN scores degrades the metric deterministically rather than
+/// aborting evaluation.
 pub fn auc(preds: &[f64], labels: &[f64]) -> f64 {
     assert_eq!(preds.len(), labels.len());
+    assert!(!preds.is_empty());
     let mut idx: Vec<usize> = (0..preds.len()).collect();
-    idx.sort_by(|&a, &b| preds[a].partial_cmp(&preds[b]).expect("no NaN predictions"));
-    // Average ranks over tied prediction groups.
+    idx.sort_by(|&a, &b| preds[a].total_cmp(&preds[b]));
+    // Average ranks over tied prediction groups. Ties are detected with
+    // total_cmp too: `==` would never group NaNs, making their ranks —
+    // and the metric — depend on record order.
     let mut ranks = vec![0.0f64; preds.len()];
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
-        while j + 1 < idx.len() && preds[idx[j + 1]] == preds[idx[i]] {
+        while j + 1 < idx.len()
+            && preds[idx[j + 1]].total_cmp(&preds[idx[i]]) == std::cmp::Ordering::Equal
+        {
             j += 1;
         }
         let avg_rank = (i + j) as f64 / 2.0 + 1.0;
@@ -109,5 +120,35 @@ mod tests {
     #[test]
     fn auc_single_class_is_half() {
         assert_eq!(auc(&[0.2, 0.8], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_does_not_panic_on_nan_predictions() {
+        // NaN sorts above every finite value under total_cmp; the metric
+        // must stay defined (here NaNs sit on positive records, so they
+        // help) instead of panicking mid-evaluation.
+        let a = auc(&[0.1, f64::NAN, 0.3, f64::NAN], &[0.0, 1.0, 0.0, 1.0]);
+        assert!((0.0..=1.0).contains(&a), "auc {a} out of range");
+        assert!((a - 1.0).abs() < 1e-12, "NaNs rank last: {a}");
+        // Identical NaNs are ties: the metric must not depend on record
+        // order (0.5, not 1.0-or-0.0 by accident of sort position).
+        let b = auc(&[f64::NAN, f64::NAN], &[0.0, 1.0]);
+        let c = auc(&[f64::NAN, f64::NAN], &[1.0, 0.0]);
+        assert!((b - 0.5).abs() < 1e-12, "tied NaNs average: {b}");
+        assert_eq!(b.to_bits(), c.to_bits(), "order-independent: {b} vs {c}");
+    }
+
+    #[test]
+    fn auc_ties_get_average_rank() {
+        // Ranks: 0.3 -> 1, the two 0.5s -> 2.5 each, 0.9 -> 4.
+        // Positive rank sum 6.5 -> (6.5 - 3) / (2 * 2) = 0.875.
+        let a = auc(&[0.3, 0.5, 0.5, 0.9], &[0.0, 0.0, 1.0, 1.0]);
+        assert!((a - 0.875).abs() < 1e-12, "tie-averaged auc {a}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn auc_rejects_empty_input() {
+        let _ = auc(&[], &[]);
     }
 }

@@ -54,12 +54,16 @@ impl Model {
     }
 
     /// Transformed prediction for one raw record.
+    ///
+    /// Convenience path that discretizes into a fresh bins vector per
+    /// call; for serving-style scoring without per-call allocations use
+    /// [`crate::infer::Predictor`], which precomputes the absent bins
+    /// once and reuses its scratch buffers.
     pub fn predict_raw(&self, record: &[RawValue]) -> f64 {
         let bins = self.bin_raw(record);
-        let absents: Vec<u32> = self.binnings.iter().map(|b| b.absent_bin()).collect();
         let mut m = self.base_score;
         for tree in &self.trees {
-            m += tree.traverse(|f| bins[f], &|f| absents[f]).0;
+            m += tree.traverse(|f| bins[f], &|f| self.binnings[f].absent_bin()).0;
         }
         self.loss.transform(m)
     }

@@ -157,10 +157,65 @@ impl Tree {
     }
 
     /// Lower to the flat table encoding used by the BUs.
+    ///
+    /// # Panics
+    /// Panics if the tree cannot be encoded (see
+    /// [`TreeTable::try_from_tree`]); use [`Tree::try_to_table`] to
+    /// handle oversized trees gracefully.
     pub fn to_table(&self) -> TreeTable {
         TreeTable::from_tree(self)
     }
+
+    /// Fallible lowering to the flat table encoding.
+    pub fn try_to_table(&self) -> Result<TreeTable, TableLoweringError> {
+        TreeTable::try_from_tree(self)
+    }
 }
+
+/// Why a [`Tree`] cannot be lowered to the 16-byte [`TreeTable`]
+/// encoding.
+///
+/// The table stores child pointers and renumbered field indices as
+/// `u16`, so trees beyond those ranges (reachable e.g. via `LeafWise`
+/// with a very large `max_leaves`) must be rejected instead of silently
+/// truncating indices into a corrupt table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableLoweringError {
+    /// The tree has more nodes than `u16` child pointers can address.
+    TooManyNodes {
+        /// Node count of the offending tree.
+        nodes: usize,
+        /// Largest encodable node count.
+        max: usize,
+    },
+    /// The tree tests more distinct fields than the `u16` renumbering
+    /// can express (`u16::MAX` is reserved as the leaf sentinel).
+    TooManyFields {
+        /// Distinct fields used by the offending tree.
+        fields: usize,
+        /// Largest encodable field count.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for TableLoweringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableLoweringError::TooManyNodes { nodes, max } => write!(
+                f,
+                "tree has {nodes} nodes but a tree table addresses at most {max} \
+                 (u16 child pointers); split it or lower max_leaves"
+            ),
+            TableLoweringError::TooManyFields { fields, max } => write!(
+                f,
+                "tree tests {fields} distinct fields but the u16 renumbering \
+                 encodes at most {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableLoweringError {}
 
 /// One fixed-size table entry (the SRAM-resident encoding; 16 bytes).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -196,10 +251,42 @@ pub struct TreeTable {
     pub fields_used: Vec<u32>,
 }
 
+/// Largest node count a [`TreeTable`] can address: child pointers are
+/// `u16`, so indices run `0..=u16::MAX`.
+pub const MAX_TABLE_NODES: usize = u16::MAX as usize + 1;
+
+/// Largest number of distinct fields a [`TreeTable`] can renumber
+/// (`u16::MAX` itself is the leaf sentinel in `field_renum`).
+pub const MAX_TABLE_FIELDS: usize = u16::MAX as usize;
+
 impl TreeTable {
     /// Lower a tree into table form.
+    ///
+    /// # Panics
+    /// Panics if the tree cannot be encoded (see
+    /// [`TreeTable::try_from_tree`] for the fallible form).
     pub fn from_tree(tree: &Tree) -> Self {
+        Self::try_from_tree(tree).unwrap_or_else(|e| panic!("tree table lowering failed: {e}"))
+    }
+
+    /// Lower a tree into table form, rejecting trees whose node count or
+    /// field count exceeds what the `u16`-indexed entries can encode —
+    /// such trees would previously truncate child indices silently and
+    /// produce corrupt tables.
+    pub fn try_from_tree(tree: &Tree) -> Result<Self, TableLoweringError> {
+        if tree.num_nodes() > MAX_TABLE_NODES {
+            return Err(TableLoweringError::TooManyNodes {
+                nodes: tree.num_nodes(),
+                max: MAX_TABLE_NODES,
+            });
+        }
         let fields_used = tree.fields_used();
+        if fields_used.len() > MAX_TABLE_FIELDS {
+            return Err(TableLoweringError::TooManyFields {
+                fields: fields_used.len(),
+                max: MAX_TABLE_FIELDS,
+            });
+        }
         let renum = |field: u32| -> u16 {
             fields_used.binary_search(&field).expect("field in fields_used") as u16
         };
@@ -233,7 +320,7 @@ impl TreeTable {
                 }
             })
             .collect();
-        TreeTable { entries, fields_used }
+        Ok(TreeTable { entries, fields_used })
     }
 
     /// On-chip footprint of the table in bytes.
@@ -342,6 +429,61 @@ mod tests {
                 assert_eq!(p_tab, p_tree, "bins ({b3},{b7})");
             }
         }
+    }
+
+    /// A left-leaning vine with `m` internal nodes and `m + 1` leaves
+    /// (`2m + 1` nodes total): internal `i` hangs leaf `m + i` on its
+    /// right and chains left to internal `i + 1`; the last internal's
+    /// left child is the final leaf `2m`.
+    fn vine_tree(m: usize) -> Tree {
+        let mut nodes = Vec::with_capacity(2 * m + 1);
+        for i in 0..m {
+            let left = if i + 1 < m { i + 1 } else { 2 * m };
+            nodes.push(Node::Internal {
+                field: 0,
+                rule: SplitRule::Numeric { threshold_bin: i as u32 },
+                default_left: true,
+                left: left as u32,
+                right: (m + i) as u32,
+            });
+        }
+        for _ in 0..=m {
+            nodes.push(Node::Leaf { weight: 1.0 });
+        }
+        Tree::new(nodes)
+    }
+
+    #[test]
+    fn lowering_accepts_the_largest_encodable_tree() {
+        // 2m + 1 = 65535 nodes: every child index fits u16.
+        let t = vine_tree(32_767);
+        assert_eq!(t.num_nodes(), 65_535);
+        let table = t.try_to_table().expect("65535 nodes must lower");
+        assert_eq!(table.entries.len(), 65_535);
+        // The deepest internal's left pointer is the last leaf — the
+        // index that silent `as u16` truncation used to corrupt.
+        assert_eq!(table.entries[32_766].left, 65_534);
+    }
+
+    #[test]
+    fn lowering_rejects_trees_beyond_u16_indices() {
+        // 2m + 1 = 65537 nodes: child indices overflow u16.
+        let t = vine_tree(32_768);
+        match t.try_to_table() {
+            Err(TableLoweringError::TooManyNodes { nodes, max }) => {
+                assert_eq!(nodes, 65_537);
+                assert_eq!(max, MAX_TABLE_NODES);
+            }
+            other => panic!("expected TooManyNodes, got {other:?}"),
+        }
+        let msg = t.try_to_table().unwrap_err().to_string();
+        assert!(msg.contains("65537 nodes"), "descriptive error, got: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tree table lowering failed")]
+    fn infallible_lowering_panics_descriptively_on_oversized_trees() {
+        let _ = vine_tree(32_768).to_table();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! while a CPU's work follows the actual (shorter) paths — which is why
 //! shallow-tree IoT narrows Booster's inference speedup (Section V-H).
 
+use booster_gbdt::infer::FlatEnsemble;
 use booster_gbdt::predict::Model;
 use booster_gbdt::preprocess::BinnedDataset;
 use serde::{Deserialize, Serialize};
@@ -34,9 +35,16 @@ pub struct InferenceWorkload {
 }
 
 impl InferenceWorkload {
-    /// Measure the workload by running batch inference functionally.
+    /// Measure the workload by running batch inference functionally on
+    /// the flat-ensemble engine — the same blocked tree-table walk the
+    /// accelerator model prices. Trees too large for the 16-byte table
+    /// encoding fall back to the node-walk path (they cannot be
+    /// SRAM-resident anyway, but their path statistics are still valid).
     pub fn measure(model: &Model, data: &BinnedDataset) -> Self {
-        let (_, paths) = model.predict_batch_with_paths(data);
+        let (_, paths) = match FlatEnsemble::from_model(model) {
+            Ok(flat) => flat.predict_batch_with_paths(data),
+            Err(_) => model.predict_batch_with_paths(data),
+        };
         InferenceWorkload {
             n_records: data.num_records(),
             record_bytes: data.record_bytes(),

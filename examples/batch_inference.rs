@@ -1,6 +1,7 @@
 //! Batch inference (offline analytics / scoring): train an ensemble,
-//! score a large batch functionally (sequential vs rayon), and model the
-//! same batch on Booster's inference engine (Section III-D).
+//! score a large batch functionally — the per-record node walk against
+//! the flat-ensemble blocked engine in its three execution modes — and
+//! model the same batch on Booster's inference engine (Section III-D).
 //!
 //! Run with: `cargo run --release --example batch_inference`
 
@@ -22,27 +23,53 @@ fn main() {
         ..Default::default()
     };
     let (model, _) = train(&data, &mirror, &cfg);
+    let flat = FlatEnsemble::from_model(&model).expect("trees fit the u16 table encoding");
     println!(
-        "model: {} trees, max depth {} ({} KB of tree tables)",
+        "model: {} trees, max depth {} ({} KB of flat tree tables, {} entries)",
         model.num_trees(),
         model.max_depth(),
-        model.trees.iter().map(|t| t.to_table().byte_size()).sum::<usize>() / 1024
+        flat.byte_size() / 1024,
+        flat.num_entries()
     );
 
-    // --- Functional batch scoring. --------------------------------------
+    // --- Functional batch scoring: node walk vs the flat engine. ---------
     let t0 = Instant::now();
-    let seq = model.predict_batch(&data);
-    let t_seq = t0.elapsed();
-    let t1 = Instant::now();
-    let par = model.predict_batch_parallel(&data);
-    let t_par = t1.elapsed();
-    assert_eq!(seq, par);
+    let node_walk = model.predict_batch(&data);
+    let t_node = t0.elapsed();
+    let timed = |mode: ExecMode| {
+        let t = Instant::now();
+        let preds = flat.predict_batch(&data, mode);
+        let dt = t.elapsed();
+        // Every mode is bit-identical to the per-record node walk.
+        assert!(preds.iter().zip(&node_walk).all(|(a, b)| a.to_bits() == b.to_bits()));
+        dt
+    };
+    let t_flat = timed(ExecMode::Sequential);
+    let t_rec = timed(ExecMode::RecordParallel);
+    let t_tree = timed(ExecMode::TreeParallel);
+    println!("functional scoring of {} records (all bit-identical):", data.num_records());
+    let mrps =
+        |dt: std::time::Duration| data.num_records() as f64 / dt.as_secs_f64().max(1e-9) / 1e6;
     println!(
-        "functional scoring of {} records: sequential {:.1} ms, rayon {:.1} ms ({:.1}x)",
-        data.num_records(),
-        t_seq.as_secs_f64() * 1e3,
-        t_par.as_secs_f64() * 1e3,
-        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9)
+        "  node walk            : {:7.1} ms  ({:.2} M rec/s)",
+        t_node.as_secs_f64() * 1e3,
+        mrps(t_node)
+    );
+    println!(
+        "  flat blocked         : {:7.1} ms  ({:.2} M rec/s)  {:.2}x vs node walk",
+        t_flat.as_secs_f64() * 1e3,
+        mrps(t_flat),
+        t_node.as_secs_f64() / t_flat.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  flat record-parallel : {:7.1} ms  ({:.2} M rec/s)",
+        t_rec.as_secs_f64() * 1e3,
+        mrps(t_rec)
+    );
+    println!(
+        "  flat tree-parallel   : {:7.1} ms  ({:.2} M rec/s)",
+        t_tree.as_secs_f64() * 1e3,
+        mrps(t_tree)
     );
 
     // --- Accelerator model, scaled to a 10M-record batch x 500 trees. --

@@ -63,19 +63,35 @@ fn main() {
     let served = model_from_bytes(&bytes).unwrap();
 
     // --- 5. Serve predictions on raw records. ----------------------------
+    // `Predictor` lowers the model to the flat tree-table engine once,
+    // precomputes the absent bins, and reuses its scratch buffers — no
+    // per-request heap allocation, unlike `Model::predict_raw`.
+    let mut predictor = Predictor::from_model(&served).expect("trees fit the table encoding");
     let plan_idx = |name: &str| category_names[1].iter().position(|p| p == name).unwrap() as u32;
-    let risky = served.predict_raw(&[
+    let risky = predictor.predict_one(&[
         RawValue::Num(3.0), // 3 months tenure
         RawValue::Cat(plan_idx("basic")),
         RawValue::Missing, // spend unknown
         RawValue::Cat(0),
     ]);
-    let loyal = served.predict_raw(&[
+    let loyal = predictor.predict_one(&[
         RawValue::Num(60.0),
         RawValue::Cat(plan_idx("pro")),
         RawValue::Num(95.0),
         RawValue::Cat(2),
     ]);
+    assert_eq!(
+        risky.to_bits(),
+        served
+            .predict_raw(&[
+                RawValue::Num(3.0),
+                RawValue::Cat(plan_idx("basic")),
+                RawValue::Missing,
+                RawValue::Cat(0),
+            ])
+            .to_bits(),
+        "flat serving path must match the node walk exactly"
+    );
     println!("P(churn | 3mo, basic, spend unknown) = {risky:.3}");
     println!("P(churn | 60mo, pro, $95)            = {loyal:.3}");
     assert!(risky > 0.5 && loyal < 0.2);

@@ -387,6 +387,53 @@ proptest! {
     }
 }
 
+// ------------------------------------------------- flat-ensemble inference
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The flat-ensemble engine must reproduce the per-record node walk
+    /// **bit-for-bit** in every execution mode, for models grown under
+    /// every strategy, and report the same per-record path lengths as
+    /// `predict_batch_with_paths`.
+    #[test]
+    fn flat_ensemble_is_bit_identical_to_node_walk(
+        (data, grads, _) in arb_dataset_and_grads()
+    ) {
+        use booster_repro::gbdt::grow::GrowthStrategy;
+        use booster_repro::gbdt::infer::{ExecMode, FlatEnsemble};
+        use booster_repro::gbdt::train::{train_with, SequentialExec, TrainConfig};
+        let _ = grads;
+        let (data, mirror) = relabel(&data);
+        for growth in [
+            GrowthStrategy::VertexWise,
+            GrowthStrategy::LevelWise,
+            GrowthStrategy::LeafWise { max_leaves: 6 },
+        ] {
+            let cfg = TrainConfig { num_trees: 3, max_depth: 3, growth, ..Default::default() };
+            let (model, _) = train_with(&data, &mirror, &cfg, &SequentialExec);
+            let flat = FlatEnsemble::from_model(&model).expect("depth-3 trees lower");
+            let expect = model.predict_batch(&data);
+            for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+                let got = flat.predict_batch(&data, mode);
+                prop_assert_eq!(got.len(), expect.len());
+                for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "growth {:?}, mode {:?}, record {}", growth, mode, r
+                    );
+                }
+            }
+            let (preds_node, paths_node) = model.predict_batch_with_paths(&data);
+            let (preds_flat, paths_flat) = flat.predict_batch_with_paths(&data);
+            prop_assert_eq!(&paths_node, &paths_flat, "paths, growth {:?}", growth);
+            for (a, b) in preds_node.iter().zip(&preds_flat) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
+
 // ----------------------------------------------------------- serialization
 
 proptest! {
