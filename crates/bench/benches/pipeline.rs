@@ -1,8 +1,9 @@
 //! Criterion benchmarks of the full pipelines: sequential vs rayon
 //! training throughput, the growth-mode × executor matrix of the unified
-//! engine, batch inference (per-record node walk vs the flat-ensemble
-//! blocked engine and its parallel modes), and the end-to-end
-//! timing-model evaluation used by the figure harnesses.
+//! engine, stochastic-sampling variants plus the eval-pipeline overhead,
+//! batch inference (per-record node walk vs the flat-ensemble blocked
+//! engine and its parallel modes), and the end-to-end timing-model
+//! evaluation used by the figure harnesses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -69,6 +70,57 @@ fn bench_growth_modes(c: &mut Criterion) {
     g.finish();
 }
 
+/// Stochastic training: how much wall-clock the sampling knobs buy (or
+/// cost) against deterministic full-data training, and what the
+/// per-tree eval scoring of the early-stopping pipeline adds on top.
+fn bench_stochastic(c: &mut Criterion) {
+    use booster_gbdt::grow::grow_forest_with_eval;
+    use booster_gbdt::train::{EvalSet, SequentialExec};
+    let (data, mirror, eval) =
+        booster_datagen::generate_binned_split(Benchmark::Higgs, 25_000, 1, 0.2);
+    let base = TrainConfig {
+        num_trees: 10,
+        max_depth: 6,
+        loss: default_loss(Benchmark::Higgs),
+        ..Default::default()
+    };
+    let variants = [
+        ("full", 1.0, 1.0, 1.0),
+        ("subsample_0.5", 0.5, 1.0, 1.0),
+        ("colsample_0.5", 1.0, 0.5, 1.0),
+        ("bynode_0.5", 1.0, 1.0, 0.5),
+        ("sub+col_0.5", 0.5, 0.5, 1.0),
+    ];
+    let mut g = c.benchmark_group("stochastic_10trees");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(data.num_records() as u64));
+    for (name, subsample, bytree, bynode) in variants {
+        let cfg = TrainConfig {
+            subsample,
+            colsample_bytree: bytree,
+            colsample_bynode: bynode,
+            ..base.clone()
+        };
+        g.bench_function(BenchmarkId::new("train", name), |b| {
+            b.iter(|| black_box(train(&data, &mirror, &cfg)))
+        });
+    }
+    // The eval pipeline's overhead: identical training plus per-tree
+    // flat-ensemble scoring of the holdout.
+    g.bench_function(BenchmarkId::new("train", "full+eval"), |b| {
+        b.iter(|| {
+            black_box(grow_forest_with_eval(
+                &data,
+                &mirror,
+                &base,
+                &SequentialExec,
+                Some(&EvalSet::new(&eval)),
+            ))
+        })
+    });
+    g.finish();
+}
+
 /// Batch scoring: the per-record `Vec<Node>` pointer walk
 /// (`Model::predict_batch`) against the flat-ensemble blocked engine in
 /// its three execution modes. The node-walk/flat-blocked ratio is the
@@ -119,5 +171,12 @@ fn bench_timing_model(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_training, bench_growth_modes, bench_inference, bench_timing_model);
+criterion_group!(
+    benches,
+    bench_training,
+    bench_growth_modes,
+    bench_stochastic,
+    bench_inference,
+    bench_timing_model
+);
 criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Sampling ablation: the accuracy-vs-speed trade-offs of stochastic
+//! training that the paper's deterministic full-data loop (Section II)
+//! cannot express.
+//!
+//! Every production GBDT system Booster benchmarks against — XGBoost's
+//! GPU pipeline (Mitchell et al.) and the systems surveyed in Anghel et
+//! al.'s benchmarking study — trains with row/column subsampling and
+//! validation-driven early stopping. This harness quantifies what those
+//! knobs do on the software implementation: wall-clock per config,
+//! Step-1 work actually performed (records explicitly binned — the
+//! quantity the accelerator's rate-matching is sized for), final
+//! training loss, and the held-out metric on a validation split. The
+//! last row adds patience-based early stopping and reports how many of
+//! the budgeted trees survive.
+//!
+//! Scale with the usual env knobs (`BOOSTER_BENCH_RECORDS`,
+//! `BOOSTER_BENCH_TREES`).
+
+use std::time::Instant;
+
+use booster_bench::{print_header, BenchConfig};
+use booster_datagen::{default_loss, generate_binned_split, Benchmark};
+use booster_gbdt::gradients::Loss;
+use booster_gbdt::grow::grow_forest_with_eval;
+use booster_gbdt::metrics::{self, EvalMetric};
+use booster_gbdt::train::{EarlyStopping, EvalSet, SequentialExec, TrainConfig};
+
+struct Variant {
+    name: &'static str,
+    subsample: f64,
+    colsample_bytree: f64,
+    colsample_bynode: f64,
+    early_stopping: Option<EarlyStopping>,
+}
+
+fn main() {
+    print_header(
+        "Ablation: stochastic sampling + early stopping vs full-data training",
+        "row/column subsampling per Friedman 2002 / XGBoost; not in the paper's Table I loop",
+    );
+    let cfg = BenchConfig::from_env();
+    let variants = [
+        Variant {
+            name: "full",
+            subsample: 1.0,
+            colsample_bytree: 1.0,
+            colsample_bynode: 1.0,
+            early_stopping: None,
+        },
+        Variant {
+            name: "subsample 0.5",
+            subsample: 0.5,
+            colsample_bytree: 1.0,
+            colsample_bynode: 1.0,
+            early_stopping: None,
+        },
+        Variant {
+            name: "colsample 0.5",
+            subsample: 1.0,
+            colsample_bytree: 0.5,
+            colsample_bynode: 1.0,
+            early_stopping: None,
+        },
+        Variant {
+            name: "sub+col 0.5",
+            subsample: 0.5,
+            colsample_bytree: 0.5,
+            colsample_bynode: 1.0,
+            early_stopping: None,
+        },
+        Variant {
+            name: "bynode 0.5",
+            subsample: 1.0,
+            colsample_bytree: 1.0,
+            colsample_bynode: 0.5,
+            early_stopping: None,
+        },
+        Variant {
+            name: "sub+col+stop",
+            subsample: 0.5,
+            colsample_bytree: 0.5,
+            colsample_bynode: 1.0,
+            early_stopping: Some(EarlyStopping {
+                metric: EvalMetric::Loss,
+                patience: 8,
+                min_delta: 0.0,
+            }),
+        },
+    ];
+
+    for b in [Benchmark::Higgs, Benchmark::Allstate] {
+        let sample = cfg.sample_records.min(b.spec().full_records);
+        let (data, mirror, eval) = generate_binned_split(b, sample, cfg.seed, 0.2);
+        let loss = default_loss(b);
+        let metric_name = if loss == Loss::Logistic { "eval auc" } else { "eval rmse" };
+        println!(
+            "\n{}: {} train / {} eval records, {} trees of depth {}",
+            b.name(),
+            data.num_records(),
+            eval.num_records(),
+            cfg.trees,
+            cfg.max_depth
+        );
+        println!(
+            "{:<14} {:>9} {:>12} {:>12} {:>10} {:>6}",
+            "config", "time(s)", "step1 Mrec", "train loss", metric_name, "trees"
+        );
+        for v in &variants {
+            let tc = TrainConfig {
+                num_trees: cfg.trees,
+                max_depth: cfg.max_depth,
+                loss,
+                subsample: v.subsample,
+                colsample_bytree: v.colsample_bytree,
+                colsample_bynode: v.colsample_bynode,
+                seed: cfg.seed,
+                early_stopping: v.early_stopping,
+                ..Default::default()
+            };
+            let eval_set = EvalSet::new(&eval);
+            let t0 = Instant::now();
+            let (model, report) =
+                grow_forest_with_eval(&data, &mirror, &tc, &SequentialExec, Some(&eval_set));
+            let secs = t0.elapsed().as_secs_f64();
+            let preds = model.predict_batch(&eval);
+            let labels: Vec<f64> = eval.labels().iter().map(|&y| f64::from(y)).collect();
+            let held_out = if loss == Loss::Logistic {
+                metrics::auc(&preds, &labels)
+            } else {
+                metrics::rmse(&preds, &labels)
+            };
+            println!(
+                "{:<14} {:>9.2} {:>12.2} {:>12.4} {:>10.4} {:>6}",
+                v.name,
+                secs,
+                report.work.step1_records as f64 / 1e6,
+                report.loss_history.last().copied().unwrap_or(f64::NAN),
+                held_out,
+                model.num_trees()
+            );
+        }
+    }
+    println!("\nstep1 Mrec = records explicitly histogram-binned (the accelerator's Step-1 load).");
+}

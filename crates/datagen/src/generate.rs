@@ -59,6 +59,58 @@ pub fn generate_binned(
     (binned, mirror)
 }
 
+/// Deterministically split a raw dataset into train/holdout parts: each
+/// record lands in the holdout with probability `holdout` (Bernoulli,
+/// seeded — same `(dataset, holdout, seed)` always yields the same
+/// split). Both parts keep the schema and the original record order.
+///
+/// # Panics
+/// Panics unless `holdout` is in `(0, 1)`.
+pub fn split_dataset(ds: &Dataset, holdout: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(holdout > 0.0 && holdout < 1.0, "holdout fraction must be in (0, 1), got {holdout}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB005_7E12_5EED_u64);
+    let nf = ds.num_fields();
+    let mut train = Dataset::new(ds.schema().clone());
+    let mut eval = Dataset::new(ds.schema().clone());
+    let mut row: Vec<RawValue> = Vec::with_capacity(nf);
+    for r in 0..ds.num_records() {
+        row.clear();
+        for f in 0..nf {
+            row.push(ds.value(r, f));
+        }
+        let part = if rng.random_bool(holdout) { &mut eval } else { &mut train };
+        part.push_record(&row, ds.labels()[r]);
+    }
+    (train, eval)
+}
+
+/// Generate a benchmark and split it into a preprocessed training set
+/// (with its columnar mirror) plus a held-out validation set for the
+/// early-stopping pipeline.
+///
+/// The holdout is discretized with the **training** binnings — tree
+/// predicates reference training bin indices, so binning the eval rows
+/// on their own quantiles would silently shift every split threshold.
+///
+/// # Panics
+/// Panics if either side of the split ends up empty (use more records
+/// or a less extreme `holdout`), or if `holdout` is outside `(0, 1)`.
+pub fn generate_binned_split(
+    benchmark: Benchmark,
+    records: usize,
+    seed: u64,
+    holdout: f64,
+) -> (BinnedDataset, ColumnarMirror, BinnedDataset) {
+    let ds = generate(benchmark, records, seed);
+    let (train, eval) = split_dataset(&ds, holdout, seed);
+    assert!(train.num_records() > 0, "empty training split");
+    assert!(eval.num_records() > 0, "empty validation split");
+    let binned = BinnedDataset::from_dataset(&train);
+    let mirror = ColumnarMirror::from_binned(&binned);
+    let eval_binned = BinnedDataset::from_dataset_with_binnings(&eval, binned.binnings().to_vec());
+    (binned, mirror, eval_binned)
+}
+
 /// IoT / N-BaIoT-like: 115 numeric traffic statistics; the attack class is
 /// separable by a small rule over three of them, so trees stay shallow.
 fn gen_iot(n: usize, rng: &mut StdRng) -> Dataset {
@@ -340,5 +392,41 @@ mod tests {
         let (binned, mirror) = generate_binned(Benchmark::Mq2008, 400, 7);
         assert_eq!(binned.num_records(), 400);
         assert!(mirror.is_consistent_with(&binned));
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions_records() {
+        let ds = generate(Benchmark::Flight, 2000, 5);
+        let (t1, e1) = split_dataset(&ds, 0.25, 9);
+        let (t2, e2) = split_dataset(&ds, 0.25, 9);
+        assert_eq!(t1.num_records() + e1.num_records(), 2000);
+        assert_eq!(t1.num_records(), t2.num_records());
+        assert_eq!(t1.labels(), t2.labels());
+        assert_eq!(e1.labels(), e2.labels());
+        let frac = e1.num_records() as f64 / 2000.0;
+        assert!((frac - 0.25).abs() < 0.05, "holdout fraction {frac}");
+        // A different seed cuts a different holdout.
+        let (_, e3) = split_dataset(&ds, 0.25, 10);
+        assert_ne!(e1.labels(), e3.labels());
+    }
+
+    #[test]
+    fn binned_split_uses_training_binnings_for_the_holdout() {
+        let (train, mirror, eval) = generate_binned_split(Benchmark::Higgs, 1500, 3, 0.2);
+        assert!(mirror.is_consistent_with(&train));
+        assert_eq!(train.num_fields(), eval.num_fields());
+        assert_eq!(train.num_records() + eval.num_records(), 1500);
+        // Holdout bins reference the training quantiles: same per-field
+        // bin counts (binning metadata is shared, not re-derived).
+        for f in 0..train.num_fields() {
+            assert_eq!(train.field_bins(f), eval.field_bins(f), "field {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "holdout fraction")]
+    fn split_rejects_out_of_range_fraction() {
+        let ds = generate(Benchmark::Iot, 100, 1);
+        let _ = split_dataset(&ds, 1.0, 0);
     }
 }

@@ -25,6 +25,6 @@ pub mod generate;
 pub mod spec;
 pub mod synth;
 
-pub use generate::{default_loss, generate, generate_binned};
+pub use generate::{default_loss, generate, generate_binned, generate_binned_split, split_dataset};
 pub use spec::{Benchmark, DatasetSpec};
 pub use synth::Zipf;

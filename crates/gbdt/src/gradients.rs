@@ -118,6 +118,15 @@ impl Loss {
             Loss::Logistic => sigmoid(margin),
         }
     }
+
+    /// Short human-readable name (used by reports, benches and
+    /// examples).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Loss::SquaredError => "squared-error",
+            Loss::Logistic => "logistic",
+        }
+    }
 }
 
 /// Numerically-stable logistic sigmoid.
@@ -190,5 +199,10 @@ mod tests {
         // Squared error: minimum at margin == label.
         let gp = Loss::SquaredError.grad(1.5, 1.5);
         assert_eq!(gp.g, 0.0);
+    }
+
+    #[test]
+    fn loss_names_are_distinct() {
+        assert_ne!(Loss::SquaredError.name(), Loss::Logistic.name());
     }
 }

@@ -28,9 +28,13 @@
 //! configuration) and with the functional device model in `booster-sim`.
 //!
 //! Shared machinery — base-score/margin/gradient initialization, the
-//! outer tree loop with stochastic row/column sampling, [`StepTimes`] /
-//! [`WorkCounters`] instrumentation, Step-5 traversal, and
-//! [`PhaseLog`] emission — lives here once. Phase descriptors keep their
+//! outer tree loop with stochastic row/column sampling (all masks drawn
+//! from one seeded [`SampleStream`] owned by the engine, never by an
+//! executor), the validation pipeline
+//! ([`grow_forest_with_eval`]: per-tree eval scoring through the
+//! flat-ensemble [`TreeScorer`] with patience-based early stopping),
+//! [`StepTimes`] / [`WorkCounters`] instrumentation, Step-5 traversal,
+//! and [`PhaseLog`] emission — lives here once. Phase descriptors keep their
 //! mode-specific *memory access patterns*: vertex-wise and leaf-wise log
 //! per-vertex sparse gathers, while level-wise logs dense full-dataset
 //! streams per level, which is exactly the trade-off the
@@ -41,16 +45,19 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::columnar::ColumnarMirror;
-use crate::gradients::GradPair;
+use crate::gradients::{GradPair, Loss};
 use crate::histogram::NodeHistogram;
+use crate::infer::TreeScorer;
+use crate::metrics::EvalMetric;
 use crate::phases::{
     column_blocks, gh_blocks, row_major_blocks, BinPhase, NodePhase, PartitionPhase, PhaseLog,
     TraversalPhase, TreePhases,
 };
 use crate::predict::Model;
-use crate::preprocess::{BinnedDataset, BLOCK_BYTES};
+use crate::preprocess::{BinnedDataset, FieldBinning, BLOCK_BYTES};
+use crate::sample::SampleStream;
 use crate::split::{find_best_split, leaf_weight, SplitInfo};
-use crate::train::{StepExecutor, StepTimes, TrainConfig, TrainReport, WorkCounters};
+use crate::train::{EvalSet, StepExecutor, StepTimes, TrainConfig, TrainReport, WorkCounters};
 use crate::tree::{Node, Tree};
 
 /// The order in which frontier vertices are expanded while growing a
@@ -105,15 +112,107 @@ pub fn grow_forest(
     cfg: &TrainConfig,
     exec: &dyn StepExecutor,
 ) -> (Model, TrainReport) {
+    grow_forest_with_eval(data, columnar, cfg, exec, None)
+}
+
+/// Per-run state of the validation pipeline: incremental margins over
+/// the held-out set, the metric history, and the best iteration so far.
+struct EvalState<'a> {
+    data: &'a BinnedDataset,
+    metric: EvalMetric,
+    min_delta: f64,
+    margins: Vec<f64>,
+    /// Labels preconverted to `f64` once (they never change per tree).
+    labels: Vec<f64>,
+    /// Scratch buffer for transformed predictions, reused every tree.
+    preds: Vec<f64>,
+    history: Vec<f64>,
+    /// Tree count of the best model so far (0 until a metric value
+    /// improves on [`EvalMetric::worst`]).
+    best_iter: usize,
+    best_value: f64,
+}
+
+impl EvalState<'_> {
+    /// Score the newest tree into the margins and update the history and
+    /// best-iteration tracking.
+    fn score_tree(&mut self, tree: &Tree, binnings: &[FieldBinning], loss: Loss) {
+        match TreeScorer::try_new(tree, binnings) {
+            Ok(scorer) => scorer.add_margins(self.data, &mut self.margins),
+            // Trees beyond the u16 table encoding fall back to the node
+            // walk (bit-identical, just slower).
+            Err(_) => {
+                for (r, m) in self.margins.iter_mut().enumerate() {
+                    *m += tree.traverse_binned(self.data, r).0;
+                }
+            }
+        }
+        let value = self.metric.compute_reusing(loss, &self.margins, &self.labels, &mut self.preds);
+        self.history.push(value);
+        if self.metric.improved(value, self.best_value, self.min_delta) {
+            self.best_value = value;
+            self.best_iter = self.history.len();
+        }
+    }
+}
+
+/// Score the newest tree against the eval set (if any) and report
+/// whether the patience budget is exhausted.
+fn eval_and_check(
+    eval_state: &mut Option<EvalState<'_>>,
+    trees: &[Tree],
+    cfg: &TrainConfig,
+    binnings: &[FieldBinning],
+) -> bool {
+    let Some(ev) = eval_state.as_mut() else { return false };
+    ev.score_tree(trees.last().expect("a tree was just pushed"), binnings, cfg.loss);
+    match &cfg.early_stopping {
+        Some(es) => trees.len() - ev.best_iter >= es.patience,
+        None => false,
+    }
+}
+
+/// [`grow_forest`] with the validation pipeline attached: after every
+/// tree the `eval` set is scored through the flat-ensemble engine
+/// ([`TreeScorer`]) and the metric recorded in
+/// [`TrainReport::eval_history`]. With
+/// [`TrainConfig::early_stopping`] set, training stops once the metric
+/// has not improved for `patience` trees and the model is truncated to
+/// [`TrainReport::best_iteration`].
+///
+/// # Panics
+/// Additionally panics if `cfg.early_stopping` is set without an eval
+/// set, or if the eval set's field arity differs from the training
+/// set's.
+pub fn grow_forest_with_eval(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+    exec: &dyn StepExecutor,
+    eval: Option<&EvalSet<'_>>,
+) -> (Model, TrainReport) {
     if let Err(e) = cfg.validate() {
         panic!("invalid TrainConfig: {e}");
     }
     assert!(data.num_records() > 0, "cannot train on an empty dataset");
+    assert!(
+        cfg.early_stopping.is_none() || eval.is_some(),
+        "early_stopping requires an evaluation set (train_with_eval / grow_forest_with_eval)"
+    );
+    if let Some(ev) = eval {
+        assert_eq!(
+            ev.data().num_fields(),
+            data.num_fields(),
+            "eval set schema must match training schema"
+        );
+    }
     debug_assert!(columnar.is_consistent_with(data), "columnar mirror out of sync");
     let n = data.num_records();
     let labels = data.labels();
-    use rand::{RngExt, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    // One seeded stream for every sampling decision, owned here —
+    // outside the executor — so sequential and parallel backends draw
+    // identical masks (the bit-identity invariant).
+    let mut sampler = SampleStream::new(cfg.seed);
 
     let t_init = Instant::now();
     let label_mean = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / n as f64;
@@ -129,32 +228,35 @@ pub fn grow_forest(
     let mut tree_logs: Vec<TreePhases> = Vec::new();
     let mut loss_history = Vec::with_capacity(cfg.num_trees);
     let mut trees: Vec<Tree> = Vec::with_capacity(cfg.num_trees);
+    let mut eval_state: Option<EvalState<'_>> = eval.map(|ev| {
+        let metric = cfg.early_stopping.map(|es| es.metric).unwrap_or_default();
+        EvalState {
+            data: ev.data(),
+            metric,
+            min_delta: cfg.early_stopping.map(|es| es.min_delta).unwrap_or(0.0),
+            margins: vec![base_score; ev.data().num_records()],
+            labels: ev.data().labels().iter().map(|&y| f64::from(y)).collect(),
+            preds: Vec::new(),
+            history: Vec::new(),
+            best_iter: 0,
+            best_value: metric.worst(),
+        }
+    });
 
     for _tree_idx in 0..cfg.num_trees {
         // Stochastic GB: sample the records this tree sees.
-        let root_rows: Vec<u32> = if cfg.subsample < 1.0 {
-            (0..n as u32).filter(|_| rng.random_bool(cfg.subsample)).collect()
-        } else {
-            (0..n as u32).collect()
-        };
+        let root_rows = sampler.draw_rows(n, cfg.subsample);
         if root_rows.is_empty() {
             // A pathological subsample of a tiny dataset: skip this tree.
             loss_history.push(prev_loss);
             trees.push(Tree::leaf(0.0));
+            if eval_and_check(&mut eval_state, &trees, cfg, data.binnings()) {
+                break;
+            }
             continue;
         }
         // Column sampling: restrict this tree's candidate fields.
-        let field_mask: Option<Vec<bool>> = if cfg.colsample_bytree < 1.0 {
-            let nf = data.num_fields();
-            let mut mask: Vec<bool> =
-                (0..nf).map(|_| rng.random_bool(cfg.colsample_bytree)).collect();
-            if !mask.iter().any(|&m| m) {
-                mask[rng.random_range(0..nf)] = true;
-            }
-            Some(mask)
-        } else {
-            None
-        };
+        let field_mask = sampler.draw_field_mask(data.num_fields(), cfg.colsample_bytree);
 
         // ---- Grow one tree (Steps 1-4) through the shared engine. ----
         let mut grower = TreeGrower {
@@ -164,6 +266,7 @@ pub fn grow_forest(
             cfg,
             exec,
             field_mask: field_mask.as_deref(),
+            sampler: &mut sampler,
             nodes: vec![Node::Leaf { weight: 0.0 }],
             phases: Vec::new(),
             frontier: Vec::new(),
@@ -206,13 +309,33 @@ pub fn grow_forest(
         loss_history.push(mean_loss);
         trees.push(tree);
 
+        // ---- Validation pipeline: score the eval set incrementally. ----
+        let patience_exhausted = eval_and_check(&mut eval_state, &trees, cfg, data.binnings());
+
         if let Some(min_dec) = cfg.min_loss_decrease {
             if prev_loss - mean_loss < min_dec {
                 break;
             }
         }
         prev_loss = mean_loss;
+        if patience_exhausted {
+            break;
+        }
     }
+
+    // Record the best iteration and, under early stopping, trim the
+    // model back to it (trees are prefix-stable: stopping later never
+    // changes earlier trees).
+    let (eval_history, best_iteration) = match eval_state {
+        Some(ev) => {
+            let best = ev.best_iter.max(1);
+            if cfg.early_stopping.is_some() {
+                trees.truncate(best);
+            }
+            (Some(ev.history), Some(best))
+        }
+        None => (None, None),
+    };
 
     let model = Model {
         trees,
@@ -232,7 +355,7 @@ pub fn grow_forest(
             .collect(),
         field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
     });
-    (model, TrainReport { times, work, phase_log, loss_history })
+    (model, TrainReport { times, work, phase_log, loss_history, eval_history, best_iteration })
 }
 
 /// A split-ready frontier vertex: its relevant records, its histogram,
@@ -287,6 +410,10 @@ struct TreeGrower<'a> {
     exec: &'a dyn StepExecutor,
     /// Column-sampling mask for this tree (stochastic GB).
     field_mask: Option<&'a [bool]>,
+    /// The run's sampling stream, for per-node field masks
+    /// (`colsample_bynode`). Lives outside the executor so masks are
+    /// identical across backends.
+    sampler: &'a mut SampleStream,
     nodes: Vec<Node>,
     phases: Vec<NodePhase>,
     frontier: Vec<Pending>,
@@ -375,9 +502,20 @@ impl TreeGrower<'_> {
     ) {
         let scanned = depth < self.cfg.max_depth;
         let split = if scanned {
+            // Per-node column sampling: re-draw this vertex's candidate
+            // fields from within the tree mask. Drawn only for vertices
+            // actually scanned, so the stream advances identically on
+            // every backend.
+            let node_mask: Option<Vec<bool>> = (self.cfg.colsample_bynode < 1.0).then(|| {
+                self.sampler.draw_node_mask(
+                    self.data.num_fields(),
+                    self.cfg.colsample_bynode,
+                    self.field_mask,
+                )
+            });
+            let mask = node_mask.as_deref().or(self.field_mask);
             let t2 = Instant::now();
-            let (s, bins) =
-                find_best_split(&hist, self.data.binnings(), &self.cfg.split, self.field_mask);
+            let (s, bins) = find_best_split(&hist, self.data.binnings(), &self.cfg.split, mask);
             self.times.step2 += t2.elapsed();
             self.work.step2_scans += 1;
             self.work.step2_bins += bins;

@@ -333,4 +333,36 @@ mod tests {
         assert_eq!(h.total_count(), 0);
         assert_eq!(h.total(), GradPair::zero());
     }
+
+    /// A Bernoulli row subsample (the stochastic-GB root pass) must bin
+    /// exactly the sampled rows: counts, totals and every bin equal to
+    /// the dense histogram of the sample minus nothing, and equal to
+    /// parent-minus-complement by subtraction.
+    #[test]
+    fn subsampled_rows_bin_exactly_the_sample() {
+        use crate::sample::SampleStream;
+        let (data, grads) = make_data(400);
+        let sample = SampleStream::new(11).draw_rows(400, 0.4);
+        assert!(!sample.is_empty() && sample.len() < 400);
+        let mut sub = NodeHistogram::zeroed(&data);
+        let updates = sub.bin_records(&data, &sample, &grads);
+        assert_eq!(updates, sample.len() as u64 * data.num_fields() as u64);
+        assert_eq!(sub.total_count(), sample.len() as u64);
+
+        // Parent minus the complement reconstructs the sample exactly.
+        let all: Vec<u32> = (0..400).collect();
+        let rest: Vec<u32> = all.iter().copied().filter(|r| !sample.contains(r)).collect();
+        let mut parent = NodeHistogram::zeroed(&data);
+        parent.bin_records(&data, &all, &grads);
+        let mut comp = NodeHistogram::zeroed(&data);
+        comp.bin_records(&data, &rest, &grads);
+        let derived = NodeHistogram::subtract_from(&parent, &comp);
+        assert_eq!(derived.total_count(), sub.total_count());
+        for f in 0..data.num_fields() {
+            for (a, b) in derived.field(f).iter().zip(sub.field(f)) {
+                assert_eq!(a.count, b.count);
+                assert!((a.grad.g - b.grad.g).abs() < 1e-9);
+            }
+        }
+    }
 }

@@ -41,7 +41,7 @@ use crate::gradients::Loss;
 use crate::predict::Model;
 use crate::preprocess::{BinnedDataset, FieldBinning};
 use crate::split::{goes_left, SplitRule};
-use crate::tree::{Node, TableEntry, TableLoweringError, TreeTable, TABLE_ENTRY_BYTES};
+use crate::tree::{Node, TableEntry, TableLoweringError, Tree, TreeTable, TABLE_ENTRY_BYTES};
 
 /// Records per scoring block: with tens of 4-byte bins per record, a
 /// block's rows and the current tree's table fit comfortably in L1/L2
@@ -104,6 +104,34 @@ pub struct FlatEnsemble {
     loss: Loss,
 }
 
+/// Append one tree's per-entry resolved arrays — exact `f64` leaf
+/// weight, original field id, and that field's absent bin (leaves hold
+/// 0/0, never read) — the straight-line-load layout both the whole-model
+/// lowering ([`FlatEnsemble::from_model`]) and the single-tree scorer
+/// ([`TreeScorer`]) walk with.
+fn resolve_tree_entries(
+    tree: &Tree,
+    binnings: &[FieldBinning],
+    weights: &mut Vec<f64>,
+    fields: &mut Vec<u32>,
+    absents: &mut Vec<u32>,
+) {
+    for node in tree.nodes() {
+        match node {
+            Node::Leaf { weight } => {
+                weights.push(*weight);
+                fields.push(0);
+                absents.push(0);
+            }
+            Node::Internal { field, .. } => {
+                weights.push(0.0);
+                fields.push(*field);
+                absents.push(binnings[*field as usize].absent_bin());
+            }
+        }
+    }
+}
+
 /// Walk one tree for a record presented as a full per-field bin row
 /// (indexed by original field id); returns `(leaf entry index, path
 /// length in edges)`. `fields`/`absents` are the tree's per-entry
@@ -148,20 +176,13 @@ impl FlatEnsemble {
         gather_offsets.push(0);
         for tree in &model.trees {
             let table = TreeTable::try_from_tree(tree)?;
-            for node in tree.nodes() {
-                match node {
-                    Node::Leaf { weight } => {
-                        weights.push(*weight);
-                        entry_fields.push(0);
-                        entry_absents.push(0);
-                    }
-                    Node::Internal { field, .. } => {
-                        weights.push(0.0);
-                        entry_fields.push(*field);
-                        entry_absents.push(model.binnings[*field as usize].absent_bin());
-                    }
-                }
-            }
+            resolve_tree_entries(
+                tree,
+                &model.binnings,
+                &mut weights,
+                &mut entry_fields,
+                &mut entry_absents,
+            );
             gather_absents
                 .extend(table.fields_used.iter().map(|&f| model.binnings[f as usize].absent_bin()));
             gather_fields.extend_from_slice(&table.fields_used);
@@ -423,6 +444,49 @@ impl Predictor {
     }
 }
 
+/// Incremental single-tree scorer — the flat engine's unit of work for
+/// pipelines that grow a model one tree at a time (validation-driven
+/// early stopping scores the held-out set after *each* tree, so
+/// re-lowering the whole ensemble per round would be quadratic).
+///
+/// One tree is lowered to its contiguous 16-byte table with the same
+/// pre-resolved per-entry field/absent arrays and exact `f64` leaf
+/// weights [`FlatEnsemble`] uses, so [`TreeScorer::add_margins`] is
+/// bit-identical to accumulating [`Tree::traverse_binned`] weights.
+#[derive(Debug, Clone)]
+pub struct TreeScorer {
+    entries: Vec<TableEntry>,
+    fields: Vec<u32>,
+    absents: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl TreeScorer {
+    /// Lower one tree against the model's binnings.
+    ///
+    /// # Errors
+    /// Propagates [`TableLoweringError`] if the tree exceeds the `u16`
+    /// entry encoding; callers fall back to the node walk.
+    pub fn try_new(tree: &Tree, binnings: &[FieldBinning]) -> Result<Self, TableLoweringError> {
+        let table = TreeTable::try_from_tree(tree)?;
+        let n = table.entries.len();
+        let mut fields = Vec::with_capacity(n);
+        let mut absents = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        resolve_tree_entries(tree, binnings, &mut weights, &mut fields, &mut absents);
+        Ok(TreeScorer { entries: table.entries, fields, absents, weights })
+    }
+
+    /// Add this tree's exact leaf weight to every record's margin.
+    pub fn add_margins(&self, data: &BinnedDataset, margins: &mut [f64]) {
+        assert_eq!(data.num_records(), margins.len(), "margin buffer must cover every record");
+        for (r, m) in margins.iter_mut().enumerate() {
+            let (leaf, _) = walk_row(&self.entries, &self.fields, &self.absents, data.row(r));
+            *m += self.weights[leaf];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +618,31 @@ mod tests {
         assert_eq!(flat.byte_size(), nodes * TABLE_ENTRY_BYTES);
         assert_eq!(flat.base_score(), model.base_score);
         assert_eq!(flat.loss(), model.loss);
+    }
+
+    #[test]
+    fn tree_scorer_matches_node_walk_bit_for_bit() {
+        let (model, data, _) = trained_model();
+        let n = data.num_records();
+        // Accumulate tree by tree through the flat scorer…
+        let mut flat_margins = vec![model.base_score; n];
+        for tree in &model.trees {
+            let scorer = TreeScorer::try_new(tree, &model.binnings).expect("small tree lowers");
+            scorer.add_margins(&data, &mut flat_margins);
+        }
+        // …and compare against the per-record node walk.
+        for (r, m) in flat_margins.iter().enumerate() {
+            assert_eq!(m.to_bits(), model.margin_binned(&data, r).to_bits(), "record {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "margin buffer")]
+    fn tree_scorer_rejects_short_margin_buffer() {
+        let (model, data, _) = trained_model();
+        let scorer = TreeScorer::try_new(&model.trees[0], &model.binnings).unwrap();
+        let mut margins = vec![0.0; data.num_records() - 1];
+        scorer.add_margins(&data, &mut margins);
     }
 
     #[test]

@@ -241,15 +241,39 @@ pub fn parse_csv(text: &str, opts: &CsvOptions) -> Result<(Dataset, Vec<Vec<Stri
     Ok((ds, names))
 }
 
+/// RFC-4180 field quoting: wrap a token in quotes (doubling embedded
+/// quotes) when it contains the delimiter, a quote, or a line break —
+/// otherwise pass it through unchanged.
+fn push_quoted(out: &mut String, token: &str, delimiter: char) {
+    if token.contains(delimiter)
+        || token.contains('"')
+        || token.contains('\n')
+        || token.contains('\r')
+    {
+        out.push('"');
+        for c in token.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(token);
+    }
+}
+
 /// Serialize a dataset to CSV text (label first, then every field; header
 /// included). Categorical values are written as `catN` unless
-/// `category_names` provides original tokens.
+/// `category_names` provides original tokens; tokens and field names
+/// containing delimiters, quotes or newlines are RFC-4180-quoted so the
+/// output round-trips through [`parse_csv`].
 pub fn to_csv(ds: &Dataset, category_names: Option<&[Vec<String>]>) -> String {
     let mut out = String::new();
     out.push_str("label");
     for (_, fs) in ds.schema().iter() {
         out.push(',');
-        out.push_str(&fs.name);
+        push_quoted(&mut out, &fs.name, ',');
     }
     out.push('\n');
     for r in 0..ds.num_records() {
@@ -265,7 +289,7 @@ pub fn to_csv(ds: &Dataset, category_names: Option<&[Vec<String>]>) -> String {
                         .and_then(|t| t.get(c as usize))
                         .cloned()
                         .unwrap_or_else(|| format!("cat{c}"));
-                    out.push_str(&name);
+                    push_quoted(&mut out, &name, ',');
                 }
             }
         }
@@ -352,6 +376,118 @@ label,age,status,miles
         }
         let opts = CsvOptions { max_categories: 10, ..Default::default() };
         assert!(matches!(parse_csv(&text, &opts), Err(CsvError::TooManyCategories { column: 1 })));
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_newlines() {
+        // RFC 4180: a quoted field may span lines; CRLF inside quotes is
+        // data, CRLF outside is a record separator.
+        let text = "label,note\r\n1,\"line one\nline two\"\r\n0,\"trailing\r\nCRLF\"\r\n";
+        let (ds, names) = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(ds.num_records(), 2);
+        // Quoted content is preserved verbatim — including the embedded
+        // CRLF — while unquoted '\r' is stripped as line-ending noise.
+        assert_eq!(names[0], vec!["line one\nline two", "trailing\r\nCRLF"]);
+    }
+
+    #[test]
+    fn every_default_missing_token_maps_to_missing() {
+        let opts = CsvOptions::default();
+        for token in ["", "NA", "N/A", "null", "?"] {
+            let text = format!("label,x,c\n1,{token},{token}\n0,2.5,tok\n");
+            let (ds, _) =
+                parse_csv(&text, &opts).unwrap_or_else(|e| panic!("token {token:?}: {e}"));
+            assert!(ds.value(0, 0).is_missing(), "numeric cell for token {token:?}");
+            assert!(ds.value(0, 1).is_missing(), "categorical cell for token {token:?}");
+            // The present cells still parse with their inferred kinds.
+            assert_eq!(ds.value(1, 0), RawValue::Num(2.5));
+            assert_eq!(ds.value(1, 1), RawValue::Cat(0));
+        }
+    }
+
+    #[test]
+    fn category_limit_boundary_is_inclusive() {
+        // Exactly max_categories distinct tokens parses; one more errors.
+        let mk = |n: usize| {
+            let mut text = String::from("label,c\n");
+            for i in 0..n {
+                text.push_str(&format!("0,tok{i:03}\n"));
+            }
+            text
+        };
+        let opts = CsvOptions { max_categories: 10, ..Default::default() };
+        let (ds, names) = parse_csv(&mk(10), &opts).expect("boundary count parses");
+        assert_eq!(names[0].len(), 10);
+        assert_eq!(ds.num_records(), 10);
+        assert!(matches!(
+            parse_csv(&mk(11), &opts),
+            Err(CsvError::TooManyCategories { column: 1 })
+        ));
+    }
+
+    #[test]
+    fn writer_quotes_tokens_that_need_it() {
+        let schema =
+            DatasetSchema::new(vec![FieldSchema::numeric("x"), FieldSchema::categorical("c", 3)]);
+        let mut ds = Dataset::new(schema);
+        ds.push_record(&[RawValue::Num(1.5), RawValue::Cat(0)], 1.0);
+        ds.push_record(&[RawValue::Missing, RawValue::Cat(1)], 0.0);
+        ds.push_record(&[RawValue::Num(-2.0), RawValue::Cat(2)], 1.0);
+        // Tokens with an embedded delimiter, quote, and newline.
+        let names = vec![Vec::new(), vec!["a,b".into(), "say \"hi\"".into(), "two\nlines".into()]];
+        let text = to_csv(&ds, Some(&names));
+        assert!(text.contains("\"a,b\""), "delimiter token must be quoted: {text}");
+        assert!(text.contains("\"say \"\"hi\"\"\""), "quote token must be escaped: {text}");
+        // Full round-trip: the reader rebuilds the same table.
+        let (ds2, names2) = parse_csv(&text, &CsvOptions::default()).unwrap();
+        assert_eq!(ds2.num_records(), 3);
+        let mut sorted = names[1].clone();
+        sorted.sort_unstable();
+        assert_eq!(names2[1], sorted);
+        for r in 0..3 {
+            let orig = match ds.value(r, 1) {
+                RawValue::Cat(c) => names[1][c as usize].clone(),
+                _ => unreachable!(),
+            };
+            let got = match ds2.value(r, 1) {
+                RawValue::Cat(c) => names2[1][c as usize].clone(),
+                _ => unreachable!(),
+            };
+            assert_eq!(got, orig, "record {r}");
+        }
+    }
+
+    #[test]
+    fn mixed_dataset_roundtrips_through_writer_and_reader() {
+        // Numeric + categorical + missing cells in both kinds.
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric("age"),
+            FieldSchema::categorical("city", 4),
+            FieldSchema::numeric("score"),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..40 {
+            let age =
+                if i % 7 == 0 { RawValue::Missing } else { RawValue::Num(20.0 + i as f32 * 0.5) };
+            let city = if i % 11 == 0 { RawValue::Missing } else { RawValue::Cat(i % 4) };
+            let score = RawValue::Num((i * i % 13) as f32 - 6.0);
+            ds.push_record(&[age, city, score], (i % 2) as f32);
+        }
+        let names = vec![
+            Vec::new(),
+            vec!["amsterdam".into(), "berlin".into(), "cairo".into(), "delhi".into()],
+            Vec::new(),
+        ];
+        let text = to_csv(&ds, Some(&names));
+        let (ds2, names2) = parse_csv(&text, &CsvOptions::default()).unwrap();
+        assert_eq!(ds2.num_records(), ds.num_records());
+        assert_eq!(ds2.labels(), ds.labels());
+        assert_eq!(names2[1], names[1]);
+        for r in 0..ds.num_records() {
+            for f in 0..ds.num_fields() {
+                assert_eq!(ds2.value(r, f), ds.value(r, f), "cell ({r},{f})");
+            }
+        }
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod partition;
 pub mod phases;
 pub mod predict;
 pub mod preprocess;
+pub mod sample;
 pub mod schema;
 pub mod serialize;
 pub mod split;
@@ -93,17 +94,20 @@ pub mod prelude {
     pub use crate::columnar::ColumnarMirror;
     pub use crate::dataset::{Dataset, RawValue};
     pub use crate::gradients::{GradPair, Loss};
-    pub use crate::grow::GrowthStrategy;
-    pub use crate::infer::{ExecMode, FlatEnsemble, Predictor};
+    pub use crate::grow::{grow_forest_with_eval, GrowthStrategy};
+    pub use crate::infer::{ExecMode, FlatEnsemble, Predictor, TreeScorer};
     pub use crate::levelwise::train_levelwise;
+    pub use crate::metrics::EvalMetric;
     pub use crate::parallel::{train_parallel, ParallelExec};
     pub use crate::predict::Model;
     pub use crate::preprocess::BinnedDataset;
+    pub use crate::sample::SampleStream;
     pub use crate::schema::{DatasetSchema, FieldKind, FieldSchema};
     pub use crate::serialize::{model_from_bytes, model_to_bytes};
     pub use crate::split::SplitParams;
     pub use crate::train::{
-        train, train_with, SequentialExec, StepExecutor, TrainConfig, TrainReport,
+        train, train_with, train_with_eval, EarlyStopping, EvalSet, SequentialExec, StepExecutor,
+        TrainConfig, TrainReport,
     };
     pub use crate::tree::{TableLoweringError, Tree, TreeTable};
 }

@@ -1,4 +1,104 @@
-//! Evaluation metrics for trained models.
+//! Evaluation metrics for trained models, and the [`EvalMetric`]
+//! selector the validation-driven early-stopping pipeline scores with.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gradients::Loss;
+
+/// Which metric the early-stopping pipeline tracks on the held-out
+/// evaluation set after each tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EvalMetric {
+    /// Mean training-objective loss on the eval set (always available;
+    /// the default).
+    #[default]
+    Loss,
+    /// Root-mean-square error of transformed predictions.
+    Rmse,
+    /// Binary log-loss of transformed predictions (predictions are
+    /// clamped away from 0/1, so any loss's output is accepted).
+    Logloss,
+    /// Area under the ROC curve of transformed predictions. The only
+    /// higher-is-better metric.
+    Auc,
+}
+
+impl EvalMetric {
+    /// Short human-readable name (used by reports and examples).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvalMetric::Loss => "loss",
+            EvalMetric::Rmse => "rmse",
+            EvalMetric::Logloss => "logloss",
+            EvalMetric::Auc => "auc",
+        }
+    }
+
+    /// Whether larger values of this metric are better (AUC) instead of
+    /// smaller (the error metrics).
+    pub fn higher_is_better(&self) -> bool {
+        matches!(self, EvalMetric::Auc)
+    }
+
+    /// Does `current` improve on `best` by more than `min_delta`, in
+    /// this metric's direction?
+    pub fn improved(&self, current: f64, best: f64, min_delta: f64) -> bool {
+        if self.higher_is_better() {
+            current > best + min_delta
+        } else {
+            current < best - min_delta
+        }
+    }
+
+    /// The value no observation can beat — the initial "best" for
+    /// improvement tracking.
+    pub fn worst(&self) -> f64 {
+        if self.higher_is_better() {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Score a set of raw margins against labels: the objective-`loss`
+    /// mean for [`EvalMetric::Loss`], otherwise the metric over the
+    /// loss-transformed predictions.
+    pub fn compute(&self, loss: Loss, margins: &[f64], labels: &[f32]) -> f64 {
+        let labels64: Vec<f64> = labels.iter().map(|&y| f64::from(y)).collect();
+        self.compute_reusing(loss, margins, &labels64, &mut Vec::new())
+    }
+
+    /// As [`EvalMetric::compute`], with the labels preconverted to
+    /// `f64` and a reusable scratch buffer for the transformed
+    /// predictions — the shape the per-tree eval loop calls once per
+    /// tree without reallocating.
+    pub fn compute_reusing(
+        &self,
+        loss: Loss,
+        margins: &[f64],
+        labels: &[f64],
+        preds_scratch: &mut Vec<f64>,
+    ) -> f64 {
+        assert_eq!(margins.len(), labels.len());
+        assert!(!margins.is_empty(), "cannot evaluate an empty set");
+        match self {
+            EvalMetric::Loss => {
+                margins.iter().zip(labels).map(|(&m, &y)| loss.value(m, y)).sum::<f64>()
+                    / margins.len() as f64
+            }
+            _ => {
+                preds_scratch.clear();
+                preds_scratch.extend(margins.iter().map(|&m| loss.transform(m)));
+                match self {
+                    EvalMetric::Rmse => rmse(preds_scratch, labels),
+                    EvalMetric::Logloss => logloss(preds_scratch, labels),
+                    EvalMetric::Auc => auc(preds_scratch, labels),
+                    EvalMetric::Loss => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
 
 /// Root-mean-square error between predictions and labels.
 pub fn rmse(preds: &[f64], labels: &[f64]) -> f64 {
@@ -150,5 +250,63 @@ mod tests {
     #[should_panic]
     fn auc_rejects_empty_input() {
         let _ = auc(&[], &[]);
+    }
+
+    #[test]
+    fn eval_metric_directions_and_improvement() {
+        assert!(!EvalMetric::Loss.higher_is_better());
+        assert!(EvalMetric::Auc.higher_is_better());
+        // Lower-is-better: strictly smaller improves at min_delta 0.
+        assert!(EvalMetric::Rmse.improved(0.9, 1.0, 0.0));
+        assert!(!EvalMetric::Rmse.improved(1.0, 1.0, 0.0));
+        assert!(!EvalMetric::Rmse.improved(0.95, 1.0, 0.1));
+        // Higher-is-better mirrors.
+        assert!(EvalMetric::Auc.improved(0.8, 0.7, 0.0));
+        assert!(!EvalMetric::Auc.improved(0.75, 0.7, 0.1));
+        // Every metric improves on its own worst value.
+        for m in [EvalMetric::Loss, EvalMetric::Rmse, EvalMetric::Logloss, EvalMetric::Auc] {
+            assert!(m.improved(0.5, m.worst(), 0.0), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn eval_metric_compute_matches_direct_formulas() {
+        let margins = [0.2f64, -1.0, 1.5, 0.0];
+        let labels = [0.0f32, 0.0, 1.0, 1.0];
+        let loss = Loss::Logistic;
+        let preds: Vec<f64> = margins.iter().map(|&m| loss.transform(m)).collect();
+        let labels64: Vec<f64> = labels.iter().map(|&y| f64::from(y)).collect();
+        let direct_loss =
+            margins.iter().zip(&labels).map(|(&m, &y)| loss.value(m, f64::from(y))).sum::<f64>()
+                / 4.0;
+        assert_eq!(
+            EvalMetric::Loss.compute(loss, &margins, &labels).to_bits(),
+            direct_loss.to_bits()
+        );
+        assert_eq!(
+            EvalMetric::Rmse.compute(loss, &margins, &labels).to_bits(),
+            rmse(&preds, &labels64).to_bits()
+        );
+        assert_eq!(
+            EvalMetric::Logloss.compute(loss, &margins, &labels).to_bits(),
+            logloss(&preds, &labels64).to_bits()
+        );
+        assert_eq!(
+            EvalMetric::Auc.compute(loss, &margins, &labels).to_bits(),
+            auc(&preds, &labels64).to_bits()
+        );
+    }
+
+    #[test]
+    fn eval_metric_names_are_distinct() {
+        let names: Vec<&str> =
+            [EvalMetric::Loss, EvalMetric::Rmse, EvalMetric::Logloss, EvalMetric::Auc]
+                .iter()
+                .map(EvalMetric::name)
+                .collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
     }
 }

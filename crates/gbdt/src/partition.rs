@@ -97,4 +97,26 @@ mod tests {
             partition_rows(&[], &[1, 2, 3], SplitRule::Numeric { threshold_bin: 0 }, false, 9);
         assert!(l.is_empty() && r.is_empty());
     }
+
+    /// Partitioning a Bernoulli row subsample (what every vertex sees
+    /// under stochastic GB) stays an order-preserving disjoint cover of
+    /// exactly the sampled rows — never of the full dataset.
+    #[test]
+    fn subsampled_rows_partition_is_an_ordered_cover() {
+        use crate::sample::SampleStream;
+        let column: Vec<u32> = (0..500).map(|i| (i * 7) % 10).collect();
+        let rows = SampleStream::new(23).draw_rows(500, 0.3);
+        assert!(!rows.is_empty() && rows.len() < 500);
+        let rule = SplitRule::Numeric { threshold_bin: 4 };
+        let (l, r) = partition_rows(&rows, &column, rule, false, 9);
+        assert_eq!(l.len() + r.len(), rows.len());
+        // Order-preserving on both sides (rows were ascending).
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+        // Merge reconstructs the sample exactly.
+        let mut merged = l.clone();
+        merged.extend(&r);
+        merged.sort_unstable();
+        assert_eq!(merged, rows);
+    }
 }

@@ -103,6 +103,27 @@ impl Model {
         self.trees.len()
     }
 
+    /// A copy of this model keeping only the first `num_trees` trees
+    /// (clamped to the available count; at least one tree is kept when
+    /// the model has any).
+    ///
+    /// Boosted trees are prefix-stable — tree `t` never depends on trees
+    /// after it — so a truncated model is exactly the model that
+    /// training would have produced had it stopped there. This is the
+    /// operation validation-driven early stopping applies at
+    /// `best_iteration`, exposed for serving cheaper prefixes of a
+    /// trained ensemble.
+    pub fn truncated(&self, num_trees: usize) -> Model {
+        let keep = num_trees.max(1).min(self.trees.len());
+        Model {
+            trees: self.trees[..keep].to_vec(),
+            base_score: self.base_score,
+            loss: self.loss,
+            schema: self.schema.clone(),
+            binnings: self.binnings.clone(),
+        }
+    }
+
     /// Maximum depth across trees.
     pub fn max_depth(&self) -> u32 {
         self.trees.iter().map(Tree::depth).max().unwrap_or(0)
@@ -234,5 +255,25 @@ mod tests {
         let (model, _) = stub_model();
         // One tree with a single split on field 0.
         assert_eq!(model.feature_importance(), vec![1]);
+    }
+
+    #[test]
+    fn truncated_keeps_a_bit_exact_prefix() {
+        let (one_tree, data) = stub_model();
+        let mut model = one_tree.clone();
+        model.trees.push(Tree::new(vec![Node::Leaf { weight: 0.25 }]));
+        model.trees.push(Tree::new(vec![Node::Leaf { weight: -0.5 }]));
+        let t1 = model.truncated(1);
+        assert_eq!(t1.num_trees(), 1);
+        for r in 0..data.num_records() {
+            assert_eq!(
+                t1.predict_binned(&data, r).to_bits(),
+                one_tree.predict_binned(&data, r).to_bits(),
+                "record {r}"
+            );
+        }
+        // Clamped at both ends: never empty, never beyond the ensemble.
+        assert_eq!(model.truncated(0).num_trees(), 1);
+        assert_eq!(model.truncated(99).num_trees(), 3);
     }
 }

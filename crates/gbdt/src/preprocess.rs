@@ -92,10 +92,12 @@ pub struct BinnedDataset {
 }
 
 impl BinnedDataset {
-    /// Preprocess a raw dataset.
+    /// Preprocess a raw dataset: derive each field's binning from its
+    /// own values (quantile boundaries for numeric fields), then
+    /// discretize.
     pub fn from_dataset(ds: &Dataset) -> Self {
-        let schema = ds.schema().clone();
-        let binnings: Vec<FieldBinning> = schema
+        let binnings: Vec<FieldBinning> = ds
+            .schema()
             .iter()
             .map(|(f, fs)| match fs.kind {
                 FieldKind::Numeric { max_bins } => {
@@ -104,9 +106,37 @@ impl BinnedDataset {
                 FieldKind::Categorical { categories } => FieldBinning::Categorical { categories },
             })
             .collect();
+        Self::from_dataset_with_binnings(ds, binnings)
+    }
 
-        let n = ds.num_records();
+    /// Preprocess a raw dataset with **existing** binnings instead of
+    /// deriving fresh boundaries from its own values.
+    ///
+    /// This is how a held-out validation set (or any serving-time batch)
+    /// must be discretized: tree predicates reference the *training*
+    /// bin indices, so re-deriving quantiles from the eval rows would
+    /// silently shift every numeric threshold. Mirrors
+    /// [`crate::predict::Model::bin_raw`] at dataset granularity.
+    ///
+    /// # Panics
+    /// Panics if the binnings' arity or kinds do not match the schema.
+    pub fn from_dataset_with_binnings(ds: &Dataset, binnings: Vec<FieldBinning>) -> Self {
+        let schema = ds.schema().clone();
         let nf = schema.num_fields();
+        assert_eq!(binnings.len(), nf, "binning arity must match the schema");
+        for ((f, fs), binning) in schema.iter().zip(&binnings) {
+            match (&fs.kind, binning) {
+                (FieldKind::Numeric { .. }, FieldBinning::Numeric(_)) => {}
+                (
+                    FieldKind::Categorical { categories },
+                    FieldBinning::Categorical { categories: c },
+                ) => {
+                    assert_eq!(categories, c, "field {f}: category count mismatch");
+                }
+                _ => panic!("field {f}: binning kind does not match the schema"),
+            }
+        }
+        let n = ds.num_records();
         let mut bins = vec![0u32; n * nf];
         for f in 0..nf {
             let col = ds.column(f);
@@ -294,5 +324,99 @@ mod tests {
         let binnings = vec![FieldBinning::Categorical { categories: 2 }];
         // bin 5 is out of range (valid: 0, 1, absent=2).
         let _ = BinnedDataset::from_parts(schema, binnings, vec![5], vec![0.0]);
+    }
+
+    #[test]
+    fn foreign_binnings_reproduce_training_discretization() {
+        // Train-time binnings applied to an eval set whose own value
+        // range would produce different quantiles.
+        let train = flier_dataset();
+        let tb = BinnedDataset::from_dataset(&train);
+        let mut eval = Dataset::new(train.schema().clone());
+        for i in 0..20 {
+            // Miles far outside the training range plus a missing cell.
+            let seg = if i == 5 { RawValue::Missing } else { RawValue::Cat(i % 2) };
+            eval.push_record(
+                &[RawValue::Cat(i % 3), seg, RawValue::Num(1_000_000.0 + i as f32)],
+                0.0,
+            );
+        }
+        let eb = BinnedDataset::from_dataset_with_binnings(&eval, tb.binnings().to_vec());
+        assert_eq!(eb.num_records(), 20);
+        assert_eq!(eb.record_bytes(), tb.record_bytes());
+        // Every out-of-range value maps to the training layout's last
+        // value bin — exactly what Model::bin_raw would produce.
+        let miles = &tb.binnings()[2];
+        for r in 0..20 {
+            assert_eq!(eb.bin(r, 2), miles.bin_of(RawValue::Num(1_000_000.0)));
+        }
+        assert_eq!(eb.bin(5, 1), eb.binnings()[1].absent_bin());
+    }
+
+    #[test]
+    #[should_panic(expected = "kind does not match")]
+    fn foreign_binnings_must_match_schema_kinds() {
+        let ds = flier_dataset();
+        let b = BinnedDataset::from_dataset(&ds);
+        // Swap the first two binnings: categorical vs categorical(2) is
+        // a count mismatch at best, numeric-vs-categorical at worst.
+        let mut wrong = b.binnings().to_vec();
+        wrong.swap(0, 2);
+        let _ = BinnedDataset::from_dataset_with_binnings(&ds, wrong);
+    }
+
+    #[test]
+    fn constant_column_bins_everything_together() {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("const", 16),
+            FieldSchema::numeric_with_bins("x", 16),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..100 {
+            ds.push_record(&[RawValue::Num(3.25), RawValue::Num(i as f32)], 0.0);
+        }
+        let b = BinnedDataset::from_dataset(&ds);
+        // One value bin + the absent bin; every record in bin 0.
+        assert_eq!(b.field_bins(0), 2);
+        for r in 0..100 {
+            assert_eq!(b.bin(r, 0), 0);
+        }
+    }
+
+    #[test]
+    fn all_missing_column_routes_to_absent_bin() {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("gone", 8),
+            FieldSchema::numeric_with_bins("x", 8),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..50 {
+            ds.push_record(&[RawValue::Missing, RawValue::Num(i as f32)], 0.0);
+        }
+        let b = BinnedDataset::from_dataset(&ds);
+        // No present values: one (empty) value bin + the absent bin.
+        assert_eq!(b.field_bins(0), 2);
+        let absent = b.binnings()[0].absent_bin();
+        for r in 0..50 {
+            assert_eq!(b.bin(r, 0), absent);
+        }
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_bins_collapses_bins() {
+        let schema = DatasetSchema::new(vec![FieldSchema::numeric_with_bins("tri", 64)]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..300 {
+            ds.push_record(&[RawValue::Num((i % 3) as f32)], 0.0);
+        }
+        let b = BinnedDataset::from_dataset(&ds);
+        // 3 distinct values need at most 3 value bins (+ absent), never
+        // the requested 64.
+        assert!(b.field_bins(0) <= 4, "got {} bins", b.field_bins(0));
+        // Distinct values land in distinct bins, in order.
+        let b0 = b.binnings()[0].bin_of(RawValue::Num(0.0));
+        let b1 = b.binnings()[0].bin_of(RawValue::Num(1.0));
+        let b2 = b.binnings()[0].bin_of(RawValue::Num(2.0));
+        assert!(b0 < b1 && b1 < b2, "bins {b0},{b1},{b2}");
     }
 }

@@ -1,0 +1,168 @@
+//! Deterministic, seeded sampling for stochastic gradient boosting.
+//!
+//! Stochastic GB (Friedman 2002) and the column-subsampling regularizers
+//! popularized by XGBoost draw three kinds of masks per tree:
+//!
+//! * a **row mask** — the Bernoulli subsample of records the tree sees,
+//!   folded into the root partition/gradient pass (Step 1 bins only the
+//!   sampled rows, so every descendant vertex inherits the subsample);
+//! * a **per-tree field mask** (`colsample_bytree`) — the candidate
+//!   fields Step 2 may split on anywhere in the tree;
+//! * a **per-node field mask** (`colsample_bynode`) — a further
+//!   restriction drawn fresh for every vertex admitted to the frontier,
+//!   always a subset of the tree mask.
+//!
+//! All masks come from one [`SampleStream`] — a single seeded generator
+//! owned by the growth engine, *outside* the
+//! [`StepExecutor`](crate::train::StepExecutor). That placement is the
+//! whole design: the executors never observe or advance the stream, so
+//! sequential and parallel training draw identical masks and stay
+//! **bit-identical** under every growth strategy (the invariant
+//! `tests/property_tests.rs` enforces with sampling enabled). Draws are
+//! also *frugal*: a rate of `1.0` consumes no randomness at all, so the
+//! deterministic configuration (`subsample = 1.0`, `colsample_* = 1.0`)
+//! reproduces the exact models trained before sampling existed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One seeded stream of sampling decisions for a whole training run.
+///
+/// Deterministic in its seed: two streams built from the same seed yield
+/// the same masks in the same order, independent of the execution
+/// backend consuming them.
+#[derive(Debug, Clone)]
+pub struct SampleStream {
+    rng: StdRng,
+}
+
+impl SampleStream {
+    /// Build the stream for a training run (seeded from
+    /// [`TrainConfig::seed`](crate::train::TrainConfig::seed)).
+    pub fn new(seed: u64) -> Self {
+        SampleStream { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draw one tree's row subsample: each of the `n` records is kept
+    /// independently with probability `subsample`. A rate `>= 1.0`
+    /// returns every row without consuming randomness. The result is in
+    /// ascending row order (the order Step 1 bins the root).
+    pub fn draw_rows(&mut self, n: usize, subsample: f64) -> Vec<u32> {
+        if subsample < 1.0 {
+            (0..n as u32).filter(|_| self.rng.random_bool(subsample)).collect()
+        } else {
+            (0..n as u32).collect()
+        }
+    }
+
+    /// Draw one tree's field mask: each field is allowed independently
+    /// with probability `colsample`, with at least one field forced on
+    /// (an all-masked tree could never split). A rate `>= 1.0` returns
+    /// `None` (all fields allowed) without consuming randomness.
+    pub fn draw_field_mask(&mut self, num_fields: usize, colsample: f64) -> Option<Vec<bool>> {
+        if colsample >= 1.0 {
+            return None;
+        }
+        let mut mask: Vec<bool> =
+            (0..num_fields).map(|_| self.rng.random_bool(colsample)).collect();
+        if !mask.iter().any(|&m| m) {
+            mask[self.rng.random_range(0..num_fields)] = true;
+        }
+        Some(mask)
+    }
+
+    /// Draw one vertex's field mask: every field allowed by `tree_mask`
+    /// is kept independently with probability `colsample_bynode`, so the
+    /// result is always a subset of the tree mask. If the draw empties
+    /// the mask, one tree-allowed field is forced back on. A rate
+    /// `>= 1.0` must be short-circuited by the caller (reusing the tree
+    /// mask directly); this method always consumes randomness.
+    ///
+    /// # Panics
+    /// Panics if `tree_mask` allows no field at all — a tree mask must
+    /// come from [`SampleStream::draw_field_mask`], which always forces
+    /// at least one field on.
+    pub fn draw_node_mask(
+        &mut self,
+        num_fields: usize,
+        colsample_bynode: f64,
+        tree_mask: Option<&[bool]>,
+    ) -> Vec<bool> {
+        let allowed = |f: usize| tree_mask.is_none_or(|m| m[f]);
+        // One Bernoulli draw per field regardless of the tree mask, so
+        // the stream's draw count depends only on the field count.
+        let mut mask: Vec<bool> =
+            (0..num_fields).map(|f| self.rng.random_bool(colsample_bynode) && allowed(f)).collect();
+        if !mask.iter().any(|&m| m) {
+            let candidates: Vec<usize> = (0..num_fields).filter(|&f| allowed(f)).collect();
+            assert!(!candidates.is_empty(), "tree_mask must allow at least one field");
+            let pick = candidates[self.rng.random_range(0..candidates.len())];
+            mask[pick] = true;
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_in_the_seed() {
+        let mut a = SampleStream::new(42);
+        let mut b = SampleStream::new(42);
+        assert_eq!(a.draw_rows(500, 0.5), b.draw_rows(500, 0.5));
+        assert_eq!(a.draw_field_mask(20, 0.5), b.draw_field_mask(20, 0.5));
+        assert_eq!(a.draw_node_mask(20, 0.5, None), b.draw_node_mask(20, 0.5, None));
+    }
+
+    #[test]
+    fn different_seeds_draw_different_masks() {
+        let a = SampleStream::new(1).draw_rows(500, 0.5);
+        let b = SampleStream::new(2).draw_rows(500, 0.5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_rates_consume_no_randomness() {
+        // After a pair of rate-1.0 calls the stream must be in its
+        // initial state: the next stochastic draw matches a fresh
+        // stream's first draw.
+        let mut touched = SampleStream::new(7);
+        assert_eq!(touched.draw_rows(100, 1.0), (0..100).collect::<Vec<u32>>());
+        assert_eq!(touched.draw_field_mask(10, 1.0), None);
+        let mut fresh = SampleStream::new(7);
+        assert_eq!(touched.draw_rows(100, 0.5), fresh.draw_rows(100, 0.5));
+    }
+
+    #[test]
+    fn row_fraction_tracks_subsample_rate() {
+        let rows = SampleStream::new(3).draw_rows(20_000, 0.3);
+        let frac = rows.len() as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "kept fraction {frac}");
+        // Ascending row order, no duplicates.
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn field_mask_never_empty() {
+        // A very low rate on a single field must still allow that field.
+        for seed in 0..50 {
+            let mask = SampleStream::new(seed).draw_field_mask(1, 0.01).unwrap();
+            assert_eq!(mask, vec![true], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn node_mask_is_subset_of_tree_mask_and_never_empty() {
+        let tree_mask = vec![true, false, true, false, true, false, true, false];
+        for seed in 0..50 {
+            let mut s = SampleStream::new(seed);
+            let node = s.draw_node_mask(8, 0.3, Some(&tree_mask));
+            assert!(node.iter().any(|&m| m), "seed {seed}: empty node mask");
+            for (f, (&n, &t)) in node.iter().zip(&tree_mask).enumerate() {
+                assert!(!n || t, "seed {seed}: field {f} escaped the tree mask");
+            }
+        }
+    }
+}

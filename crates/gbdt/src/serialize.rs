@@ -23,10 +23,15 @@ use crate::schema::{DatasetSchema, FieldKind, FieldSchema};
 use crate::split::SplitRule;
 use crate::tree::{Node, Tree};
 
-/// Format magic.
-const MAGIC: &[u8; 4] = b"BSTR";
-/// Format version.
-const VERSION: u32 = 1;
+/// Format magic (the first four bytes of every serialized model).
+pub const MAGIC: &[u8; 4] = b"BSTR";
+/// Current format version, written at byte offset 4.
+///
+/// Bumping this is a **compatibility event**: the golden-fixture test
+/// (`tests/golden_format.rs`) pins v1 bytes in the repo and will fail
+/// until the old version keeps deserializing (add a versioned read
+/// path, never reinterpret old bytes silently).
+pub const VERSION: u32 = 1;
 
 /// Serialization / deserialization errors.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -382,4 +382,49 @@ mod tests {
         let w = leaf_weight(GradPair::new(-10.0, 4.0), 1.0);
         assert!((w - 2.0).abs() < 1e-12);
     }
+
+    /// Two copies of the separable field: the mask (column subsampling)
+    /// must steer the scan to whichever copy is allowed, and masked-out
+    /// fields must not even be counted as scanned bins.
+    #[test]
+    fn field_mask_restricts_scan_and_bin_counts() {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("a", 16),
+            FieldSchema::numeric_with_bins("b", 16),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..100 {
+            let v = RawValue::Num(i as f32);
+            ds.push_record(&[v, v], if i < 50 { 0.0 } else { 1.0 });
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let grads: Vec<GradPair> =
+            (0..100).map(|i| GradPair::new(if i < 50 { 0.5 } else { -0.5 }, 1.0)).collect();
+        let mut h = NodeHistogram::zeroed(&data);
+        h.bin_records(&data, &(0..100).collect::<Vec<_>>(), &grads);
+        let params = SplitParams::default();
+
+        let (unmasked, all_bins) = find_best_split(&h, data.binnings(), &params, None);
+        let unmasked = unmasked.expect("split exists");
+        for (field, mask) in [(0u32, [true, false]), (1u32, [false, true])] {
+            let (s, bins) = find_best_split(&h, data.binnings(), &params, Some(&mask));
+            let s = s.expect("masked split exists");
+            assert_eq!(s.field, field);
+            // Identical data in both fields: the gain must match the
+            // unmasked winner exactly.
+            assert_eq!(s.gain.to_bits(), unmasked.gain.to_bits());
+            assert!(bins < all_bins, "masked scan {bins} vs full {all_bins}");
+        }
+    }
+
+    #[test]
+    fn all_false_mask_yields_no_split() {
+        let (data, grads) = separable_numeric();
+        let mut h = NodeHistogram::zeroed(&data);
+        h.bin_records(&data, &(0..100).collect::<Vec<_>>(), &grads);
+        let (split, bins) =
+            find_best_split(&h, data.binnings(), &SplitParams::default(), Some(&[false]));
+        assert!(split.is_none());
+        assert_eq!(bins, 0);
+    }
 }

@@ -27,8 +27,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::columnar::ColumnarMirror;
 use crate::gradients::{GradPair, Loss};
-use crate::grow::{grow_forest, GrowthStrategy};
+use crate::grow::{grow_forest, grow_forest_with_eval, GrowthStrategy};
 use crate::histogram::NodeHistogram;
+use crate::metrics::EvalMetric;
 use crate::partition::partition_rows;
 use crate::phases::PhaseLog;
 use crate::predict::Model;
@@ -150,8 +151,18 @@ pub struct TrainConfig {
     /// Fraction of fields considered for splits per tree (1.0 disables
     /// column sampling).
     pub colsample_bytree: f64,
+    /// Fraction of the tree's fields re-drawn for every vertex (1.0
+    /// disables per-node column sampling). Applied on top of
+    /// `colsample_bytree`: each vertex's candidate set is a fresh subset
+    /// of the tree's mask.
+    pub colsample_bynode: f64,
     /// Seed for the sampling RNG (training is deterministic in it).
     pub seed: u64,
+    /// Validation-driven early stopping. Requires an evaluation set
+    /// ([`EvalSet`]): training stops once the eval metric has not
+    /// improved for `patience` trees and the model is truncated back to
+    /// its best iteration.
+    pub early_stopping: Option<EarlyStopping>,
     /// Tree-growth order: vertex-wise (default), level-wise, or
     /// best-first leaf-wise under a leaf budget.
     pub growth: GrowthStrategy,
@@ -169,9 +180,62 @@ impl Default for TrainConfig {
             min_loss_decrease: None,
             subsample: 1.0,
             colsample_bytree: 1.0,
+            colsample_bynode: 1.0,
             seed: 0,
+            early_stopping: None,
             growth: GrowthStrategy::VertexWise,
         }
+    }
+}
+
+/// Validation-driven early stopping: after each tree the held-out
+/// [`EvalSet`] is scored with `metric`; once `patience` consecutive
+/// trees fail to improve the best value by more than `min_delta`,
+/// training stops and the model is truncated to its best iteration
+/// (recorded in [`TrainReport::best_iteration`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EarlyStopping {
+    /// Metric tracked on the evaluation set.
+    pub metric: EvalMetric,
+    /// Trees without improvement tolerated before stopping (≥ 1).
+    pub patience: usize,
+    /// Minimum improvement that resets the patience counter (≥ 0).
+    pub min_delta: f64,
+}
+
+impl Default for EarlyStopping {
+    fn default() -> Self {
+        EarlyStopping { metric: EvalMetric::Loss, patience: 10, min_delta: 0.0 }
+    }
+}
+
+/// A held-out evaluation set for the early-stopping pipeline.
+///
+/// The wrapped dataset must be binned with the **training binnings**
+/// (tree predicates reference training bin indices) — use
+/// [`BinnedDataset::from_dataset_with_binnings`](crate::preprocess::BinnedDataset::from_dataset_with_binnings)
+/// or a joint-binning split helper such as
+/// `booster_datagen::generate_binned_split`. Schema arity is checked
+/// against the training set when training starts.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalSet<'a> {
+    data: &'a BinnedDataset,
+}
+
+impl<'a> EvalSet<'a> {
+    /// Wrap a binned evaluation set.
+    ///
+    /// # Panics
+    /// Panics if the set is empty (an empty set can never rank
+    /// iterations).
+    pub fn new(data: &'a BinnedDataset) -> Self {
+        assert!(data.num_records() > 0, "evaluation set must not be empty");
+        EvalSet { data }
+    }
+
+    /// The wrapped dataset.
+    pub fn data(&self) -> &'a BinnedDataset {
+        self.data
     }
 }
 
@@ -231,6 +295,23 @@ impl TrainConfig {
                 "colsample_bytree",
                 format!("must be in (0, 1], got {}", self.colsample_bytree),
             );
+        }
+        if !(self.colsample_bynode > 0.0 && self.colsample_bynode <= 1.0) {
+            return err(
+                "colsample_bynode",
+                format!("must be in (0, 1], got {}", self.colsample_bynode),
+            );
+        }
+        if let Some(es) = &self.early_stopping {
+            if es.patience == 0 {
+                return err("early_stopping.patience", "must be at least 1".into());
+            }
+            if !(es.min_delta.is_finite() && es.min_delta >= 0.0) {
+                return err(
+                    "early_stopping.min_delta",
+                    format!("must be finite and non-negative, got {}", es.min_delta),
+                );
+            }
         }
         if !(self.split.lambda.is_finite() && self.split.lambda >= 0.0) {
             return err(
@@ -331,6 +412,13 @@ pub struct TrainReport {
     pub phase_log: Option<PhaseLog>,
     /// Mean training loss after each tree.
     pub loss_history: Vec<f64>,
+    /// Per-tree evaluation metric on the held-out set (present iff an
+    /// [`EvalSet`] was provided; one entry per tree actually trained).
+    pub eval_history: Option<Vec<f64>>,
+    /// Tree count of the best model under the eval metric (present iff
+    /// an [`EvalSet`] was provided). With early stopping enabled the
+    /// returned model is truncated to exactly this many trees.
+    pub best_iteration: Option<usize>,
 }
 
 /// Train a model sequentially on a binned dataset with its columnar
@@ -347,6 +435,12 @@ pub fn train(
 /// eval loss has not improved for `patience` consecutive trees, and trim
 /// the model back to its best iteration. Returns the model, the report,
 /// and the per-tree eval-loss history.
+///
+/// Compatibility wrapper over the engine's eval pipeline
+/// ([`crate::grow::grow_forest_with_eval`]) with the default
+/// [`EvalMetric::Loss`] and `min_delta = 0`; configure
+/// [`TrainConfig::early_stopping`] directly for other metrics or the
+/// parallel backend.
 pub fn train_with_eval(
     data: &BinnedDataset,
     columnar: &ColumnarMirror,
@@ -354,34 +448,14 @@ pub fn train_with_eval(
     eval: &BinnedDataset,
     patience: usize,
 ) -> (Model, TrainReport, Vec<f64>) {
-    assert!(patience > 0, "patience must be positive");
-    assert_eq!(eval.num_fields(), data.num_fields(), "eval set schema must match training schema");
-    // Train fully, then trim: trees are independent given earlier ones,
-    // so evaluating incrementally after the fact is equivalent and keeps
-    // one training path.
-    let (model, report) = train_with(data, columnar, cfg, &SequentialExec);
-    let n_eval = eval.num_records();
-    let mut margins = vec![model.base_score; n_eval];
-    let mut eval_history = Vec::with_capacity(model.num_trees());
-    let mut best = (0usize, f64::INFINITY);
-    for (t, tree) in model.trees.iter().enumerate() {
-        let mut total = 0.0;
-        for (r, m) in margins.iter_mut().enumerate() {
-            *m += tree.traverse_binned(eval, r).0;
-            total += cfg.loss.value(*m, f64::from(eval.labels()[r]));
-        }
-        let mean = total / n_eval.max(1) as f64;
-        eval_history.push(mean);
-        if mean < best.1 {
-            best = (t + 1, mean);
-        }
-        if t + 1 - best.0 >= patience {
-            break;
-        }
-    }
-    let mut trimmed = model;
-    trimmed.trees.truncate(best.0.max(1));
-    (trimmed, report, eval_history)
+    let cfg = TrainConfig {
+        early_stopping: Some(EarlyStopping { metric: EvalMetric::Loss, patience, min_delta: 0.0 }),
+        ..cfg.clone()
+    };
+    let (model, report) =
+        grow_forest_with_eval(data, columnar, &cfg, &SequentialExec, Some(&EvalSet::new(eval)));
+    let history = report.eval_history.clone().expect("eval set provided");
+    (model, report, history)
 }
 
 /// Train a model with an explicit execution backend. Compatibility
@@ -670,6 +744,32 @@ mod tests {
             (TrainConfig { subsample: 0.0, ..Default::default() }, "subsample"),
             (TrainConfig { subsample: 1.5, ..Default::default() }, "subsample"),
             (TrainConfig { colsample_bytree: -0.1, ..Default::default() }, "colsample_bytree"),
+            (TrainConfig { colsample_bynode: 0.0, ..Default::default() }, "colsample_bynode"),
+            (TrainConfig { colsample_bynode: 2.0, ..Default::default() }, "colsample_bynode"),
+            (
+                TrainConfig {
+                    early_stopping: Some(EarlyStopping { patience: 0, ..Default::default() }),
+                    ..Default::default()
+                },
+                "early_stopping.patience",
+            ),
+            (
+                TrainConfig {
+                    early_stopping: Some(EarlyStopping {
+                        min_delta: f64::NAN,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+                "early_stopping.min_delta",
+            ),
+            (
+                TrainConfig {
+                    early_stopping: Some(EarlyStopping { min_delta: -0.5, ..Default::default() }),
+                    ..Default::default()
+                },
+                "early_stopping.min_delta",
+            ),
             (
                 TrainConfig {
                     split: SplitParams { lambda: -1.0, ..Default::default() },
@@ -717,6 +817,194 @@ mod tests {
         let (data, mirror) = xor_like_dataset(50);
         let cfg = TrainConfig { num_trees: 0, ..Default::default() };
         let _ = train(&data, &mirror, &cfg);
+    }
+
+    /// A second xor-like table drawn from a different seed region with
+    /// label noise: eval loss bottoms out before training loss does.
+    fn noisy_eval_like(data: &BinnedDataset, n: usize, noise: f64) -> BinnedDataset {
+        let schema = data.schema().clone();
+        let mut ds = Dataset::new(schema);
+        let mut state = 0xDEADBEEFu64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        for _ in 0..n {
+            let a = rng();
+            let b = rng();
+            let mut y = (a >= 0.5) ^ (b >= 0.5);
+            if f64::from(rng()) < noise {
+                y = !y;
+            }
+            ds.push_record(&[RawValue::Num(a), RawValue::Num(b)], y as u8 as f32);
+        }
+        crate::preprocess::BinnedDataset::from_dataset_with_binnings(&ds, data.binnings().to_vec())
+    }
+
+    #[test]
+    fn colsample_bynode_is_deterministic_and_changes_the_model() {
+        let (data, mirror) = xor_like_dataset(2000);
+        let base = TrainConfig { num_trees: 15, max_depth: 3, seed: 4, ..Default::default() };
+        let bynode = TrainConfig { colsample_bynode: 0.5, ..base.clone() };
+        let (m1, _) = train(&data, &mirror, &bynode);
+        let (m2, _) = train(&data, &mirror, &bynode);
+        assert_eq!(m1.trees, m2.trees, "deterministic in the seed");
+        // Restricting per-node candidates must alter at least one split
+        // relative to the unsampled model.
+        let (full, _) = train(&data, &mirror, &base);
+        assert_ne!(m1.trees, full.trees);
+    }
+
+    #[test]
+    fn engine_eval_pipeline_stops_early_and_truncates() {
+        use crate::grow::grow_forest_with_eval;
+        let (data, mirror) = xor_like_dataset(3000);
+        let eval = noisy_eval_like(&data, 1500, 0.15);
+        let cfg = TrainConfig {
+            num_trees: 120,
+            max_depth: 4,
+            learning_rate: 0.4,
+            loss: Loss::Logistic,
+            early_stopping: Some(EarlyStopping {
+                metric: EvalMetric::Loss,
+                patience: 8,
+                min_delta: 0.0,
+            }),
+            ..Default::default()
+        };
+        let (model, report) = grow_forest_with_eval(
+            &data,
+            &mirror,
+            &cfg,
+            &SequentialExec,
+            Some(&EvalSet::new(&eval)),
+        );
+        let history = report.eval_history.expect("eval history recorded");
+        let best = report.best_iteration.expect("best iteration recorded");
+        assert!(history.len() < 120, "patience must stop training ({} trees)", history.len());
+        assert_eq!(model.num_trees(), best, "model truncated to its best iteration");
+        // best is the argmin of the history (first occurrence).
+        let argmin =
+            history.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0 + 1;
+        assert_eq!(best, argmin);
+        // Exactly `patience` non-improving trees after the best one.
+        assert_eq!(history.len(), best + 8);
+        // loss_history covers every tree actually trained.
+        assert_eq!(report.loss_history.len(), history.len());
+    }
+
+    #[test]
+    fn early_stopped_model_is_a_bit_exact_prefix_of_the_full_run() {
+        use crate::grow::grow_forest_with_eval;
+        let (data, mirror) = xor_like_dataset(2000);
+        let eval = noisy_eval_like(&data, 800, 0.2);
+        let base = TrainConfig {
+            num_trees: 60,
+            max_depth: 3,
+            learning_rate: 0.5,
+            loss: Loss::Logistic,
+            subsample: 0.8,
+            colsample_bynode: 0.8,
+            seed: 12,
+            ..Default::default()
+        };
+        let es_cfg = TrainConfig {
+            early_stopping: Some(EarlyStopping { patience: 5, ..Default::default() }),
+            ..base.clone()
+        };
+        let (full, _) = train(&data, &mirror, &base);
+        let (stopped, report) = grow_forest_with_eval(
+            &data,
+            &mirror,
+            &es_cfg,
+            &SequentialExec,
+            Some(&EvalSet::new(&eval)),
+        );
+        // Early stopping only truncates: the surviving trees are the
+        // exact trees the unstopped run grew (sampling streams are
+        // independent of evaluation).
+        assert!(stopped.num_trees() < full.num_trees());
+        assert_eq!(stopped.trees[..], full.trees[..stopped.num_trees()]);
+        assert_eq!(report.best_iteration, Some(stopped.num_trees()));
+    }
+
+    #[test]
+    fn eval_without_early_stopping_records_history_without_truncating() {
+        use crate::grow::grow_forest_with_eval;
+        let (data, mirror) = xor_like_dataset(1500);
+        let eval = noisy_eval_like(&data, 600, 0.1);
+        let cfg = TrainConfig { num_trees: 12, max_depth: 3, ..Default::default() };
+        let (model, report) = grow_forest_with_eval(
+            &data,
+            &mirror,
+            &cfg,
+            &SequentialExec,
+            Some(&EvalSet::new(&eval)),
+        );
+        assert_eq!(model.num_trees(), 12, "no truncation without early stopping");
+        assert_eq!(report.eval_history.as_deref().map(<[f64]>::len), Some(12));
+        assert!(report.best_iteration.unwrap() <= 12);
+    }
+
+    #[test]
+    fn auc_early_stopping_tracks_the_higher_is_better_direction() {
+        use crate::grow::grow_forest_with_eval;
+        let (data, mirror) = xor_like_dataset(2500);
+        let eval = noisy_eval_like(&data, 1000, 0.2);
+        let cfg = TrainConfig {
+            num_trees: 80,
+            max_depth: 4,
+            learning_rate: 0.5,
+            loss: Loss::Logistic,
+            early_stopping: Some(EarlyStopping {
+                metric: EvalMetric::Auc,
+                patience: 6,
+                min_delta: 0.0,
+            }),
+            ..Default::default()
+        };
+        let (model, report) = grow_forest_with_eval(
+            &data,
+            &mirror,
+            &cfg,
+            &SequentialExec,
+            Some(&EvalSet::new(&eval)),
+        );
+        let history = report.eval_history.unwrap();
+        let best = report.best_iteration.unwrap();
+        assert_eq!(model.num_trees(), best);
+        // best is the argmax (first occurrence) under AUC.
+        let argmax = history
+            .iter()
+            .enumerate()
+            .rev()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert_eq!(best, argmax);
+        assert!(history.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "early_stopping requires an evaluation set")]
+    fn early_stopping_without_eval_set_is_rejected() {
+        let (data, mirror) = xor_like_dataset(200);
+        let cfg = TrainConfig {
+            num_trees: 5,
+            early_stopping: Some(EarlyStopping::default()),
+            ..Default::default()
+        };
+        let _ = train(&data, &mirror, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_eval_set_is_rejected() {
+        let schema = DatasetSchema::new(vec![FieldSchema::numeric_with_bins("x", 4)]);
+        let ds = Dataset::new(schema);
+        let empty = BinnedDataset::from_dataset(&ds);
+        let _ = EvalSet::new(&empty);
     }
 
     #[test]

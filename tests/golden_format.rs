@@ -1,0 +1,159 @@
+//! Golden-format regression tests for the serialized-model wire format.
+//!
+//! `tests/fixtures/model_v1.bstr` is a committed version-1 artifact of a
+//! hand-built canonical model (no training involved, so the bytes are a
+//! pure function of the serializer). Two guarantees are pinned:
+//!
+//! 1. **Writer stability** — serializing the canonical model today must
+//!    reproduce the committed bytes exactly. Any encoding change shows
+//!    up as a byte diff here before it silently breaks deployed models.
+//! 2. **Reader compatibility** — the committed v1 bytes must keep
+//!    deserializing (and predicting identically) as the format evolves.
+//!    When `serialize::VERSION` is bumped, the old version needs a
+//!    versioned read path; this file is the tripwire.
+//!
+//! Regenerating the fixture (only after an *intentional* format change,
+//! alongside a new `model_vN.bstr`):
+//! `cargo test --test golden_format -- --ignored bless`
+
+use std::path::PathBuf;
+
+use booster_repro::gbdt::binning::BinBoundaries;
+use booster_repro::gbdt::dataset::RawValue;
+use booster_repro::gbdt::gradients::Loss;
+use booster_repro::gbdt::predict::Model;
+use booster_repro::gbdt::preprocess::FieldBinning;
+use booster_repro::gbdt::schema::{DatasetSchema, FieldSchema};
+use booster_repro::gbdt::serialize::{model_from_bytes, model_to_bytes, MAGIC, VERSION};
+use booster_repro::gbdt::split::SplitRule;
+use booster_repro::gbdt::tree::{Node, Tree};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_v1.bstr")
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    std::fs::read(fixture_path()).expect(
+        "tests/fixtures/model_v1.bstr missing — regenerate with \
+         `cargo test --test golden_format -- --ignored bless`",
+    )
+}
+
+/// The canonical model: hand-built trees over one numeric and one
+/// categorical field, exercising every node encoding the format has
+/// (numeric split, categorical split, both default directions, leaves
+/// with non-trivial f64 weights, a single-leaf tree).
+fn canonical_model() -> Model {
+    let schema = DatasetSchema::new(vec![
+        FieldSchema::numeric_with_bins("x", 8),
+        FieldSchema::categorical("c", 3),
+    ]);
+    let binnings = vec![
+        FieldBinning::Numeric(
+            BinBoundaries::from_uppers(vec![1.5, 3.0, 10.0]).expect("increasing"),
+        ),
+        FieldBinning::Categorical { categories: 3 },
+    ];
+    let t0 = Tree::new(vec![
+        Node::Internal {
+            field: 0,
+            rule: SplitRule::Numeric { threshold_bin: 1 },
+            default_left: false,
+            left: 1,
+            right: 2,
+        },
+        Node::Leaf { weight: 0.125 },
+        Node::Internal {
+            field: 1,
+            rule: SplitRule::Categorical { category: 1 },
+            default_left: true,
+            left: 3,
+            right: 4,
+        },
+        Node::Leaf { weight: -0.5 },
+        Node::Leaf { weight: 0.6789 },
+    ]);
+    let t1 = Tree::new(vec![Node::Leaf { weight: 0.0625 }]);
+    Model { trees: vec![t0, t1], base_score: 0.25, loss: Loss::Logistic, schema, binnings }
+}
+
+/// Records covering every routing path: both numeric sides, the
+/// categorical yes/no sides, and missing values in both fields.
+fn probe_records() -> Vec<[RawValue; 2]> {
+    vec![
+        [RawValue::Num(0.5), RawValue::Cat(0)],
+        [RawValue::Num(2.0), RawValue::Cat(1)],
+        [RawValue::Num(50.0), RawValue::Cat(2)],
+        [RawValue::Missing, RawValue::Cat(1)],
+        [RawValue::Num(5.0), RawValue::Missing],
+        [RawValue::Missing, RawValue::Missing],
+    ]
+}
+
+#[test]
+fn current_serializer_reproduces_v1_fixture_bit_exactly() {
+    let bytes = model_to_bytes(&canonical_model());
+    assert_eq!(
+        &bytes[..],
+        &fixture_bytes()[..],
+        "serializer output diverged from the committed v1 fixture — if the format change is \
+         intentional, bump serialize::VERSION, keep a v1 read path, and bless a new fixture"
+    );
+}
+
+#[test]
+fn v1_fixture_still_deserializes_as_the_format_evolves() {
+    let restored = model_from_bytes(&fixture_bytes()).expect("v1 bytes must keep parsing");
+    let expect = canonical_model();
+    assert_eq!(restored.trees, expect.trees);
+    assert_eq!(restored.base_score.to_bits(), expect.base_score.to_bits());
+    assert_eq!(restored.loss, expect.loss);
+    for (i, rec) in probe_records().iter().enumerate() {
+        assert_eq!(
+            restored.predict_raw(rec).to_bits(),
+            expect.predict_raw(rec).to_bits(),
+            "probe record {i}"
+        );
+    }
+}
+
+#[test]
+fn fixture_header_pins_magic_and_version() {
+    let bytes = fixture_bytes();
+    assert_eq!(&bytes[..4], MAGIC, "fixture magic");
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    assert_eq!(version, 1, "the committed fixture is a version-1 artifact");
+    // When VERSION moves past 1 this assertion must be *replaced* (not
+    // deleted) by a check that v1 still deserializes via a compat path.
+    assert_eq!(VERSION, 1, "VERSION bumped: add a v1 read path and a model_v{VERSION} fixture");
+}
+
+#[test]
+fn v1_fixture_survives_the_flat_ensemble_lowering() {
+    use booster_repro::gbdt::infer::FlatEnsemble;
+    let restored = model_from_bytes(&fixture_bytes()).unwrap();
+    let flat = FlatEnsemble::from_model(&restored).expect("tiny trees lower");
+    assert_eq!(flat.num_trees(), 2);
+    // The per-record flat walk agrees with the node walk on the probes.
+    let expect = canonical_model();
+    let mut predictor =
+        booster_repro::gbdt::infer::Predictor::from_model(&restored).expect("lowering");
+    for (i, rec) in probe_records().iter().enumerate() {
+        assert_eq!(
+            predictor.predict_one(rec).to_bits(),
+            expect.predict_raw(rec).to_bits(),
+            "probe record {i}"
+        );
+    }
+}
+
+/// Regenerate the fixture. Ignored so it never runs in CI; invoke
+/// explicitly after an intentional format change.
+#[test]
+#[ignore = "writes tests/fixtures/model_v1.bstr; run only to bless a new fixture"]
+fn bless() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, model_to_bytes(&canonical_model())).unwrap();
+    println!("wrote {}", path.display());
+}

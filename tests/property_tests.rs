@@ -387,6 +387,95 @@ proptest! {
     }
 }
 
+// --------------------------------------------- stochastic-training identity
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The bit-identity guarantee must survive the stochastic paths:
+    /// with row subsampling and per-tree + per-node column sampling all
+    /// enabled, every growth strategy still produces **bit-identical**
+    /// models *and loss histories* on the sequential and parallel
+    /// backends — the masks come from one seeded stream owned by the
+    /// engine, never by an executor.
+    #[test]
+    fn stochastic_training_is_bit_identical_across_executors(
+        (data, grads, _) in arb_dataset_and_grads(),
+        seed in any::<u64>(),
+    ) {
+        use booster_repro::gbdt::grow::GrowthStrategy;
+        use booster_repro::gbdt::parallel::ParallelExec;
+        use booster_repro::gbdt::train::{train_with, SequentialExec, TrainConfig};
+        let _ = grads;
+        let (data, mirror) = relabel(&data);
+        for growth in [
+            GrowthStrategy::VertexWise,
+            GrowthStrategy::LevelWise,
+            GrowthStrategy::LeafWise { max_leaves: 6 },
+        ] {
+            let cfg = TrainConfig {
+                num_trees: 3,
+                max_depth: 3,
+                subsample: 0.6,
+                colsample_bytree: 0.7,
+                colsample_bynode: 0.7,
+                seed,
+                growth,
+                ..Default::default()
+            };
+            let (ms, rs) = train_with(&data, &mirror, &cfg, &SequentialExec);
+            // A tiny chunk size forces the parallel paths even on these
+            // small generated datasets.
+            let (mp, rp) = train_with(&data, &mirror, &cfg, &ParallelExec { chunk_size: 8 });
+            prop_assert_eq!(&ms.trees, &mp.trees, "growth {:?} seed {}", growth, seed);
+            prop_assert_eq!(rs.loss_history.len(), rp.loss_history.len());
+            for (t, (a, b)) in rs.loss_history.iter().zip(&rp.loss_history).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "loss history diverged: growth {:?}, seed {}, tree {}", growth, seed, t
+                );
+            }
+        }
+    }
+
+    /// The eval pipeline rides on the same invariant: identical eval
+    /// histories and best iterations across backends, sampling enabled.
+    #[test]
+    fn eval_pipeline_is_bit_identical_across_executors(
+        (data, grads, _) in arb_dataset_and_grads(),
+        seed in any::<u64>(),
+    ) {
+        use booster_repro::gbdt::grow::grow_forest_with_eval;
+        use booster_repro::gbdt::parallel::ParallelExec;
+        use booster_repro::gbdt::train::{EarlyStopping, EvalSet, SequentialExec, TrainConfig};
+        let _ = grads;
+        let (data, mirror) = relabel(&data);
+        let cfg = TrainConfig {
+            num_trees: 4,
+            max_depth: 3,
+            subsample: 0.7,
+            colsample_bytree: 0.8,
+            seed,
+            early_stopping: Some(EarlyStopping { patience: 2, ..Default::default() }),
+            ..Default::default()
+        };
+        // Self-evaluation is enough here: the point is backend identity,
+        // not generalization.
+        let eval = EvalSet::new(&data);
+        let (ms, rs) = grow_forest_with_eval(&data, &mirror, &cfg, &SequentialExec, Some(&eval));
+        let (mp, rp) = grow_forest_with_eval(
+            &data, &mirror, &cfg, &ParallelExec { chunk_size: 8 }, Some(&eval),
+        );
+        prop_assert_eq!(&ms.trees, &mp.trees);
+        prop_assert_eq!(rs.best_iteration, rp.best_iteration);
+        let (hs, hp) = (rs.eval_history.unwrap(), rp.eval_history.unwrap());
+        prop_assert_eq!(hs.len(), hp.len());
+        for (a, b) in hs.iter().zip(&hp) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
 // ------------------------------------------------- flat-ensemble inference
 
 proptest! {
@@ -454,6 +543,45 @@ proptest! {
                 restored.predict_binned(&data, r).to_bits(),
                 model.predict_binned(&data, r).to_bits()
             );
+        }
+    }
+
+    /// serialize → deserialize → flat-ensemble lowering: a restored
+    /// model's [`FlatEnsemble`] must score **bit-identically** to the
+    /// original in-memory model, for every growth strategy and every
+    /// execution mode — the wire format preserves exactly what the
+    /// batch engine consumes (closing the serialize ↔ infer coverage
+    /// gap).
+    #[test]
+    fn deserialized_models_lower_to_bit_identical_flat_ensembles(
+        (data, grads, _) in arb_dataset_and_grads()
+    ) {
+        use booster_repro::gbdt::grow::GrowthStrategy;
+        use booster_repro::gbdt::infer::{ExecMode, FlatEnsemble};
+        use booster_repro::gbdt::serialize::{model_from_bytes, model_to_bytes};
+        use booster_repro::gbdt::train::{train_with, SequentialExec, TrainConfig};
+        let _ = grads;
+        let (data, mirror) = relabel(&data);
+        for growth in [
+            GrowthStrategy::VertexWise,
+            GrowthStrategy::LevelWise,
+            GrowthStrategy::LeafWise { max_leaves: 6 },
+        ] {
+            let cfg = TrainConfig { num_trees: 3, max_depth: 3, growth, ..Default::default() };
+            let (model, _) = train_with(&data, &mirror, &cfg, &SequentialExec);
+            let restored =
+                model_from_bytes(&model_to_bytes(&model)).expect("roundtrip");
+            let flat = FlatEnsemble::from_model(&restored).expect("depth-3 trees lower");
+            let expect = model.predict_batch(&data);
+            for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+                let got = flat.predict_batch(&data, mode);
+                for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "growth {:?}, mode {:?}, record {}", growth, mode, r
+                    );
+                }
+            }
         }
     }
 }

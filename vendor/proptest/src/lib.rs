@@ -9,10 +9,14 @@
 //! 1. **No shrinking.** A failing case panics with its case index; rerun
 //!    with the same build to reproduce (generation is deterministic).
 //! 2. **Deterministic by construction.** Each test's RNG stream is a pure
-//!    function of the test name and case index — no OS entropy, no
+//!    function of the test name, the case index, and the optional
+//!    `PROPTEST_SEED` environment variable — no OS entropy, no
 //!    persistence files — so `cargo test` is bit-reproducible, which the
 //!    repo's CI gate requires. `PROPTEST_CASES` caps case counts
-//!    globally for quick local runs.
+//!    globally for quick local runs; setting `PROPTEST_SEED=<u64>`
+//!    re-derives every test's stream from a different base (the CI
+//!    second-seed job uses this to widen coverage across runs without
+//!    sacrificing reproducibility — any failure names its seed).
 
 use rand::rngs::StdRng;
 
@@ -302,22 +306,50 @@ pub mod test_runner {
     }
 
     /// Drives one property: owns the config and derives each case's RNG
-    /// deterministically from the test name and case index.
+    /// deterministically from the test name, the case index, and the
+    /// optional `PROPTEST_SEED` base seed.
     pub struct TestRunner {
         config: ProptestConfig,
         name_seed: u64,
     }
 
     impl TestRunner {
-        /// Build a runner for the named test.
+        /// Build a runner for the named test, mixing in `PROPTEST_SEED`
+        /// from the environment (default 0 — the historical streams).
+        ///
+        /// # Panics
+        /// Panics on a `PROPTEST_SEED` value that is not a decimal
+        /// `u64`: a typo'd override must not silently rerun the
+        /// seed-0 streams while claiming second-seed coverage.
         pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let base = match std::env::var("PROPTEST_SEED") {
+                Ok(v) => v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a decimal u64, got {v:?}")),
+                Err(_) => 0,
+            };
+            Self::with_seed(config, name, base)
+        }
+
+        /// Build a runner with an explicit base seed (what `new` reads
+        /// from `PROPTEST_SEED`). Exposed so seed handling is testable
+        /// without mutating process-global environment state.
+        pub fn with_seed(config: ProptestConfig, name: &str, base_seed: u64) -> Self {
             // FNV-1a over the test name: stable across runs and builds.
             let mut h = 0xcbf2_9ce4_8422_2325u64;
             for b in name.bytes() {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
-            TestRunner { config, name_seed: h }
+            // Finalize the base seed through SplitMix64-style mixing so
+            // consecutive seeds produce unrelated streams.
+            let mut z = base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            // base 0 keeps the historical streams bit-for-bit.
+            let mix = if base_seed == 0 { 0 } else { z ^ (z >> 31) };
+            TestRunner { config, name_seed: h ^ mix }
         }
 
         /// Effective case count (`PROPTEST_CASES` env var caps it).
@@ -445,5 +477,28 @@ mod tests {
         let a: Vec<u64> = s.generate(&mut r.rng_for(3));
         let b: Vec<u64> = s.generate(&mut r.rng_for(3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn base_seed_shifts_every_stream_reproducibly() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let s = prop::collection::vec(0u64..1_000_000, 10..=10);
+        let cfg = ProptestConfig::default();
+        // Seed 0 is the historical stream (same as the env-free default).
+        let r0 = TestRunner::with_seed(cfg, "seedtest", 0);
+        let a: Vec<u64> = s.generate(&mut r0.rng_for(0));
+        if std::env::var("PROPTEST_SEED").is_err() {
+            let r0b = TestRunner::new(cfg, "seedtest");
+            let b: Vec<u64> = s.generate(&mut r0b.rng_for(0));
+            assert_eq!(a, b, "PROPTEST_SEED unset must equal seed 0");
+        }
+        // A different base seed re-derives a different but reproducible
+        // stream for the same test and case.
+        let r1 = TestRunner::with_seed(cfg, "seedtest", 1);
+        let c: Vec<u64> = s.generate(&mut r1.rng_for(0));
+        let d: Vec<u64> = s.generate(&mut TestRunner::with_seed(cfg, "seedtest", 1).rng_for(0));
+        assert_ne!(a, c, "seed 1 must shift the stream");
+        assert_eq!(c, d, "seed 1 must be reproducible");
     }
 }
