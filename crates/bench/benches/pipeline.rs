@@ -2,8 +2,9 @@
 //! training throughput, the growth-mode × executor matrix of the unified
 //! engine, stochastic-sampling variants plus the eval-pipeline overhead,
 //! batch inference (per-record node walk vs the flat-ensemble blocked
-//! engine and its parallel modes), and the end-to-end timing-model
-//! evaluation used by the figure harnesses.
+//! engine and its parallel modes), the serving layer's per-request
+//! scheduler overhead, and the end-to-end timing-model evaluation used
+//! by the figure harnesses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -151,6 +152,56 @@ fn bench_inference(c: &mut Criterion) {
     g.finish();
 }
 
+/// Online serving overhead: one closed-loop round trip through the
+/// micro-batching scheduler (submit → coalesce → shard worker → respond)
+/// against direct in-thread `Predictor` scoring of the same record —
+/// the price of the serving layer per request at batch size 1.
+fn bench_serving(c: &mut Criterion) {
+    use booster_gbdt::dataset::RawValue;
+    use booster_gbdt::infer::Predictor;
+    use booster_serve::{BatchPolicy, ModelRegistry, ResponseSlot, ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let ds = booster_datagen::generate(Benchmark::Higgs, 10_000, 3);
+    let data = booster_gbdt::preprocess::BinnedDataset::from_dataset(&ds);
+    let mirror = booster_gbdt::columnar::ColumnarMirror::from_binned(&data);
+    let cfg = TrainConfig {
+        num_trees: 20,
+        max_depth: 6,
+        loss: default_loss(Benchmark::Higgs),
+        ..Default::default()
+    };
+    let (model, _) = train(&data, &mirror, &cfg);
+    let record: Arc<[RawValue]> =
+        (0..ds.num_fields()).map(|f| ds.value(17, f)).collect::<Vec<_>>().into();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(&model).expect("register");
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            policy: BatchPolicy { max_batch: 16, max_delay: Duration::ZERO },
+            ..Default::default()
+        },
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    let slot = ResponseSlot::new();
+    let mut predictor = Predictor::from_model(&model).expect("lowering");
+
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    g.bench_function("scheduler_round_trip", |b| {
+        b.iter(|| black_box(handle.score_with(&slot, Arc::clone(&record), None).expect("scored")))
+    });
+    g.bench_function("predictor_direct", |b| {
+        b.iter(|| black_box(predictor.predict_one(black_box(&record))))
+    });
+    g.finish();
+    server.shutdown();
+}
+
 fn bench_timing_model(c: &mut Criterion) {
     let (data, mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
     let cfg =
@@ -177,6 +228,7 @@ criterion_group!(
     bench_growth_modes,
     bench_stochastic,
     bench_inference,
+    bench_serving,
     bench_timing_model
 );
 criterion_main!(benches);

@@ -71,6 +71,14 @@ pub enum ExecMode {
 /// Built from per-tree [`TreeTable`]s; construction fails (rather than
 /// corrupting child pointers) if any tree exceeds the `u16` index space
 /// — see [`TableLoweringError`].
+///
+/// # Thread safety
+///
+/// A `FlatEnsemble` is immutable after construction — every scoring
+/// entry point takes `&self` and touches only caller-owned buffers — so
+/// it is `Send + Sync` (enforced by a compile-time assertion below) and
+/// one instance behind an `Arc` can be scored from any number of
+/// threads concurrently with no locking.
 #[derive(Debug, Clone)]
 pub struct FlatEnsemble {
     /// All trees' 16-byte table entries, concatenated.
@@ -230,6 +238,11 @@ impl FlatEnsemble {
         self.loss
     }
 
+    /// Field arity the ensemble expects of every record.
+    pub fn num_fields(&self) -> usize {
+        self.num_fields
+    }
+
     /// Tree `t`'s renumbered-field gather list: the original field ids,
     /// in renumbered order, whose single-field columns a BU fetches for
     /// this tree (Section III-B).
@@ -296,19 +309,41 @@ impl FlatEnsemble {
     /// model's own binnings (the same precondition `Model`'s binned
     /// entry points carry).
     pub fn predict_batch(&self, data: &BinnedDataset, mode: ExecMode) -> Vec<f64> {
+        let mut out = vec![0.0; data.num_records()];
+        self.score_into(data, mode, &mut out);
+        out
+    }
+
+    /// Score a binned dataset into a caller-provided buffer —
+    /// [`FlatEnsemble::predict_batch`] without the output allocation, so
+    /// serving workers can reuse one scratch buffer across batches.
+    ///
+    /// `out` is fully overwritten (its prior contents are ignored) and
+    /// must hold exactly one slot per record. `Sequential` and
+    /// `RecordParallel` perform **no heap allocation**; `TreeParallel`
+    /// allocates per-tree scratch for its fan-out (use it for large
+    /// offline batches, not latency-sensitive serving). Results are
+    /// bit-identical to [`Model::predict_batch`] in every mode.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != data.num_records()` or on a field-arity
+    /// mismatch.
+    pub fn score_into(&self, data: &BinnedDataset, mode: ExecMode, out: &mut [f64]) {
         self.check_arity(data);
-        let n = data.num_records();
+        assert_eq!(out.len(), data.num_records(), "output buffer must cover every record");
         match mode {
             ExecMode::Sequential => {
-                let mut margins = vec![self.base_score; n];
-                for (b, chunk) in margins.chunks_mut(BLOCK_RECORDS).enumerate() {
+                out.fill(self.base_score);
+                for (b, chunk) in out.chunks_mut(BLOCK_RECORDS).enumerate() {
                     let r0 = b * BLOCK_RECORDS;
                     self.score_block(data, r0, r0 + chunk.len(), chunk, None);
+                    for m in chunk.iter_mut() {
+                        *m = self.loss.transform(*m);
+                    }
                 }
-                margins.into_iter().map(|m| self.loss.transform(m)).collect()
             }
             ExecMode::RecordParallel => {
-                let mut out = vec![self.base_score; n];
+                out.fill(self.base_score);
                 out.par_chunks_mut(BLOCK_RECORDS)
                     .enumerate()
                     .map(|(b, chunk)| {
@@ -319,9 +354,42 @@ impl FlatEnsemble {
                         }
                     })
                     .for_each();
-                out
             }
-            ExecMode::TreeParallel => self.predict_tree_parallel(data),
+            ExecMode::TreeParallel => self.tree_parallel_into(data, out),
+        }
+    }
+
+    /// Score records presented as a raw row-major bin matrix
+    /// (`bins[r * num_fields + f]`, one bin index per field per record)
+    /// into a caller-provided buffer — the allocation-free entry point
+    /// online serving uses for coalesced micro-batches that never
+    /// materialize a [`BinnedDataset`]. Sequential cache-blocked
+    /// execution, bit-identical to [`Model::predict_batch`] over the
+    /// same rows.
+    ///
+    /// # Panics
+    /// Panics if `bins.len() != out.len() * num_fields`.
+    pub fn score_bins_into(&self, bins: &[u32], out: &mut [f64]) {
+        let nf = self.num_fields;
+        assert_eq!(bins.len(), out.len() * nf, "bin matrix shape must be records x fields");
+        for (b, chunk) in out.chunks_mut(BLOCK_RECORDS).enumerate() {
+            let r0 = b * BLOCK_RECORDS;
+            chunk.fill(self.base_score);
+            for t in 0..self.num_trees() {
+                let span = self.tree_offsets[t]..self.tree_offsets[t + 1];
+                let entries = &self.entries[span.clone()];
+                let fields = &self.entry_fields[span.clone()];
+                let absents = &self.entry_absents[span.clone()];
+                let weights = &self.weights[span];
+                for (i, m) in chunk.iter_mut().enumerate() {
+                    let r = r0 + i;
+                    let (leaf, _) = walk_row(entries, fields, absents, &bins[r * nf..(r + 1) * nf]);
+                    *m += weights[leaf];
+                }
+            }
+            for m in chunk.iter_mut() {
+                *m = self.loss.transform(*m);
+            }
         }
     }
 
@@ -329,9 +397,9 @@ impl FlatEnsemble {
     /// block on its own core into a per-tree weight buffer, then the
     /// combine folds those weights **in tree order** — the same addition
     /// sequence as sequential execution, hence bit-identical.
-    fn predict_tree_parallel(&self, data: &BinnedDataset) -> Vec<f64> {
+    fn tree_parallel_into(&self, data: &BinnedDataset, out: &mut [f64]) {
         let n = data.num_records();
-        let mut out = vec![self.base_score; n];
+        out.fill(self.base_score);
         let mut r0 = 0;
         while r0 < n {
             let r1 = (r0 + TREE_PARALLEL_BLOCK).min(n);
@@ -350,10 +418,9 @@ impl FlatEnsemble {
             }
             r0 = r1;
         }
-        for m in &mut out {
+        for m in out.iter_mut() {
             *m = self.loss.transform(*m);
         }
-        out
     }
 
     /// Batch prediction returning per-record total path length across
@@ -392,11 +459,32 @@ impl FlatEnsemble {
     }
 }
 
+// Compile-time thread-safety contract: the serving layer shares one
+// `Arc<FlatEnsemble>` across scheduler shards and hands `Predictor`s to
+// worker threads, so losing either auto-trait (e.g. by adding an
+// interior-mutable cache or `Rc` field) must fail the build here rather
+// than at a distant use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FlatEnsemble>();
+    assert_send_sync::<Predictor>();
+    assert_send_sync::<Model>();
+    assert_send_sync::<TreeScorer>();
+};
+
 /// Serving-style scorer over raw records: the flat engine plus the
 /// model's binnings, with **no per-call heap allocations** — the absent
 /// bins are precomputed once at construction and the bins scratch
 /// buffer is reused across calls, unlike [`Model::predict_raw`] which
 /// re-discretizes into a fresh vector per record.
+///
+/// # Thread safety
+///
+/// `Predictor` is `Send + Sync` (compile-time asserted above), but its
+/// scoring methods take `&mut self` for the scratch buffer — so share
+/// it by giving each thread its own clone (the flat tables are cheap to
+/// clone relative to per-call allocation, or share one
+/// `Arc<FlatEnsemble>` and keep per-thread scratch separately).
 #[derive(Debug, Clone)]
 pub struct Predictor {
     flat: FlatEnsemble,
@@ -532,6 +620,65 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "mode {mode:?}, record {r}");
             }
         }
+    }
+
+    #[test]
+    fn score_into_matches_predict_batch_bitwise() {
+        let (model, data, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        let expect = model.predict_batch(&data);
+        // Scratch reuse: stale contents must not leak into any mode.
+        let mut out = vec![f64::NAN; data.num_records()];
+        for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+            flat.score_into(&data, mode, &mut out);
+            for (r, (a, b)) in out.iter().zip(&expect).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "mode {mode:?}, record {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_bins_into_matches_predict_batch_bitwise() {
+        let (model, data, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        let expect = model.predict_batch(&data);
+        // Rebuild the row-major bin matrix the serving path would hand in.
+        let n = data.num_records();
+        let mut bins = Vec::with_capacity(n * flat.num_fields());
+        for r in 0..n {
+            bins.extend_from_slice(data.row(r));
+        }
+        let mut out = vec![f64::NAN; n];
+        flat.score_bins_into(&bins, &mut out);
+        for (r, (a, b)) in out.iter().zip(&expect).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "record {r}");
+        }
+        // Sub-batch (fewer rows than one block, serving-sized).
+        let m = 7;
+        let mut small = vec![0.0; m];
+        flat.score_bins_into(&bins[..m * flat.num_fields()], &mut small);
+        for (r, (a, b)) in small.iter().zip(&expect[..m]).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "record {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn score_into_rejects_short_buffer() {
+        let (model, data, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        let mut out = vec![0.0; data.num_records() - 1];
+        flat.score_into(&data, ExecMode::Sequential, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin matrix shape")]
+    fn score_bins_into_rejects_ragged_matrix() {
+        let (model, _, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        let bins = vec![0u32; flat.num_fields() * 2 + 1];
+        let mut out = vec![0.0; 2];
+        flat.score_bins_into(&bins, &mut out);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Typed errors of the serving data path and the model registry.
+//!
+//! The data path never blocks a client forever and never panics on bad
+//! input: a full bounded queue is an explicit [`ServeError::Overloaded`]
+//! rejection the caller can retry or shed, and malformed records come
+//! back as [`ServeError::BadRequest`] instead of poisoning a worker.
+
+use booster_gbdt::serialize::SerError;
+use booster_gbdt::tree::TableLoweringError;
+
+/// Errors a scoring request (or server construction) can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded ingress queue is full: explicit admission-control
+    /// rejection — retry, back off, or shed load. The request was never
+    /// enqueued.
+    Overloaded,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The request pinned a model version the registry does not hold.
+    UnknownVersion(u64),
+    /// The registry has no active model to score with.
+    NoActiveModel,
+    /// The record does not match the model (arity or value-kind
+    /// mismatch, category out of range).
+    BadRequest(&'static str),
+    /// The response channel died before a response arrived (the server
+    /// was torn down with the request in flight).
+    Disconnected,
+    /// Invalid [`crate::scheduler::ServeConfig`] value.
+    Config(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "server overloaded: ingress queue full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::UnknownVersion(v) => write!(f, "unknown model version {v}"),
+            ServeError::NoActiveModel => write!(f, "no active model registered"),
+            ServeError::BadRequest(what) => write!(f, "bad request: {what}"),
+            ServeError::Disconnected => write!(f, "server dropped the request mid-flight"),
+            ServeError::Config(what) => write!(f, "invalid serve config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Errors of model registration and version lifecycle operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The `.bstr` bytes did not decode to a model.
+    Decode(SerError),
+    /// A tree exceeded the 16-byte table-entry encoding.
+    Lowering(TableLoweringError),
+    /// The new model's field arity differs from the versions already
+    /// serving — hot-swap must be transparent to clients.
+    ArityMismatch {
+        /// Field arity of the models already registered.
+        expected: usize,
+        /// Field arity of the rejected model.
+        got: usize,
+    },
+    /// No such version in the registry.
+    UnknownVersion(u64),
+    /// Refused to retire the version currently serving traffic.
+    RetireActive(u64),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Decode(e) => write!(f, "model bytes rejected: {e}"),
+            RegistryError::Lowering(e) => write!(f, "model does not lower to flat tables: {e}"),
+            RegistryError::ArityMismatch { expected, got } => {
+                write!(f, "field arity {got} does not match serving arity {expected}")
+            }
+            RegistryError::UnknownVersion(v) => write!(f, "unknown model version {v}"),
+            RegistryError::RetireActive(v) => {
+                write!(f, "version {v} is active; activate another version before retiring it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<SerError> for RegistryError {
+    fn from(e: SerError) -> Self {
+        RegistryError::Decode(e)
+    }
+}
+
+impl From<TableLoweringError> for RegistryError {
+    fn from(e: TableLoweringError) -> Self {
+        RegistryError::Lowering(e)
+    }
+}

@@ -1,0 +1,314 @@
+//! Length-prefixed wire protocol of the TCP front-end.
+//!
+//! Every message is one frame: a `u32` little-endian payload length
+//! (bounded by [`MAX_FRAME_BYTES`]) followed by the payload. Payloads
+//! are versioned by a leading op byte; integers are little-endian,
+//! matching the `.bstr` model format.
+//!
+//! ```text
+//! request  : op=1 | id u64 | pin u64 (0 = active) | nfields u32
+//!            | per field: tag u8 (0 missing, 1 num + f32, 2 cat + u32)
+//! response : op=2 | id u64 | status u8
+//!            | status 0 (ok): version u64 | prediction f64
+//!            | status 3 (unknown version): version u64
+//! ```
+
+use bytes::{Buf, BufMut};
+use std::io::{self, Read, Write};
+
+use booster_gbdt::dataset::RawValue;
+
+use crate::error::ServeError;
+use crate::scheduler::ScoreResponse;
+
+/// Upper bound on a frame payload (1 MiB — far beyond any scoring
+/// request; rejects hostile or corrupt length prefixes before
+/// allocating).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+const OP_REQUEST: u8 = 1;
+const OP_RESPONSE: u8 = 2;
+
+const STATUS_OK: u8 = 0;
+const STATUS_OVERLOADED: u8 = 1;
+const STATUS_SHUTTING_DOWN: u8 = 2;
+const STATUS_UNKNOWN_VERSION: u8 = 3;
+const STATUS_BAD_REQUEST: u8 = 4;
+const STATUS_NO_ACTIVE_MODEL: u8 = 5;
+const STATUS_INTERNAL: u8 = 6;
+
+/// A decoded scoring request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Pinned model version (`None` scores on the active version).
+    pub pin: Option<u64>,
+    /// The record to score.
+    pub features: Vec<RawValue>,
+}
+
+/// A decoded scoring response: the echoed id plus the scoring outcome
+/// (the prediction and serving version, or a typed error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// Correlation id echoed from the request.
+    pub id: u64,
+    /// Scoring outcome: `(version, prediction)` or the typed error.
+    pub outcome: Result<(u64, f64), ServeError>,
+}
+
+/// Frame-level decode failure (malformed payload; the connection should
+/// be dropped or the frame answered with `BadRequest`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+    // No flush here: callers own the buffering policy (and flush once
+    // per protocol exchange).
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary; EOF mid-frame and oversized lengths are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame header",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encode a scoring request payload.
+pub fn encode_request(req: &WireRequest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(22 + req.features.len() * 5);
+    buf.put_u8(OP_REQUEST);
+    buf.put_u64_le(req.id);
+    buf.put_u64_le(req.pin.unwrap_or(0));
+    buf.put_u32_le(req.features.len() as u32);
+    for v in &req.features {
+        match v {
+            RawValue::Missing => buf.put_u8(0),
+            RawValue::Num(x) => {
+                buf.put_u8(1);
+                buf.put_f32_le(*x);
+            }
+            RawValue::Cat(c) => {
+                buf.put_u8(2);
+                buf.put_u32_le(*c);
+            }
+        }
+    }
+    buf
+}
+
+fn need(buf: &[u8], n: usize, what: &'static str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        return Err(WireError(what));
+    }
+    Ok(())
+}
+
+/// Decode a scoring request payload.
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
+    let mut buf = payload;
+    need(buf, 21, "request header")?;
+    if buf.get_u8() != OP_REQUEST {
+        return Err(WireError("not a request frame"));
+    }
+    let id = buf.get_u64_le();
+    let pin = match buf.get_u64_le() {
+        0 => None,
+        v => Some(v),
+    };
+    let nfields = buf.get_u32_le() as usize;
+    if nfields > buf.remaining() {
+        // One byte per field minimum: bound before allocating.
+        return Err(WireError("field count"));
+    }
+    let mut features = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        need(buf, 1, "field tag")?;
+        features.push(match buf.get_u8() {
+            0 => RawValue::Missing,
+            1 => {
+                need(buf, 4, "numeric value")?;
+                RawValue::Num(buf.get_f32_le())
+            }
+            2 => {
+                need(buf, 4, "category value")?;
+                RawValue::Cat(buf.get_u32_le())
+            }
+            _ => return Err(WireError("field tag")),
+        });
+    }
+    if buf.has_remaining() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(WireRequest { id, pin, features })
+}
+
+/// Encode a scoring response payload.
+pub fn encode_response(id: u64, result: &Result<ScoreResponse, ServeError>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(26);
+    buf.put_u8(OP_RESPONSE);
+    buf.put_u64_le(id);
+    match result {
+        Ok(resp) => {
+            buf.put_u8(STATUS_OK);
+            buf.put_u64_le(resp.version);
+            buf.put_f64_le(resp.prediction);
+        }
+        Err(ServeError::Overloaded) => buf.put_u8(STATUS_OVERLOADED),
+        Err(ServeError::ShuttingDown) => buf.put_u8(STATUS_SHUTTING_DOWN),
+        Err(ServeError::UnknownVersion(v)) => {
+            buf.put_u8(STATUS_UNKNOWN_VERSION);
+            buf.put_u64_le(*v);
+        }
+        Err(ServeError::BadRequest(_)) => buf.put_u8(STATUS_BAD_REQUEST),
+        Err(ServeError::NoActiveModel) => buf.put_u8(STATUS_NO_ACTIVE_MODEL),
+        Err(_) => buf.put_u8(STATUS_INTERNAL),
+    }
+    buf
+}
+
+/// Decode a scoring response payload.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, WireError> {
+    let mut buf = payload;
+    need(buf, 10, "response header")?;
+    if buf.get_u8() != OP_RESPONSE {
+        return Err(WireError("not a response frame"));
+    }
+    let id = buf.get_u64_le();
+    let status = buf.get_u8();
+    let outcome = match status {
+        STATUS_OK => {
+            need(buf, 16, "prediction")?;
+            Ok((buf.get_u64_le(), buf.get_f64_le()))
+        }
+        STATUS_OVERLOADED => Err(ServeError::Overloaded),
+        STATUS_SHUTTING_DOWN => Err(ServeError::ShuttingDown),
+        STATUS_UNKNOWN_VERSION => {
+            need(buf, 8, "version")?;
+            Err(ServeError::UnknownVersion(buf.get_u64_le()))
+        }
+        STATUS_BAD_REQUEST => Err(ServeError::BadRequest("rejected by server")),
+        STATUS_NO_ACTIVE_MODEL => Err(ServeError::NoActiveModel),
+        STATUS_INTERNAL => Err(ServeError::Disconnected),
+        _ => return Err(WireError("status")),
+    };
+    if buf.has_remaining() {
+        return Err(WireError("trailing bytes"));
+    }
+    Ok(WireResponse { id, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_features() -> Vec<RawValue> {
+        vec![RawValue::Num(3.5), RawValue::Missing, RawValue::Cat(7), RawValue::Num(-0.0)]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for pin in [None, Some(42)] {
+            let req = WireRequest { id: 9, pin, features: sample_features() };
+            let decoded = decode_request(&encode_request(&req)).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let ok =
+            Ok(ScoreResponse { prediction: 0.625, version: 3, batch_size: 8, latency_micros: 11 });
+        let decoded = decode_response(&encode_response(5, &ok)).unwrap();
+        assert_eq!(decoded.id, 5);
+        assert_eq!(decoded.outcome, Ok((3, 0.625)));
+        for err in [
+            ServeError::Overloaded,
+            ServeError::ShuttingDown,
+            ServeError::UnknownVersion(17),
+            ServeError::NoActiveModel,
+        ] {
+            let decoded = decode_response(&encode_response(1, &Err(err.clone()))).unwrap();
+            assert_eq!(decoded.outcome, Err(err));
+        }
+        // BadRequest loses its static message but keeps its type.
+        let decoded =
+            decode_response(&encode_response(1, &Err(ServeError::BadRequest("x")))).unwrap();
+        assert!(matches!(decoded.outcome, Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn decoders_reject_malformed_payloads_without_panicking() {
+        let good = encode_request(&WireRequest { id: 1, pin: None, features: sample_features() });
+        // Every strict prefix must fail cleanly.
+        for cut in 0..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "prefix {cut}");
+        }
+        // Single-byte corruption must never panic.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            let _ = decode_request(&bad);
+        }
+        let resp = encode_response(1, &Err(ServeError::Overloaded));
+        for cut in 0..resp.len() {
+            assert!(decode_response(&resp[..cut]).is_err(), "prefix {cut}");
+        }
+        // Hostile field count cannot trigger a huge allocation.
+        let mut hostile: Vec<u8> = Vec::new();
+        hostile.put_u8(OP_REQUEST);
+        hostile.put_u64_le(1);
+        hostile.put_u64_le(0);
+        hostile.put_u32_le(u32::MAX);
+        assert_eq!(decode_request(&hostile), Err(WireError("field count")));
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_bounds() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at boundary");
+        // Oversized length prefix rejected before allocation.
+        let mut r = io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(read_frame(&mut r).is_err());
+        // EOF mid-header is an error, not a silent None.
+        let mut r = io::Cursor::new(vec![1u8, 0]);
+        assert!(read_frame(&mut r).is_err());
+    }
+}

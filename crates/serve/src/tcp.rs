@@ -1,0 +1,287 @@
+//! `std::net` TCP front-end over the in-process scheduler.
+//!
+//! [`TcpFrontend::bind`] spawns an accept loop; each connection gets a
+//! thread speaking the length-prefixed protocol of [`crate::frame`] in
+//! strict request/response order (pipelining across requests comes from
+//! opening multiple connections — each connection's requests still
+//! coalesce with everyone else's in the shared micro-batcher).
+//! [`TcpScoreClient`] is the matching blocking client.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use booster_gbdt::dataset::RawValue;
+
+use crate::error::ServeError;
+use crate::frame::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    WireRequest,
+};
+use crate::scheduler::ServeHandle;
+
+/// A listening TCP front-end; drop or [`TcpFrontend::shutdown`] to stop
+/// accepting (established connections finish their in-flight exchange).
+pub struct TcpFrontend {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpFrontend {
+    /// Bind and start accepting scoring connections served by `handle`.
+    /// Bind to port 0 to let the OS pick (see
+    /// [`TcpFrontend::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, handle: ServeHandle) -> io::Result<TcpFrontend> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept =
+            std::thread::Builder::new().name("serve-tcp-accept".into()).spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_accept.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_handle = handle.clone();
+                    // Connection threads detach; they exit when the peer
+                    // closes or the scheduler shuts down.
+                    let _ = std::thread::Builder::new()
+                        .name("serve-tcp-conn".into())
+                        .spawn(move || serve_connection(stream, conn_handle));
+                }
+            })?;
+        Ok(TcpFrontend { addr: local, stop, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new connections and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with one throwaway connection. A
+        // wildcard bind (0.0.0.0 / ::) is not reliably
+        // self-connectable, so poke it through loopback instead.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match self.addr {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect(poke);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for TcpFrontend {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: ServeHandle) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean EOF, torn connection, or an oversized frame: hang up.
+            Ok(None) | Err(_) => return,
+        };
+        let reply = match decode_request(&payload) {
+            Ok(WireRequest { id, pin, features }) => {
+                let result = match handle.submit(features.into(), pin) {
+                    Ok(pending) => pending.wait(),
+                    Err(e) => Err(e),
+                };
+                encode_response(id, &result)
+            }
+            // Syntactically broken frame: answer BadRequest with id 0
+            // (the id, if any, was unreadable) and keep the connection.
+            Err(_) => encode_response(0, &Err(ServeError::BadRequest("malformed frame"))),
+        };
+        if write_frame(&mut writer, &reply).and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Blocking client of a [`TcpFrontend`], one in-flight request at a
+/// time.
+pub struct TcpScoreClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+/// A successful remote scoring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteScore {
+    /// Model version that scored the request.
+    pub version: u64,
+    /// Transformed prediction.
+    pub prediction: f64,
+}
+
+impl TcpScoreClient {
+    /// Connect to a front-end.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpScoreClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(TcpScoreClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Score one record (optionally pinned to a model version). The
+    /// outer `Err` is transport failure; the inner one is the server's
+    /// typed rejection.
+    pub fn score(
+        &mut self,
+        features: &[RawValue],
+        pin: Option<u64>,
+    ) -> io::Result<Result<RemoteScore, ServeError>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = WireRequest { id, pin, features: features.to_vec() };
+        write_frame(&mut self.writer, &encode_request(&req))?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server hung up"))?;
+        let resp = decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if resp.id != id {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "response id mismatch"));
+        }
+        Ok(resp.outcome.map(|(version, prediction)| RemoteScore { version, prediction }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use crate::scheduler::{BatchPolicy, ServeConfig, Server};
+    use booster_gbdt::columnar::ColumnarMirror;
+    use booster_gbdt::dataset::Dataset;
+    use booster_gbdt::predict::Model;
+    use booster_gbdt::preprocess::BinnedDataset;
+    use booster_gbdt::schema::{DatasetSchema, FieldSchema};
+    use booster_gbdt::train::{train, TrainConfig};
+    use std::time::Duration;
+
+    fn trained_model() -> (Model, Vec<Vec<RawValue>>) {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x", 16),
+            FieldSchema::categorical("c", 3),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..200 {
+            let x = if i % 11 == 0 { RawValue::Missing } else { RawValue::Num(i as f32) };
+            ds.push_record(&[x, RawValue::Cat(i % 3)], f32::from(u8::from(i >= 100)));
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig { num_trees: 4, max_depth: 3, ..Default::default() };
+        let (model, _) = train(&data, &mirror, &cfg);
+        let records = (0..200).map(|r| vec![ds.value(r, 0), ds.value(r, 1)]).collect();
+        (model, records)
+    }
+
+    #[test]
+    fn tcp_scoring_matches_offline_and_reports_typed_errors() {
+        let (model, records) = trained_model();
+        let registry = std::sync::Arc::new(ModelRegistry::new());
+        registry.register(&model).unwrap();
+        let server = Server::start(
+            std::sync::Arc::clone(&registry),
+            ServeConfig {
+                policy: BatchPolicy { max_batch: 8, max_delay: Duration::from_micros(100) },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let frontend = TcpFrontend::bind("127.0.0.1:0", server.handle()).unwrap();
+        let addr = frontend.local_addr();
+
+        // Two concurrent connections, both bit-identical to offline.
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let records = &records;
+                let model = &model;
+                s.spawn(move || {
+                    let mut client = TcpScoreClient::connect(addr).unwrap();
+                    for rec in records.iter().skip(t * 40).take(40) {
+                        let got = client.score(rec, None).unwrap().unwrap();
+                        assert_eq!(got.version, 1);
+                        assert_eq!(got.prediction.to_bits(), model.predict_raw(rec).to_bits());
+                    }
+                });
+            }
+        });
+
+        let mut client = TcpScoreClient::connect(addr).unwrap();
+        // Pinned scoring and typed errors cross the wire.
+        let pinned = client.score(&records[0], Some(1)).unwrap().unwrap();
+        assert_eq!(pinned.version, 1);
+        assert_eq!(client.score(&records[0], Some(9)).unwrap(), Err(ServeError::UnknownVersion(9)));
+        assert!(matches!(
+            client.score(&records[0][..1], None).unwrap(),
+            Err(ServeError::BadRequest(_))
+        ));
+        frontend.shutdown();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 81);
+        assert_eq!(stats.failed, 2);
+    }
+
+    #[test]
+    fn malformed_frames_get_bad_request_not_a_hangup() {
+        let (model, records) = trained_model();
+        let registry = std::sync::Arc::new(ModelRegistry::new());
+        registry.register(&model).unwrap();
+        let server =
+            Server::start(std::sync::Arc::clone(&registry), ServeConfig::default()).unwrap();
+        let frontend = TcpFrontend::bind("127.0.0.1:0", server.handle()).unwrap();
+        let stream = TcpStream::connect(frontend.local_addr()).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        write_frame(&mut writer, b"garbage").unwrap();
+        writer.flush().unwrap();
+        let payload = read_frame(&mut reader).unwrap().expect("still connected");
+        let resp = decode_response(&payload).unwrap();
+        assert_eq!(resp.id, 0);
+        assert!(matches!(resp.outcome, Err(ServeError::BadRequest(_))));
+        // The connection survives for a valid request afterwards.
+        write_frame(
+            &mut writer,
+            &encode_request(&WireRequest { id: 7, pin: None, features: records[3].clone() }),
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let payload = read_frame(&mut reader).unwrap().expect("still connected");
+        let resp = decode_response(&payload).unwrap();
+        assert_eq!(resp.id, 7);
+        assert!(resp.outcome.is_ok());
+        drop((reader, writer));
+        frontend.shutdown();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,151 @@
+//! Concurrency property: any number of client threads pushing records
+//! through the micro-batching scheduler — under any batch policy, shard
+//! count, and a mid-stream hot-swap — receive responses **bit-identical**
+//! to offline scoring by the model version tagged on each response, with
+//! zero requests lost and pinned requests never migrating versions.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use booster_gbdt::columnar::ColumnarMirror;
+use booster_gbdt::dataset::{Dataset, RawValue};
+use booster_gbdt::predict::Model;
+use booster_gbdt::preprocess::BinnedDataset;
+use booster_gbdt::schema::{DatasetSchema, FieldSchema};
+use booster_gbdt::train::{train, TrainConfig};
+use booster_serve::{BatchPolicy, ModelRegistry, ServeConfig, Server};
+
+/// Two model generations over one schema plus the raw records clients
+/// send — trained once, shared by every proptest case.
+fn fixtures() -> &'static (Model, Model, Vec<Vec<RawValue>>) {
+    static FIXTURES: OnceLock<(Model, Model, Vec<Vec<RawValue>>)> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x", 16),
+            FieldSchema::categorical("c", 4),
+            FieldSchema::numeric_with_bins("y", 8),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..240 {
+            let x = if i % 13 == 0 { RawValue::Missing } else { RawValue::Num(i as f32) };
+            let rec = [x, RawValue::Cat(i % 4), RawValue::Num(((i * 7) % 100) as f32)];
+            ds.push_record(&rec, f32::from(u8::from(i >= 120)) + ((i % 4) as f32) * 0.05);
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let (v1, _) = train(
+            &data,
+            &mirror,
+            &TrainConfig { num_trees: 3, max_depth: 3, ..Default::default() },
+        );
+        let (v2, _) = train(
+            &data,
+            &mirror,
+            &TrainConfig { num_trees: 7, max_depth: 4, ..Default::default() },
+        );
+        let records =
+            (0..240).map(|r| (0..3).map(|f| ds.value(r, f)).collect::<Vec<_>>()).collect();
+        (v1, v2, records)
+    })
+}
+
+proptest! {
+    #[test]
+    fn concurrent_clients_stay_bit_identical_across_hot_swap(
+        num_clients in 2usize..5,
+        per_client in 8usize..25,
+        max_batch in 1usize..17,
+        delay_micros in 0u64..800,
+        swap_after in 0usize..20,
+    ) {
+        let (model_v1, model_v2, records) = fixtures();
+        let registry = Arc::new(ModelRegistry::new());
+        let v1 = registry.register(model_v1).unwrap();
+        let v2 = registry.register(model_v2).unwrap();
+        prop_assert_eq!(registry.active_version(), Some(v1));
+        let config = ServeConfig {
+            policy: BatchPolicy {
+                max_batch,
+                max_delay: Duration::from_micros(delay_micros),
+            },
+            num_shards: 1 + max_batch % 2, // alternate 1- and 2-shard pools
+            queue_capacity: 4096,          // above offered load: nothing rejected
+            ..Default::default()
+        };
+        let server = Server::start(Arc::clone(&registry), config).unwrap();
+        let handle = server.handle();
+
+        // Client 0 triggers the hot-swap mid-stream; every thread logs
+        // (record index, pinned?, response) for offline verification.
+        let logs: Vec<Vec<(usize, bool, booster_serve::ScoreResponse)>> =
+            std::thread::scope(|s| {
+                let mut joins = Vec::new();
+                for c in 0..num_clients {
+                    let handle = handle.clone();
+                    let registry = Arc::clone(&registry);
+                    joins.push(s.spawn(move || {
+                        let mut log = Vec::with_capacity(per_client);
+                        for k in 0..per_client {
+                            let idx = (c * 37 + k * 11) % records.len();
+                            let rec = &records[idx];
+                            let pinned = k % 5 == 0;
+                            let resp = if pinned {
+                                handle.score_pinned(rec, v1)
+                            } else {
+                                handle.score(rec)
+                            }
+                            .expect("no request may be lost or rejected");
+                            log.push((idx, pinned, resp));
+                            if c == 0 && k == swap_after.min(per_client - 1) {
+                                registry.activate(v2).unwrap();
+                            }
+                        }
+                        log
+                    }));
+                }
+                joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+            });
+
+        // Every response is bit-identical to offline scoring by the
+        // version that tagged it; pinned requests never migrate.
+        for (c, log) in logs.iter().enumerate() {
+            prop_assert_eq!(log.len(), per_client);
+            for (k, (idx, pinned, resp)) in log.iter().enumerate() {
+                prop_assert!(
+                    resp.version == v1 || resp.version == v2,
+                    "unknown version tag {}",
+                    resp.version
+                );
+                let offline = if resp.version == v1 {
+                    model_v1.predict_raw(&records[*idx])
+                } else {
+                    model_v2.predict_raw(&records[*idx])
+                };
+                prop_assert_eq!(
+                    resp.prediction.to_bits(),
+                    offline.to_bits(),
+                    "client {} request {} (version {})",
+                    c,
+                    k,
+                    resp.version
+                );
+                if *pinned {
+                    prop_assert_eq!(resp.version, v1, "pinned request migrated versions");
+                }
+                prop_assert!(resp.batch_size >= 1 && resp.batch_size as usize <= max_batch);
+            }
+        }
+
+        handle.drain();
+        let stats = server.shutdown();
+        let total = (num_clients * per_client) as u64;
+        prop_assert_eq!(stats.accepted, total);
+        prop_assert_eq!(stats.completed, total, "hot-swap under load lost requests");
+        prop_assert_eq!(stats.rejected, 0);
+        prop_assert_eq!(stats.failed, 0);
+        let served: u64 = registry.version_stats().iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(served, total, "per-version counters must cover every record");
+    }
+}

@@ -1,0 +1,118 @@
+//! Online serving: train → register v1 (from `.bstr` bytes) → serve
+//! under concurrent load → hot-swap to v2 → drain → retire v1 — the
+//! full lifecycle of the `booster-serve` subsystem, plus a quick TCP
+//! round trip through the length-prefixed front-end.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use booster_repro::datagen::{default_loss, generate, Benchmark};
+use booster_repro::gbdt::prelude::*;
+use booster_repro::serve::{
+    BatchPolicy, ModelRegistry, ResponseSlot, ServeConfig, Server, TcpFrontend, TcpScoreClient,
+};
+
+fn main() {
+    // --- Train two model generations over one schema. --------------------
+    let ds = generate(Benchmark::Higgs, 6_000, 7);
+    let data = BinnedDataset::from_dataset(&ds);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let train_gen = |trees| {
+        let cfg = TrainConfig {
+            num_trees: trees,
+            max_depth: 5,
+            loss: default_loss(Benchmark::Higgs),
+            ..Default::default()
+        };
+        train(&data, &mirror, &cfg).0
+    };
+    let model_v1 = train_gen(15);
+    let model_v2 = train_gen(30);
+    let records: Vec<Arc<[RawValue]>> =
+        (0..1024).map(|r| (0..ds.num_fields()).map(|f| ds.value(r, f)).collect()).collect();
+
+    // --- Register v1 through the serialized wire format. ------------------
+    let registry = Arc::new(ModelRegistry::new());
+    let v1_bytes = model_to_bytes(&model_v1);
+    let v1 = registry.register_bytes(&v1_bytes).expect("v1 registers");
+    println!("registered v1 from {} .bstr bytes (auto-activated)", v1_bytes.len());
+
+    // --- Serve under concurrent closed-loop load. -------------------------
+    let config = ServeConfig {
+        policy: BatchPolicy { max_batch: 32, max_delay: std::time::Duration::ZERO },
+        ..Default::default()
+    };
+    let server = Server::start(Arc::clone(&registry), config).expect("server starts");
+    let handle = server.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let swap_seen = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for c in 0..4usize {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            let swap_seen = Arc::clone(&swap_seen);
+            let records = &records;
+            let model_v1 = &model_v1;
+            let model_v2 = &model_v2;
+            s.spawn(move || {
+                let slot = ResponseSlot::new();
+                let mut k = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let idx = k % records.len();
+                    k = k.wrapping_add(13);
+                    let resp = handle
+                        .score_with(&slot, Arc::clone(&records[idx]), None)
+                        .expect("no request is lost, even mid-swap");
+                    // Every response is bit-identical to offline scoring
+                    // by the version that answered it.
+                    let offline = if resp.version == 1 {
+                        model_v1.predict_raw(&records[idx])
+                    } else {
+                        swap_seen.fetch_add(1, Ordering::Relaxed);
+                        model_v2.predict_raw(&records[idx])
+                    };
+                    assert_eq!(resp.prediction.to_bits(), offline.to_bits());
+                }
+            });
+        }
+        // Mid-load: register v2, hot-swap, drain, retire v1.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let v2 = registry.register(&model_v2).expect("v2 registers");
+        registry.activate(v2).expect("v2 activates");
+        println!("hot-swapped v{v1} → v{v2} under load");
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+    handle.drain();
+    registry.retire(v1).expect("v1 drained, retire is safe");
+    assert!(swap_seen.load(Ordering::Relaxed) > 0, "v2 must have served after the swap");
+
+    let stats = handle.stats();
+    assert_eq!(stats.accepted, stats.completed, "zero requests lost across the swap");
+    println!(
+        "served {} requests (0 lost, {} rejected) | latency p50/p99: {}/{} µs | mean batch {:.1}",
+        stats.completed,
+        stats.rejected,
+        stats.latency.quantile(0.5),
+        stats.latency.quantile(0.99),
+        stats.batch_sizes.mean()
+    );
+    println!("per-version served counts: {:?}", registry.version_stats());
+
+    // --- The same service over TCP. ---------------------------------------
+    let frontend = TcpFrontend::bind("127.0.0.1:0", server.handle()).expect("bind");
+    let mut client = TcpScoreClient::connect(frontend.local_addr()).expect("connect");
+    let got = client.score(&records[5], None).expect("transport").expect("scored");
+    assert_eq!(got.prediction.to_bits(), model_v2.predict_raw(&records[5]).to_bits());
+    println!(
+        "tcp round trip on {}: version {} prediction {:.4}",
+        frontend.local_addr(),
+        got.version,
+        got.prediction
+    );
+    frontend.shutdown();
+    server.shutdown();
+    println!("drained and shut down cleanly");
+}

@@ -12,8 +12,12 @@
 //!   Ideal CPU / Ideal GPU / inter-record baselines.
 //! - [`datagen`] — deterministic synthetic equivalents of the paper's five
 //!   evaluation datasets (Table III).
+//! - [`serve`] — online scoring service over the flat-ensemble engine:
+//!   micro-batching scheduler, versioned model registry with hot-swap,
+//!   and a `std::net` TCP front-end.
 
 pub use booster_datagen as datagen;
 pub use booster_dram as dram;
 pub use booster_gbdt as gbdt;
+pub use booster_serve as serve;
 pub use booster_sim as sim;

@@ -129,6 +129,37 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.len() >= len, "&[u8]: read past end");
+        let (head, tail) = self.split_at(len);
+        *self = tail;
+        Bytes::copy_from_slice(head)
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
 impl std::ops::Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
@@ -195,6 +226,12 @@ impl BufMut for BytesMut {
     }
 }
 
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
 impl std::ops::Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
@@ -221,6 +258,20 @@ mod tests {
         assert_eq!(r.get_f32_le(), 1.5);
         assert_eq!(r.get_f64_le(), -2.25);
         assert_eq!(&r.copy_to_bytes(4)[..], b"tail");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_vec_impls_cursor_without_copying() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u32_le(99);
+        out.put_u64_le(1 << 40);
+        let mut r: &[u8] = &out;
+        assert_eq!(r.remaining(), 13);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 99);
+        assert_eq!(r.get_u64_le(), 1 << 40);
         assert!(!r.has_remaining());
     }
 
