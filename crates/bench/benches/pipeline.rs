@@ -149,6 +149,12 @@ fn bench_inference(c: &mut Criterion) {
     g.bench_function("flat_tree_parallel", |b| {
         b.iter(|| black_box(flat.predict_batch(black_box(&data), ExecMode::TreeParallel)))
     });
+    // Warm the compile cache outside the timing loop so the bench
+    // measures the interpreter, not the one-time lowering.
+    let _ = flat.compiled();
+    g.bench_function("compiled", |b| {
+        b.iter(|| black_box(flat.predict_batch(black_box(&data), ExecMode::Compiled)))
+    });
     g.finish();
 }
 

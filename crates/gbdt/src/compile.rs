@@ -1,0 +1,681 @@
+//! Compiler from [`FlatEnsemble`] to a partitioned branch-free bytecode
+//! program, plus the blocked interpreter that runs it.
+//!
+//! The flat engine ([`crate::infer`]) already removed per-node enum
+//! dispatch, but every walk step still pays indirection (entry, field,
+//! and absent loads from three arrays) and a data-dependent leaf branch
+//! that the hardware mispredicts near the leaves. Compilation removes
+//! both, the way the accelerator's fixed-function walk does:
+//!
+//! 1. **Specialization pass** — every tree-table entry becomes one
+//!    fully resolved [`Instr`]: original field id, absent bin, and
+//!    threshold folded into the instruction, the numeric/categorical
+//!    test and default direction reduced to flag bits consumed by a
+//!    cmov-style mask select ([`Instr::step`]). Leaves become
+//!    self-looping instructions so every tree runs a *fixed* number of
+//!    steps with **no data-dependent branch anywhere in the walk**.
+//! 2. **DCE pass** — instructions are emitted in BFS order from each
+//!    root, so entries unreachable from the root (and whole trees past
+//!    a [`CompileOptions::max_trees`] truncation point, mirroring
+//!    [`crate::predict::Model::truncated`]) are dropped, never loaded,
+//!    and never serialized.
+//! 3. **Partition pass** — trees are greedily grouped, in ensemble
+//!    order, into contiguous [`ClusterSpan`]s whose instruction +
+//!    weight bytes stay under [`CompileOptions::cluster_bytes`] — the
+//!    software analogue of sizing a BU's tree tables to its SRAM. The
+//!    interpreter streams every record block through one cluster
+//!    before touching the next, so cluster code stays cache-resident
+//!    across the whole batch.
+//!
+//! [`CompiledEnsemble::score_into`] then interprets the program in
+//! cache-sized record blocks with [`LANES`] records walked in lockstep
+//! per tree, and is **bit-identical** to [`Model::predict_batch`]:
+//! clusters partition trees contiguously in ensemble order, so each
+//! record's leaf weights are still accumulated in exact tree order
+//! (`tests/compiled_differential.rs` enforces this across growth
+//! strategies, truncations, and partition shapes).
+
+use crate::infer::FlatEnsemble;
+use crate::predict::Model;
+use crate::preprocess::BinnedDataset;
+use crate::program::{
+    program_from_bytes, program_to_bytes, ClusterSpan, Instr, Program, ProgramError, TreeSpan,
+    FLAG_DEFAULT_LEFT, FLAG_NUMERIC, INSTR_SLOT_BYTES,
+};
+use crate::tree::TableEntry;
+
+/// Records per interpretation block (matches the flat engine's blocking
+/// so the two are comparable like-for-like).
+const BLOCK_RECORDS: usize = 256;
+
+/// Records walked in lockstep through one tree: enough independent
+/// walk chains to hide load latency, small enough that their row slices
+/// stay register/L1-resident.
+pub const LANES: usize = 8;
+
+/// Knobs for [`compile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Upper bound on one cluster's instruction + weight bytes
+    /// ([`INSTR_SLOT_BYTES`] per instruction). A tree larger than the
+    /// budget gets a cluster of its own — the pass never splits a
+    /// tree. Default 256 KiB: half a typical L2, leaving room for the
+    /// record block and margins.
+    pub cluster_bytes: usize,
+    /// Compile only the first `n` trees (clamped like
+    /// [`Model::truncated`]: at least 1, at most the model's tree
+    /// count); the rest are dead code and dropped entirely. `None`
+    /// compiles every tree.
+    pub max_trees: Option<usize>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { cluster_bytes: 256 * 1024, max_trees: None }
+    }
+}
+
+/// Errors from [`compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The ensemble needs more instructions than the `u32` index space
+    /// of the program format.
+    ProgramTooLarge {
+        /// Instructions the ensemble would need.
+        instrs: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::ProgramTooLarge { instrs } => {
+                write!(f, "ensemble needs {instrs} instructions, over the u32 program limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Specialize + DCE one tree: BFS from the root over its table entries,
+/// renumbering so children always follow parents, and emit one
+/// instruction per *reachable* entry. Returns `(len, depth, dropped)`.
+fn lower_tree(
+    entries: &[TableEntry],
+    fields: &[u32],
+    absents: &[u32],
+    weights: &[f64],
+    out_instrs: &mut Vec<Instr>,
+    out_weights: &mut Vec<f64>,
+) -> (u32, u32, usize) {
+    let n = entries.len();
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut renum: Vec<u32> = vec![u32::MAX; n];
+    let mut depth_of: Vec<u32> = vec![0; n];
+    order.push(0);
+    renum[0] = 0;
+    let mut head = 0;
+    let mut max_depth = 0u32;
+    while head < order.len() {
+        let old = order[head] as usize;
+        head += 1;
+        let e = &entries[old];
+        if e.kind == 2 {
+            max_depth = max_depth.max(depth_of[old]);
+            continue;
+        }
+        for child in [e.left as usize, e.right as usize] {
+            if renum[child] == u32::MAX {
+                renum[child] = order.len() as u32;
+                depth_of[child] = depth_of[old] + 1;
+                order.push(child as u32);
+            }
+        }
+    }
+    for (new_idx, &old) in order.iter().enumerate() {
+        let old = old as usize;
+        let e = &entries[old];
+        if e.kind == 2 {
+            out_instrs.push(Instr::leaf(new_idx as u32));
+            out_weights.push(weights[old]);
+        } else {
+            let mut flags = 0;
+            if e.kind == 0 {
+                flags |= FLAG_NUMERIC;
+            }
+            if e.default_left {
+                flags |= FLAG_DEFAULT_LEFT;
+            }
+            out_instrs.push(Instr {
+                field: fields[old],
+                absent: absents[old],
+                test: e.threshold,
+                flags,
+                left: renum[e.left as usize],
+                right: renum[e.right as usize],
+            });
+            out_weights.push(0.0);
+        }
+    }
+    (order.len() as u32, max_depth, n - order.len())
+}
+
+/// Lower a flat ensemble into a partitioned branch-free program.
+///
+/// # Errors
+/// [`CompileError::ProgramTooLarge`] if the reachable instruction count
+/// exceeds the format's `u32` index space.
+pub fn compile(
+    flat: &FlatEnsemble,
+    opts: &CompileOptions,
+) -> Result<CompiledEnsemble, CompileError> {
+    let nt = flat.num_trees();
+    let keep = match opts.max_trees {
+        Some(k) if nt > 0 => k.clamp(1, nt),
+        _ => nt,
+    };
+    let mut instrs = Vec::new();
+    let mut weights = Vec::new();
+    let mut trees = Vec::with_capacity(keep);
+    let mut dropped = 0usize;
+    for t in 0..keep {
+        let (entries, fields, absents, w) = flat.tree_parts(t);
+        let first = instrs.len();
+        if first + entries.len() > u32::MAX as usize {
+            return Err(CompileError::ProgramTooLarge { instrs: first + entries.len() });
+        }
+        let (len, depth, dce) = lower_tree(entries, fields, absents, w, &mut instrs, &mut weights);
+        dropped += dce;
+        trees.push(TreeSpan { first: first as u32, len, depth });
+    }
+    // Trees past the truncation point are dead code in their entirety.
+    for t in keep..nt {
+        dropped += flat.tree_parts(t).0.len();
+    }
+
+    // Partition pass: greedy contiguous packing under the byte budget.
+    let mut clusters = Vec::new();
+    let mut first_tree = 0u32;
+    let mut in_cluster = 0u32;
+    let mut bytes = 0usize;
+    for (t, span) in trees.iter().enumerate() {
+        let tree_bytes = span.len as usize * INSTR_SLOT_BYTES;
+        if in_cluster > 0 && bytes + tree_bytes > opts.cluster_bytes {
+            clusters.push(ClusterSpan { first_tree, num_trees: in_cluster });
+            first_tree = t as u32;
+            in_cluster = 0;
+            bytes = 0;
+        }
+        in_cluster += 1;
+        bytes += tree_bytes;
+    }
+    if in_cluster > 0 {
+        clusters.push(ClusterSpan { first_tree, num_trees: in_cluster });
+    }
+
+    let program = Program {
+        instrs,
+        weights,
+        trees,
+        clusters,
+        num_fields: flat.num_fields() as u32,
+        base_score: flat.base_score(),
+        loss: flat.loss(),
+    };
+    // Validate in release too (one-time, O(instrs)): every
+    // `CompiledEnsemble` construction path establishes the structural
+    // invariants the interpreter's unchecked indexing relies on.
+    program.validate().expect("compiler emitted an invalid program");
+    Ok(CompiledEnsemble { program, dropped_entries: dropped })
+}
+
+/// A validated program plus its blocked lane interpreter.
+///
+/// Immutable after construction (all scoring takes `&self`), so like
+/// [`FlatEnsemble`] it is `Send + Sync` and freely shared across
+/// serving threads.
+#[derive(Debug, Clone)]
+pub struct CompiledEnsemble {
+    program: Program,
+    /// Table entries eliminated by DCE + truncation (0 for programs
+    /// rebuilt from bytes — the stat is not part of the wire format).
+    dropped_entries: usize,
+}
+
+impl CompiledEnsemble {
+    /// Compile a model directly (lower to flat form, then [`compile`]).
+    ///
+    /// # Errors
+    /// Propagates [`crate::tree::TableLoweringError`] (boxed into
+    /// `String` form would lose type, so lower first if you need it) —
+    /// here the flat lowering error and compile error are both mapped
+    /// through `Result`.
+    pub fn from_model(
+        model: &Model,
+        opts: &CompileOptions,
+    ) -> Result<Self, crate::tree::TableLoweringError> {
+        let flat = FlatEnsemble::from_model(model)?;
+        Ok(compile(&flat, opts).expect("u32 instruction space exceeded"))
+    }
+
+    /// Wrap an externally supplied program after full validation, so
+    /// the interpreter's no-per-step-check execution stays sound.
+    ///
+    /// # Errors
+    /// [`ProgramError::Invalid`] describing the first broken invariant.
+    pub fn from_program(program: Program) -> Result<Self, ProgramError> {
+        program.validate()?;
+        Ok(CompiledEnsemble { program, dropped_entries: 0 })
+    }
+
+    /// Serialize the program (see [`crate::program`] for the format).
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        program_to_bytes(&self.program)
+    }
+
+    /// Decode + validate a serialized program.
+    ///
+    /// # Errors
+    /// Any [`ProgramError`]: corrupt bytes never yield an ensemble.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ProgramError> {
+        program_from_bytes(data).map(|program| CompiledEnsemble { program, dropped_entries: 0 })
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of compiled trees.
+    pub fn num_trees(&self) -> usize {
+        self.program.trees.len()
+    }
+
+    /// Number of cache clusters the partition pass produced.
+    pub fn num_clusters(&self) -> usize {
+        self.program.clusters.len()
+    }
+
+    /// Total instructions after DCE.
+    pub fn num_instrs(&self) -> usize {
+        self.program.num_instrs()
+    }
+
+    /// Interpreter working-set bytes (instructions + weights).
+    pub fn byte_size(&self) -> usize {
+        self.program.byte_size()
+    }
+
+    /// Table entries dropped by DCE / truncation during compilation.
+    pub fn dce_dropped(&self) -> usize {
+        self.dropped_entries
+    }
+
+    /// Field arity every scored record must have.
+    pub fn num_fields(&self) -> usize {
+        self.program.num_fields as usize
+    }
+
+    /// Walk every tree of one cluster over one record block, adding
+    /// exact leaf weights into `margins` (and edge counts into `paths`
+    /// when asked). `row_of(r)` yields record `r`'s full-arity bin row.
+    ///
+    /// The lane loop is the compiled hot path: `LANES` records advance
+    /// through a tree in lockstep, each step a branch-free
+    /// [`Instr::step`], for exactly `TreeSpan::depth` iterations — the
+    /// trip count depends only on the tree, so there is nothing for
+    /// the branch predictor to miss.
+    fn run_cluster<'a, R>(
+        &self,
+        cl: &ClusterSpan,
+        row_of: &R,
+        r0: usize,
+        margins: &mut [f64],
+        paths: Option<&mut [u64]>,
+    ) where
+        R: Fn(usize) -> &'a [u32],
+    {
+        let p = &self.program;
+        let t0 = cl.first_tree as usize;
+        let spans = &p.trees[t0..t0 + cl.num_trees as usize];
+        if let Some(paths) = paths {
+            // Path-counting variant (Fig-13 workload measurement):
+            // scalar, still branch-free — BFS numbering means
+            // `next != idx` exactly when an edge was taken.
+            for (i, m) in margins.iter_mut().enumerate() {
+                let row = row_of(r0 + i);
+                let mut steps = 0u64;
+                for span in spans {
+                    let first = span.first as usize;
+                    let code = &p.instrs[first..first + span.len as usize];
+                    let mut idx = 0u32;
+                    for _ in 0..span.depth {
+                        let ins = code[idx as usize];
+                        let next = ins.step(row[ins.field as usize]);
+                        steps += u64::from(next != idx);
+                        idx = next;
+                    }
+                    *m += p.weights[first + idx as usize];
+                }
+                paths[i] += steps;
+            }
+            return;
+        }
+        // Hot path: LANES records advance through the cluster's trees in
+        // lockstep, their running margins held in registers across the
+        // whole cluster; margins still accumulate in global tree order
+        // per record, so bit-identity with the node walk is preserved.
+        //
+        // SAFETY of the unchecked indexing below: every construction
+        // path (`compile`, `from_program`, `from_bytes`) runs
+        // `Program::validate`, which guarantees span-relative child
+        // indices stay inside their tree span, leaves self-loop, and
+        // every `field` is `< num_fields`; callers assert each row has
+        // exactly `num_fields` bins. `idx` starts at 0 (spans are
+        // non-empty) and only ever takes values of validated
+        // `left`/`right` fields.
+        let n = margins.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let rows: [&[u32]; LANES] = std::array::from_fn(|l| row_of(r0 + i + l));
+            let mut acc: [f64; LANES] = std::array::from_fn(|l| margins[i + l]);
+            for span in spans {
+                let first = span.first as usize;
+                let len = span.len as usize;
+                let code = &p.instrs[first..first + len];
+                let w = &p.weights[first..first + len];
+                let mut idx = [0u32; LANES];
+                for _ in 0..span.depth {
+                    for l in 0..LANES {
+                        // SAFETY: see block comment above.
+                        unsafe {
+                            let ins = code.get_unchecked(idx[l] as usize);
+                            let bin = *rows[l].get_unchecked(ins.field as usize);
+                            idx[l] = ins.step(bin);
+                        }
+                    }
+                }
+                for l in 0..LANES {
+                    // SAFETY: see block comment above.
+                    acc[l] += unsafe { *w.get_unchecked(idx[l] as usize) };
+                }
+            }
+            margins[i..i + LANES].copy_from_slice(&acc);
+            i += LANES;
+        }
+        while i < n {
+            let row = row_of(r0 + i);
+            let mut m = margins[i];
+            for span in spans {
+                let first = span.first as usize;
+                let len = span.len as usize;
+                let code = &p.instrs[first..first + len];
+                let mut idx = 0u32;
+                for _ in 0..span.depth {
+                    let ins = code[idx as usize];
+                    idx = ins.step(row[ins.field as usize]);
+                }
+                m += p.weights[first + idx as usize];
+            }
+            margins[i] = m;
+            i += 1;
+        }
+    }
+
+    /// Cluster-major blocked drive: every record block streams through
+    /// cluster 0, then cluster 1, … so each record still accumulates
+    /// leaf weights in exact global tree order (clusters are contiguous
+    /// tree ranges) while one cluster's code stays cache-hot for the
+    /// whole batch.
+    fn drive<'a, R>(&self, row_of: &R, margins: &mut [f64], mut paths: Option<&mut [u64]>)
+    where
+        R: Fn(usize) -> &'a [u32],
+    {
+        margins.fill(self.program.base_score);
+        if let Some(p) = paths.as_deref_mut() {
+            p.fill(0);
+        }
+        for cl in &self.program.clusters {
+            let mut r0 = 0;
+            while r0 < margins.len() {
+                let r1 = (r0 + BLOCK_RECORDS).min(margins.len());
+                let block_paths = paths.as_deref_mut().map(|p| &mut p[r0..r1]);
+                self.run_cluster(cl, row_of, r0, &mut margins[r0..r1], block_paths);
+                r0 = r1;
+            }
+        }
+        for m in margins.iter_mut() {
+            *m = self.program.loss.transform(*m);
+        }
+    }
+
+    fn check_arity(&self, data: &BinnedDataset) {
+        assert_eq!(
+            data.num_fields(),
+            self.num_fields(),
+            "dataset field arity does not match the compiled program"
+        );
+    }
+
+    /// Score a binned dataset into a caller-provided buffer; the
+    /// compiled analogue of [`FlatEnsemble::score_into`], bit-identical
+    /// to [`Model::predict_batch`] and allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != data.num_records()` or on a field-arity
+    /// mismatch.
+    pub fn score_into(&self, data: &BinnedDataset, out: &mut [f64]) {
+        self.check_arity(data);
+        assert_eq!(out.len(), data.num_records(), "output buffer must cover every record");
+        self.drive(&|r| data.row(r), out, None);
+    }
+
+    /// Batch prediction over a binned dataset.
+    pub fn predict_batch(&self, data: &BinnedDataset) -> Vec<f64> {
+        let mut out = vec![0.0; data.num_records()];
+        self.score_into(data, &mut out);
+        out
+    }
+
+    /// Score a raw row-major bin matrix (`bins[r * num_fields + f]`)
+    /// into a caller-provided buffer — the serving entry point,
+    /// mirroring [`FlatEnsemble::score_bins_into`].
+    ///
+    /// # Panics
+    /// Panics if `bins.len() != out.len() * num_fields`.
+    pub fn score_bins_into(&self, bins: &[u32], out: &mut [f64]) {
+        let nf = self.num_fields();
+        assert_eq!(bins.len(), out.len() * nf, "bin matrix shape must be records x fields");
+        self.drive(&|r| &bins[r * nf..(r + 1) * nf], out, None);
+    }
+
+    /// Batch prediction returning per-record total path length (edges
+    /// walked across all trees) — the compiled replacement for
+    /// [`FlatEnsemble::predict_batch_with_paths`], with identical
+    /// output on un-truncated programs.
+    pub fn predict_batch_with_paths(&self, data: &BinnedDataset) -> (Vec<f64>, Vec<u64>) {
+        self.check_arity(data);
+        let n = data.num_records();
+        let mut out = vec![0.0; n];
+        let mut paths = vec![0u64; n];
+        self.drive(&|r| data.row(r), &mut out, Some(&mut paths));
+        (out, paths)
+    }
+
+    /// Raw (untransformed) margin of one full-arity bin row.
+    pub fn margin_of_row(&self, row: &[u32]) -> f64 {
+        let mut m = self.program.base_score;
+        for span in &self.program.trees {
+            let first = span.first as usize;
+            let code = &self.program.instrs[first..first + span.len as usize];
+            let mut idx = 0u32;
+            for _ in 0..span.depth as usize {
+                let ins = code[idx as usize];
+                idx = ins.step(row[ins.field as usize]);
+            }
+            m += self.program.weights[first + idx as usize];
+        }
+        m
+    }
+}
+
+// The serving layer shares compiled programs across worker threads the
+// same way it shares `FlatEnsemble`s; keep the auto-traits pinned.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledEnsemble>();
+    assert_send_sync::<Program>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::ColumnarMirror;
+    use crate::dataset::{Dataset, RawValue};
+    use crate::schema::{DatasetSchema, FieldSchema};
+    use crate::train::{train, TrainConfig};
+
+    fn trained() -> (Model, BinnedDataset) {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x", 16),
+            FieldSchema::categorical("c", 3),
+            FieldSchema::numeric_with_bins("y", 8),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..700 {
+            let x = if i % 13 == 0 { RawValue::Missing } else { RawValue::Num(i as f32) };
+            let c = RawValue::Cat(i % 3);
+            let y = RawValue::Num(((i * 7) % 100) as f32);
+            let label = f32::from(u8::from(i >= 350)) + ((i % 3) as f32) * 0.1;
+            ds.push_record(&[x, c, y], label);
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig { num_trees: 6, max_depth: 4, ..Default::default() };
+        let (model, _) = train(&data, &mirror, &cfg);
+        (model, data)
+    }
+
+    #[test]
+    fn compiled_matches_node_walk_bitwise() {
+        let (model, data) = trained();
+        let flat = FlatEnsemble::from_model(&model).unwrap();
+        let compiled = compile(&flat, &CompileOptions::default()).unwrap();
+        let expect = model.predict_batch(&data);
+        let got = compiled.predict_batch(&data);
+        for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "record {r}");
+        }
+    }
+
+    #[test]
+    fn every_partition_shape_is_bit_identical() {
+        let (model, data) = trained();
+        let flat = FlatEnsemble::from_model(&model).unwrap();
+        let expect = model.predict_batch(&data);
+        // One instruction slot per cluster budget forces one tree per
+        // cluster; usize::MAX forces a single cluster.
+        for cluster_bytes in [1, INSTR_SLOT_BYTES * 40, usize::MAX] {
+            let c = compile(&flat, &CompileOptions { cluster_bytes, max_trees: None }).unwrap();
+            assert!(c.num_clusters() >= 1 && c.num_clusters() <= c.num_trees());
+            if cluster_bytes == 1 {
+                assert_eq!(c.num_clusters(), c.num_trees(), "tiny budget: one tree per cluster");
+            }
+            if cluster_bytes == usize::MAX {
+                assert_eq!(c.num_clusters(), 1, "unbounded budget: single cluster");
+            }
+            let got = c.predict_batch(&data);
+            for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "cluster_bytes={cluster_bytes} record {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_respect_the_byte_budget() {
+        let (model, _) = trained();
+        let flat = FlatEnsemble::from_model(&model).unwrap();
+        let budget = 4 * INSTR_SLOT_BYTES * 8; // small enough to force splits
+        let c = compile(&flat, &CompileOptions { cluster_bytes: budget, max_trees: None }).unwrap();
+        let p = c.program();
+        for i in 0..c.num_clusters() {
+            let bytes = p.cluster_bytes(i);
+            // A cluster only exceeds the budget when a single tree does.
+            assert!(
+                bytes <= budget || p.clusters[i].num_trees == 1,
+                "cluster {i}: {bytes} bytes over budget with multiple trees"
+            );
+        }
+    }
+
+    #[test]
+    fn max_trees_matches_model_truncated_bitwise() {
+        let (model, data) = trained();
+        let flat = FlatEnsemble::from_model(&model).unwrap();
+        for k in [0usize, 1, 3, 6, 99] {
+            let c =
+                compile(&flat, &CompileOptions { max_trees: Some(k), ..CompileOptions::default() })
+                    .unwrap();
+            let truncated = model.truncated(k);
+            assert_eq!(c.num_trees(), truncated.num_trees(), "clamping must match truncated({k})");
+            let expect = truncated.predict_batch(&data);
+            let got = c.predict_batch(&data);
+            for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "max_trees={k} record {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_dce_accounts_for_dropped_trees() {
+        let (model, _) = trained();
+        let flat = FlatEnsemble::from_model(&model).unwrap();
+        let full = compile(&flat, &CompileOptions::default()).unwrap();
+        let cut =
+            compile(&flat, &CompileOptions { max_trees: Some(2), ..CompileOptions::default() })
+                .unwrap();
+        assert_eq!(
+            cut.dce_dropped() - full.dce_dropped(),
+            flat.num_entries() - (flat.tree_parts(0).0.len() + flat.tree_parts(1).0.len()),
+            "entries of trees 2.. must be counted as dropped"
+        );
+        assert!(cut.num_instrs() < full.num_instrs());
+    }
+
+    #[test]
+    fn program_roundtrip_preserves_scores_bitwise() {
+        let (model, data) = trained();
+        let flat = FlatEnsemble::from_model(&model).unwrap();
+        let compiled = compile(&flat, &CompileOptions::default()).unwrap();
+        let back = CompiledEnsemble::from_bytes(&compiled.to_bytes()).expect("roundtrip");
+        assert_eq!(back.program(), compiled.program());
+        let a = compiled.predict_batch(&data);
+        let b = back.predict_batch(&data);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn compiled_paths_match_flat_paths() {
+        let (model, data) = trained();
+        let flat = FlatEnsemble::from_model(&model).unwrap();
+        let compiled = compile(&flat, &CompileOptions::default()).unwrap();
+        let (fp, fpaths) = flat.predict_batch_with_paths(&data);
+        let (cp, cpaths) = compiled.predict_batch_with_paths(&data);
+        assert_eq!(fpaths, cpaths);
+        for (a, b) in fp.iter().zip(&cp) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn score_into_rejects_short_buffer() {
+        let (model, data) = trained();
+        let compiled = CompiledEnsemble::from_model(&model, &CompileOptions::default()).unwrap();
+        let mut out = vec![0.0; data.num_records() - 1];
+        compiled.score_into(&data, &mut out);
+    }
+}

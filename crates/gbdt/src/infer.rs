@@ -34,8 +34,11 @@
 //! raw-record scoring with reusable buffers and absent bins precomputed
 //! once.
 
+use std::sync::OnceLock;
+
 use rayon::prelude::*;
 
+use crate::compile::{compile, CompileOptions, CompiledEnsemble};
 use crate::dataset::RawValue;
 use crate::gradients::Loss;
 use crate::predict::Model;
@@ -64,6 +67,12 @@ pub enum ExecMode {
     /// Trees fan out across cores per record block — the analogue of one
     /// BU per tree; per-record sums still fold in tree order.
     TreeParallel,
+    /// The ensemble is lowered once (lazily, then cached) to a
+    /// partitioned branch-free bytecode program and interpreted in
+    /// lockstep record lanes ([`crate::compile`]) — the analogue of the
+    /// accelerator's fixed-function walk. Single-threaded, like
+    /// `Sequential`.
+    Compiled,
 }
 
 /// A whole trained model lowered into one contiguous flat form.
@@ -110,6 +119,10 @@ pub struct FlatEnsemble {
     base_score: f64,
     /// Output transform of the training loss.
     loss: Loss,
+    /// Lazily compiled bytecode program ([`ExecMode::Compiled`]);
+    /// `OnceLock` keeps the ensemble `Send + Sync` and the compile a
+    /// once-per-ensemble cost shared by every later call.
+    compiled: OnceLock<CompiledEnsemble>,
 }
 
 /// Append one tree's per-entry resolved arrays — exact `f64` leaf
@@ -210,6 +223,31 @@ impl FlatEnsemble {
             num_fields: model.binnings.len(),
             base_score: model.base_score,
             loss: model.loss,
+            compiled: OnceLock::new(),
+        })
+    }
+
+    /// Tree `t`'s raw lowered parts — `(entries, fields, absents,
+    /// weights)` — the compiler's input view of the SoA.
+    pub(crate) fn tree_parts(&self, t: usize) -> (&[TableEntry], &[u32], &[u32], &[f64]) {
+        let span = self.tree_offsets[t]..self.tree_offsets[t + 1];
+        (
+            &self.entries[span.clone()],
+            &self.entry_fields[span.clone()],
+            &self.entry_absents[span.clone()],
+            &self.weights[span],
+        )
+    }
+
+    /// The ensemble compiled to its branch-free bytecode program
+    /// (default [`CompileOptions`]), built on first use and cached —
+    /// [`ExecMode::Compiled`], `Predictor`, and the serve workers all
+    /// share this one program. For non-default options (truncation,
+    /// cluster sizing) call [`crate::compile::compile`] directly.
+    pub fn compiled(&self) -> &CompiledEnsemble {
+        self.compiled.get_or_init(|| {
+            compile(self, &CompileOptions::default())
+                .expect("ensemble exceeds the u32 instruction space of the program format")
         })
     }
 
@@ -319,8 +357,9 @@ impl FlatEnsemble {
     /// serving workers can reuse one scratch buffer across batches.
     ///
     /// `out` is fully overwritten (its prior contents are ignored) and
-    /// must hold exactly one slot per record. `Sequential` and
-    /// `RecordParallel` perform **no heap allocation**; `TreeParallel`
+    /// must hold exactly one slot per record. `Sequential`,
+    /// `RecordParallel`, and `Compiled` perform **no heap allocation**
+    /// (after `Compiled`'s one-time lazy program build); `TreeParallel`
     /// allocates per-tree scratch for its fan-out (use it for large
     /// offline batches, not latency-sensitive serving). Results are
     /// bit-identical to [`Model::predict_batch`] in every mode.
@@ -356,6 +395,7 @@ impl FlatEnsemble {
                     .for_each();
             }
             ExecMode::TreeParallel => self.tree_parallel_into(data, out),
+            ExecMode::Compiled => self.compiled().score_into(data, out),
         }
     }
 
@@ -490,10 +530,12 @@ pub struct Predictor {
     flat: FlatEnsemble,
     binnings: Vec<FieldBinning>,
     bins: Vec<u32>,
+    mode: ExecMode,
 }
 
 impl Predictor {
-    /// Build a predictor from a trained model.
+    /// Build a predictor from a trained model (interpreted
+    /// [`ExecMode::Sequential`] walk; see [`Predictor::with_mode`]).
     ///
     /// # Errors
     /// Propagates [`TableLoweringError`] for trees too large to encode.
@@ -502,7 +544,26 @@ impl Predictor {
             flat: FlatEnsemble::from_model(model)?,
             binnings: model.binnings.clone(),
             bins: Vec::new(),
+            mode: ExecMode::Sequential,
         })
+    }
+
+    /// Select the single-record scoring engine: [`ExecMode::Compiled`]
+    /// walks the cached bytecode program (built eagerly here so the
+    /// first request does not pay the compile), every other mode walks
+    /// the interpreted flat tables. Results are bit-identical either
+    /// way.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        if mode == ExecMode::Compiled {
+            let _ = self.flat.compiled();
+        }
+        self.mode = mode;
+        self
+    }
+
+    /// The currently selected single-record scoring engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Transformed prediction for one raw record; bit-identical to
@@ -511,7 +572,12 @@ impl Predictor {
         assert_eq!(record.len(), self.binnings.len(), "record arity mismatch");
         self.bins.clear();
         self.bins.extend(record.iter().zip(&self.binnings).map(|(v, b)| b.bin_of(*v)));
-        self.flat.loss.transform(self.flat.margin_of_row(&self.bins))
+        let margin = if self.mode == ExecMode::Compiled {
+            self.flat.compiled().margin_of_row(&self.bins)
+        } else {
+            self.flat.margin_of_row(&self.bins)
+        };
+        self.flat.loss.transform(margin)
     }
 
     /// Score a mini-batch of raw records into a reusable output buffer
@@ -613,7 +679,12 @@ mod tests {
         let (model, data, _) = trained_model();
         let flat = FlatEnsemble::from_model(&model).expect("small trees lower");
         let expect = model.predict_batch(&data);
-        for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::RecordParallel,
+            ExecMode::TreeParallel,
+            ExecMode::Compiled,
+        ] {
             let got = flat.predict_batch(&data, mode);
             assert_eq!(got.len(), expect.len());
             for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
@@ -629,7 +700,12 @@ mod tests {
         let expect = model.predict_batch(&data);
         // Scratch reuse: stale contents must not leak into any mode.
         let mut out = vec![f64::NAN; data.num_records()];
-        for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::RecordParallel,
+            ExecMode::TreeParallel,
+            ExecMode::Compiled,
+        ] {
             flat.score_into(&data, mode, &mut out);
             for (r, (a, b)) in out.iter().zip(&expect).enumerate() {
                 assert_eq!(a.to_bits(), b.to_bits(), "mode {mode:?}, record {r}");
@@ -735,6 +811,26 @@ mod tests {
     }
 
     #[test]
+    fn predictor_compiled_mode_matches_predict_raw() {
+        let (model, _, ds) = trained_model();
+        let mut pred =
+            Predictor::from_model(&model).expect("lowering").with_mode(ExecMode::Compiled);
+        assert_eq!(pred.exec_mode(), ExecMode::Compiled);
+        let mut record = Vec::new();
+        for r in (0..700).step_by(37) {
+            record.clear();
+            for f in 0..ds.num_fields() {
+                record.push(ds.value(r, f));
+            }
+            assert_eq!(
+                pred.predict_one(&record).to_bits(),
+                model.predict_raw(&record).to_bits(),
+                "record {r}"
+            );
+        }
+    }
+
+    #[test]
     fn leaf_only_ensemble_scores_base_plus_leaves() {
         let (model, data, _) = trained_model();
         let stub = Model {
@@ -747,7 +843,12 @@ mod tests {
         let flat = FlatEnsemble::from_model(&stub).expect("leaf trees lower");
         assert_eq!(flat.num_trees(), 2);
         assert!(flat.gather_list(0).is_empty());
-        for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::RecordParallel,
+            ExecMode::TreeParallel,
+            ExecMode::Compiled,
+        ] {
             let got = flat.predict_batch(&data, mode);
             assert!(got.iter().all(|&p| p == 0.625), "mode {mode:?}");
         }

@@ -35,7 +35,11 @@
 //! 16-byte tree-table entries, scored in cache-sized record blocks with
 //! sequential, record-parallel, and tree-parallel execution — the
 //! software analogue of Booster's SRAM-resident batch-inference engine
-//! (Section III-D).
+//! (Section III-D). The flat form can additionally be **compiled**
+//! ([`compile`], [`program`]) into a partitioned branch-free bytecode
+//! program — specialization, dead-code elimination, and cache-budgeted
+//! tree clustering — interpreted in lockstep record lanes with no
+//! data-dependent branches, bit-identical to the node walk.
 //!
 //! ## Quickstart
 //!
@@ -69,6 +73,7 @@
 
 pub mod binning;
 pub mod columnar;
+pub mod compile;
 pub mod dataset;
 pub mod gradients;
 pub mod grow;
@@ -82,6 +87,7 @@ pub mod partition;
 pub mod phases;
 pub mod predict;
 pub mod preprocess;
+pub mod program;
 pub mod sample;
 pub mod schema;
 pub mod serialize;
@@ -92,6 +98,7 @@ pub mod tree;
 /// Convenient re-exports of the most common types.
 pub mod prelude {
     pub use crate::columnar::ColumnarMirror;
+    pub use crate::compile::{compile, CompileError, CompileOptions, CompiledEnsemble};
     pub use crate::dataset::{Dataset, RawValue};
     pub use crate::gradients::{GradPair, Loss};
     pub use crate::grow::{grow_forest_with_eval, GrowthStrategy};
@@ -101,6 +108,7 @@ pub mod prelude {
     pub use crate::parallel::{train_parallel, ParallelExec};
     pub use crate::predict::Model;
     pub use crate::preprocess::BinnedDataset;
+    pub use crate::program::{program_from_bytes, program_to_bytes, Program, ProgramError};
     pub use crate::sample::SampleStream;
     pub use crate::schema::{DatasetSchema, FieldKind, FieldSchema};
     pub use crate::serialize::{model_from_bytes, model_to_bytes};

@@ -112,7 +112,10 @@ impl Model {
     /// training would have produced had it stopped there. This is the
     /// operation validation-driven early stopping applies at
     /// `best_iteration`, exposed for serving cheaper prefixes of a
-    /// trained ensemble.
+    /// trained ensemble. The compiler applies the same clamping when
+    /// truncating at compile time
+    /// ([`crate::compile::CompileOptions::max_trees`]), treating the
+    /// dropped suffix as dead code.
     pub fn truncated(&self, num_trees: usize) -> Model {
         let keep = num_trees.max(1).min(self.trees.len());
         Model {
@@ -275,5 +278,34 @@ mod tests {
         // Clamped at both ends: never empty, never beyond the ensemble.
         assert_eq!(model.truncated(0).num_trees(), 1);
         assert_eq!(model.truncated(99).num_trees(), 3);
+    }
+
+    #[test]
+    fn truncated_boundaries_zero_full_and_past() {
+        let (one_tree, data) = stub_model();
+        let mut model = one_tree.clone();
+        model.trees.push(Tree::new(vec![Node::Leaf { weight: 0.25 }]));
+        model.trees.push(Tree::new(vec![Node::Leaf { weight: -0.5 }]));
+        // Truncating to 0 clamps to 1 tree — identical to truncated(1).
+        let t0 = model.truncated(0);
+        let t1 = model.truncated(1);
+        assert_eq!(t0.trees, t1.trees);
+        // Truncating to the full length (or past it) keeps every tree
+        // and predicts bit-identically to the untruncated model.
+        for keep in [model.num_trees(), model.num_trees() + 5, usize::MAX] {
+            let full = model.truncated(keep);
+            assert_eq!(full.num_trees(), model.num_trees(), "keep={keep}");
+            for r in 0..data.num_records() {
+                assert_eq!(
+                    full.predict_binned(&data, r).to_bits(),
+                    model.predict_binned(&data, r).to_bits(),
+                    "keep={keep} record {r}"
+                );
+            }
+        }
+        // Shared metadata survives every boundary.
+        assert_eq!(t0.base_score.to_bits(), model.base_score.to_bits());
+        assert_eq!(t0.loss, model.loss);
+        assert_eq!(t0.binnings.len(), model.binnings.len());
     }
 }

@@ -12,6 +12,13 @@
 //!
 //! All integers are little-endian. The format round-trips exactly (bit
 //! equality of predictions).
+//!
+//! The model format is the durable artifact; the compiled bytecode
+//! program ([`crate::program`]) is a derived one — any deserialized
+//! model re-lowers and re-compiles to a byte-identical program, so
+//! programs never need to travel alongside their models (pinned by
+//! `deserialized_model_rebuilds_identical_program` below and the golden
+//! fixture in `tests/golden_program.rs`).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -322,6 +329,21 @@ mod tests {
         assert_eq!(restored.predict_raw(&rec).to_bits(), model.predict_raw(&rec).to_bits());
         let miss = [RawValue::Missing, RawValue::Missing];
         assert_eq!(restored.predict_raw(&miss).to_bits(), model.predict_raw(&miss).to_bits());
+    }
+
+    #[test]
+    fn deserialized_model_rebuilds_identical_program() {
+        use crate::compile::{compile, CompileOptions};
+        use crate::infer::FlatEnsemble;
+        use crate::program::program_to_bytes;
+        let (model, _) = trained_model();
+        let restored = model_from_bytes(&model_to_bytes(&model)).expect("roundtrip");
+        let opts = CompileOptions::default();
+        let a = compile(&FlatEnsemble::from_model(&model).unwrap(), &opts).unwrap();
+        let b = compile(&FlatEnsemble::from_model(&restored).unwrap(), &opts).unwrap();
+        // The compiled program is a pure function of the serialized
+        // model: byte-identical after a model roundtrip.
+        assert_eq!(program_to_bytes(a.program()), program_to_bytes(b.program()));
     }
 
     #[test]

@@ -130,6 +130,10 @@ impl ModelRegistry {
     /// clients already sending records.
     pub fn register(&self, model: &Model) -> Result<u64, RegistryError> {
         let flat = FlatEnsemble::from_model(model)?;
+        // Pre-warm the compiled bytecode program outside the registry
+        // lock: workers score micro-batches on the compiled engine, and
+        // the one-time compile must not land on the first request.
+        let _ = flat.compiled();
         let mut inner = self.inner.write();
         if let Some(existing) = inner.versions.values().next() {
             if existing.flat.num_fields() != flat.num_fields() {

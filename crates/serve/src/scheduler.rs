@@ -645,7 +645,9 @@ fn run_worker(rx: Receiver<Vec<Request>>, shared: Arc<Shared>, cost: Duration) {
             }
             out.clear();
             out.resize(run.len(), 0.0);
-            model.flat().score_bins_into(&bins, &mut out);
+            // Compiled branch-free engine, pre-warmed at registration;
+            // bit-identical to the interpreted flat walk.
+            model.flat().compiled().score_bins_into(&bins, &mut out);
             if !cost.is_zero() {
                 std::thread::sleep(cost * run.len() as u32);
             }

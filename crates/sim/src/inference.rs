@@ -36,13 +36,15 @@ pub struct InferenceWorkload {
 
 impl InferenceWorkload {
     /// Measure the workload by running batch inference functionally on
-    /// the flat-ensemble engine — the same blocked tree-table walk the
-    /// accelerator model prices. Trees too large for the 16-byte table
-    /// encoding fall back to the node-walk path (they cannot be
+    /// the compiled branch-free program — the closest software analogue
+    /// of the accelerator walk the model prices (edge counts are
+    /// identical to the flat and node walks; `compiled_paths_match_flat_paths`
+    /// in `booster-gbdt` pins this). Trees too large for the 16-byte
+    /// table encoding fall back to the node-walk path (they cannot be
     /// SRAM-resident anyway, but their path statistics are still valid).
     pub fn measure(model: &Model, data: &BinnedDataset) -> Self {
         let (_, paths) = match FlatEnsemble::from_model(model) {
-            Ok(flat) => flat.predict_batch_with_paths(data),
+            Ok(flat) => flat.compiled().predict_batch_with_paths(data),
             Err(_) => model.predict_batch_with_paths(data),
         };
         InferenceWorkload {

@@ -1,0 +1,124 @@
+//! Golden-format regression tests for the compiled-program wire format.
+//!
+//! `tests/fixtures/program_v1.bin` is a committed version-1 artifact:
+//! the canonical v1 *model* fixture (`model_v1.bstr`) deserialized,
+//! lowered to a `FlatEnsemble`, and compiled with pinned
+//! `CompileOptions`. The whole chain — model decode, table lowering,
+//! BFS renumbering, DCE, partitioning, instruction encoding, program
+//! serialization — is a pure function of the committed bytes, so any
+//! change anywhere in the compiler pipeline shows up here as a byte
+//! diff before it can silently invalidate persisted programs.
+//!
+//! Mirrors `tests/golden_format.rs`: writer stability, reader
+//! compatibility, header pin, and an ignored `bless` regenerator.
+//! Regenerate only after an *intentional* compiler or format change:
+//! `cargo test --test golden_program -- --ignored bless`
+
+use std::path::PathBuf;
+
+use booster_repro::gbdt::compile::{compile, CompileOptions, CompiledEnsemble};
+use booster_repro::gbdt::dataset::RawValue;
+use booster_repro::gbdt::infer::FlatEnsemble;
+use booster_repro::gbdt::predict::Model;
+use booster_repro::gbdt::program::{program_from_bytes, MAGIC, VERSION};
+use booster_repro::gbdt::serialize::model_from_bytes;
+
+fn model_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_v1.bstr")
+}
+
+fn program_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/program_v1.bin")
+}
+
+fn fixture_model() -> Model {
+    let bytes = std::fs::read(model_fixture_path()).expect("model_v1.bstr missing");
+    model_from_bytes(&bytes).expect("v1 model fixture must parse")
+}
+
+/// The pinned compile configuration. Deliberately NOT
+/// `CompileOptions::default()`: if the default cluster budget is ever
+/// tuned, the golden bytes must not move with it.
+fn pinned_options() -> CompileOptions {
+    CompileOptions { cluster_bytes: 4096, max_trees: None }
+}
+
+fn canonical_program_bytes() -> Vec<u8> {
+    let model = fixture_model();
+    let flat = FlatEnsemble::from_model(&model).expect("fixture trees lower");
+    let compiled = compile(&flat, &pinned_options()).expect("fixture compiles");
+    compiled.to_bytes().to_vec()
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    std::fs::read(program_fixture_path()).expect(
+        "tests/fixtures/program_v1.bin missing — regenerate with \
+         `cargo test --test golden_program -- --ignored bless`",
+    )
+}
+
+/// Same probe set as the model golden tests: every routing path through
+/// the canonical trees, including missing values in both fields.
+fn probe_records() -> Vec<[RawValue; 2]> {
+    vec![
+        [RawValue::Num(0.5), RawValue::Cat(0)],
+        [RawValue::Num(2.0), RawValue::Cat(1)],
+        [RawValue::Num(50.0), RawValue::Cat(2)],
+        [RawValue::Missing, RawValue::Cat(1)],
+        [RawValue::Num(5.0), RawValue::Missing],
+        [RawValue::Missing, RawValue::Missing],
+    ]
+}
+
+#[test]
+fn current_compiler_reproduces_v1_fixture_bit_exactly() {
+    assert_eq!(
+        &canonical_program_bytes()[..],
+        &fixture_bytes()[..],
+        "compiler output diverged from the committed v1 program fixture — if the pipeline \
+         change is intentional, bump program::VERSION, keep a v1 read path, and bless a new \
+         fixture"
+    );
+}
+
+#[test]
+fn v1_program_fixture_still_decodes_and_scores_identically() {
+    let compiled = CompiledEnsemble::from_bytes(&fixture_bytes())
+        .expect("v1 program bytes must keep decoding");
+    let model = fixture_model();
+    assert_eq!(compiled.num_trees(), model.num_trees());
+    for (i, rec) in probe_records().iter().enumerate() {
+        let bins = model.bin_raw(rec);
+        let mut out = [0.0f64];
+        compiled.score_bins_into(&bins, &mut out);
+        assert_eq!(out[0].to_bits(), model.predict_raw(rec).to_bits(), "probe record {i}");
+    }
+}
+
+#[test]
+fn program_fixture_header_pins_magic_and_version() {
+    let bytes = fixture_bytes();
+    assert_eq!(&bytes[..4], MAGIC, "fixture magic");
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    assert_eq!(version, 1, "the committed fixture is a version-1 artifact");
+    assert_eq!(VERSION, 1, "VERSION bumped: add a v1 read path and a program_v{VERSION} fixture");
+}
+
+#[test]
+fn program_fixture_passes_full_validation() {
+    // Decode through the raw entry point so the structural validator —
+    // not just the checksum — is exercised on the committed artifact.
+    let program = program_from_bytes(&fixture_bytes()).expect("decode");
+    program.validate().expect("committed fixture must satisfy every structural invariant");
+}
+
+/// Regenerate the fixture. Ignored so it never runs in CI; invoke
+/// explicitly after an intentional compiler or format change.
+#[test]
+#[ignore = "writes tests/fixtures/program_v1.bin; run only to bless a new fixture"]
+fn bless() {
+    let path = program_fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, canonical_program_bytes()).unwrap();
+    println!("wrote {}", path.display());
+}

@@ -503,7 +503,12 @@ proptest! {
             let (model, _) = train_with(&data, &mirror, &cfg, &SequentialExec);
             let flat = FlatEnsemble::from_model(&model).expect("depth-3 trees lower");
             let expect = model.predict_batch(&data);
-            for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+            for mode in [
+                ExecMode::Sequential,
+                ExecMode::RecordParallel,
+                ExecMode::TreeParallel,
+                ExecMode::Compiled,
+            ] {
                 let got = flat.predict_batch(&data, mode);
                 prop_assert_eq!(got.len(), expect.len());
                 for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
@@ -573,7 +578,12 @@ proptest! {
                 model_from_bytes(&model_to_bytes(&model)).expect("roundtrip");
             let flat = FlatEnsemble::from_model(&restored).expect("depth-3 trees lower");
             let expect = model.predict_batch(&data);
-            for mode in [ExecMode::Sequential, ExecMode::RecordParallel, ExecMode::TreeParallel] {
+            for mode in [
+                ExecMode::Sequential,
+                ExecMode::RecordParallel,
+                ExecMode::TreeParallel,
+                ExecMode::Compiled,
+            ] {
                 let got = flat.predict_batch(&data, mode);
                 for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
                     prop_assert_eq!(

@@ -102,6 +102,7 @@ pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    filter: Option<String>,
     _criterion: &'c mut Criterion,
 }
 
@@ -125,6 +126,14 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
+        if let Some(f) = &self.filter {
+            // Real criterion treats the positional CLI argument as a
+            // substring filter over `group/id`; mirror that so CI can
+            // smoke-run one benchmark without paying for the rest.
+            if !format!("{}/{}", self.name, id.name).contains(f.as_str()) {
+                return self;
+            }
+        }
         let mut b = Bencher { samples: Vec::new(), iters: self.sample_size };
         f(&mut b);
         let mut s = b.samples;
@@ -162,15 +171,33 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Entry point mirroring `criterion::Criterion`.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    /// Substring filter over `group/id` benchmark names, taken from the
+    /// first non-flag CLI argument (`cargo bench -- <filter>`), matching
+    /// real criterion's positional-filter behaviour.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
 
 impl Criterion {
+    /// A runner with an explicit name filter (tests; also lets a bench
+    /// binary force a subset programmatically).
+    pub fn with_filter(filter: impl Into<String>) -> Self {
+        Criterion { filter: Some(filter.into()) }
+    }
+
     /// Start a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
+        let filter = self.filter.clone();
         println!("== {name} ==");
-        BenchmarkGroup { name, sample_size: 10, throughput: None, _criterion: self }
+        BenchmarkGroup { name, sample_size: 10, throughput: None, filter, _criterion: self }
     }
 
     /// Run a single ungrouped benchmark.
@@ -223,5 +250,32 @@ mod tests {
         });
         g.finish();
         assert!(ran >= 3, "closure ran {ran} times");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion::with_filter("keep");
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(1);
+        let mut kept = 0u32;
+        let mut skipped = 0u32;
+        g.bench_function("keep_this", |b| b.iter(|| kept += 1));
+        g.bench_function("drop_this", |b| b.iter(|| skipped += 1));
+        g.finish();
+        assert!(kept >= 1, "matching benchmark must run");
+        assert_eq!(skipped, 0, "non-matching benchmark must be skipped");
+    }
+
+    #[test]
+    fn filter_matches_on_group_slash_id() {
+        // The filter applies to the combined `group/id` name, so a
+        // group-name substring selects the whole group.
+        let mut c = Criterion::with_filter("grp/");
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(1);
+        let mut ran = 0u32;
+        g.bench_function("anything", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 1);
     }
 }
