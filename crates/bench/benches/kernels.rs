@@ -1,6 +1,11 @@
 //! Criterion microbenchmarks for the hot GBDT kernels: histogram
 //! binning (Step 1), split scan (Step 2), partitioning (Step 3) and
 //! tree traversal (Step 5).
+//!
+//! The record-streaming kernels run at two scales (one cache-resident,
+//! one DRAM-bound) and — where a layout choice exists — against both
+//! the bit-packed (`u8`, the default) and forced-wide (`u32`) bin
+//! layouts, so the packing win is measured, not assumed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -10,25 +15,58 @@ use booster_gbdt::gradients::GradPair;
 use booster_gbdt::histogram::NodeHistogram;
 use booster_gbdt::partition::partition_rows;
 use booster_gbdt::split::{find_best_split, SplitParams, SplitRule};
-use booster_gbdt::train::{train, TrainConfig};
+use booster_gbdt::train::{train, SequentialExec, StepExecutor, TrainConfig};
 
-const N: usize = 50_000;
+const SCALES: [usize; 2] = [50_000, 200_000];
 
 fn bench_histogram(c: &mut Criterion) {
     let mut g = c.benchmark_group("step1_histogram");
     g.sample_size(10);
-    for bench in [Benchmark::Higgs, Benchmark::Flight] {
-        let (data, _) = generate_binned(bench, N, 1);
-        let grads: Vec<GradPair> = (0..N).map(|i| GradPair::new((i as f64).sin(), 1.0)).collect();
-        let rows: Vec<u32> = (0..N as u32).collect();
-        g.throughput(Throughput::Elements((N * data.num_fields()) as u64));
-        g.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
-            b.iter(|| {
-                let mut h = NodeHistogram::zeroed(&data);
-                h.bin_records(&data, black_box(&rows), black_box(&grads));
-                black_box(h.total_count())
-            })
-        });
+    for n in SCALES {
+        for bench in [Benchmark::Higgs, Benchmark::Flight] {
+            let (data, mirror) = generate_binned(bench, n, 1);
+            let (wide, wide_mirror) = (data.to_wide(), mirror.to_wide());
+            let grads: Vec<GradPair> =
+                (0..n).map(|i| GradPair::new((i as f64).sin(), 1.0)).collect();
+            let rows: Vec<u32> = (0..n as u32).collect();
+            g.throughput(Throughput::Elements((n * data.num_fields()) as u64));
+            // The executor's field-wise gathered kernel — the path
+            // training actually runs — over both bin layouts.
+            g.bench_function(BenchmarkId::new(bench.name(), n), |b| {
+                b.iter(|| {
+                    let mut h = NodeHistogram::zeroed(&data);
+                    SequentialExec.bin_records(
+                        black_box(&data),
+                        black_box(&mirror),
+                        black_box(&rows),
+                        black_box(&grads),
+                        &mut h,
+                    );
+                    black_box(h.total_count())
+                })
+            });
+            g.bench_function(BenchmarkId::new(format!("{}_wide", bench.name()), n), |b| {
+                b.iter(|| {
+                    let mut h = NodeHistogram::zeroed(&wide);
+                    SequentialExec.bin_records(
+                        black_box(&wide),
+                        black_box(&wide_mirror),
+                        black_box(&rows),
+                        black_box(&grads),
+                        &mut h,
+                    );
+                    black_box(h.total_count())
+                })
+            });
+            // The row-major scatter (parity reference and test kernel).
+            g.bench_function(BenchmarkId::new(format!("{}_rowmajor", bench.name()), n), |b| {
+                b.iter(|| {
+                    let mut h = NodeHistogram::zeroed(&data);
+                    h.bin_records(black_box(&data), black_box(&rows), black_box(&grads));
+                    black_box(h.total_count())
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -36,44 +74,66 @@ fn bench_histogram(c: &mut Criterion) {
 fn bench_split_scan(c: &mut Criterion) {
     let mut g = c.benchmark_group("step2_split_scan");
     g.sample_size(10);
-    for bench in [Benchmark::Higgs, Benchmark::Allstate] {
-        let (data, _) = generate_binned(bench, N, 1);
-        let grads: Vec<GradPair> = (0..N).map(|i| GradPair::new((i as f64).cos(), 1.0)).collect();
-        let rows: Vec<u32> = (0..N as u32).collect();
-        let mut h = NodeHistogram::zeroed(&data);
-        h.bin_records(&data, &rows, &grads);
-        g.throughput(Throughput::Elements(data.total_bins()));
-        g.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
-            b.iter(|| {
-                let (s, bins) =
-                    find_best_split(black_box(&h), data.binnings(), &SplitParams::default(), None);
-                black_box((s, bins))
-            })
-        });
+    for n in SCALES {
+        for bench in [Benchmark::Higgs, Benchmark::Allstate] {
+            let (data, _) = generate_binned(bench, n, 1);
+            let grads: Vec<GradPair> =
+                (0..n).map(|i| GradPair::new((i as f64).cos(), 1.0)).collect();
+            let rows: Vec<u32> = (0..n as u32).collect();
+            let mut h = NodeHistogram::zeroed(&data);
+            h.bin_records(&data, &rows, &grads);
+            g.throughput(Throughput::Elements(data.total_bins()));
+            g.bench_function(BenchmarkId::new(bench.name(), n), |b| {
+                b.iter(|| {
+                    let (s, bins) = find_best_split(
+                        black_box(&h),
+                        data.binnings(),
+                        &SplitParams::default(),
+                        None,
+                    );
+                    black_box((s, bins))
+                })
+            });
+        }
     }
     g.finish();
 }
 
 fn bench_partition(c: &mut Criterion) {
-    let (data, mirror) = generate_binned(Benchmark::Higgs, N, 1);
-    let rows: Vec<u32> = (0..N as u32).collect();
-    let column = mirror.column(0);
-    let absent = data.binnings()[0].absent_bin();
     let mut g = c.benchmark_group("step3_partition");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("higgs_field0", |b| {
-        b.iter(|| {
-            let (l, r) = partition_rows(
-                black_box(&rows),
-                black_box(column),
-                SplitRule::Numeric { threshold_bin: 128 },
-                false,
-                absent,
-            );
-            black_box((l.len(), r.len()))
-        })
-    });
+    for n in SCALES {
+        let (data, mirror) = generate_binned(Benchmark::Higgs, n, 1);
+        let wide_mirror = mirror.to_wide();
+        let rows: Vec<u32> = (0..n as u32).collect();
+        let absent = data.binnings()[0].absent_bin();
+        let rule = SplitRule::Numeric { threshold_bin: 128 };
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(BenchmarkId::new("higgs_field0", n), |b| {
+            b.iter(|| {
+                let (l, r) = partition_rows(
+                    black_box(&rows),
+                    black_box(mirror.column(0)),
+                    rule,
+                    false,
+                    absent,
+                );
+                black_box((l.len(), r.len()))
+            })
+        });
+        g.bench_function(BenchmarkId::new("higgs_field0_wide", n), |b| {
+            b.iter(|| {
+                let (l, r) = partition_rows(
+                    black_box(&rows),
+                    black_box(wide_mirror.column(0)),
+                    rule,
+                    false,
+                    absent,
+                );
+                black_box((l.len(), r.len()))
+            })
+        });
+    }
     g.finish();
 }
 

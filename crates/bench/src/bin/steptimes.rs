@@ -1,0 +1,28 @@
+//! Quick step-time breakdown of one sequential training run (dev tool).
+
+use booster_datagen::{default_loss, generate_binned, Benchmark};
+use booster_gbdt::train::{train, TrainConfig};
+
+fn main() {
+    for bench in [Benchmark::Higgs, Benchmark::Flight] {
+        let (data, mirror) = generate_binned(bench, 30_000, 1);
+        let cfg = TrainConfig {
+            num_trees: 10,
+            max_depth: 6,
+            loss: default_loss(bench),
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let (_, rep) = train(&data, &mirror, &cfg);
+        let total = t0.elapsed();
+        println!(
+            "{}: total {:?} | step1 {:?} step2 {:?} step3 {:?} step5 {:?}",
+            bench.name(),
+            total,
+            rep.times.step1,
+            rep.times.step2,
+            rep.times.step3,
+            rep.times.step5
+        );
+    }
+}

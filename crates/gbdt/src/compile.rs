@@ -326,7 +326,7 @@ impl CompiledEnsemble {
     /// [`Instr::step`], for exactly `TreeSpan::depth` iterations — the
     /// trip count depends only on the tree, so there is nothing for
     /// the branch predictor to miss.
-    fn run_cluster<'a, R>(
+    fn run_cluster<'a, B, R>(
         &self,
         cl: &ClusterSpan,
         row_of: &R,
@@ -334,7 +334,8 @@ impl CompiledEnsemble {
         margins: &mut [f64],
         paths: Option<&mut [u64]>,
     ) where
-        R: Fn(usize) -> &'a [u32],
+        B: crate::preprocess::BinIndex,
+        R: Fn(usize) -> &'a [B],
     {
         let p = &self.program;
         let t0 = cl.first_tree as usize;
@@ -352,7 +353,7 @@ impl CompiledEnsemble {
                     let mut idx = 0u32;
                     for _ in 0..span.depth {
                         let ins = code[idx as usize];
-                        let next = ins.step(row[ins.field as usize]);
+                        let next = ins.step(row[ins.field as usize].widen());
                         steps += u64::from(next != idx);
                         idx = next;
                     }
@@ -378,7 +379,7 @@ impl CompiledEnsemble {
         let n = margins.len();
         let mut i = 0;
         while i + LANES <= n {
-            let rows: [&[u32]; LANES] = std::array::from_fn(|l| row_of(r0 + i + l));
+            let rows: [&[B]; LANES] = std::array::from_fn(|l| row_of(r0 + i + l));
             let mut acc: [f64; LANES] = std::array::from_fn(|l| margins[i + l]);
             for span in spans {
                 let first = span.first as usize;
@@ -391,7 +392,7 @@ impl CompiledEnsemble {
                         // SAFETY: see block comment above.
                         unsafe {
                             let ins = code.get_unchecked(idx[l] as usize);
-                            let bin = *rows[l].get_unchecked(ins.field as usize);
+                            let bin = rows[l].get_unchecked(ins.field as usize).widen();
                             idx[l] = ins.step(bin);
                         }
                     }
@@ -414,7 +415,7 @@ impl CompiledEnsemble {
                 let mut idx = 0u32;
                 for _ in 0..span.depth {
                     let ins = code[idx as usize];
-                    idx = ins.step(row[ins.field as usize]);
+                    idx = ins.step(row[ins.field as usize].widen());
                 }
                 m += p.weights[first + idx as usize];
             }
@@ -428,9 +429,10 @@ impl CompiledEnsemble {
     /// leaf weights in exact global tree order (clusters are contiguous
     /// tree ranges) while one cluster's code stays cache-hot for the
     /// whole batch.
-    fn drive<'a, R>(&self, row_of: &R, margins: &mut [f64], mut paths: Option<&mut [u64]>)
+    fn drive<'a, B, R>(&self, row_of: &R, margins: &mut [f64], mut paths: Option<&mut [u64]>)
     where
-        R: Fn(usize) -> &'a [u32],
+        B: crate::preprocess::BinIndex,
+        R: Fn(usize) -> &'a [B],
     {
         margins.fill(self.program.base_score);
         if let Some(p) = paths.as_deref_mut() {
@@ -468,7 +470,17 @@ impl CompiledEnsemble {
     pub fn score_into(&self, data: &BinnedDataset, out: &mut [f64]) {
         self.check_arity(data);
         assert_eq!(out.len(), data.num_records(), "output buffer must cover every record");
-        self.drive(&|r| data.row(r), out, None);
+        // Dispatch the bin-matrix layout once; the lane loop below is
+        // monomorphized per element width (packed rows stream 4x denser).
+        let nf = data.num_fields();
+        match data.matrix() {
+            crate::preprocess::BinMatrix::Packed(m) => {
+                self.drive(&|r| &m[r * nf..(r + 1) * nf], out, None);
+            }
+            crate::preprocess::BinMatrix::Wide(m) => {
+                self.drive(&|r| &m[r * nf..(r + 1) * nf], out, None);
+            }
+        }
     }
 
     /// Batch prediction over a binned dataset.
@@ -499,7 +511,15 @@ impl CompiledEnsemble {
         let n = data.num_records();
         let mut out = vec![0.0; n];
         let mut paths = vec![0u64; n];
-        self.drive(&|r| data.row(r), &mut out, Some(&mut paths));
+        let nf = data.num_fields();
+        match data.matrix() {
+            crate::preprocess::BinMatrix::Packed(m) => {
+                self.drive(&|r| &m[r * nf..(r + 1) * nf], &mut out, Some(&mut paths));
+            }
+            crate::preprocess::BinMatrix::Wide(m) => {
+                self.drive(&|r| &m[r * nf..(r + 1) * nf], &mut out, Some(&mut paths));
+            }
+        }
         (out, paths)
     }
 

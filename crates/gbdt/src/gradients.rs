@@ -102,9 +102,25 @@ impl Loss {
                 let d = margin - label;
                 0.5 * d * d
             }
+            Loss::Logistic => logistic_value(sigmoid(margin), label),
+        }
+    }
+
+    /// Gradient statistics and loss value in one evaluation (the Step-5
+    /// hot path): for [`Loss::Logistic`] the sigmoid is computed once
+    /// and shared by both. Bit-identical to calling [`Self::grad`] and
+    /// [`Self::value`] separately.
+    #[inline]
+    pub fn grad_value(&self, margin: f64, label: f64) -> (GradPair, f64) {
+        match self {
+            Loss::SquaredError => {
+                let d = margin - label;
+                (GradPair { g: d, h: 1.0 }, 0.5 * d * d)
+            }
             Loss::Logistic => {
-                let p = sigmoid(margin).clamp(1e-15, 1.0 - 1e-15);
-                -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+                let p = sigmoid(margin);
+                let grad = GradPair { g: p - label, h: (p * (1.0 - p)).max(1e-16) };
+                (grad, logistic_value(p, label))
             }
         }
     }
@@ -126,6 +142,25 @@ impl Loss {
             Loss::SquaredError => "squared-error",
             Loss::Logistic => "logistic",
         }
+    }
+}
+
+/// Cross-entropy of an (unclamped) predicted probability.
+///
+/// The 0/1-label arms drop the zero-coefficient log term; that is
+/// bit-exact with the general two-term form because the dropped term is
+/// `±0.0 * ln(p̂)` with `p̂` clamped away from 0 and 1 — a finite
+/// nonzero log, so the product is a signed zero and adding it leaves
+/// the other (nonzero) term unchanged.
+#[inline]
+fn logistic_value(p: f64, label: f64) -> f64 {
+    let p = p.clamp(1e-15, 1.0 - 1e-15);
+    if label == 0.0 {
+        -((1.0 - p).ln())
+    } else if label == 1.0 {
+        -(p.ln())
+    } else {
+        -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
     }
 }
 

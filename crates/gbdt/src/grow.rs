@@ -46,7 +46,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::columnar::ColumnarMirror;
 use crate::gradients::{GradPair, Loss};
-use crate::histogram::NodeHistogram;
+use crate::histogram::{HistogramPool, NodeHistogram};
 use crate::infer::TreeScorer;
 use crate::metrics::EvalMetric;
 use crate::phases::{
@@ -218,10 +218,14 @@ pub fn grow_forest_with_eval(
     let label_mean = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / n as f64;
     let base_score = cfg.loss.base_score(label_mean);
     let mut margins = vec![base_score; n];
-    let mut grads: Vec<GradPair> =
-        (0..n).map(|r| cfg.loss.grad(margins[r], f64::from(labels[r]))).collect();
-    let mut prev_loss =
-        (0..n).map(|r| cfg.loss.value(margins[r], f64::from(labels[r]))).sum::<f64>() / n as f64;
+    let mut grads: Vec<GradPair> = Vec::with_capacity(n);
+    let mut loss_sum = 0.0f64;
+    for r in 0..n {
+        let (gp, lv) = cfg.loss.grad_value(margins[r], f64::from(labels[r]));
+        grads.push(gp);
+        loss_sum += lv;
+    }
+    let mut prev_loss = loss_sum / n as f64;
 
     let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
     let mut work = WorkCounters::default();
@@ -242,6 +246,11 @@ pub fn grow_forest_with_eval(
             best_value: metric.worst(),
         }
     });
+
+    // Histogram allocations are recycled across vertices and trees: the
+    // pool's peak size is the widest frontier ever reached, not the
+    // vertex count.
+    let mut pool = HistogramPool::new();
 
     for _tree_idx in 0..cfg.num_trees {
         // Stochastic GB: sample the records this tree sees.
@@ -267,6 +276,7 @@ pub fn grow_forest_with_eval(
             exec,
             field_mask: field_mask.as_deref(),
             sampler: &mut sampler,
+            pool: &mut pool,
             nodes: vec![Node::Leaf { weight: 0.0 }],
             phases: Vec::new(),
             frontier: Vec::new(),
@@ -414,6 +424,8 @@ struct TreeGrower<'a> {
     /// (`colsample_bynode`). Lives outside the executor so masks are
     /// identical across backends.
     sampler: &'a mut SampleStream,
+    /// Recycled histogram allocations (shared across trees).
+    pool: &'a mut HistogramPool,
     nodes: Vec<Node>,
     phases: Vec<NodePhase>,
     frontier: Vec<Pending>,
@@ -452,8 +464,8 @@ impl TreeGrower<'_> {
     /// Step 1 at the root, then admit it to the frontier.
     fn seed_root(&mut self, rows: Vec<u32>) {
         let t1 = Instant::now();
-        let mut hist = NodeHistogram::zeroed(self.data);
-        let updates = self.exec.bin_records(self.data, &rows, self.grads, &mut hist);
+        let mut hist = self.pool.acquire(self.data);
+        let updates = self.exec.bin_records(self.data, self.columnar, &rows, self.grads, &mut hist);
         self.times.step1 += t1.elapsed();
         self.work.step1_records += rows.len() as u64;
         self.work.step1_updates += updates;
@@ -532,7 +544,10 @@ impl TreeGrower<'_> {
                 self.seq += 1;
                 self.frontier.push(Pending { node, depth, rows, hist, split, bin, seq });
             }
-            None => self.finalize_leaf(node, depth, rows.len(), &hist, bin, scanned),
+            None => {
+                self.finalize_leaf(node, depth, rows.len(), &hist, bin, scanned);
+                self.pool.release(hist);
+            }
         }
     }
 
@@ -618,9 +633,11 @@ impl TreeGrower<'_> {
         let (srows, brows) = if left_smaller { (&lrows, &rrows) } else { (&rrows, &lrows) };
 
         let t1 = Instant::now();
-        let mut small_hist = NodeHistogram::zeroed(self.data);
-        let updates = self.exec.bin_records(self.data, srows, self.grads, &mut small_hist);
-        let big_hist = NodeHistogram::subtract_from(&hist, &small_hist);
+        let mut small_hist = self.pool.acquire(self.data);
+        let updates =
+            self.exec.bin_records(self.data, self.columnar, srows, self.grads, &mut small_hist);
+        let mut big_hist = self.pool.acquire(self.data);
+        NodeHistogram::subtract_from_into(&hist, &small_hist, &mut big_hist);
         self.times.step1 += t1.elapsed();
         self.work.step1_records += srows.len() as u64;
         self.work.step1_updates += updates;
@@ -642,7 +659,7 @@ impl TreeGrower<'_> {
         } else {
             (None, None)
         };
-        drop(hist);
+        self.pool.release(hist);
 
         let (lhist, rhist, lbin, rbin) = if left_smaller {
             (small_hist, big_hist, small_bin, big_bin)
@@ -746,6 +763,7 @@ impl TreeGrower<'_> {
         for p in rest {
             let Pending { node, depth, rows, hist, bin, .. } = p;
             self.finalize_leaf(node, depth, rows.len(), &hist, bin, true);
+            self.pool.release(hist);
         }
         (self.nodes, self.phases)
     }

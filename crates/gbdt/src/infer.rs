@@ -156,9 +156,15 @@ fn resolve_tree_entries(
 /// Walk one tree for a record presented as a full per-field bin row
 /// (indexed by original field id); returns `(leaf entry index, path
 /// length in edges)`. `fields`/`absents` are the tree's per-entry
-/// resolved arrays.
+/// resolved arrays. Generic over the row's bin lookup so packed (`u8`)
+/// and wide (`u32`) layouts both walk monomorphized.
 #[inline]
-fn walk_row(entries: &[TableEntry], fields: &[u32], absents: &[u32], row: &[u32]) -> (usize, u32) {
+fn walk_row(
+    entries: &[TableEntry],
+    fields: &[u32],
+    absents: &[u32],
+    bin_at: impl Fn(usize) -> u32,
+) -> (usize, u32) {
     let mut idx = 0usize;
     let mut path = 0u32;
     loop {
@@ -171,10 +177,27 @@ fn walk_row(entries: &[TableEntry], fields: &[u32], absents: &[u32], row: &[u32]
         } else {
             SplitRule::Categorical { category: e.threshold }
         };
-        let bin = row[fields[idx] as usize];
+        let bin = bin_at(fields[idx] as usize);
         let left = goes_left(rule, e.default_left, bin, absents[idx]);
         idx = if left { e.left as usize } else { e.right as usize };
         path += 1;
+    }
+}
+
+/// Walk one tree for a record held in a [`RowRef`](crate::preprocess::RowRef):
+/// dispatches the layout once, then runs the monomorphized walk.
+#[inline]
+fn walk_row_ref(
+    entries: &[TableEntry],
+    fields: &[u32],
+    absents: &[u32],
+    row: crate::preprocess::RowRef<'_>,
+) -> (usize, u32) {
+    match row {
+        crate::preprocess::RowRef::Packed(r) => {
+            walk_row(entries, fields, absents, |f| u32::from(r[f]))
+        }
+        crate::preprocess::RowRef::Wide(r) => walk_row(entries, fields, absents, |f| r[f]),
     }
 }
 
@@ -313,7 +336,7 @@ impl FlatEnsemble {
         let fields = &self.entry_fields[self.tree_offsets[t]..self.tree_offsets[t + 1]];
         let absents = &self.entry_absents[self.tree_offsets[t]..self.tree_offsets[t + 1]];
         for r in r0..r1 {
-            let (leaf, path) = walk_row(entries, fields, absents, data.row(r));
+            let (leaf, path) = walk_row_ref(entries, fields, absents, data.row(r));
             visit(r - r0, weights[leaf], path);
         }
     }
@@ -423,7 +446,8 @@ impl FlatEnsemble {
                 let weights = &self.weights[span];
                 for (i, m) in chunk.iter_mut().enumerate() {
                     let r = r0 + i;
-                    let (leaf, _) = walk_row(entries, fields, absents, &bins[r * nf..(r + 1) * nf]);
+                    let row = &bins[r * nf..(r + 1) * nf];
+                    let (leaf, _) = walk_row(entries, fields, absents, |f| row[f]);
                     *m += weights[leaf];
                 }
             }
@@ -491,7 +515,7 @@ impl FlatEnsemble {
                 &self.entries[span.clone()],
                 &self.entry_fields[span.clone()],
                 &self.entry_absents[span.clone()],
-                row,
+                |f| row[f],
             );
             m += self.weights[span][leaf];
         }
@@ -635,7 +659,7 @@ impl TreeScorer {
     pub fn add_margins(&self, data: &BinnedDataset, margins: &mut [f64]) {
         assert_eq!(data.num_records(), margins.len(), "margin buffer must cover every record");
         for (r, m) in margins.iter_mut().enumerate() {
-            let (leaf, _) = walk_row(&self.entries, &self.fields, &self.absents, data.row(r));
+            let (leaf, _) = walk_row_ref(&self.entries, &self.fields, &self.absents, data.row(r));
             *m += self.weights[leaf];
         }
     }
@@ -722,7 +746,7 @@ mod tests {
         let n = data.num_records();
         let mut bins = Vec::with_capacity(n * flat.num_fields());
         for r in 0..n {
-            bins.extend_from_slice(data.row(r));
+            data.row(r).extend_into(&mut bins);
         }
         let mut out = vec![f64::NAN; n];
         flat.score_bins_into(&bins, &mut out);

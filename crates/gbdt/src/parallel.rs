@@ -11,7 +11,7 @@
 //! across records. Each worker owns whole fields, so every histogram bin
 //! accumulates its records in the exact sequential row order — no
 //! cross-thread reduction, no floating-point reassociation — and the
-//! trained model is **bit-identical** to [`SequentialExec`](crate::train::SequentialExec)'s on every
+//! trained model is **bit-identical** to [`SequentialExec`]'s on every
 //! growth mode (the property `tests/property_tests.rs` asserts). Steps 3
 //! and 5 chunk records deterministically with in-order concatenation,
 //! and the Step-5 loss total is folded in record order over the updated
@@ -20,14 +20,14 @@
 
 use rayon::prelude::*;
 
-use crate::columnar::ColumnarMirror;
+use crate::columnar::{ColumnRef, ColumnarMirror};
 use crate::gradients::{GradPair, Loss};
-use crate::histogram::{bin_field_records, NodeHistogram};
+use crate::histogram::{bin_field_dense, bin_field_gathered, sum_grad_pairs_dense, NodeHistogram};
 use crate::partition::partition_rows;
 use crate::predict::Model;
 use crate::preprocess::BinnedDataset;
 use crate::split::SplitRule;
-use crate::train::{train_with, StepExecutor, TrainConfig, TrainReport};
+use crate::train::{train_with, SequentialExec, StepExecutor, TrainConfig, TrainReport};
 use crate::tree::Tree;
 
 /// Parallel execution of the record-heavy steps: field-parallel Step 1,
@@ -51,35 +51,55 @@ impl StepExecutor for ParallelExec {
     fn bin_records(
         &self,
         data: &BinnedDataset,
+        columnar: &ColumnarMirror,
         rows: &[u32],
         grads: &[GradPair],
         hist: &mut NodeHistogram,
     ) -> u64 {
         if rows.len() < self.chunk_size {
-            return hist.bin_records(data, rows, grads);
+            // Same field-wise kernel, serially: below the parallel
+            // threshold the scalar executor's path is the fastest one
+            // (and bit-identical, like everything here).
+            return SequentialExec.bin_records(data, columnar, rows, grads, hist);
         }
         // One worker per field: every bin sees its records in sequential
         // row order, so the result matches the scalar path bit for bit.
+        // Each worker streams its field's contiguous (byte-packed) mirror
+        // column instead of striding the row-major matrix; the subset's
+        // gradient pairs are gathered once, serially, so the workers all
+        // stream the same dense slice (or `grads` itself when the row
+        // set is the full ascending range — see the scalar executor).
+        let gathered_storage;
+        let gathered: &[GradPair] = if rows.len() == data.num_records() {
+            debug_assert!(rows.iter().enumerate().all(|(i, &r)| i as u32 == r));
+            grads
+        } else {
+            gathered_storage = rows.iter().map(|&r| grads[r as usize]).collect::<Vec<_>>();
+            &gathered_storage
+        };
+        let dense = rows.len() == data.num_records();
         let _: Vec<()> = hist
-            .fields_mut()
+            .lanes_mut()
             .into_par_iter()
             .enumerate()
-            .map(|(f, bins)| bin_field_records(data, f, rows, grads, bins))
+            .map(|(f, mut lanes)| {
+                if dense {
+                    bin_field_dense(columnar.column(f), gathered, &mut lanes)
+                } else {
+                    bin_field_gathered(columnar.column(f), rows, gathered, &mut lanes)
+                }
+            })
             .collect();
-        // Vertex totals: same left-to-right accumulation as the scalar
-        // path.
-        let mut total = GradPair::zero();
-        for &r in rows {
-            total += grads[r as usize];
-        }
-        hist.add_total(total, rows.len() as u64);
+        // Vertex totals: the same fixed-order four-lane reduction as the
+        // scalar path ([`sum_grad_pairs_dense`]).
+        hist.add_total(sum_grad_pairs_dense(gathered), rows.len() as u64);
         rows.len() as u64 * data.num_fields() as u64
     }
 
     fn partition(
         &self,
         rows: &[u32],
-        column: &[u32],
+        column: ColumnRef<'_>,
         rule: SplitRule,
         default_left: bool,
         absent_bin: u32,
@@ -235,8 +255,13 @@ mod tests {
         let exec = ParallelExec { chunk_size: 7 };
         let column: Vec<u32> = (0..100).map(|i| i % 10).collect();
         let rows: Vec<u32> = (0..100).collect();
-        let (l, r) =
-            exec.partition(&rows, &column, SplitRule::Numeric { threshold_bin: 4 }, false, 99);
+        let (l, r) = exec.partition(
+            &rows,
+            ColumnRef::Wide(&column),
+            SplitRule::Numeric { threshold_bin: 4 },
+            false,
+            99,
+        );
         assert!(l.windows(2).all(|w| w[0] < w[1]));
         assert!(r.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(l.len() + r.len(), 100);
@@ -244,13 +269,13 @@ mod tests {
 
     #[test]
     fn chunked_binning_matches_unchunked_exactly() {
-        let (data, _) = dataset(5000);
+        let (data, mirror) = dataset(5000);
         let grads: Vec<GradPair> =
             (0..5000).map(|i| GradPair::new((i as f64).cos(), 1.0)).collect();
         let rows: Vec<u32> = (0..5000).collect();
         let exec = ParallelExec { chunk_size: 333 };
         let mut h_par = NodeHistogram::zeroed(&data);
-        exec.bin_records(&data, &rows, &grads, &mut h_par);
+        exec.bin_records(&data, &mirror, &rows, &grads, &mut h_par);
         let mut h_seq = NodeHistogram::zeroed(&data);
         h_seq.bin_records(&data, &rows, &grads);
         // Field-parallel accumulation preserves the row order per bin:

@@ -7,7 +7,17 @@
 //! functional implementation reads only the predicate's single-field
 //! column — exactly the access pattern the redundant column-major format
 //! serves in hardware.
+//!
+//! The kernel is a radix-style count-then-scatter two-pass (the
+//! CPU analogue of GPU radix partitioning): pass one counts the left
+//! side, pass two writes both sides of one exactly-sized scratch buffer
+//! with a branch-free position select, and `split_off` separates the
+//! halves. No per-record branch-and-push, no reallocation, stable order
+//! preserved. Packed (`u8`) columns evaluate the predicate through a
+//! 256-entry direction lookup table instead of per-record rule dispatch.
 
+use crate::columnar::ColumnRef;
+use crate::preprocess::BinIndex;
 use crate::split::{goes_left, SplitRule};
 
 /// Partition `rows` by a predicate over the given single-field `column`.
@@ -16,34 +26,68 @@ use crate::split::{goes_left, SplitRule};
 /// relies on.
 pub fn partition_rows(
     rows: &[u32],
-    column: &[u32],
+    column: ColumnRef<'_>,
     rule: SplitRule,
     default_left: bool,
     absent_bin: u32,
 ) -> (Vec<u32>, Vec<u32>) {
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for &r in rows {
-        let bin = column[r as usize];
-        if goes_left(rule, default_left, bin, absent_bin) {
-            left.push(r);
-        } else {
-            right.push(r);
+    match column {
+        ColumnRef::Packed(col) => {
+            // 256-entry direction LUT: one byte-indexed load per record
+            // instead of rule dispatch + comparisons.
+            let mut lut = [false; 256];
+            for (bin, e) in lut.iter_mut().enumerate() {
+                *e = goes_left(rule, default_left, bin as u32, absent_bin);
+            }
+            count_scatter(rows, col, |b| lut[b])
+        }
+        ColumnRef::Wide(col) => {
+            count_scatter(rows, col, |b| goes_left(rule, default_left, b as u32, absent_bin))
         }
     }
-    (left, right)
+}
+
+/// The two-pass kernel: count the left side, then scatter both sides
+/// into one pre-sized buffer with a branch-free position select.
+fn count_scatter<B: BinIndex>(
+    rows: &[u32],
+    col: &[B],
+    is_left: impl Fn(usize) -> bool,
+) -> (Vec<u32>, Vec<u32>) {
+    // Pass 1: exact left-side count (pre-sizes both outputs).
+    let n_left = rows.iter().filter(|&&r| is_left(col[r as usize].widen() as usize)).count();
+    // Pass 2: scatter. Left entries fill [0, n_left), right entries fill
+    // [n_left, n); the select compiles to a conditional move and both
+    // cursors advance unconditionally — no per-record branch.
+    let n = rows.len();
+    let mut buf = vec![0u32; n];
+    let mut li = 0usize;
+    let mut ri = n_left;
+    for &r in rows {
+        let left = is_left(col[r as usize].widen() as usize);
+        buf[if left { li } else { ri }] = r;
+        li += usize::from(left);
+        ri += usize::from(!left);
+    }
+    debug_assert_eq!(li, n_left);
+    let right = buf.split_off(n_left);
+    (buf, right)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn wide(col: &[u32]) -> ColumnRef<'_> {
+        ColumnRef::Wide(col)
+    }
+
     #[test]
     fn numeric_partition_stable_and_complete() {
         let column: Vec<u32> = (0..100).map(|i| i % 10).collect();
         let rows: Vec<u32> = (0..100).collect();
         let rule = SplitRule::Numeric { threshold_bin: 4 };
-        let (l, r) = partition_rows(&rows, &column, rule, false, 99);
+        let (l, r) = partition_rows(&rows, wide(&column), rule, false, 99);
         assert_eq!(l.len() + r.len(), 100);
         // stable: both sorted since input was sorted
         assert!(l.windows(2).all(|w| w[0] < w[1]));
@@ -57,11 +101,28 @@ mod tests {
     }
 
     #[test]
+    fn packed_column_matches_wide_column() {
+        let wide_col: Vec<u32> = (0..500).map(|i| (i * 13) % 11).collect();
+        let packed_col: Vec<u8> = wide_col.iter().map(|&b| b as u8).collect();
+        let rows: Vec<u32> = (0..500).filter(|r| r % 3 != 1).collect();
+        for rule in
+            [SplitRule::Numeric { threshold_bin: 5 }, SplitRule::Categorical { category: 7 }]
+        {
+            for default_left in [false, true] {
+                let a = partition_rows(&rows, wide(&wide_col), rule, default_left, 10);
+                let b =
+                    partition_rows(&rows, ColumnRef::Packed(&packed_col), rule, default_left, 10);
+                assert_eq!(a, b, "{rule:?} default_left={default_left}");
+            }
+        }
+    }
+
+    #[test]
     fn categorical_partition_routes_yes_right() {
         let column = vec![0, 1, 2, 1, 2, 2];
         let rows: Vec<u32> = (0..6).collect();
         let rule = SplitRule::Categorical { category: 2 };
-        let (l, r) = partition_rows(&rows, &column, rule, true, 9);
+        let (l, r) = partition_rows(&rows, wide(&column), rule, true, 9);
         assert_eq!(r, vec![2, 4, 5]);
         assert_eq!(l, vec![0, 1, 3]);
     }
@@ -72,9 +133,9 @@ mod tests {
         let column = vec![absent, 1, absent, 3];
         let rows: Vec<u32> = (0..4).collect();
         let rule = SplitRule::Numeric { threshold_bin: 2 };
-        let (l, _r) = partition_rows(&rows, &column, rule, true, absent);
+        let (l, _r) = partition_rows(&rows, wide(&column), rule, true, absent);
         assert!(l.contains(&0) && l.contains(&2), "absent should default left");
-        let (l2, r2) = partition_rows(&rows, &column, rule, false, absent);
+        let (l2, r2) = partition_rows(&rows, wide(&column), rule, false, absent);
         assert!(r2.contains(&0) && r2.contains(&2), "absent should default right");
         assert!(l2.contains(&1));
     }
@@ -84,7 +145,7 @@ mod tests {
         let column: Vec<u32> = (0..50).map(|i| i % 5).collect();
         let rows = vec![3, 17, 29, 41];
         let rule = SplitRule::Numeric { threshold_bin: 1 };
-        let (l, r) = partition_rows(&rows, &column, rule, false, 99);
+        let (l, r) = partition_rows(&rows, wide(&column), rule, false, 99);
         let mut all = l.clone();
         all.extend(&r);
         all.sort_unstable();
@@ -93,9 +154,28 @@ mod tests {
 
     #[test]
     fn empty_rows() {
-        let (l, r) =
-            partition_rows(&[], &[1, 2, 3], SplitRule::Numeric { threshold_bin: 0 }, false, 9);
+        let (l, r) = partition_rows(
+            &[],
+            wide(&[1, 2, 3]),
+            SplitRule::Numeric { threshold_bin: 0 },
+            false,
+            9,
+        );
         assert!(l.is_empty() && r.is_empty());
+    }
+
+    #[test]
+    fn one_sided_partitions() {
+        let column = vec![0u32; 20];
+        let rows: Vec<u32> = (0..20).collect();
+        let rule = SplitRule::Numeric { threshold_bin: 3 };
+        let (l, r) = partition_rows(&rows, wide(&column), rule, false, 9);
+        assert_eq!(l, rows);
+        assert!(r.is_empty());
+        let rule = SplitRule::Categorical { category: 0 };
+        let (l, r) = partition_rows(&rows, wide(&column), rule, false, 9);
+        assert!(l.is_empty());
+        assert_eq!(r, rows);
     }
 
     /// Partitioning a Bernoulli row subsample (what every vertex sees
@@ -108,7 +188,7 @@ mod tests {
         let rows = SampleStream::new(23).draw_rows(500, 0.3);
         assert!(!rows.is_empty() && rows.len() < 500);
         let rule = SplitRule::Numeric { threshold_bin: 4 };
-        let (l, r) = partition_rows(&rows, &column, rule, false, 9);
+        let (l, r) = partition_rows(&rows, wide(&column), rule, false, 9);
         assert_eq!(l.len() + r.len(), rows.len());
         // Order-preserving on both sides (rows were ascending).
         assert!(l.windows(2).all(|w| w[0] < w[1]));

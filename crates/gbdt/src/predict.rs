@@ -63,7 +63,7 @@ impl Model {
         let bins = self.bin_raw(record);
         let mut m = self.base_score;
         for tree in &self.trees {
-            m += tree.traverse(|f| bins[f], &|f| self.binnings[f].absent_bin()).0;
+            m += tree.traverse(|f| bins[f], |f: usize| self.binnings[f].absent_bin()).0;
         }
         self.loss.transform(m)
     }

@@ -75,16 +75,138 @@ impl FieldBinning {
     }
 }
 
+/// The row-major bin matrix in one of its two physical layouts.
+///
+/// When every field's bins (including the absent bin) fit a byte — the
+/// default for quantile-binned numeric fields and narrow categoricals —
+/// the matrix is stored bit-packed as `u8`, quartering the memory
+/// traffic of every kernel that streams records (histogram binning,
+/// partitioning, traversal). Wide categorical fields (> 256 bins) force
+/// the `u32` fallback for the whole matrix so row indexing stays
+/// uniform.
+#[derive(Debug, Clone)]
+pub enum BinMatrix {
+    /// `u8` per bin index; valid only when every field has ≤ 256 bins.
+    Packed(Vec<u8>),
+    /// `u32` per bin index; the fallback for wide categorical fields.
+    Wide(Vec<u32>),
+}
+
+/// A physical bin-index element: `u8` (packed) or `u32` (wide). Hot
+/// kernels are generic over this so each layout gets its own
+/// monomorphized inner loop.
+pub trait BinIndex: Copy + Send + Sync + 'static {
+    /// Widen to the logical `u32` bin index.
+    fn widen(self) -> u32;
+}
+
+impl BinIndex for u8 {
+    #[inline(always)]
+    fn widen(self) -> u32 {
+        u32::from(self)
+    }
+}
+
+impl BinIndex for u32 {
+    #[inline(always)]
+    fn widen(self) -> u32 {
+        self
+    }
+}
+
+impl BinMatrix {
+    fn from_wide(bins: Vec<u32>, packable: bool) -> Self {
+        if packable {
+            BinMatrix::Packed(bins.into_iter().map(|b| b as u8).collect())
+        } else {
+            BinMatrix::Wide(bins)
+        }
+    }
+
+    /// Total number of bin entries (`records * fields`).
+    pub fn len(&self) -> usize {
+        match self {
+            BinMatrix::Packed(m) => m.len(),
+            BinMatrix::Wide(m) => m.len(),
+        }
+    }
+
+    /// Whether the matrix holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A borrowed view of one record's row of bin indices, in whichever
+/// layout the dataset stores ([`BinMatrix`]). `get` widens to `u32` so
+/// consumers are layout-agnostic; hot kernels match on the variant once
+/// and run a monomorphized loop per layout instead.
+#[derive(Debug, Clone, Copy)]
+pub enum RowRef<'a> {
+    /// Bit-packed row (every field ≤ 256 bins).
+    Packed(&'a [u8]),
+    /// Wide row (`u32` fallback).
+    Wide(&'a [u32]),
+}
+
+impl RowRef<'_> {
+    /// Bin index of field `f`.
+    #[inline]
+    pub fn get(&self, f: usize) -> u32 {
+        match self {
+            RowRef::Packed(row) => u32::from(row[f]),
+            RowRef::Wide(row) => row[f],
+        }
+    }
+
+    /// Number of fields in the row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            RowRef::Packed(row) => row.len(),
+            RowRef::Wide(row) => row.len(),
+        }
+    }
+
+    /// Whether the row has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the row's bin indices as `u32` regardless of layout.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let me = *self;
+        (0..self.len()).map(move |f| me.get(f))
+    }
+
+    /// Widen into an owned `u32` vector (tests and cold paths).
+    pub fn to_vec(&self) -> Vec<u32> {
+        match self {
+            RowRef::Packed(row) => row.iter().map(|&b| u32::from(b)).collect(),
+            RowRef::Wide(row) => row.to_vec(),
+        }
+    }
+
+    /// Append the widened row to `dst` (serving-style block assembly).
+    pub fn extend_into(&self, dst: &mut Vec<u32>) {
+        match self {
+            RowRef::Packed(row) => dst.extend(row.iter().map(|&b| u32::from(b))),
+            RowRef::Wide(row) => dst.extend_from_slice(row),
+        }
+    }
+}
+
 /// A fully preprocessed dataset: dense row-major matrix of per-field bin
 /// indices plus labels. Exactly one bin index per field per record — the
 /// density property Booster's group-by-field mapping exploits
-/// (Section III-A).
+/// (Section III-A). The matrix is byte-packed whenever every field has
+/// ≤ 256 bins (see [`BinMatrix`]).
 #[derive(Debug, Clone)]
 pub struct BinnedDataset {
     schema: DatasetSchema,
     binnings: Vec<FieldBinning>,
-    /// Row-major: `bins[r * num_fields + f]`.
-    bins: Vec<u32>,
+    /// Row-major: entry `r * num_fields + f`.
+    bins: BinMatrix,
     labels: Vec<f32>,
     num_fields: usize,
     /// Row-major record size in bytes under the byte-packed encoding.
@@ -146,10 +268,11 @@ impl BinnedDataset {
             }
         }
         let record_bytes: u32 = binnings.iter().map(|b| b.encoded_bytes()).sum();
+        let packable = binnings.iter().all(|b| b.bin_count() <= 256);
         BinnedDataset {
             schema,
             binnings,
-            bins,
+            bins: BinMatrix::from_wide(bins, packable),
             labels: ds.labels().to_vec(),
             num_fields: nf,
             record_bytes,
@@ -179,7 +302,47 @@ impl BinnedDataset {
             );
         }
         let record_bytes: u32 = binnings.iter().map(|b| b.encoded_bytes()).sum();
-        BinnedDataset { schema, binnings, bins, labels, num_fields: nf, record_bytes }
+        let packable = binnings.iter().all(|b| b.bin_count() <= 256);
+        BinnedDataset {
+            schema,
+            binnings,
+            bins: BinMatrix::from_wide(bins, packable),
+            labels,
+            num_fields: nf,
+            record_bytes,
+        }
+    }
+
+    /// Rebuild this dataset with the `u32` fallback layout regardless of
+    /// packability. The semantic content is identical — this exists so
+    /// tests and benches can drive the wide-matrix kernels on data that
+    /// would normally pack, proving the two paths bit-identical.
+    pub fn to_wide(&self) -> Self {
+        let wide = match &self.bins {
+            BinMatrix::Packed(m) => m.iter().map(|&b| u32::from(b)).collect(),
+            BinMatrix::Wide(m) => m.clone(),
+        };
+        BinnedDataset {
+            schema: self.schema.clone(),
+            binnings: self.binnings.clone(),
+            bins: BinMatrix::Wide(wide),
+            labels: self.labels.clone(),
+            num_fields: self.num_fields,
+            record_bytes: self.record_bytes,
+        }
+    }
+
+    /// Whether the row-major matrix is stored byte-packed (every field
+    /// has ≤ 256 bins).
+    pub fn is_packed(&self) -> bool {
+        matches!(self.bins, BinMatrix::Packed(_))
+    }
+
+    /// The raw row-major matrix, for kernels that dispatch once on the
+    /// layout and run a monomorphized inner loop.
+    #[inline]
+    pub fn matrix(&self) -> &BinMatrix {
+        &self.bins
     }
 
     /// The schema.
@@ -205,13 +368,21 @@ impl BinnedDataset {
     /// Bin index of record `r`, field `f`.
     #[inline]
     pub fn bin(&self, r: usize, f: usize) -> u32 {
-        self.bins[r * self.num_fields + f]
+        match &self.bins {
+            BinMatrix::Packed(m) => u32::from(m[r * self.num_fields + f]),
+            BinMatrix::Wide(m) => m[r * self.num_fields + f],
+        }
     }
 
-    /// The whole row of record `r` (one bin index per field).
+    /// The whole row of record `r` (one bin index per field), in the
+    /// matrix's physical layout.
     #[inline]
-    pub fn row(&self, r: usize) -> &[u32] {
-        &self.bins[r * self.num_fields..(r + 1) * self.num_fields]
+    pub fn row(&self, r: usize) -> RowRef<'_> {
+        let span = r * self.num_fields..(r + 1) * self.num_fields;
+        match &self.bins {
+            BinMatrix::Packed(m) => RowRef::Packed(&m[span]),
+            BinMatrix::Wide(m) => RowRef::Wide(&m[span]),
+        }
     }
 
     /// Labels.

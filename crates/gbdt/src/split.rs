@@ -121,7 +121,8 @@ pub fn find_best_split(
 ) -> (Option<SplitInfo>, u64) {
     let total = hist.total();
     let total_count = hist.total_count();
-    let parent_score = score(total, params.lambda);
+    let lambda = params.lambda;
+    let parent_score = score(total, lambda);
     let mut best: Option<SplitInfo> = None;
     let mut bins_scanned = 0u64;
 
@@ -135,8 +136,7 @@ pub fn find_best_split(
             if left.h < params.min_child_weight || right.h < params.min_child_weight {
                 return;
             }
-            let gain =
-                0.5 * (score(left, params.lambda) + score(right, params.lambda) - parent_score);
+            let gain = 0.5 * (score(left, lambda) + score(right, lambda) - parent_score);
             // Reject NaN explicitly: `gain <= gamma` alone would let it
             // through — with lambda == 0 and min_child_weight == 0 a
             // zero-gradient side scores 0/0.
@@ -163,29 +163,58 @@ pub fn find_best_split(
                 continue;
             }
         }
-        let bins = hist.field(f);
-        bins_scanned += bins.len() as u64;
-        let absent = bins[binning.absent_bin() as usize];
+        let lanes = hist.field(f);
+        bins_scanned += lanes.len() as u64;
+        let absent = lanes.get(binning.absent_bin() as usize);
+        // With no absent records at this vertex, the two default-direction
+        // candidates at each boundary differ only by `+ absent.grad` with
+        // `absent.grad == (0.0, 0.0)` — additions of zero that can flip at
+        // most the sign of a zero. Every downstream use (g*g, h + lambda,
+        // h < min_child_weight, counts) is insensitive to the zero's sign,
+        // so both candidates produce bit-identical gains, and under the
+        // strictly-greater selection the one considered second can never
+        // win. Skipping it halves the gain evaluations on such fields
+        // without changing the selected split.
+        let absent_empty = absent.count == 0;
         match binning {
             FieldBinning::Numeric(_) => {
-                let value_bins = bins.len() - 1; // last is absent
-                let mut cum = GradPair::zero();
+                // Last bin is the absent bin; boundaries run over the rest.
+                let value_bins = lanes.len() - 1;
+                // Lane-wise cumulative pass: the running left-side sums
+                // advance over the three contiguous SoA lanes directly
+                // (same additions in the same order as the old
+                // struct-per-bin scan — bit-identical candidates).
+                let (gl, hl, cl) = (lanes.grad, lanes.hess, lanes.count);
+                let mut cum_g = 0.0f64;
+                let mut cum_h = 0.0f64;
                 let mut cum_count = 0u64;
                 // Split after bin i: bins 0..=i left, i+1.. right. The last
                 // boundary (after the final value bin) separates nothing.
-                for (i, b) in bins.iter().take(value_bins.saturating_sub(1)).enumerate() {
-                    cum += b.grad;
-                    cum_count += b.count;
+                for i in 0..value_bins.saturating_sub(1) {
+                    cum_g += gl[i];
+                    cum_h += hl[i];
+                    cum_count += cl[i];
+                    // An empty bin leaves the cumulative sums untouched, so
+                    // both of its candidates are bit-for-bit the previous
+                    // boundary's candidates — under the strictly-greater
+                    // selection they can never win (and at i == 0 there is
+                    // no previous boundary, so it is still evaluated).
+                    if cl[i] == 0 && i > 0 {
+                        continue;
+                    }
+                    let cum = GradPair::new(cum_g, cum_h);
                     let rule = SplitRule::Numeric { threshold_bin: i as u32 };
                     // Default right: absent records stay on the right side.
                     consider(f as u32, rule, false, cum, cum_count);
                     // Default left: absent records join the left side.
-                    consider(f as u32, rule, true, cum + absent.grad, cum_count + absent.count);
+                    if !absent_empty {
+                        consider(f as u32, rule, true, cum + absent.grad, cum_count + absent.count);
+                    }
                 }
             }
             FieldBinning::Categorical { categories } => {
                 for c in 0..*categories {
-                    let yes = bins[c as usize];
+                    let yes = lanes.get(c as usize);
                     if yes.count == 0 {
                         continue;
                     }
@@ -195,13 +224,15 @@ pub fn find_best_split(
                     // Default left: absent joins the "no"/left side.
                     consider(f as u32, rule, true, total - yes.grad, total_count - yes.count);
                     // Default right: absent joins the "yes"/right side.
-                    consider(
-                        f as u32,
-                        rule,
-                        false,
-                        total - yes.grad - absent.grad,
-                        total_count - yes.count - absent.count,
-                    );
+                    if !absent_empty {
+                        consider(
+                            f as u32,
+                            rule,
+                            false,
+                            total - yes.grad - absent.grad,
+                            total_count - yes.count - absent.count,
+                        );
+                    }
                 }
             }
         }

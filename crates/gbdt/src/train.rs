@@ -25,10 +25,10 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use crate::columnar::ColumnarMirror;
+use crate::columnar::{ColumnRef, ColumnarMirror};
 use crate::gradients::{GradPair, Loss};
 use crate::grow::{grow_forest, grow_forest_with_eval, GrowthStrategy};
-use crate::histogram::NodeHistogram;
+use crate::histogram::{bin_field_dense, bin_field_gathered, sum_grad_pairs_dense, NodeHistogram};
 use crate::metrics::EvalMetric;
 use crate::partition::partition_rows;
 use crate::phases::PhaseLog;
@@ -45,10 +45,13 @@ use crate::tree::Tree;
 /// private histograms + reduction).
 pub trait StepExecutor: Sync {
     /// Step 1: bin `rows` into `hist`; returns the number of histogram
-    /// updates performed.
+    /// updates performed. Backends may stream either the row-major
+    /// matrix of `data` or the per-field columns of `columnar`
+    /// (field-parallel binning) — both orders are bit-identical per bin.
     fn bin_records(
         &self,
         data: &BinnedDataset,
+        columnar: &ColumnarMirror,
         rows: &[u32],
         grads: &[GradPair],
         hist: &mut NodeHistogram,
@@ -59,7 +62,7 @@ pub trait StepExecutor: Sync {
     fn partition(
         &self,
         rows: &[u32],
-        column: &[u32],
+        column: ColumnRef<'_>,
         rule: SplitRule,
         default_left: bool,
         absent_bin: u32,
@@ -86,17 +89,42 @@ impl StepExecutor for SequentialExec {
     fn bin_records(
         &self,
         data: &BinnedDataset,
+        columnar: &ColumnarMirror,
         rows: &[u32],
         grads: &[GradPair],
         hist: &mut NodeHistogram,
     ) -> u64 {
-        hist.bin_records(data, rows, grads)
+        // Field-wise over the packed mirror columns: each field's SoA
+        // lanes stay cache-resident for its whole pass, and each bin
+        // still sees its records in row order — bit-identical to the
+        // row-major kernel (`hist.bin_records`), just faster.
+        if rows.len() == data.num_records() {
+            // A row set as large as the dataset can only be the full
+            // ascending range (ids are unique, in-range, and every
+            // subset the grower builds is ascending) — stream the
+            // columns and the gradient pairs with no indirection.
+            debug_assert!(rows.iter().enumerate().all(|(i, &r)| i as u32 == r));
+            for (f, mut lanes) in hist.lanes_mut().into_iter().enumerate() {
+                bin_field_dense(columnar.column(f), grads, &mut lanes);
+            }
+            hist.add_total(sum_grad_pairs_dense(grads), rows.len() as u64);
+        } else {
+            // Sampled root or interior vertex: gather the subset's
+            // gradient pairs once up front so every per-field pass
+            // streams them sequentially.
+            let gathered: Vec<GradPair> = rows.iter().map(|&r| grads[r as usize]).collect();
+            for (f, mut lanes) in hist.lanes_mut().into_iter().enumerate() {
+                bin_field_gathered(columnar.column(f), rows, &gathered, &mut lanes);
+            }
+            hist.add_total(sum_grad_pairs_dense(&gathered), rows.len() as u64);
+        }
+        rows.len() as u64 * data.num_fields() as u64
     }
 
     fn partition(
         &self,
         rows: &[u32],
-        column: &[u32],
+        column: ColumnRef<'_>,
         rule: SplitRule,
         default_left: bool,
         absent_bin: u32,
@@ -120,8 +148,9 @@ impl StepExecutor for SequentialExec {
             sum_path += u64::from(path);
             margins[r] += w;
             let y = f64::from(labels[r]);
-            grads[r] = loss.grad(margins[r], y);
-            total_loss += loss.value(margins[r], y);
+            let (gp, lv) = loss.grad_value(margins[r], y);
+            grads[r] = gp;
+            total_loss += lv;
         }
         (sum_path, total_loss)
     }

@@ -85,11 +85,14 @@ impl Tree {
     }
 
     /// Traverse with a per-field bin lookup; returns `(leaf weight,
-    /// path length in edges)`.
+    /// path length in edges)`. Both lookups are generic (not `dyn`) so
+    /// the per-node calls inline into the walk loop — this is the
+    /// training Step-5 hot path.
     #[inline]
-    pub fn traverse<F>(&self, bin_of_field: F, absent_of_field: &dyn Fn(usize) -> u32) -> (f64, u32)
+    pub fn traverse<F, A>(&self, bin_of_field: F, absent_of_field: A) -> (f64, u32)
     where
         F: Fn(usize) -> u32,
+        A: Fn(usize) -> u32,
     {
         let mut idx = 0u32;
         let mut path = 0u32;
@@ -107,12 +110,16 @@ impl Tree {
         }
     }
 
-    /// Traverse for record `r` of a binned dataset.
+    /// Traverse for record `r` of a binned dataset. Monomorphized per
+    /// row layout so the packed path stays a plain byte load.
     #[inline]
     pub fn traverse_binned(&self, data: &BinnedDataset, r: usize) -> (f64, u32) {
-        let row = data.row(r);
         let binnings = data.binnings();
-        self.traverse(|f| row[f], &|f| binnings[f].absent_bin())
+        let absent = |f: usize| binnings[f].absent_bin();
+        match data.row(r) {
+            crate::preprocess::RowRef::Packed(row) => self.traverse(|f| u32::from(row[f]), absent),
+            crate::preprocess::RowRef::Wide(row) => self.traverse(|f| row[f], absent),
+        }
     }
 
     /// Sorted, deduplicated list of fields used by this tree's predicates
@@ -396,19 +403,19 @@ mod tests {
         let t = sample_tree();
         let absent = |_f: usize| 100u32;
         // field3 bin 9 (>5) -> right leaf 2.0
-        let (w, p) = t.traverse(|f| if f == 3 { 9 } else { 0 }, &absent);
+        let (w, p) = t.traverse(|f| if f == 3 { 9 } else { 0 }, absent);
         assert_eq!((w, p), (2.0, 1));
         // field3 bin 2 (<=5), field7 cat 2 -> right leaf 1.0
-        let (w, p) = t.traverse(|_| 2, &absent);
+        let (w, p) = t.traverse(|_| 2, absent);
         assert_eq!((w, p), (1.0, 2));
         // field3 bin 2, field7 cat 0 -> left leaf -1.0
-        let (w, p) = t.traverse(|f| if f == 3 { 2 } else { 0 }, &absent);
+        let (w, p) = t.traverse(|f| if f == 3 { 2 } else { 0 }, absent);
         assert_eq!((w, p), (-1.0, 2));
         // field3 absent -> default right (default_left=false)
-        let (w, _) = t.traverse(|f| if f == 3 { 100 } else { 0 }, &absent);
+        let (w, _) = t.traverse(|f| if f == 3 { 100 } else { 0 }, absent);
         assert_eq!(w, 2.0);
         // field7 absent -> default left
-        let (w, _) = t.traverse(|f| if f == 3 { 0 } else { 100 }, &absent);
+        let (w, _) = t.traverse(|f| if f == 3 { 0 } else { 100 }, absent);
         assert_eq!(w, -1.0);
     }
 
@@ -423,7 +430,7 @@ mod tests {
         let absent = |_f: usize| 100u32;
         for b3 in (0..12).chain([100]) {
             for b7 in (0..4).chain([100]) {
-                let (w_tree, p_tree) = t.traverse(|f| if f == 3 { b3 } else { b7 }, &absent);
+                let (w_tree, p_tree) = t.traverse(|f| if f == 3 { b3 } else { b7 }, absent);
                 let (w_tab, p_tab) = table.walk(&[b3, b7], &[100, 100]);
                 assert_eq!(w_tab as f64, w_tree, "bins ({b3},{b7})");
                 assert_eq!(p_tab, p_tree, "bins ({b3},{b7})");
@@ -492,7 +499,7 @@ mod tests {
         assert_eq!(t.depth(), 0);
         assert_eq!(t.num_leaves(), 1);
         assert!(t.fields_used().is_empty());
-        let (w, p) = t.traverse(|_| 0, &|_| 0);
+        let (w, p) = t.traverse(|_| 0, |_: usize| 0);
         assert_eq!((w, p), (0.5, 0));
     }
 }

@@ -15,8 +15,9 @@
 //! "verified the correctness of our implementation using RTL simulation
 //! and by running tests on FPGA prototypes" (Section IV).
 
+use booster_gbdt::columnar::{ColumnRef, ColumnarMirror};
 use booster_gbdt::gradients::{GradPair, Loss};
-use booster_gbdt::histogram::NodeHistogram;
+use booster_gbdt::histogram::{sum_grad_pairs, NodeHistogram};
 use booster_gbdt::partition::partition_rows;
 use booster_gbdt::preprocess::BinnedDataset;
 use booster_gbdt::split::SplitRule;
@@ -88,6 +89,7 @@ impl StepExecutor for FunctionalBooster {
     fn bin_records(
         &self,
         data: &BinnedDataset,
+        _columnar: &ColumnarMirror,
         rows: &[u32],
         grads: &[GradPair],
         hist: &mut NodeHistogram,
@@ -103,7 +105,7 @@ impl StepExecutor for FunctionalBooster {
             let gp = grads[r];
             let g32 = gp.g as f32;
             let h32 = gp.h as f32;
-            for (f, &bin) in data.row(r).iter().enumerate() {
+            for (f, bin) in data.row(r).iter().enumerate() {
                 let (sram, entry) = mapping.locate(f, bin);
                 let cell = &mut banks[sram as usize][entry as usize];
                 cell.g += g32;
@@ -130,12 +132,9 @@ impl StepExecutor for FunctionalBooster {
                 }
             }
         }
-        // Totals: accumulate per record on the host side (exact counts).
-        let mut total = GradPair::zero();
-        for &r in rows {
-            total += grads[r as usize];
-        }
-        hist.add_total(total, rows.len() as u64);
+        // Totals: the same fixed-order four-lane reduction every backend
+        // uses, so device-vs-software vertex totals stay bit-identical.
+        hist.add_total(sum_grad_pairs(rows, grads), rows.len() as u64);
 
         let mut stats = self.inner.lock();
         stats.sram_updates += rows.len() as u64 * nf as u64;
@@ -151,7 +150,7 @@ impl StepExecutor for FunctionalBooster {
     fn partition(
         &self,
         rows: &[u32],
-        column: &[u32],
+        column: ColumnRef<'_>,
         rule: SplitRule,
         default_left: bool,
         absent_bin: u32,
@@ -180,16 +179,16 @@ impl StepExecutor for FunctionalBooster {
         for r in 0..data.num_records() {
             let row = data.row(r);
             for (i, &f) in table.fields_used.iter().enumerate() {
-                bins_buf[i] = row[f as usize];
+                bins_buf[i] = row.get(f as usize);
             }
             let (w, path) = table.walk(&bins_buf, &absents);
             sum_path += u64::from(path);
             margins[r] += f64::from(w); // f32 weight, as stored on chip
             let y = f64::from(labels[r]);
             // The BU computes the new g, h in f32 before writing back.
-            let gp = loss.grad(margins[r], y);
+            let (gp, lv) = loss.grad_value(margins[r], y);
             grads[r] = GradPair::new(f64::from(gp.g as f32), f64::from(gp.h as f32));
-            total_loss += loss.value(margins[r], y);
+            total_loss += lv;
         }
         self.inner.lock().table_lookups += sum_path;
         (sum_path, total_loss)
@@ -231,13 +230,13 @@ mod tests {
 
     #[test]
     fn functional_binning_matches_software_histogram() {
-        let (data, _) = dataset(2_000);
+        let (data, mirror) = dataset(2_000);
         let grads: Vec<GradPair> =
             (0..2_000).map(|i| GradPair::new((i as f64).sin() * 0.5, 1.0)).collect();
         let rows: Vec<u32> = (0..2_000).collect();
         let device = FunctionalBooster::new(BoosterConfig::default());
         let mut hw = NodeHistogram::zeroed(&data);
-        device.bin_records(&data, &rows, &grads, &mut hw);
+        device.bin_records(&data, &mirror, &rows, &grads, &mut hw);
         let mut sw = NodeHistogram::zeroed(&data);
         sw.bin_records(&data, &rows, &grads);
         assert_eq!(hw.total_count(), sw.total_count());
@@ -297,7 +296,7 @@ mod tests {
 
     #[test]
     fn naive_packing_reports_serialized_accesses() {
-        let (data, _) = dataset(100);
+        let (data, mirror) = dataset(100);
         let grads = vec![GradPair::new(0.1, 1.0); 100];
         let rows: Vec<u32> = (0..100).collect();
         let cfg = BoosterConfig {
@@ -306,7 +305,7 @@ mod tests {
         };
         let device = FunctionalBooster::new(cfg);
         let mut hist = NodeHistogram::zeroed(&data);
-        device.bin_records(&data, &rows, &grads, &mut hist);
+        device.bin_records(&data, &mirror, &rows, &grads, &mut hist);
         // 33 + 33 + 7 bins pack into one 256-bin SRAM: three fields
         // serialize on it.
         assert!(device.stats().max_accesses_per_sram_per_record >= 3);

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use booster_repro::dram::{run_trace, DramConfig, Request};
 use booster_repro::gbdt::binning::BinBoundaries;
+use booster_repro::gbdt::columnar::ColumnRef;
 use booster_repro::gbdt::dataset::{Dataset, RawValue};
 use booster_repro::gbdt::gradients::GradPair;
 use booster_repro::gbdt::histogram::NodeHistogram;
@@ -155,7 +156,7 @@ proptest! {
         let rows: Vec<u32> = (0..column.len() as u32).collect();
         let rule = SplitRule::Numeric { threshold_bin: threshold };
         let absent = 9u32;
-        let (l, r) = partition_rows(&rows, &column, rule, default_left, absent);
+        let (l, r) = partition_rows(&rows, ColumnRef::Wide(&column), rule, default_left, absent);
         prop_assert_eq!(l.len() + r.len(), rows.len());
         // Stable: both sides sorted.
         prop_assert!(l.windows(2).all(|w| w[0] < w[1]));
