@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use booster_datagen::{default_loss, generate_binned, Benchmark};
+use booster_datagen::{default_objective, generate_binned, Benchmark};
 use booster_gbdt::grow::GrowthStrategy;
 use booster_gbdt::infer::{ExecMode, FlatEnsemble};
 use booster_gbdt::parallel::{train_parallel, ParallelExec};
@@ -24,7 +24,7 @@ fn bench_training(c: &mut Criterion) {
         let cfg = TrainConfig {
             num_trees: 10,
             max_depth: 6,
-            loss: default_loss(bench),
+            objective: default_objective(bench),
             ..Default::default()
         };
         g.throughput(Throughput::Elements(data.num_records() as u64));
@@ -55,7 +55,7 @@ fn bench_growth_modes(c: &mut Criterion) {
         let cfg = TrainConfig {
             num_trees: 10,
             max_depth: 6,
-            loss: default_loss(Benchmark::Higgs),
+            objective: default_objective(Benchmark::Higgs),
             growth,
             ..Default::default()
         };
@@ -82,7 +82,7 @@ fn bench_stochastic(c: &mut Criterion) {
     let base = TrainConfig {
         num_trees: 10,
         max_depth: 6,
-        loss: default_loss(Benchmark::Higgs),
+        objective: default_objective(Benchmark::Higgs),
         ..Default::default()
     };
     let variants = [
@@ -131,7 +131,7 @@ fn bench_inference(c: &mut Criterion) {
     let cfg = TrainConfig {
         num_trees: 50,
         max_depth: 6,
-        loss: default_loss(Benchmark::Higgs),
+        objective: default_objective(Benchmark::Higgs),
         ..Default::default()
     };
     let (model, _) = train(&data, &mirror, &cfg);
@@ -175,7 +175,7 @@ fn bench_serving(c: &mut Criterion) {
     let cfg = TrainConfig {
         num_trees: 20,
         max_depth: 6,
-        loss: default_loss(Benchmark::Higgs),
+        objective: default_objective(Benchmark::Higgs),
         ..Default::default()
     };
     let (model, _) = train(&data, &mirror, &cfg);
@@ -208,6 +208,88 @@ fn bench_serving(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// Objective-layer cost: what the multi-output engine charges relative
+/// to the binary baseline at a matched tree budget (K=5 softmax grows
+/// the same *total* trees, so the delta is the margin-matrix bookkeeping
+/// and the coupled gradient refresh, not extra tree work), what pairwise
+/// λ-gradient refresh costs on query-grouped data, and the K=1 overhead
+/// of the outputs-shaped scoring entry points over the scalar ones
+/// (the price every scalar objective pays for the generalized surface —
+/// kept near zero by dispatching K=1 to the scalar kernels).
+fn bench_objectives(c: &mut Criterion) {
+    use booster_datagen::{generate_multiclass, generate_ranking};
+    use booster_gbdt::gradients::Objective;
+    use booster_gbdt::preprocess::BinnedDataset;
+
+    const TOTAL_TREES: usize = 10;
+    let mut g = c.benchmark_group("objectives");
+    g.sample_size(10);
+
+    // Binary logistic baseline: 10 trees on Higgs-like data.
+    let (binary, binary_mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
+    let binary_cfg = TrainConfig {
+        num_trees: TOTAL_TREES,
+        max_depth: 6,
+        objective: Objective::Logistic,
+        ..Default::default()
+    };
+    g.throughput(Throughput::Elements(binary.num_records() as u64));
+    g.bench_function(BenchmarkId::new("train", "binary_logistic"), |b| {
+        b.iter(|| black_box(train(&binary, &binary_mirror, &binary_cfg)))
+    });
+
+    // K=5 softmax at the same total-tree budget (2 rounds x 5 trees).
+    let blobs = generate_multiclass(20_000, 5, 1);
+    let multi = BinnedDataset::from_dataset(&blobs);
+    let multi_mirror = booster_gbdt::columnar::ColumnarMirror::from_binned(&multi);
+    let softmax_cfg = TrainConfig {
+        num_trees: TOTAL_TREES / 5,
+        max_depth: 6,
+        objective: Objective::Softmax { num_class: 5 },
+        ..Default::default()
+    };
+    g.throughput(Throughput::Elements(multi.num_records() as u64));
+    g.bench_function(BenchmarkId::new("train", "softmax_k5"), |b| {
+        b.iter(|| black_box(train(&multi, &multi_mirror, &softmax_cfg)))
+    });
+
+    // LambdaRank on query-grouped data (~20k docs across 1.6k queries).
+    let (rank_ds, groups) = generate_ranking(1_600, 1);
+    let mut rank = BinnedDataset::from_dataset(&rank_ds);
+    rank.set_query_groups(groups);
+    let rank_mirror = booster_gbdt::columnar::ColumnarMirror::from_binned(&rank);
+    let rank_cfg = TrainConfig {
+        num_trees: TOTAL_TREES,
+        max_depth: 6,
+        objective: Objective::LambdaRank,
+        ..Default::default()
+    };
+    g.throughput(Throughput::Elements(rank.num_records() as u64));
+    g.bench_function(BenchmarkId::new("train", "lambdarank"), |b| {
+        b.iter(|| black_box(train(&rank, &rank_mirror, &rank_cfg)))
+    });
+
+    // K=1 margin-matrix overhead: the generalized outputs-shaped scoring
+    // surface against the scalar fast path on the same binary model.
+    let (model, _) = train(&binary, &binary_mirror, &binary_cfg);
+    let flat = FlatEnsemble::from_model(&model).expect("trees lower");
+    let mut out = vec![0.0f64; binary.num_records()];
+    g.throughput(Throughput::Elements(binary.num_records() as u64));
+    g.bench_function(BenchmarkId::new("score_k1", "scalar_path"), |b| {
+        b.iter(|| {
+            flat.score_into(black_box(&binary), ExecMode::Sequential, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.bench_function(BenchmarkId::new("score_k1", "outputs_path"), |b| {
+        b.iter(|| {
+            flat.score_outputs_into(black_box(&binary), &mut out);
+            black_box(out[0])
+        })
+    });
+    g.finish();
+}
+
 fn bench_timing_model(c: &mut Criterion) {
     let (data, mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
     let cfg =
@@ -235,6 +317,7 @@ criterion_group!(
     bench_stochastic,
     bench_inference,
     bench_serving,
+    bench_objectives,
     bench_timing_model
 );
 criterion_main!(benches);

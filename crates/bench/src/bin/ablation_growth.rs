@@ -14,7 +14,7 @@
 //! scheduling effects with the same timing models used for Fig 7.
 
 use booster_bench::{print_header, scale_run, BenchConfig, PAPER_TREES};
-use booster_datagen::{default_loss, generate_binned, Benchmark};
+use booster_datagen::{default_objective, generate_binned, Benchmark};
 use booster_gbdt::grow::GrowthStrategy;
 use booster_gbdt::train::{train, TrainConfig};
 use booster_sim::{BandwidthModel, BoosterConfig, BoosterSim, HostModel, IdealSim};
@@ -60,7 +60,7 @@ fn main() {
             let tc = TrainConfig {
                 num_trees: cfg.trees,
                 max_depth: cfg.max_depth,
-                loss: default_loss(b),
+                objective: default_objective(b),
                 collect_phases: true,
                 growth,
                 split: booster_gbdt::split::SplitParams { gamma: cfg.gamma, ..Default::default() },

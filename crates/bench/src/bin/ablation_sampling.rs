@@ -19,8 +19,8 @@
 use std::time::Instant;
 
 use booster_bench::{print_header, BenchConfig};
-use booster_datagen::{default_loss, generate_binned_split, Benchmark};
-use booster_gbdt::gradients::Loss;
+use booster_datagen::{default_objective, generate_binned_split, Benchmark};
+use booster_gbdt::gradients::Objective;
 use booster_gbdt::grow::grow_forest_with_eval;
 use booster_gbdt::metrics::{self, EvalMetric};
 use booster_gbdt::train::{EarlyStopping, EvalSet, SequentialExec, TrainConfig};
@@ -91,8 +91,8 @@ fn main() {
     for b in [Benchmark::Higgs, Benchmark::Allstate] {
         let sample = cfg.sample_records.min(b.spec().full_records);
         let (data, mirror, eval) = generate_binned_split(b, sample, cfg.seed, 0.2);
-        let loss = default_loss(b);
-        let metric_name = if loss == Loss::Logistic { "eval auc" } else { "eval rmse" };
+        let objective = default_objective(b);
+        let metric_name = if objective == Objective::Logistic { "eval auc" } else { "eval rmse" };
         println!(
             "\n{}: {} train / {} eval records, {} trees of depth {}",
             b.name(),
@@ -109,7 +109,7 @@ fn main() {
             let tc = TrainConfig {
                 num_trees: cfg.trees,
                 max_depth: cfg.max_depth,
-                loss,
+                objective,
                 subsample: v.subsample,
                 colsample_bytree: v.colsample_bytree,
                 colsample_bynode: v.colsample_bynode,
@@ -124,7 +124,7 @@ fn main() {
             let secs = t0.elapsed().as_secs_f64();
             let preds = model.predict_batch(&eval);
             let labels: Vec<f64> = eval.labels().iter().map(|&y| f64::from(y)).collect();
-            let held_out = if loss == Loss::Logistic {
+            let held_out = if objective == Objective::Logistic {
                 metrics::auc(&preds, &labels)
             } else {
                 metrics::rmse(&preds, &labels)

@@ -28,7 +28,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use booster_bench::print_header;
-use booster_datagen::{default_loss, generate, Benchmark};
+use booster_datagen::{default_objective, generate, Benchmark};
 use booster_gbdt::columnar::ColumnarMirror;
 use booster_gbdt::dataset::RawValue;
 use booster_gbdt::predict::Model;
@@ -73,7 +73,7 @@ fn train_generation(data: &BinnedDataset, mirror: &ColumnarMirror, trees: usize)
     let cfg = TrainConfig {
         num_trees: trees,
         max_depth: 4,
-        loss: default_loss(Benchmark::Higgs),
+        objective: default_objective(Benchmark::Higgs),
         ..Default::default()
     };
     train(data, mirror, &cfg).0

@@ -1,6 +1,6 @@
 //! Quick step-time breakdown of one sequential training run (dev tool).
 
-use booster_datagen::{default_loss, generate_binned, Benchmark};
+use booster_datagen::{default_objective, generate_binned, Benchmark};
 use booster_gbdt::train::{train, TrainConfig};
 
 fn main() {
@@ -9,7 +9,7 @@ fn main() {
         let cfg = TrainConfig {
             num_trees: 10,
             max_depth: 6,
-            loss: default_loss(bench),
+            objective: default_objective(bench),
             ..Default::default()
         };
         let t0 = std::time::Instant::now();

@@ -20,7 +20,7 @@
 //! `BOOSTER_BENCH_RECORDS` and `BOOSTER_BENCH_TREES` environment
 //! variables to trade fidelity against runtime.
 
-use booster_datagen::{default_loss, generate_binned, Benchmark};
+use booster_datagen::{default_objective, generate_binned, Benchmark};
 use booster_dram::DramConfig;
 use booster_gbdt::columnar::ColumnarMirror;
 use booster_gbdt::phases::PhaseLog;
@@ -109,7 +109,7 @@ impl PreparedWorkload {
         let tc = TrainConfig {
             num_trees: cfg.trees,
             max_depth: cfg.max_depth,
-            loss: default_loss(benchmark),
+            objective: default_objective(benchmark),
             collect_phases: true,
             split: booster_gbdt::split::SplitParams {
                 // Under the null, split gain is O(1) regardless of the

@@ -17,7 +17,7 @@
 
 use booster_gbdt::columnar::ColumnarMirror;
 use booster_gbdt::dataset::{Dataset, RawValue};
-use booster_gbdt::gradients::Loss;
+use booster_gbdt::gradients::Objective;
 use booster_gbdt::preprocess::BinnedDataset;
 use booster_gbdt::schema::{DatasetSchema, FieldSchema};
 use rand::rngs::StdRng;
@@ -26,11 +26,13 @@ use rand::{RngExt, SeedableRng};
 use crate::spec::Benchmark;
 use crate::synth::{normal, Zipf};
 
-/// The loss the paper-equivalent task would use for each benchmark.
-pub fn default_loss(b: Benchmark) -> Loss {
+/// The training objective the paper-equivalent task would use for each
+/// benchmark (shared by train logs, the ablation benches and the README
+/// via [`Objective::name`]).
+pub fn default_objective(b: Benchmark) -> Objective {
     match b {
-        Benchmark::Iot | Benchmark::Higgs | Benchmark::Flight => Loss::Logistic,
-        Benchmark::Allstate | Benchmark::Mq2008 => Loss::SquaredError,
+        Benchmark::Iot | Benchmark::Higgs | Benchmark::Flight => Objective::Logistic,
+        Benchmark::Allstate | Benchmark::Mq2008 => Objective::SquaredError,
     }
 }
 
@@ -319,6 +321,111 @@ fn gen_flight(n: usize, rng: &mut StdRng) -> Dataset {
     ds
 }
 
+/// Multiclass blobs: `num_class` Gaussian clusters in 8 numeric
+/// dimensions with overlapping tails, labelled by cluster index —
+/// the softmax-objective workload. Deterministic in
+/// `(records, num_class, seed)`.
+///
+/// # Panics
+/// Panics unless `num_class >= 2`.
+pub fn generate_multiclass(records: usize, num_class: u32, seed: u64) -> Dataset {
+    assert!(num_class >= 2, "multiclass needs at least two classes");
+    const DIMS: usize = 8;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5053_0F7A_u64);
+    // Well-separated but overlapping centers: spacing ~3 sigma.
+    let centers: Vec<[f64; DIMS]> =
+        (0..num_class).map(|_| std::array::from_fn(|_| normal(&mut rng) * 3.0)).collect();
+    let schema =
+        DatasetSchema::new((0..DIMS).map(|i| FieldSchema::numeric(format!("x{i}"))).collect());
+    let mut ds = Dataset::with_capacity(schema, records);
+    let mut row: Vec<RawValue> = Vec::with_capacity(DIMS);
+    for r in 0..records {
+        let class = (r as u32) % num_class; // exact class balance
+        row.clear();
+        for &center in &centers[class as usize] {
+            row.push(RawValue::Num((center + normal(&mut rng)) as f32));
+        }
+        ds.push_record(&row, class as f32);
+    }
+    ds
+}
+
+/// Query-grouped ranking data: `queries` query groups of 4-20 documents
+/// each, 12 numeric query-document features, graded relevance 0-3 driven
+/// by a noisy feature score — the LambdaRank workload. Returns the
+/// dataset plus the query-group sizes (in record order) to hand to
+/// [`booster_gbdt::preprocess::BinnedDataset::set_query_groups`].
+/// Deterministic in `(queries, seed)`.
+pub fn generate_ranking(queries: usize, seed: u64) -> (Dataset, Vec<u32>) {
+    const DIMS: usize = 12;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A4E_B007_u64);
+    let schema =
+        DatasetSchema::new((0..DIMS).map(|i| FieldSchema::numeric(format!("qd{i}"))).collect());
+    let mut ds = Dataset::new(schema);
+    let mut groups = Vec::with_capacity(queries);
+    let mut row: Vec<RawValue> = Vec::with_capacity(DIMS);
+    for _ in 0..queries {
+        let docs = 4 + (rng.random::<u64>() % 17) as usize;
+        // Per-query difficulty shifts the relevance thresholds so labels
+        // are not a global function of the features alone.
+        let difficulty = normal(&mut rng) * 0.4;
+        for _ in 0..docs {
+            row.clear();
+            let mut score = difficulty;
+            for f in 0..DIMS {
+                // LETOR-style mass near 0.
+                let v = rng.random::<f64>().powi(2);
+                if f < 6 {
+                    score += v * (6 - f) as f64 / 6.0;
+                }
+                row.push(RawValue::Num(v as f32));
+            }
+            score += 0.3 * normal(&mut rng);
+            let rel = if score > 1.9 {
+                3.0
+            } else if score > 1.4 {
+                2.0
+            } else if score > 0.9 {
+                1.0
+            } else {
+                0.0
+            };
+            ds.push_record(&row, rel);
+        }
+        groups.push(docs as u32);
+    }
+    (ds, groups)
+}
+
+/// Heavy-tailed regression: a linear signal over 10 numeric features
+/// plus log-normal noise, so the conditional mean and the upper
+/// quantiles diverge — the pinball-objective workload. Deterministic in
+/// `(records, seed)`.
+pub fn generate_heavy_tailed(records: usize, seed: u64) -> Dataset {
+    const DIMS: usize = 10;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0EA7_7A11_u64);
+    let schema =
+        DatasetSchema::new((0..DIMS).map(|i| FieldSchema::numeric(format!("z{i}"))).collect());
+    let mut ds = Dataset::with_capacity(schema, records);
+    let mut row: Vec<RawValue> = Vec::with_capacity(DIMS);
+    for _ in 0..records {
+        row.clear();
+        let mut y = 0.0f64;
+        for f in 0..DIMS {
+            let v = normal(&mut rng);
+            if f < 4 {
+                y += v * 0.5;
+            }
+            row.push(RawValue::Num(v as f32));
+        }
+        // Log-normal tail: occasional large positive spikes, so the
+        // 0.9-quantile sits far above the mean.
+        y += (normal(&mut rng) * 1.2).exp() * 0.5;
+        ds.push_record(&row, y as f32);
+    }
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +528,40 @@ mod tests {
         for f in 0..train.num_fields() {
             assert_eq!(train.field_bins(f), eval.field_bins(f), "field {f}");
         }
+    }
+
+    #[test]
+    fn multiclass_blobs_are_balanced_and_deterministic() {
+        let a = generate_multiclass(600, 5, 11);
+        let b = generate_multiclass(600, 5, 11);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.num_fields(), 8);
+        for c in 0..5 {
+            let n = a.labels().iter().filter(|&&y| y == c as f32).count();
+            assert_eq!(n, 120, "class {c}");
+        }
+    }
+
+    #[test]
+    fn ranking_groups_tile_the_dataset_with_mixed_grades() {
+        let (ds, groups) = generate_ranking(60, 4);
+        assert_eq!(groups.iter().map(|&g| g as usize).sum::<usize>(), ds.num_records());
+        assert!(groups.iter().all(|&g| (4..=20).contains(&g)));
+        let mut seen = [false; 4];
+        for &y in ds.labels() {
+            seen[y as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all relevance grades present: {seen:?}");
+    }
+
+    #[test]
+    fn heavy_tailed_labels_skew_above_the_median() {
+        let ds = generate_heavy_tailed(4000, 8);
+        let mut ys: Vec<f32> = ds.labels().to_vec();
+        ys.sort_by(f32::total_cmp);
+        let mean = ys.iter().map(|&y| f64::from(y)).sum::<f64>() / ys.len() as f64;
+        let median = f64::from(ys[ys.len() / 2]);
+        assert!(mean > median + 0.05, "mean {mean} not above median {median}");
     }
 
     #[test]

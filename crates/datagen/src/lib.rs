@@ -25,6 +25,9 @@ pub mod generate;
 pub mod spec;
 pub mod synth;
 
-pub use generate::{default_loss, generate, generate_binned, generate_binned_split, split_dataset};
+pub use generate::{
+    default_objective, generate, generate_binned, generate_binned_split, generate_heavy_tailed,
+    generate_multiclass, generate_ranking, split_dataset,
+};
 pub use spec::{Benchmark, DatasetSpec};
 pub use synth::Zipf;

@@ -221,7 +221,8 @@ pub fn compile(
         clusters,
         num_fields: flat.num_fields() as u32,
         base_score: flat.base_score(),
-        loss: flat.loss(),
+        objective: flat.objective(),
+        num_outputs: flat.num_outputs() as u32,
     };
     // Validate in release too (one-time, O(instrs)): every
     // `CompiledEnsemble` construction path establishes the structural
@@ -448,8 +449,16 @@ impl CompiledEnsemble {
             }
         }
         for m in margins.iter_mut() {
-            *m = self.program.loss.transform(*m);
+            *m = self.program.objective.transform(*m);
         }
+    }
+
+    #[inline]
+    fn expect_scalar(&self) {
+        assert_eq!(
+            self.program.num_outputs, 1,
+            "scalar scoring on a multi-output program; use the *_outputs APIs"
+        );
     }
 
     fn check_arity(&self, data: &BinnedDataset) {
@@ -468,6 +477,7 @@ impl CompiledEnsemble {
     /// Panics if `out.len() != data.num_records()` or on a field-arity
     /// mismatch.
     pub fn score_into(&self, data: &BinnedDataset, out: &mut [f64]) {
+        self.expect_scalar();
         self.check_arity(data);
         assert_eq!(out.len(), data.num_records(), "output buffer must cover every record");
         // Dispatch the bin-matrix layout once; the lane loop below is
@@ -497,6 +507,7 @@ impl CompiledEnsemble {
     /// # Panics
     /// Panics if `bins.len() != out.len() * num_fields`.
     pub fn score_bins_into(&self, bins: &[u32], out: &mut [f64]) {
+        self.expect_scalar();
         let nf = self.num_fields();
         assert_eq!(bins.len(), out.len() * nf, "bin matrix shape must be records x fields");
         self.drive(&|r| &bins[r * nf..(r + 1) * nf], out, None);
@@ -507,6 +518,7 @@ impl CompiledEnsemble {
     /// [`FlatEnsemble::predict_batch_with_paths`], with identical
     /// output on un-truncated programs.
     pub fn predict_batch_with_paths(&self, data: &BinnedDataset) -> (Vec<f64>, Vec<u64>) {
+        self.expect_scalar();
         self.check_arity(data);
         let n = data.num_records();
         let mut out = vec![0.0; n];
@@ -523,8 +535,65 @@ impl CompiledEnsemble {
         (out, paths)
     }
 
+    /// Multi-output compiled scoring: one row-major `K`-slot row per
+    /// record with the objective's link function applied per row —
+    /// the compiled analogue of [`FlatEnsemble::score_outputs_into`],
+    /// bit-identical to it (tree-order accumulation per output slot).
+    /// Tree-major scalar walk: correct for any `K`, not lane-blocked
+    /// like the scalar hot path.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != num_records * num_outputs` or on a
+    /// field-arity mismatch.
+    pub fn score_outputs_into(&self, data: &BinnedDataset, out: &mut [f64]) {
+        self.check_arity(data);
+        let k = self.program.num_outputs as usize;
+        assert_eq!(
+            out.len(),
+            data.num_records() * k,
+            "output buffer must hold num_outputs slots per record"
+        );
+        let nf = data.num_fields();
+        match data.matrix() {
+            crate::preprocess::BinMatrix::Packed(m) => {
+                self.drive_outputs(&|r| &m[r * nf..(r + 1) * nf], out, k);
+            }
+            crate::preprocess::BinMatrix::Wide(m) => {
+                self.drive_outputs(&|r| &m[r * nf..(r + 1) * nf], out, k);
+            }
+        }
+    }
+
+    fn drive_outputs<'a, B, R>(&self, row_of: &R, out: &mut [f64], k: usize)
+    where
+        B: crate::preprocess::BinIndex,
+        R: Fn(usize) -> &'a [B],
+    {
+        let p = &self.program;
+        out.fill(p.base_score);
+        let n = out.len() / k;
+        for (t, span) in p.trees.iter().enumerate() {
+            let first = span.first as usize;
+            let code = &p.instrs[first..first + span.len as usize];
+            let c = t % k;
+            for r in 0..n {
+                let row = row_of(r);
+                let mut idx = 0u32;
+                for _ in 0..span.depth {
+                    let ins = code[idx as usize];
+                    idx = ins.step(row[ins.field as usize].widen());
+                }
+                out[r * k + c] += p.weights[first + idx as usize];
+            }
+        }
+        for row in out.chunks_mut(k) {
+            p.objective.transform_outputs(row);
+        }
+    }
+
     /// Raw (untransformed) margin of one full-arity bin row.
     pub fn margin_of_row(&self, row: &[u32]) -> f64 {
+        self.expect_scalar();
         let mut m = self.program.base_score;
         for span in &self.program.trees {
             let first = span.first as usize;
@@ -587,6 +656,30 @@ mod tests {
         for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "record {r}");
         }
+    }
+
+    #[test]
+    fn compiled_multi_output_matches_flat_bitwise() {
+        use crate::gradients::Objective;
+        let (model, data) = trained();
+        let mut m = model;
+        m.objective = Objective::Softmax { num_class: 3 };
+        m.num_outputs = 3;
+        m.base_score = 0.0;
+        let flat = FlatEnsemble::from_model(&m).unwrap();
+        let compiled = compile(&flat, &CompileOptions::default()).unwrap();
+        let expect = flat.predict_batch_outputs(&data);
+        let mut got = vec![f64::NAN; expect.len()];
+        compiled.score_outputs_into(&data, &mut got);
+        for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "slot {i}");
+        }
+        // Wire roundtrip keeps the multi-output header.
+        let back = CompiledEnsemble::from_bytes(&compiled.to_bytes()).unwrap();
+        assert_eq!(back.program().num_outputs, 3);
+        let mut again = vec![0.0; expect.len()];
+        back.score_outputs_into(&data, &mut again);
+        assert_eq!(again, got);
     }
 
     #[test]

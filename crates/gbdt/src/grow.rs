@@ -45,10 +45,10 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::columnar::ColumnarMirror;
-use crate::gradients::{GradPair, Loss};
+use crate::gradients::{lambdarank_grad_refresh, softmax_grad_refresh, GradPair, Loss, Objective};
 use crate::histogram::{HistogramPool, NodeHistogram};
 use crate::infer::TreeScorer;
-use crate::metrics::EvalMetric;
+use crate::metrics::{multi_logloss, multiclass_accuracy, ndcg_at_k, EvalMetric};
 use crate::phases::{
     column_blocks, gh_blocks, row_major_blocks, BinPhase, NodePhase, PartitionPhase, PhaseLog,
     TraversalPhase, TreePhases,
@@ -115,15 +115,39 @@ pub fn grow_forest(
     grow_forest_with_eval(data, columnar, cfg, exec, None)
 }
 
+/// Add one tree's margins over an eval set, through the flat-ensemble
+/// [`TreeScorer`] when the tree fits the u16 table encoding, falling
+/// back to the node walk otherwise (bit-identical, just slower).
+fn add_eval_margins(
+    tree: &Tree,
+    binnings: &[FieldBinning],
+    data: &BinnedDataset,
+    margins: &mut [f64],
+) {
+    match TreeScorer::try_new(tree, binnings) {
+        Ok(scorer) => scorer.add_margins(data, margins),
+        Err(_) => {
+            for (r, m) in margins.iter_mut().enumerate() {
+                *m += tree.traverse_binned(data, r).0;
+            }
+        }
+    }
+}
+
 /// Per-run state of the validation pipeline: incremental margins over
 /// the held-out set, the metric history, and the best iteration so far.
 struct EvalState<'a> {
     data: &'a BinnedDataset,
     metric: EvalMetric,
     min_delta: f64,
+    /// The scalar loss used by [`EvalMetric::Loss`] and the per-metric
+    /// transforms.
+    loss: Loss,
     margins: Vec<f64>,
     /// Labels preconverted to `f64` once (they never change per tree).
     labels: Vec<f64>,
+    /// Query-group sizes of the eval set, for [`EvalMetric::Ndcg`].
+    groups: Option<Vec<u32>>,
     /// Scratch buffer for transformed predictions, reused every tree.
     preds: Vec<f64>,
     history: Vec<f64>,
@@ -133,21 +157,41 @@ struct EvalState<'a> {
     best_value: f64,
 }
 
-impl EvalState<'_> {
+impl<'a> EvalState<'a> {
+    fn new(ev: &EvalSet<'a>, cfg: &TrainConfig, loss: Loss, base_score: f64) -> Self {
+        let metric = cfg.early_stopping.map(|es| es.metric).unwrap_or_default();
+        EvalState {
+            data: ev.data(),
+            metric,
+            min_delta: cfg.early_stopping.map(|es| es.min_delta).unwrap_or(0.0),
+            loss,
+            margins: vec![base_score; ev.data().num_records()],
+            labels: ev.data().labels().iter().map(|&y| f64::from(y)).collect(),
+            groups: ev.data().query_groups().map(<[u32]>::to_vec),
+            preds: Vec::new(),
+            history: Vec::new(),
+            best_iter: 0,
+            best_value: metric.worst(),
+        }
+    }
+
     /// Score the newest tree into the margins and update the history and
     /// best-iteration tracking.
-    fn score_tree(&mut self, tree: &Tree, binnings: &[FieldBinning], loss: Loss) {
-        match TreeScorer::try_new(tree, binnings) {
-            Ok(scorer) => scorer.add_margins(self.data, &mut self.margins),
-            // Trees beyond the u16 table encoding fall back to the node
-            // walk (bit-identical, just slower).
-            Err(_) => {
-                for (r, m) in self.margins.iter_mut().enumerate() {
-                    *m += tree.traverse_binned(self.data, r).0;
-                }
+    fn score_tree(&mut self, tree: &Tree, binnings: &[FieldBinning]) {
+        add_eval_margins(tree, binnings, self.data, &mut self.margins);
+        let value = match self.metric {
+            // NDCG ranks the eval set by its real query groups when the
+            // dataset carries them; a monotone output transform never
+            // changes the ranking, so raw margins are scored directly.
+            EvalMetric::Ndcg { k } => {
+                let whole = [self.margins.len() as u32];
+                let groups: &[u32] = self.groups.as_deref().unwrap_or(&whole);
+                ndcg_at_k(&self.margins, &self.labels, groups, k as usize)
             }
-        }
-        let value = self.metric.compute_reusing(loss, &self.margins, &self.labels, &mut self.preds);
+            _ => {
+                self.metric.compute_reusing(self.loss, &self.margins, &self.labels, &mut self.preds)
+            }
+        };
         self.history.push(value);
         if self.metric.improved(value, self.best_value, self.min_delta) {
             self.best_value = value;
@@ -165,7 +209,7 @@ fn eval_and_check(
     binnings: &[FieldBinning],
 ) -> bool {
     let Some(ev) = eval_state.as_mut() else { return false };
-    ev.score_tree(trees.last().expect("a tree was just pushed"), binnings, cfg.loss);
+    ev.score_tree(trees.last().expect("a tree was just pushed"), binnings);
     match &cfg.early_stopping {
         Some(es) => trees.len() - ev.best_iter >= es.patience,
         None => false,
@@ -207,6 +251,34 @@ pub fn grow_forest_with_eval(
         );
     }
     debug_assert!(columnar.is_consistent_with(data), "columnar mirror out of sync");
+    // Objectives whose per-record gradients decouple lower to a scalar
+    // loss and run the original one-output loop bit-for-bit; the
+    // coupled objectives get dedicated loops over the same per-tree
+    // engine.
+    match cfg.objective.scalar_loss() {
+        Some(loss) => grow_scalar(data, columnar, cfg, loss, exec, eval),
+        None => match cfg.objective {
+            Objective::Softmax { num_class } => {
+                grow_softmax(data, columnar, cfg, num_class as usize, exec, eval)
+            }
+            Objective::LambdaRank => grow_lambdarank(data, columnar, cfg, exec, eval),
+            _ => unreachable!("scalar objectives lower to a Loss"),
+        },
+    }
+}
+
+/// The original one-output training loop: margins and gradients are
+/// scalar per record, and every boosting round grows exactly one tree.
+/// This path is bit-identical to the engine before the multi-output
+/// [`Objective`] layer existed.
+fn grow_scalar(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+    loss: Loss,
+    exec: &dyn StepExecutor,
+    eval: Option<&EvalSet<'_>>,
+) -> (Model, TrainReport) {
     let n = data.num_records();
     let labels = data.labels();
     // One seeded stream for every sampling decision, owned here —
@@ -216,12 +288,12 @@ pub fn grow_forest_with_eval(
 
     let t_init = Instant::now();
     let label_mean = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / n as f64;
-    let base_score = cfg.loss.base_score(label_mean);
+    let base_score = loss.base_score(label_mean);
     let mut margins = vec![base_score; n];
     let mut grads: Vec<GradPair> = Vec::with_capacity(n);
     let mut loss_sum = 0.0f64;
     for r in 0..n {
-        let (gp, lv) = cfg.loss.grad_value(margins[r], f64::from(labels[r]));
+        let (gp, lv) = loss.grad_value(margins[r], f64::from(labels[r]));
         grads.push(gp);
         loss_sum += lv;
     }
@@ -232,20 +304,8 @@ pub fn grow_forest_with_eval(
     let mut tree_logs: Vec<TreePhases> = Vec::new();
     let mut loss_history = Vec::with_capacity(cfg.num_trees);
     let mut trees: Vec<Tree> = Vec::with_capacity(cfg.num_trees);
-    let mut eval_state: Option<EvalState<'_>> = eval.map(|ev| {
-        let metric = cfg.early_stopping.map(|es| es.metric).unwrap_or_default();
-        EvalState {
-            data: ev.data(),
-            metric,
-            min_delta: cfg.early_stopping.map(|es| es.min_delta).unwrap_or(0.0),
-            margins: vec![base_score; ev.data().num_records()],
-            labels: ev.data().labels().iter().map(|&y| f64::from(y)).collect(),
-            preds: Vec::new(),
-            history: Vec::new(),
-            best_iter: 0,
-            best_value: metric.worst(),
-        }
-    });
+    let mut eval_state: Option<EvalState<'_>> =
+        eval.map(|ev| EvalState::new(ev, cfg, loss, base_score));
 
     // Histogram allocations are recycled across vertices and trees: the
     // pool's peak size is the widest frontier ever reached, not the
@@ -268,37 +328,24 @@ pub fn grow_forest_with_eval(
         let field_mask = sampler.draw_field_mask(data.num_fields(), cfg.colsample_bytree);
 
         // ---- Grow one tree (Steps 1-4) through the shared engine. ----
-        let mut grower = TreeGrower {
+        let (tree, phases) = grow_single_tree(
             data,
             columnar,
-            grads: &grads,
             cfg,
             exec,
-            field_mask: field_mask.as_deref(),
-            sampler: &mut sampler,
-            pool: &mut pool,
-            nodes: vec![Node::Leaf { weight: 0.0 }],
-            phases: Vec::new(),
-            frontier: Vec::new(),
-            leaves: 1,
-            seq: 0,
-            dense_scanned_depth: None,
-            times: &mut times,
-            work: &mut work,
-        };
-        grower.seed_root(root_rows);
-        match cfg.growth {
-            GrowthStrategy::VertexWise => grower.grow_depth_first(),
-            GrowthStrategy::LevelWise => grower.grow_breadth_first(),
-            GrowthStrategy::LeafWise { max_leaves } => grower.grow_best_first(max_leaves),
-        }
-        let (nodes, phases) = grower.finish();
-        let tree = Tree::new(nodes);
+            &mut sampler,
+            &mut pool,
+            &grads,
+            root_rows,
+            field_mask.as_deref(),
+            &mut times,
+            &mut work,
+        );
 
         // ---- Step 5: one-tree traversal, gradient + loss update. ----
         let t5 = Instant::now();
         let (sum_path, total_loss) =
-            exec.traverse_update(data, &tree, cfg.loss, labels, &mut margins, &mut grads);
+            exec.traverse_update(data, &tree, loss, labels, &mut margins, &mut grads);
         times.step5 += t5.elapsed();
         work.step5_records += n as u64;
         work.step5_lookups += sum_path;
@@ -350,7 +397,8 @@ pub fn grow_forest_with_eval(
     let model = Model {
         trees,
         base_score,
-        loss: cfg.loss,
+        objective: cfg.objective,
+        num_outputs: 1,
         schema: data.schema().clone(),
         binnings: data.binnings().to_vec(),
     };
@@ -366,6 +414,486 @@ pub fn grow_forest_with_eval(
         field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
     });
     (model, TrainReport { times, work, phase_log, loss_history, eval_history, best_iteration })
+}
+
+/// Grow one tree (Steps 1-4) from a per-record gradient slice through
+/// the shared frontier engine. The caller owns the sampling stream and
+/// has already drawn this tree's root rows and field mask, so the
+/// stream order — and with it bit-identity across backends — is fixed
+/// by the caller's loop, not by this helper.
+#[allow(clippy::too_many_arguments)]
+fn grow_single_tree(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+    exec: &dyn StepExecutor,
+    sampler: &mut SampleStream,
+    pool: &mut HistogramPool,
+    grads: &[GradPair],
+    root_rows: Vec<u32>,
+    field_mask: Option<&[bool]>,
+    times: &mut StepTimes,
+    work: &mut WorkCounters,
+) -> (Tree, Vec<NodePhase>) {
+    let mut grower = TreeGrower {
+        data,
+        columnar,
+        grads,
+        cfg,
+        exec,
+        field_mask,
+        sampler,
+        pool,
+        nodes: vec![Node::Leaf { weight: 0.0 }],
+        phases: Vec::new(),
+        frontier: Vec::new(),
+        leaves: 1,
+        seq: 0,
+        dense_scanned_depth: None,
+        times,
+        work,
+    };
+    grower.seed_root(root_rows);
+    match cfg.growth {
+        GrowthStrategy::VertexWise => grower.grow_depth_first(),
+        GrowthStrategy::LevelWise => grower.grow_breadth_first(),
+        GrowthStrategy::LeafWise { max_leaves } => grower.grow_best_first(max_leaves),
+    }
+    let (nodes, phases) = grower.finish();
+    (Tree::new(nodes), phases)
+}
+
+/// Validation state for softmax training: a row-major `n x k` margin
+/// matrix over the eval set, scored once per boosting round.
+struct MultiEvalState<'a> {
+    data: &'a BinnedDataset,
+    metric: EvalMetric,
+    min_delta: f64,
+    k: usize,
+    /// Row-major `n_eval x k`.
+    margins: Vec<f64>,
+    labels: Vec<f64>,
+    /// Per-class scratch the [`TreeScorer`] accumulates into before the
+    /// strided add into the margin matrix.
+    scratch: Vec<f64>,
+    history: Vec<f64>,
+    /// Round count of the best model so far.
+    best_round: usize,
+    best_value: f64,
+}
+
+impl<'a> MultiEvalState<'a> {
+    fn new(ev: &EvalSet<'a>, cfg: &TrainConfig, k: usize) -> Self {
+        let metric = cfg.early_stopping.map(|es| es.metric).unwrap_or_default();
+        MultiEvalState {
+            data: ev.data(),
+            metric,
+            min_delta: cfg.early_stopping.map(|es| es.min_delta).unwrap_or(0.0),
+            k,
+            margins: vec![0.0; ev.data().num_records() * k],
+            labels: ev.data().labels().iter().map(|&y| f64::from(y)).collect(),
+            scratch: Vec::new(),
+            history: Vec::new(),
+            best_round: 0,
+            best_value: metric.worst(),
+        }
+    }
+
+    /// Accumulate one class tree's margins into column `class` of the
+    /// eval margin matrix.
+    fn add_tree(&mut self, tree: &Tree, binnings: &[FieldBinning], class: usize) {
+        let n = self.labels.len();
+        self.scratch.clear();
+        self.scratch.resize(n, 0.0);
+        add_eval_margins(tree, binnings, self.data, &mut self.scratch);
+        for (r, &w) in self.scratch.iter().enumerate() {
+            self.margins[r * self.k + class] += w;
+        }
+    }
+
+    /// Score the completed round's full output vector and update the
+    /// history and best-round tracking.
+    fn score_round(&mut self) {
+        let value = match self.metric {
+            EvalMetric::Loss | EvalMetric::MultiLogloss => {
+                multi_logloss(&self.margins, &self.labels, self.k)
+            }
+            EvalMetric::Accuracy => multiclass_accuracy(&self.margins, &self.labels, self.k),
+            m => panic!("eval metric {} is not defined for softmax models", m.name()),
+        };
+        self.history.push(value);
+        if self.metric.improved(value, self.best_value, self.min_delta) {
+            self.best_value = value;
+            self.best_round = self.history.len();
+        }
+    }
+}
+
+/// The softmax multiclass training loop: every boosting round grows K
+/// trees (one per class, round-major) against a row-major `n x k`
+/// gradient matrix refreshed once per round — each class tree of a
+/// round sees the margins as they stood when the round started, the
+/// standard per-class-tree semantics of multiclass GBDT.
+fn grow_softmax(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+    k: usize,
+    exec: &dyn StepExecutor,
+    eval: Option<&EvalSet<'_>>,
+) -> (Model, TrainReport) {
+    let n = data.num_records();
+    let labels = data.labels();
+    let mut sampler = SampleStream::new(cfg.seed);
+
+    let t_init = Instant::now();
+    // Multiclass margins start at zero for every class; the label
+    // distribution is learned by the first round's trees.
+    let base_score = 0.0;
+    let mut margins = vec![0.0f64; n * k];
+    let mut grads = vec![GradPair::zero(); n * k];
+    let mut prev_loss = softmax_grad_refresh(&margins, labels, k, &mut grads);
+
+    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
+    let mut work = WorkCounters::default();
+    let mut tree_logs: Vec<TreePhases> = Vec::new();
+    let mut loss_history = Vec::with_capacity(cfg.num_trees);
+    let mut trees: Vec<Tree> = Vec::with_capacity(cfg.num_trees * k);
+    let mut eval_state: Option<MultiEvalState<'_>> = eval.map(|ev| MultiEvalState::new(ev, cfg, k));
+    let mut pool = HistogramPool::new();
+    let mut class_grads: Vec<GradPair> = Vec::with_capacity(n);
+
+    for _round in 0..cfg.num_trees {
+        for class in 0..k {
+            // Stochastic GB: each class tree draws its own row sample
+            // and field mask, advancing the one stream deterministically.
+            let root_rows = sampler.draw_rows(n, cfg.subsample);
+            if root_rows.is_empty() {
+                // A pathological subsample of a tiny dataset: a weight-0
+                // leaf keeps the round-major layout intact.
+                trees.push(Tree::leaf(0.0));
+                continue;
+            }
+            let field_mask = sampler.draw_field_mask(data.num_fields(), cfg.colsample_bytree);
+
+            // Gather this class's gradient column contiguously so the
+            // engine's kernels stream it like a scalar run.
+            class_grads.clear();
+            class_grads.extend((0..n).map(|r| grads[r * k + class]));
+            let (tree, phases) = grow_single_tree(
+                data,
+                columnar,
+                cfg,
+                exec,
+                &mut sampler,
+                &mut pool,
+                &class_grads,
+                root_rows,
+                field_mask.as_deref(),
+                &mut times,
+                &mut work,
+            );
+
+            // ---- Step 5: update this class's margin column. Gradients
+            // refresh at the round boundary, not here. ----
+            let t5 = Instant::now();
+            let mut sum_path = 0u64;
+            for r in 0..n {
+                let (w, path) = tree.traverse_binned(data, r);
+                margins[r * k + class] += w;
+                sum_path += u64::from(path);
+            }
+            times.step5 += t5.elapsed();
+            work.step5_records += n as u64;
+            work.step5_lookups += sum_path;
+
+            if cfg.collect_phases {
+                tree_logs.push(TreePhases {
+                    nodes: phases,
+                    traversal: TraversalPhase {
+                        n_records: n,
+                        fields_used: tree.fields_used().len(),
+                        sum_path_len: sum_path,
+                        max_depth: tree.depth(),
+                    },
+                });
+            }
+            if let Some(ev) = eval_state.as_mut() {
+                ev.add_tree(&tree, data.binnings(), class);
+            }
+            trees.push(tree);
+        }
+
+        // ---- Round boundary: refresh the full gradient matrix and
+        // record the training loss after this round's K trees. ----
+        let t5 = Instant::now();
+        let mean_loss = softmax_grad_refresh(&margins, labels, k, &mut grads);
+        times.step5 += t5.elapsed();
+        loss_history.push(mean_loss);
+
+        let patience_exhausted = match eval_state.as_mut() {
+            Some(ev) => {
+                ev.score_round();
+                match &cfg.early_stopping {
+                    Some(es) => loss_history.len() - ev.best_round >= es.patience,
+                    None => false,
+                }
+            }
+            None => false,
+        };
+        if let Some(min_dec) = cfg.min_loss_decrease {
+            if prev_loss - mean_loss < min_dec {
+                break;
+            }
+        }
+        prev_loss = mean_loss;
+        if patience_exhausted {
+            break;
+        }
+    }
+
+    // Early stopping truncates at a round boundary: the best round's
+    // model keeps exactly `best_round * k` round-major trees.
+    let (eval_history, best_iteration) = match eval_state {
+        Some(ev) => {
+            let best_round = ev.best_round.max(1);
+            if cfg.early_stopping.is_some() {
+                trees.truncate(best_round * k);
+            }
+            (Some(ev.history), Some(best_round * k))
+        }
+        None => (None, None),
+    };
+
+    let model = Model {
+        trees,
+        base_score,
+        objective: cfg.objective,
+        num_outputs: k as u32,
+        schema: data.schema().clone(),
+        binnings: data.binnings().to_vec(),
+    };
+    let phase_log = cfg.collect_phases.then(|| PhaseLog {
+        trees: tree_logs,
+        num_records: n,
+        num_fields: data.num_fields(),
+        record_bytes: data.record_bytes(),
+        total_bins: data.total_bins(),
+        field_entry_bytes: (0..data.num_fields())
+            .map(|f| data.binnings()[f].encoded_bytes())
+            .collect(),
+        field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
+    });
+    (model, TrainReport { times, work, phase_log, loss_history, eval_history, best_iteration })
+}
+
+/// The LambdaRank training loop: one output, but gradients couple all
+/// records of a query group — every boosting round recomputes pairwise
+/// λ-gradients from the current margins before growing its tree.
+fn grow_lambdarank(
+    data: &BinnedDataset,
+    columnar: &ColumnarMirror,
+    cfg: &TrainConfig,
+    exec: &dyn StepExecutor,
+    eval: Option<&EvalSet<'_>>,
+) -> (Model, TrainReport) {
+    let n = data.num_records();
+    let labels = data.labels();
+    let groups: Vec<u32> = data
+        .query_groups()
+        .expect(
+            "LambdaRank requires query groups on the training set \
+             (BinnedDataset::set_query_groups)",
+        )
+        .to_vec();
+    let mut sampler = SampleStream::new(cfg.seed);
+
+    let t_init = Instant::now();
+    // Ranking scores are relative; start every document at zero.
+    let base_score = 0.0;
+    let mut margins = vec![0.0f64; n];
+    let mut grads = vec![GradPair::zero(); n];
+    let mut prev_loss = lambdarank_grad_refresh(&margins, labels, &groups, &mut grads);
+
+    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
+    let mut work = WorkCounters::default();
+    let mut tree_logs: Vec<TreePhases> = Vec::new();
+    let mut loss_history = Vec::with_capacity(cfg.num_trees);
+    let mut trees: Vec<Tree> = Vec::with_capacity(cfg.num_trees);
+    let mut eval_state: Option<RankEvalState<'_>> = eval.map(|ev| RankEvalState::new(ev, cfg));
+    let mut pool = HistogramPool::new();
+
+    for _round in 0..cfg.num_trees {
+        let root_rows = sampler.draw_rows(n, cfg.subsample);
+        if root_rows.is_empty() {
+            loss_history.push(prev_loss);
+            trees.push(Tree::leaf(0.0));
+            if rank_eval_and_check(&mut eval_state, &trees, cfg, data.binnings()) {
+                break;
+            }
+            continue;
+        }
+        let field_mask = sampler.draw_field_mask(data.num_fields(), cfg.colsample_bytree);
+        let (tree, phases) = grow_single_tree(
+            data,
+            columnar,
+            cfg,
+            exec,
+            &mut sampler,
+            &mut pool,
+            &grads,
+            root_rows,
+            field_mask.as_deref(),
+            &mut times,
+            &mut work,
+        );
+
+        // ---- Step 5: margin update, then the per-group λ-gradient
+        // refresh against the new ranking. ----
+        let t5 = Instant::now();
+        let mut sum_path = 0u64;
+        for (r, m) in margins.iter_mut().enumerate() {
+            let (w, path) = tree.traverse_binned(data, r);
+            *m += w;
+            sum_path += u64::from(path);
+        }
+        let mean_loss = lambdarank_grad_refresh(&margins, labels, &groups, &mut grads);
+        times.step5 += t5.elapsed();
+        work.step5_records += n as u64;
+        work.step5_lookups += sum_path;
+
+        if cfg.collect_phases {
+            tree_logs.push(TreePhases {
+                nodes: phases,
+                traversal: TraversalPhase {
+                    n_records: n,
+                    fields_used: tree.fields_used().len(),
+                    sum_path_len: sum_path,
+                    max_depth: tree.depth(),
+                },
+            });
+        }
+        loss_history.push(mean_loss);
+        trees.push(tree);
+
+        let patience_exhausted = rank_eval_and_check(&mut eval_state, &trees, cfg, data.binnings());
+        if let Some(min_dec) = cfg.min_loss_decrease {
+            if prev_loss - mean_loss < min_dec {
+                break;
+            }
+        }
+        prev_loss = mean_loss;
+        if patience_exhausted {
+            break;
+        }
+    }
+
+    let (eval_history, best_iteration) = match eval_state {
+        Some(ev) => {
+            let best = ev.best_iter.max(1);
+            if cfg.early_stopping.is_some() {
+                trees.truncate(best);
+            }
+            (Some(ev.history), Some(best))
+        }
+        None => (None, None),
+    };
+
+    let model = Model {
+        trees,
+        base_score,
+        objective: cfg.objective,
+        num_outputs: 1,
+        schema: data.schema().clone(),
+        binnings: data.binnings().to_vec(),
+    };
+    let phase_log = cfg.collect_phases.then(|| PhaseLog {
+        trees: tree_logs,
+        num_records: n,
+        num_fields: data.num_fields(),
+        record_bytes: data.record_bytes(),
+        total_bins: data.total_bins(),
+        field_entry_bytes: (0..data.num_fields())
+            .map(|f| data.binnings()[f].encoded_bytes())
+            .collect(),
+        field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
+    });
+    (model, TrainReport { times, work, phase_log, loss_history, eval_history, best_iteration })
+}
+
+/// Validation state for LambdaRank: scalar margins scored by NDCG over
+/// the eval set's query groups (or the |ΔNDCG|-weighted surrogate loss
+/// for [`EvalMetric::Loss`]).
+struct RankEvalState<'a> {
+    data: &'a BinnedDataset,
+    metric: EvalMetric,
+    min_delta: f64,
+    margins: Vec<f64>,
+    labels: Vec<f64>,
+    groups: Vec<u32>,
+    /// Scratch gradient pairs for the surrogate-loss evaluation.
+    grads_scratch: Vec<GradPair>,
+    history: Vec<f64>,
+    best_iter: usize,
+    best_value: f64,
+}
+
+impl<'a> RankEvalState<'a> {
+    fn new(ev: &EvalSet<'a>, cfg: &TrainConfig) -> Self {
+        let metric = cfg.early_stopping.map(|es| es.metric).unwrap_or_default();
+        let n = ev.data().num_records();
+        // An eval set without groups ranks as one whole-set query.
+        let groups =
+            ev.data().query_groups().map(<[u32]>::to_vec).unwrap_or_else(|| vec![n as u32]);
+        RankEvalState {
+            data: ev.data(),
+            metric,
+            min_delta: cfg.early_stopping.map(|es| es.min_delta).unwrap_or(0.0),
+            margins: vec![0.0; n],
+            labels: ev.data().labels().iter().map(|&y| f64::from(y)).collect(),
+            groups,
+            grads_scratch: vec![GradPair::zero(); n],
+            history: Vec::new(),
+            best_iter: 0,
+            best_value: metric.worst(),
+        }
+    }
+
+    fn score_tree(&mut self, tree: &Tree, binnings: &[FieldBinning]) {
+        add_eval_margins(tree, binnings, self.data, &mut self.margins);
+        let value = match self.metric {
+            EvalMetric::Ndcg { k } => {
+                ndcg_at_k(&self.margins, &self.labels, &self.groups, k as usize)
+            }
+            EvalMetric::Loss => lambdarank_grad_refresh(
+                &self.margins,
+                self.data.labels(),
+                &self.groups,
+                &mut self.grads_scratch,
+            ),
+            m => panic!("eval metric {} is not defined for LambdaRank models", m.name()),
+        };
+        self.history.push(value);
+        if self.metric.improved(value, self.best_value, self.min_delta) {
+            self.best_value = value;
+            self.best_iter = self.history.len();
+        }
+    }
+}
+
+/// [`RankEvalState`] analogue of `eval_and_check`.
+fn rank_eval_and_check(
+    eval_state: &mut Option<RankEvalState<'_>>,
+    trees: &[Tree],
+    cfg: &TrainConfig,
+    binnings: &[FieldBinning],
+) -> bool {
+    let Some(ev) = eval_state.as_mut() else { return false };
+    ev.score_tree(trees.last().expect("a tree was just pushed"), binnings);
+    match &cfg.early_stopping {
+        Some(es) => trees.len() - ev.best_iter >= es.patience,
+        None => false,
+    }
 }
 
 /// A split-ready frontier vertex: its relevant records, its histogram,
@@ -773,4 +1301,212 @@ impl TreeGrower<'_> {
 /// subtraction: no record traffic.
 fn empty_bin_phase(depth: u32, n_reaching: usize) -> BinPhase {
     BinPhase { depth, n_reaching, n_binned: 0, row_blocks: 0, gh_stream_blocks: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, RawValue};
+    use crate::schema::{DatasetSchema, FieldSchema};
+    use crate::train::{train, EarlyStopping, SequentialExec};
+
+    /// Three separable classes on two numeric features: class = label
+    /// index, feature 0 clusters at 10·class, feature 1 adds a
+    /// deterministic wobble so trees have something to split beyond the
+    /// first cut.
+    fn multiclass_dataset(n: usize) -> BinnedDataset {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x", 32),
+            FieldSchema::numeric_with_bins("y", 32),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..n {
+            let class = i % 3;
+            let x = 10.0 * class as f32 + ((i * 7) % 5) as f32;
+            let y = ((i * 13) % 11) as f32 + class as f32;
+            ds.push_record(&[RawValue::Num(x), RawValue::Num(y)], class as f32);
+        }
+        BinnedDataset::from_dataset(&ds)
+    }
+
+    /// Query-grouped ranking data: 12 docs per query, relevance follows
+    /// the first feature with a per-query offset the model must ignore.
+    fn ranking_dataset(queries: usize) -> BinnedDataset {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("rel_signal", 32),
+            FieldSchema::numeric_with_bins("noise", 32),
+        ]);
+        let mut ds = Dataset::new(schema);
+        let mut groups = Vec::with_capacity(queries);
+        for q in 0..queries {
+            let docs = 12usize;
+            groups.push(docs as u32);
+            for d in 0..docs {
+                let rel = (d % 4) as f32; // grades 0..=3 present per query
+                let signal = rel * 2.0 + ((q * 31 + d * 17) % 7) as f32 * 0.1;
+                let noise = ((q * 13 + d * 5) % 23) as f32;
+                ds.push_record(&[RawValue::Num(signal), RawValue::Num(noise)], rel);
+            }
+        }
+        let mut binned = BinnedDataset::from_dataset(&ds);
+        binned.set_query_groups(groups);
+        binned
+    }
+
+    #[test]
+    fn softmax_training_lays_trees_round_major_and_learns_the_classes() {
+        let data = multiclass_dataset(300);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig {
+            num_trees: 8,
+            max_depth: 3,
+            objective: Objective::Softmax { num_class: 3 },
+            ..Default::default()
+        };
+        let (model, report) = train(&data, &mirror, &cfg);
+        assert_eq!(model.num_outputs, 3);
+        assert_eq!(model.trees.len(), 8 * 3, "K trees per round, round-major");
+        // Multiclass logloss decreases across rounds.
+        let first = report.loss_history.first().copied().unwrap();
+        let last = report.loss_history.last().copied().unwrap();
+        assert!(last < first, "softmax loss did not improve: {first} -> {last}");
+        // The model separates the classes far better than chance.
+        let labels: Vec<f64> = data.labels().iter().map(|&y| f64::from(y)).collect();
+        let margins = model.predict_batch_outputs(&data);
+        let acc = multiclass_accuracy(&margins, &labels, 3);
+        assert!(acc > 0.9, "train accuracy {acc} too low for separable blobs");
+    }
+
+    #[test]
+    fn softmax_early_stopping_truncates_at_a_round_boundary() {
+        let train_data = multiclass_dataset(240);
+        let eval_data = multiclass_dataset(90);
+        let mirror = ColumnarMirror::from_binned(&train_data);
+        let cfg = TrainConfig {
+            num_trees: 20,
+            max_depth: 3,
+            objective: Objective::Softmax { num_class: 3 },
+            early_stopping: Some(EarlyStopping {
+                metric: EvalMetric::MultiLogloss,
+                patience: 3,
+                min_delta: 0.0,
+            }),
+            ..Default::default()
+        };
+        let eval = EvalSet::new(&eval_data);
+        let (model, report) =
+            grow_forest_with_eval(&train_data, &mirror, &cfg, &SequentialExec, Some(&eval));
+        let best = report.best_iteration.expect("eval pipeline ran");
+        assert_eq!(model.trees.len(), best, "model truncated to the best round");
+        assert_eq!(model.trees.len() % 3, 0, "truncation must land on a K-tree round boundary");
+        assert!(
+            report.eval_history.as_ref().is_some_and(|h| !h.is_empty()),
+            "eval history recorded per round"
+        );
+        // Accuracy is also a valid softmax early-stopping metric.
+        let cfg_acc = TrainConfig {
+            early_stopping: Some(EarlyStopping {
+                metric: EvalMetric::Accuracy,
+                patience: 3,
+                min_delta: 0.0,
+            }),
+            ..cfg
+        };
+        let (model_acc, _) =
+            grow_forest_with_eval(&train_data, &mirror, &cfg_acc, &SequentialExec, Some(&eval));
+        assert_eq!(model_acc.trees.len() % 3, 0);
+    }
+
+    #[test]
+    fn lambdarank_training_improves_ndcg_over_the_untrained_ranking() {
+        let data = ranking_dataset(25);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig {
+            num_trees: 12,
+            max_depth: 3,
+            objective: Objective::LambdaRank,
+            ..Default::default()
+        };
+        let (model, report) = train(&data, &mirror, &cfg);
+        assert_eq!(model.num_outputs, 1);
+        let labels: Vec<f64> = data.labels().iter().map(|&y| f64::from(y)).collect();
+        let groups = data.query_groups().unwrap();
+        let flat_margins = vec![0.0f64; data.num_records()];
+        let base_ndcg = ndcg_at_k(&flat_margins, &labels, groups, 5);
+        let margins: Vec<f64> =
+            (0..data.num_records()).map(|r| model.margin_binned(&data, r)).collect();
+        let trained_ndcg = ndcg_at_k(&margins, &labels, groups, 5);
+        assert!(
+            trained_ndcg > base_ndcg + 0.05,
+            "NDCG@5 did not improve: {base_ndcg} -> {trained_ndcg}"
+        );
+        // The pairwise surrogate loss decreases too.
+        let first = report.loss_history.first().copied().unwrap();
+        let last = report.loss_history.last().copied().unwrap();
+        assert!(last < first, "λ-gradient surrogate did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn lambdarank_early_stops_on_eval_ndcg() {
+        let train_data = ranking_dataset(20);
+        let eval_data = ranking_dataset(8);
+        let mirror = ColumnarMirror::from_binned(&train_data);
+        let cfg = TrainConfig {
+            num_trees: 30,
+            max_depth: 3,
+            objective: Objective::LambdaRank,
+            early_stopping: Some(EarlyStopping {
+                metric: EvalMetric::Ndcg { k: 5 },
+                patience: 3,
+                min_delta: 0.0,
+            }),
+            ..Default::default()
+        };
+        let eval = EvalSet::new(&eval_data);
+        let (model, report) =
+            grow_forest_with_eval(&train_data, &mirror, &cfg, &SequentialExec, Some(&eval));
+        let best = report.best_iteration.expect("eval pipeline ran");
+        assert_eq!(model.trees.len(), best);
+        assert!(best <= 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "query groups")]
+    fn lambdarank_requires_query_groups() {
+        let data = multiclass_dataset(60);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg =
+            TrainConfig { num_trees: 2, objective: Objective::LambdaRank, ..Default::default() };
+        let _ = train(&data, &mirror, &cfg);
+    }
+
+    #[test]
+    fn quantile_objective_trains_through_the_scalar_path() {
+        // Heavy right tail: the 0.9-quantile model must sit above the
+        // median model on the training distribution.
+        let schema = DatasetSchema::new(vec![FieldSchema::numeric_with_bins("x", 32)]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..400 {
+            let x = (i % 20) as f32;
+            let tail = if i % 10 == 0 { 25.0 } else { 0.0 };
+            ds.push_record(&[RawValue::Num(x)], x * 0.5 + tail);
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let mean_pred = |alpha: f64| {
+            let cfg = TrainConfig {
+                num_trees: 10,
+                max_depth: 3,
+                objective: Objective::PinballQuantile { alpha },
+                ..Default::default()
+            };
+            let (model, _) = train(&data, &mirror, &cfg);
+            assert_eq!(model.num_outputs, 1);
+            let preds = model.predict_batch(&data);
+            preds.iter().sum::<f64>() / preds.len() as f64
+        };
+        let median = mean_pred(0.5);
+        let upper = mean_pred(0.9);
+        assert!(upper > median, "0.9-quantile ({upper}) must exceed the median fit ({median})");
+    }
 }

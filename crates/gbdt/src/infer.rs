@@ -40,7 +40,7 @@ use rayon::prelude::*;
 
 use crate::compile::{compile, CompileOptions, CompiledEnsemble};
 use crate::dataset::RawValue;
-use crate::gradients::Loss;
+use crate::gradients::Objective;
 use crate::predict::Model;
 use crate::preprocess::{BinnedDataset, FieldBinning};
 use crate::split::{goes_left, SplitRule};
@@ -117,8 +117,12 @@ pub struct FlatEnsemble {
     num_fields: usize,
     /// Initial margin added to every prediction.
     base_score: f64,
-    /// Output transform of the training loss.
-    loss: Loss,
+    /// Training objective; its link function is applied at the
+    /// prediction surface.
+    objective: Objective,
+    /// Outputs per record (`K`); tree `t` accumulates into output
+    /// `t % K`. 1 for every scalar objective.
+    num_outputs: usize,
     /// Lazily compiled bytecode program ([`ExecMode::Compiled`]);
     /// `OnceLock` keeps the ensemble `Send + Sync` and the compile a
     /// once-per-ensemble cost shared by every later call.
@@ -245,7 +249,8 @@ impl FlatEnsemble {
             gather_offsets,
             num_fields: model.binnings.len(),
             base_score: model.base_score,
-            loss: model.loss,
+            objective: model.objective,
+            num_outputs: model.num_outputs as usize,
             compiled: OnceLock::new(),
         })
     }
@@ -294,9 +299,23 @@ impl FlatEnsemble {
         self.base_score
     }
 
-    /// Output transform applied to summed margins.
-    pub fn loss(&self) -> Loss {
-        self.loss
+    /// Training objective; its link function is applied to summed
+    /// margins at every prediction surface.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Outputs per record (`K`); 1 for every scalar objective.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    #[inline]
+    fn expect_scalar(&self) {
+        assert_eq!(
+            self.num_outputs, 1,
+            "scalar scoring on a multi-output ensemble; use the *_outputs APIs"
+        );
     }
 
     /// Field arity the ensemble expects of every record.
@@ -391,6 +410,7 @@ impl FlatEnsemble {
     /// Panics if `out.len() != data.num_records()` or on a field-arity
     /// mismatch.
     pub fn score_into(&self, data: &BinnedDataset, mode: ExecMode, out: &mut [f64]) {
+        self.expect_scalar();
         self.check_arity(data);
         assert_eq!(out.len(), data.num_records(), "output buffer must cover every record");
         match mode {
@@ -400,7 +420,7 @@ impl FlatEnsemble {
                     let r0 = b * BLOCK_RECORDS;
                     self.score_block(data, r0, r0 + chunk.len(), chunk, None);
                     for m in chunk.iter_mut() {
-                        *m = self.loss.transform(*m);
+                        *m = self.objective.transform(*m);
                     }
                 }
             }
@@ -412,7 +432,7 @@ impl FlatEnsemble {
                         let r0 = b * BLOCK_RECORDS;
                         self.score_block(data, r0, r0 + chunk.len(), chunk, None);
                         for m in chunk.iter_mut() {
-                            *m = self.loss.transform(*m);
+                            *m = self.objective.transform(*m);
                         }
                     })
                     .for_each();
@@ -433,6 +453,7 @@ impl FlatEnsemble {
     /// # Panics
     /// Panics if `bins.len() != out.len() * num_fields`.
     pub fn score_bins_into(&self, bins: &[u32], out: &mut [f64]) {
+        self.expect_scalar();
         let nf = self.num_fields;
         assert_eq!(bins.len(), out.len() * nf, "bin matrix shape must be records x fields");
         for (b, chunk) in out.chunks_mut(BLOCK_RECORDS).enumerate() {
@@ -452,7 +473,7 @@ impl FlatEnsemble {
                 }
             }
             for m in chunk.iter_mut() {
-                *m = self.loss.transform(*m);
+                *m = self.objective.transform(*m);
             }
         }
     }
@@ -483,7 +504,7 @@ impl FlatEnsemble {
             r0 = r1;
         }
         for m in out.iter_mut() {
-            *m = self.loss.transform(*m);
+            *m = self.objective.transform(*m);
         }
     }
 
@@ -492,6 +513,7 @@ impl FlatEnsemble {
     /// record) — the flat-engine replacement for
     /// [`Model::predict_batch_with_paths`], with identical output.
     pub fn predict_batch_with_paths(&self, data: &BinnedDataset) -> (Vec<f64>, Vec<u64>) {
+        self.expect_scalar();
         self.check_arity(data);
         let n = data.num_records();
         let mut margins = vec![self.base_score; n];
@@ -502,7 +524,76 @@ impl FlatEnsemble {
             self.score_block(data, r0, r1, &mut margins[r0..r1], Some(&mut paths[r0..r1]));
             r0 = r1;
         }
-        (margins.into_iter().map(|m| self.loss.transform(m)).collect(), paths)
+        (margins.into_iter().map(|m| self.objective.transform(m)).collect(), paths)
+    }
+
+    /// Multi-output batch prediction: one row-major `K`-slot row per
+    /// record (`out[r * K + c]`), with the objective's link function
+    /// applied per row. Tree `t` accumulates into output `t % K`, in
+    /// tree order — for `K = 1` this is exactly the `Sequential` scalar
+    /// path. Single-threaded cache-blocked execution.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != num_records * num_outputs` or on a
+    /// field-arity mismatch.
+    pub fn score_outputs_into(&self, data: &BinnedDataset, out: &mut [f64]) {
+        self.check_arity(data);
+        let k = self.num_outputs;
+        let n = data.num_records();
+        assert_eq!(out.len(), n * k, "output buffer must hold num_outputs slots per record");
+        out.fill(self.base_score);
+        let mut r0 = 0;
+        while r0 < n {
+            let r1 = (r0 + BLOCK_RECORDS).min(n);
+            for t in 0..self.num_trees() {
+                let c = t % k;
+                self.walk_tree_block(t, data, r0, r1, |i, w, _| out[(r0 + i) * k + c] += w);
+            }
+            r0 = r1;
+        }
+        for row in out.chunks_mut(k) {
+            self.objective.transform_outputs(row);
+        }
+    }
+
+    /// [`FlatEnsemble::score_outputs_into`] with an owned result.
+    pub fn predict_batch_outputs(&self, data: &BinnedDataset) -> Vec<f64> {
+        let mut out = vec![0.0; data.num_records() * self.num_outputs];
+        self.score_outputs_into(data, &mut out);
+        out
+    }
+
+    /// Multi-output twin of [`FlatEnsemble::score_bins_into`]: score a
+    /// raw row-major bin matrix into `records x K` transformed outputs,
+    /// with no heap allocation — the serving entry point for
+    /// multi-output models (and bit-identical to the scalar path's
+    /// margins when `K = 1`).
+    ///
+    /// # Panics
+    /// Panics if the matrix and output shapes disagree.
+    pub fn score_bins_outputs_into(&self, bins: &[u32], out: &mut [f64]) {
+        let nf = self.num_fields;
+        let k = self.num_outputs;
+        assert_eq!(bins.len() % nf, 0, "bin matrix shape must be records x fields");
+        let n = bins.len() / nf;
+        assert_eq!(out.len(), n * k, "output buffer must hold num_outputs slots per record");
+        out.fill(self.base_score);
+        for t in 0..self.num_trees() {
+            let span = self.tree_offsets[t]..self.tree_offsets[t + 1];
+            let entries = &self.entries[span.clone()];
+            let fields = &self.entry_fields[span.clone()];
+            let absents = &self.entry_absents[span.clone()];
+            let weights = &self.weights[span];
+            let c = t % k;
+            for r in 0..n {
+                let row = &bins[r * nf..(r + 1) * nf];
+                let (leaf, _) = walk_row(entries, fields, absents, |f| row[f]);
+                out[r * k + c] += weights[leaf];
+            }
+        }
+        for row in out.chunks_mut(k) {
+            self.objective.transform_outputs(row);
+        }
     }
 
     /// Raw margin for one record presented as per-field bins (indexed by
@@ -520,6 +611,25 @@ impl FlatEnsemble {
             m += self.weights[span][leaf];
         }
         m
+    }
+
+    /// Raw margin vector for one record presented as per-field bins:
+    /// `out` (length `K`) is seeded with the base score and tree `t`
+    /// accumulates into slot `t % K`. No link function applied.
+    fn margins_of_row_outputs(&self, row: &[u32], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.num_outputs);
+        out.fill(self.base_score);
+        let k = self.num_outputs;
+        for t in 0..self.num_trees() {
+            let span = self.tree_offsets[t]..self.tree_offsets[t + 1];
+            let (leaf, _) = walk_row(
+                &self.entries[span.clone()],
+                &self.entry_fields[span.clone()],
+                &self.entry_absents[span.clone()],
+                |f| row[f],
+            );
+            out[t % k] += self.weights[span][leaf];
+        }
     }
 }
 
@@ -593,6 +703,7 @@ impl Predictor {
     /// Transformed prediction for one raw record; bit-identical to
     /// [`Model::predict_raw`].
     pub fn predict_one(&mut self, record: &[RawValue]) -> f64 {
+        self.flat.expect_scalar();
         assert_eq!(record.len(), self.binnings.len(), "record arity mismatch");
         self.bins.clear();
         self.bins.extend(record.iter().zip(&self.binnings).map(|(v, b)| b.bin_of(*v)));
@@ -601,7 +712,7 @@ impl Predictor {
         } else {
             self.flat.margin_of_row(&self.bins)
         };
-        self.flat.loss.transform(margin)
+        self.flat.objective.transform(margin)
     }
 
     /// Score a mini-batch of raw records into a reusable output buffer
@@ -614,6 +725,22 @@ impl Predictor {
         for r in records {
             out.push(self.predict_one(r));
         }
+    }
+
+    /// Transformed output vector for one raw record (softmax
+    /// probabilities for multiclass models; a single slot for scalar
+    /// objectives). `out` is overwritten and sized to `num_outputs`,
+    /// with no other allocation — the multi-output serving twin of
+    /// [`Predictor::predict_one`]. Always walks the interpreted flat
+    /// tables (the compiled program interprets scalar ensembles only).
+    pub fn predict_one_outputs(&mut self, record: &[RawValue], out: &mut Vec<f64>) {
+        assert_eq!(record.len(), self.binnings.len(), "record arity mismatch");
+        self.bins.clear();
+        self.bins.extend(record.iter().zip(&self.binnings).map(|(v, b)| b.bin_of(*v)));
+        out.clear();
+        out.resize(self.flat.num_outputs, 0.0);
+        self.flat.margins_of_row_outputs(&self.bins, out);
+        self.flat.objective.transform_outputs(out);
     }
 
     /// The underlying flat ensemble.
@@ -860,7 +987,8 @@ mod tests {
         let stub = Model {
             trees: vec![Tree::leaf(0.25), Tree::leaf(-0.125)],
             base_score: 0.5,
-            loss: crate::gradients::Loss::SquaredError,
+            objective: Objective::SquaredError,
+            num_outputs: 1,
             schema: model.schema.clone(),
             binnings: model.binnings.clone(),
         };
@@ -880,6 +1008,85 @@ mod tests {
         assert!(paths.iter().all(|&p| p == 0));
     }
 
+    /// A 3-class softmax model over real trained trees: reuse the
+    /// trained ensemble's trees round-robin so walks are non-trivial.
+    fn softmax_model() -> (Model, BinnedDataset) {
+        let (model, data, _) = trained_model();
+        let stub = Model {
+            trees: model.trees.clone(),
+            base_score: 0.0,
+            objective: Objective::Softmax { num_class: 3 },
+            num_outputs: 3,
+            schema: model.schema.clone(),
+            binnings: model.binnings.clone(),
+        };
+        (stub, data)
+    }
+
+    #[test]
+    fn multi_output_batch_matches_model_outputs_bitwise() {
+        let (model, data) = softmax_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        assert_eq!(flat.num_outputs(), 3);
+        let expect = model.predict_batch_outputs(&data);
+        let got = flat.predict_batch_outputs(&data);
+        assert_eq!(got.len(), expect.len());
+        for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "slot {r}");
+        }
+        // Rows are probability vectors.
+        for row in got.chunks(3) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        // The bin-matrix serving path agrees.
+        let n = data.num_records();
+        let mut bins = Vec::with_capacity(n * flat.num_fields());
+        for r in 0..n {
+            data.row(r).extend_into(&mut bins);
+        }
+        let mut out = vec![f64::NAN; n * 3];
+        flat.score_bins_outputs_into(&bins, &mut out);
+        for (a, b) in out.iter().zip(&expect) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn predictor_outputs_match_model_raw_outputs() {
+        let (model, _) = softmax_model();
+        let (_, _, ds) = trained_model();
+        let mut pred = Predictor::from_model(&model).expect("lowering");
+        let mut out = Vec::new();
+        for r in (0..700).step_by(101) {
+            let rec: Vec<RawValue> = (0..ds.num_fields()).map(|f| ds.value(r, f)).collect();
+            pred.predict_one_outputs(&rec, &mut out);
+            let expect = model.predict_raw_outputs(&rec);
+            assert_eq!(out.len(), expect.len());
+            for (a, b) in out.iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits(), "record {r}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar scoring on a multi-output ensemble")]
+    fn scalar_scoring_rejects_multi_output_models() {
+        let (model, data) = softmax_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        let _ = flat.predict_batch(&data, ExecMode::Sequential);
+    }
+
+    #[test]
+    fn one_output_outputs_path_matches_scalar_margins() {
+        let (model, data, _) = trained_model();
+        let flat = FlatEnsemble::from_model(&model).expect("lowering");
+        let expect = model.predict_batch(&data);
+        let got = flat.predict_batch_outputs(&data);
+        for (r, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "record {r}");
+        }
+    }
+
     #[test]
     fn flat_layout_accounting() {
         let (model, _, _) = trained_model();
@@ -889,7 +1096,8 @@ mod tests {
         assert_eq!(flat.num_entries(), nodes);
         assert_eq!(flat.byte_size(), nodes * TABLE_ENTRY_BYTES);
         assert_eq!(flat.base_score(), model.base_score);
-        assert_eq!(flat.loss(), model.loss);
+        assert_eq!(flat.objective(), model.objective);
+        assert_eq!(flat.num_outputs(), 1);
     }
 
     #[test]

@@ -100,7 +100,7 @@ pub mod prelude {
     pub use crate::columnar::ColumnarMirror;
     pub use crate::compile::{compile, CompileError, CompileOptions, CompiledEnsemble};
     pub use crate::dataset::{Dataset, RawValue};
-    pub use crate::gradients::{GradPair, Loss};
+    pub use crate::gradients::{GradPair, Loss, Objective};
     pub use crate::grow::{grow_forest_with_eval, GrowthStrategy};
     pub use crate::infer::{ExecMode, FlatEnsemble, Predictor, TreeScorer};
     pub use crate::levelwise::train_levelwise;

@@ -18,32 +18,56 @@ pub enum EvalMetric {
     /// Binary log-loss of transformed predictions (predictions are
     /// clamped away from 0/1, so any loss's output is accepted).
     Logloss,
-    /// Area under the ROC curve of transformed predictions. The only
-    /// higher-is-better metric.
+    /// Area under the ROC curve of transformed predictions.
+    /// Higher is better.
     Auc,
+    /// Mean multiclass log-loss `-ln p_y` over softmax-normalized
+    /// class probabilities. With a single output this degenerates to
+    /// binary [`EvalMetric::Logloss`].
+    MultiLogloss,
+    /// Classification accuracy: argmax over K class margins for
+    /// multiclass models, probability-0.5 threshold for binary.
+    /// Higher is better.
+    Accuracy,
+    /// Normalized discounted cumulative gain truncated at position `k`,
+    /// averaged over query groups (groups with no relevant document are
+    /// skipped). Higher is better.
+    Ndcg {
+        /// Truncation position (0 means no truncation).
+        k: u32,
+    },
+    /// Mean pinball loss at the objective's quantile (0.5 when the
+    /// model was not trained with a quantile loss).
+    Pinball,
 }
 
 impl EvalMetric {
-    /// Short human-readable name (used by reports and examples).
+    /// Short human-readable name — the canonical string table shared by
+    /// train logs, bench output, and the README metrics table.
     pub fn name(&self) -> &'static str {
         match self {
             EvalMetric::Loss => "loss",
             EvalMetric::Rmse => "rmse",
             EvalMetric::Logloss => "logloss",
             EvalMetric::Auc => "auc",
+            EvalMetric::MultiLogloss => "multi-logloss",
+            EvalMetric::Accuracy => "accuracy",
+            EvalMetric::Ndcg { .. } => "ndcg",
+            EvalMetric::Pinball => "pinball",
         }
     }
 
-    /// Whether larger values of this metric are better (AUC) instead of
-    /// smaller (the error metrics).
-    pub fn higher_is_better(&self) -> bool {
-        matches!(self, EvalMetric::Auc)
+    /// Whether larger values of this metric are better (AUC, accuracy,
+    /// NDCG) instead of smaller (the error metrics). Early stopping
+    /// compares in this direction.
+    pub fn is_maximizing(&self) -> bool {
+        matches!(self, EvalMetric::Auc | EvalMetric::Accuracy | EvalMetric::Ndcg { .. })
     }
 
     /// Does `current` improve on `best` by more than `min_delta`, in
     /// this metric's direction?
     pub fn improved(&self, current: f64, best: f64, min_delta: f64) -> bool {
-        if self.higher_is_better() {
+        if self.is_maximizing() {
             current > best + min_delta
         } else {
             current < best - min_delta
@@ -53,7 +77,7 @@ impl EvalMetric {
     /// The value no observation can beat — the initial "best" for
     /// improvement tracking.
     pub fn worst(&self) -> f64 {
-        if self.higher_is_better() {
+        if self.is_maximizing() {
             f64::NEG_INFINITY
         } else {
             f64::INFINITY
@@ -91,8 +115,27 @@ impl EvalMetric {
                 preds_scratch.extend(margins.iter().map(|&m| loss.transform(m)));
                 match self {
                     EvalMetric::Rmse => rmse(preds_scratch, labels),
-                    EvalMetric::Logloss => logloss(preds_scratch, labels),
+                    // With one output, multiclass log-loss over {p, 1-p}
+                    // is exactly binary log-loss.
+                    EvalMetric::Logloss | EvalMetric::MultiLogloss => {
+                        logloss(preds_scratch, labels)
+                    }
                     EvalMetric::Auc => auc(preds_scratch, labels),
+                    EvalMetric::Accuracy => accuracy(preds_scratch, labels, 0.5),
+                    // Scalar fallback treats the whole eval set as one
+                    // query; the trainer substitutes real query groups
+                    // when the eval dataset carries them.
+                    EvalMetric::Ndcg { k } => {
+                        let group = [margins.len() as u32];
+                        ndcg_at_k(preds_scratch, labels, &group, *k as usize)
+                    }
+                    EvalMetric::Pinball => {
+                        let alpha = match loss {
+                            Loss::Quantile { alpha } => alpha,
+                            _ => 0.5,
+                        };
+                        pinball_loss(preds_scratch, labels, alpha)
+                    }
                     EvalMetric::Loss => unreachable!("handled above"),
                 }
             }
@@ -180,6 +223,114 @@ pub fn auc(preds: &[f64], labels: &[f64]) -> f64 {
     (pos_rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg)
 }
 
+/// Mean multiclass log-loss `-ln p_y` over a row-major `n x k` margin
+/// matrix; probabilities are softmax-normalized per row and clamped
+/// away from zero. Labels are class indices.
+pub fn multi_logloss(margins: &[f64], labels: &[f64], k: usize) -> f64 {
+    assert!(k >= 1, "need at least one class");
+    assert_eq!(margins.len(), labels.len() * k);
+    assert!(!labels.is_empty());
+    let mut probs = vec![0.0f64; k];
+    let mut sum = 0.0f64;
+    for (r, &y) in labels.iter().enumerate() {
+        probs.copy_from_slice(&margins[r * k..(r + 1) * k]);
+        crate::gradients::softmax_inplace(&mut probs);
+        let class = y as usize;
+        assert!(class < k, "label {y} out of range for {k} classes");
+        sum += -(probs[class].max(1e-15).ln());
+    }
+    sum / labels.len() as f64
+}
+
+/// Multiclass accuracy: fraction of records whose argmax class margin
+/// matches the label (row-major `n x k` margins; argmax is invariant to
+/// the softmax link, so raw margins work). Ties resolve to the lowest
+/// class index.
+pub fn multiclass_accuracy(margins: &[f64], labels: &[f64], k: usize) -> f64 {
+    assert!(k >= 1, "need at least one class");
+    assert_eq!(margins.len(), labels.len() * k);
+    assert!(!labels.is_empty());
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|(r, &y)| {
+            let row = &margins[r * k..(r + 1) * k];
+            let mut best = 0usize;
+            for (c, &m) in row.iter().enumerate() {
+                if m > row[best] {
+                    best = c;
+                }
+            }
+            best == y as usize
+        })
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// NDCG truncated at position `k` (0 = untruncated), averaged over
+/// query groups. Documents are ranked by descending score with ties
+/// broken by in-group index (deterministic); gains are `2^rel - 1` with
+/// `1 / log2(rank + 2)` discounts. Groups whose ideal DCG is zero (no
+/// relevant document) are skipped; if every group is skipped the metric
+/// is a vacuous 1.0.
+///
+/// # Panics
+/// Panics if `groups` does not tile the records exactly.
+pub fn ndcg_at_k(scores: &[f64], labels: &[f64], groups: &[u32], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    assert_eq!(
+        groups.iter().map(|&g| g as usize).sum::<usize>(),
+        scores.len(),
+        "query groups must tile the records"
+    );
+    let cutoff = if k == 0 { usize::MAX } else { k };
+    let mut total = 0.0f64;
+    let mut scored_groups = 0usize;
+    let mut start = 0usize;
+    for &len in groups {
+        let len = len as usize;
+        let (ss, ys) = (&scores[start..start + len], &labels[start..start + len]);
+        start += len;
+        let mut gains: Vec<f64> = ys.iter().map(|&y| y.exp2() - 1.0).collect();
+        let mut order: Vec<usize> = (0..len).collect();
+        order.sort_by(|&a, &b| ss[b].total_cmp(&ss[a]).then(a.cmp(&b)));
+        let dcg: f64 = order
+            .iter()
+            .take(cutoff)
+            .enumerate()
+            .map(|(rank, &i)| gains[i] / (rank as f64 + 2.0).log2())
+            .sum();
+        gains.sort_by(|a, b| b.total_cmp(a));
+        let ideal: f64 = gains
+            .iter()
+            .take(cutoff)
+            .enumerate()
+            .map(|(rank, &g)| g / (rank as f64 + 2.0).log2())
+            .sum();
+        if ideal > 0.0 {
+            total += dcg / ideal;
+            scored_groups += 1;
+        }
+    }
+    if scored_groups == 0 {
+        1.0
+    } else {
+        total / scored_groups as f64
+    }
+}
+
+/// Mean pinball (quantile) loss at quantile `alpha`.
+pub fn pinball_loss(preds: &[f64], labels: &[f64], alpha: f64) -> f64 {
+    assert_eq!(preds.len(), labels.len());
+    assert!(!preds.is_empty());
+    preds
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| if p <= y { alpha * (y - p) } else { (1.0 - alpha) * (p - y) })
+        .sum::<f64>()
+        / preds.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,10 +403,32 @@ mod tests {
         let _ = auc(&[], &[]);
     }
 
+    /// Every metric variant, for exhaustive direction/name coverage.
+    fn all_metrics() -> [EvalMetric; 8] {
+        [
+            EvalMetric::Loss,
+            EvalMetric::Rmse,
+            EvalMetric::Logloss,
+            EvalMetric::Auc,
+            EvalMetric::MultiLogloss,
+            EvalMetric::Accuracy,
+            EvalMetric::Ndcg { k: 5 },
+            EvalMetric::Pinball,
+        ]
+    }
+
     #[test]
     fn eval_metric_directions_and_improvement() {
-        assert!(!EvalMetric::Loss.higher_is_better());
-        assert!(EvalMetric::Auc.higher_is_better());
+        // is_maximizing pinned for every metric so early stopping never
+        // flips direction: only AUC, accuracy and NDCG maximize.
+        assert!(!EvalMetric::Loss.is_maximizing());
+        assert!(!EvalMetric::Rmse.is_maximizing());
+        assert!(!EvalMetric::Logloss.is_maximizing());
+        assert!(!EvalMetric::MultiLogloss.is_maximizing());
+        assert!(!EvalMetric::Pinball.is_maximizing());
+        assert!(EvalMetric::Auc.is_maximizing());
+        assert!(EvalMetric::Accuracy.is_maximizing());
+        assert!(EvalMetric::Ndcg { k: 10 }.is_maximizing());
         // Lower-is-better: strictly smaller improves at min_delta 0.
         assert!(EvalMetric::Rmse.improved(0.9, 1.0, 0.0));
         assert!(!EvalMetric::Rmse.improved(1.0, 1.0, 0.0));
@@ -264,9 +437,135 @@ mod tests {
         assert!(EvalMetric::Auc.improved(0.8, 0.7, 0.0));
         assert!(!EvalMetric::Auc.improved(0.75, 0.7, 0.1));
         // Every metric improves on its own worst value.
-        for m in [EvalMetric::Loss, EvalMetric::Rmse, EvalMetric::Logloss, EvalMetric::Auc] {
+        for m in all_metrics() {
             assert!(m.improved(0.5, m.worst(), 0.0), "{}", m.name());
         }
+    }
+
+    #[test]
+    fn multi_logloss_matches_closed_form() {
+        // Two records, three classes, hand-computed softmax.
+        // Record 0: margins (1, 0, 0), label 0 -> p0 = e / (e + 2).
+        // Record 1: margins (0, 0, 0), label 2 -> p2 = 1/3.
+        let margins = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let labels = [0.0, 2.0];
+        let e = std::f64::consts::E;
+        let expect = (-(e / (e + 2.0)).ln() - (1.0f64 / 3.0).ln()) / 2.0;
+        let got = multi_logloss(&margins, &labels, 3);
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn multi_logloss_degenerates_to_certainty() {
+        // A huge margin on the true class drives the loss to ~0.
+        let margins = [50.0, 0.0, 0.0];
+        assert!(multi_logloss(&margins, &[0.0], 3) < 1e-10);
+    }
+
+    #[test]
+    fn multiclass_accuracy_argmax_and_ties() {
+        // Record 0: argmax class 1 (correct). Record 1: argmax class 0,
+        // label 2 (wrong). Record 2: exact tie -> lowest index 0 wins.
+        let margins = [0.1, 0.9, 0.0, 0.8, 0.1, 0.1, 0.5, 0.5, 0.5];
+        let labels = [1.0, 2.0, 0.0];
+        let got = multiclass_accuracy(&margins, &labels, 3);
+        assert!((got - 2.0 / 3.0).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn ndcg_hand_computed_single_group() {
+        // Scores already rank rel (3, 2, 0) perfectly -> NDCG 1.
+        let labels = [3.0, 2.0, 0.0];
+        assert!((ndcg_at_k(&[0.9, 0.5, 0.1], &labels, &[3], 0) - 1.0).abs() < 1e-12);
+        // Swap the top two: DCG = 3/log2(2) + 7/log2(3) + 0,
+        // ideal = 7/log2(2) + 3/log2(3).
+        let dcg = 3.0 + 7.0 / 3.0f64.log2();
+        let ideal = 7.0 + 3.0 / 3.0f64.log2();
+        let got = ndcg_at_k(&[0.5, 0.9, 0.1], &labels, &[3], 0);
+        assert!((got - dcg / ideal).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn ndcg_truncation_ignores_tail() {
+        // k=1 only looks at the top document: placing the rel-3 doc
+        // first scores 1.0 regardless of the tail ordering.
+        let labels = [3.0, 2.0, 1.0];
+        let got = ndcg_at_k(&[0.9, 0.1, 0.5], &labels, &[3], 1);
+        assert!((got - 1.0).abs() < 1e-12, "{got}");
+        // Top doc rel 1 under k=1: DCG = 1, ideal = 7 -> 1/7.
+        let got = ndcg_at_k(&[0.1, 0.2, 0.9], &labels, &[3], 1);
+        assert!((got - 1.0 / 7.0).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn ndcg_ties_break_by_index_deterministically() {
+        // Both docs score 0.5; the tie resolves to in-group order, so
+        // the rel-0 doc (index 0) ranks first.
+        // DCG = 0 + 1/log2(3); ideal = 1.
+        let got = ndcg_at_k(&[0.5, 0.5], &[0.0, 1.0], &[2], 0);
+        let expect = 1.0 / 3.0f64.log2();
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+        // Reversing the records flips which doc wins the tie: now the
+        // rel-1 doc is first and the group is perfect.
+        let got = ndcg_at_k(&[0.5, 0.5], &[1.0, 0.0], &[2], 0);
+        assert!((got - 1.0).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn ndcg_skips_empty_and_all_zero_groups() {
+        // Group 1 has no relevant docs (ideal DCG 0) and group 2 is
+        // empty: both are skipped, leaving only the perfect group 0.
+        let scores = [0.9, 0.1, 0.4, 0.6];
+        let labels = [1.0, 0.0, 0.0, 0.0];
+        let got = ndcg_at_k(&scores, &labels, &[2, 2, 0], 0);
+        assert!((got - 1.0).abs() < 1e-12, "{got}");
+        // Every group unscorable -> vacuous 1.0, not NaN.
+        let got = ndcg_at_k(&[0.3, 0.7], &[0.0, 0.0], &[2], 0);
+        assert!((got - 1.0).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn pinball_matches_closed_form() {
+        // alpha = 0.9: under-prediction (p <= y) costs 0.9 per unit,
+        // over-prediction costs 0.1.
+        let got = pinball_loss(&[1.0, 5.0], &[3.0, 3.0], 0.9);
+        let expect = (0.9 * 2.0 + 0.1 * 2.0) / 2.0;
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+        // Perfect predictions cost nothing at any quantile.
+        assert_eq!(pinball_loss(&[2.0], &[2.0], 0.3), 0.0);
+        // At alpha = 0.5 the pinball loss is half the mean absolute
+        // error.
+        let got = pinball_loss(&[0.0, 4.0], &[2.0, 2.0], 0.5);
+        assert!((got - 1.0).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn compute_reusing_covers_the_new_scalar_metrics() {
+        let margins = [0.2f64, -1.0, 1.5, 0.0];
+        let labels = [0.0f32, 0.0, 1.0, 1.0];
+        let labels64: Vec<f64> = labels.iter().map(|&y| f64::from(y)).collect();
+        // MultiLogloss at K=1 is binary logloss.
+        assert_eq!(
+            EvalMetric::MultiLogloss.compute(Loss::Logistic, &margins, &labels).to_bits(),
+            EvalMetric::Logloss.compute(Loss::Logistic, &margins, &labels).to_bits()
+        );
+        // Accuracy thresholds transformed predictions at 0.5.
+        let preds: Vec<f64> = margins.iter().map(|&m| Loss::Logistic.transform(m)).collect();
+        assert_eq!(
+            EvalMetric::Accuracy.compute(Loss::Logistic, &margins, &labels).to_bits(),
+            accuracy(&preds, &labels64, 0.5).to_bits()
+        );
+        // Pinball reads alpha from the quantile loss.
+        let q = Loss::Quantile { alpha: 0.75 };
+        assert_eq!(
+            EvalMetric::Pinball.compute(q, &margins, &labels).to_bits(),
+            pinball_loss(&margins, &labels64, 0.75).to_bits()
+        );
+        // Scalar NDCG falls back to one whole-set query group.
+        assert_eq!(
+            EvalMetric::Ndcg { k: 2 }.compute(Loss::SquaredError, &margins, &labels).to_bits(),
+            ndcg_at_k(&margins, &labels64, &[4], 2).to_bits()
+        );
     }
 
     #[test]
@@ -299,11 +598,7 @@ mod tests {
 
     #[test]
     fn eval_metric_names_are_distinct() {
-        let names: Vec<&str> =
-            [EvalMetric::Loss, EvalMetric::Rmse, EvalMetric::Logloss, EvalMetric::Auc]
-                .iter()
-                .map(EvalMetric::name)
-                .collect();
+        let names: Vec<&str> = all_metrics().iter().map(EvalMetric::name).collect();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -9,7 +9,7 @@
 use rayon::prelude::*;
 
 use crate::dataset::RawValue;
-use crate::gradients::Loss;
+use crate::gradients::Objective;
 use crate::preprocess::{BinnedDataset, FieldBinning};
 use crate::schema::DatasetSchema;
 use crate::tree::Tree;
@@ -19,10 +19,15 @@ use crate::tree::Tree;
 pub struct Model {
     /// The K trees; leaf weights already include learning-rate shrinkage.
     pub trees: Vec<Tree>,
-    /// Initial margin added to every prediction.
+    /// Initial margin added to every prediction (every output for
+    /// multi-output models).
     pub base_score: f64,
-    /// Loss the model was trained with (determines the output transform).
-    pub loss: Loss,
+    /// Objective the model was trained with (determines the output
+    /// transform and the output count).
+    pub objective: Objective,
+    /// Number of outputs K. Trees are laid out round-major: tree `t`
+    /// contributes to output `t % K`. Scalar models have K = 1.
+    pub num_outputs: u32,
     /// Schema of the training table.
     pub schema: DatasetSchema,
     /// Per-field binning captured at preprocessing time, so raw records
@@ -31,9 +36,20 @@ pub struct Model {
 }
 
 impl Model {
+    /// Assert this is a one-output model before running a scalar API.
+    #[inline]
+    fn expect_scalar(&self) {
+        assert_eq!(
+            self.num_outputs, 1,
+            "scalar prediction on a {}-output model; use the *_outputs APIs",
+            self.num_outputs
+        );
+    }
+
     /// Raw margin (sum of leaf weights + base score) for record `r` of a
     /// binned dataset.
     pub fn margin_binned(&self, data: &BinnedDataset, r: usize) -> f64 {
+        self.expect_scalar();
         let mut m = self.base_score;
         for tree in &self.trees {
             m += tree.traverse_binned(data, r).0;
@@ -41,9 +57,58 @@ impl Model {
         m
     }
 
+    /// Raw K-output margin vector for record `r`: tree `t` accumulates
+    /// into output `t % K` (round-major layout), each output starting at
+    /// the base score. Works for K = 1 too (a one-element vector).
+    pub fn margin_outputs(&self, data: &BinnedDataset, r: usize, out: &mut [f64]) {
+        let k = self.num_outputs as usize;
+        assert_eq!(out.len(), k, "output buffer arity mismatch");
+        out.fill(self.base_score);
+        for (t, tree) in self.trees.iter().enumerate() {
+            out[t % k] += tree.traverse_binned(data, r).0;
+        }
+    }
+
+    /// Transformed K-output prediction vector for record `r` (softmax
+    /// probabilities for multiclass models, the scalar transform
+    /// otherwise).
+    pub fn predict_outputs(&self, data: &BinnedDataset, r: usize, out: &mut [f64]) {
+        self.margin_outputs(data, r, out);
+        self.objective.transform_outputs(out);
+    }
+
+    /// Batch K-output prediction: a row-major `n x K` matrix of
+    /// transformed outputs.
+    pub fn predict_batch_outputs(&self, data: &BinnedDataset) -> Vec<f64> {
+        let n = data.num_records();
+        let k = self.num_outputs as usize;
+        let mut out = vec![0.0f64; n * k];
+        for r in 0..n {
+            self.predict_outputs(data, r, &mut out[r * k..(r + 1) * k]);
+        }
+        out
+    }
+
+    /// Argmax class index for record `r` of a multiclass model (ties
+    /// resolve to the lowest class index). Meaningful for any K: a
+    /// one-output model always returns 0.
+    pub fn predict_class(&self, data: &BinnedDataset, r: usize) -> usize {
+        let k = self.num_outputs as usize;
+        let mut out = vec![0.0f64; k];
+        // Argmax is invariant to the softmax link; margins suffice.
+        self.margin_outputs(data, r, &mut out);
+        let mut best = 0usize;
+        for (c, &m) in out.iter().enumerate() {
+            if m > out[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
     /// Transformed prediction for record `r` of a binned dataset.
     pub fn predict_binned(&self, data: &BinnedDataset, r: usize) -> f64 {
-        self.loss.transform(self.margin_binned(data, r))
+        self.objective.transform(self.margin_binned(data, r))
     }
 
     /// Discretize one raw record into per-field bins using the stored
@@ -60,12 +125,25 @@ impl Model {
     /// [`crate::infer::Predictor`], which precomputes the absent bins
     /// once and reuses its scratch buffers.
     pub fn predict_raw(&self, record: &[RawValue]) -> f64 {
+        self.expect_scalar();
         let bins = self.bin_raw(record);
         let mut m = self.base_score;
         for tree in &self.trees {
             m += tree.traverse(|f| bins[f], |f: usize| self.binnings[f].absent_bin()).0;
         }
-        self.loss.transform(m)
+        self.objective.transform(m)
+    }
+
+    /// Transformed K-output prediction vector for one raw record.
+    pub fn predict_raw_outputs(&self, record: &[RawValue]) -> Vec<f64> {
+        let bins = self.bin_raw(record);
+        let k = self.num_outputs as usize;
+        let mut out = vec![self.base_score; k];
+        for (t, tree) in self.trees.iter().enumerate() {
+            out[t % k] += tree.traverse(|f| bins[f], |f: usize| self.binnings[f].absent_bin()).0;
+        }
+        self.objective.transform_outputs(&mut out);
+        out
     }
 
     /// Sequential batch prediction over a binned dataset.
@@ -81,6 +159,7 @@ impl Model {
     /// Batch prediction returning per-record total path length across all
     /// trees (the SRAM-lookup count batch inference performs per record).
     pub fn predict_batch_with_paths(&self, data: &BinnedDataset) -> (Vec<f64>, Vec<u64>) {
+        self.expect_scalar();
         let n = data.num_records();
         let mut preds = Vec::with_capacity(n);
         let mut paths = Vec::with_capacity(n);
@@ -92,7 +171,7 @@ impl Model {
                 m += w;
                 p += u64::from(len);
             }
-            preds.push(self.loss.transform(m));
+            preds.push(self.objective.transform(m));
             paths.push(p);
         }
         (preds, paths)
@@ -117,11 +196,18 @@ impl Model {
     /// ([`crate::compile::CompileOptions::max_trees`]), treating the
     /// dropped suffix as dead code.
     pub fn truncated(&self, num_trees: usize) -> Model {
-        let keep = num_trees.max(1).min(self.trees.len());
+        let mut keep = num_trees.max(1).min(self.trees.len());
+        // Multi-output models truncate at round boundaries so every
+        // output keeps the same number of trees.
+        let k = self.num_outputs as usize;
+        if k > 1 {
+            keep = (keep - keep % k).max(k).min(self.trees.len());
+        }
         Model {
             trees: self.trees[..keep].to_vec(),
             base_score: self.base_score,
-            loss: self.loss,
+            objective: self.objective,
+            num_outputs: self.num_outputs,
             schema: self.schema.clone(),
             binnings: self.binnings.clone(),
         }
@@ -197,7 +283,8 @@ mod tests {
         let model = Model {
             trees: vec![tree],
             base_score: 0.5,
-            loss: Loss::SquaredError,
+            objective: Objective::SquaredError,
+            num_outputs: 1,
             schema,
             binnings: data.binnings().to_vec(),
         };
@@ -305,7 +392,7 @@ mod tests {
         }
         // Shared metadata survives every boundary.
         assert_eq!(t0.base_score.to_bits(), model.base_score.to_bits());
-        assert_eq!(t0.loss, model.loss);
+        assert_eq!(t0.objective, model.objective);
         assert_eq!(t0.binnings.len(), model.binnings.len());
     }
 }

@@ -211,6 +211,9 @@ pub struct BinnedDataset {
     num_fields: usize,
     /// Row-major record size in bytes under the byte-packed encoding.
     record_bytes: u32,
+    /// Optional query-group sizes (consecutive record runs) for ranking
+    /// objectives; the sizes tile the records exactly.
+    query_groups: Option<Vec<u32>>,
 }
 
 impl BinnedDataset {
@@ -276,6 +279,7 @@ impl BinnedDataset {
             labels: ds.labels().to_vec(),
             num_fields: nf,
             record_bytes,
+            query_groups: None,
         }
     }
 
@@ -310,6 +314,7 @@ impl BinnedDataset {
             labels,
             num_fields: nf,
             record_bytes,
+            query_groups: None,
         }
     }
 
@@ -329,6 +334,7 @@ impl BinnedDataset {
             labels: self.labels.clone(),
             num_fields: self.num_fields,
             record_bytes: self.record_bytes,
+            query_groups: self.query_groups.clone(),
         }
     }
 
@@ -404,6 +410,26 @@ impl BinnedDataset {
     /// Bin count of field `f` (including the absent bin).
     pub fn field_bins(&self, f: usize) -> u32 {
         self.binnings[f].bin_count()
+    }
+
+    /// Attach query-group sizes for ranking objectives: consecutive
+    /// record runs whose sizes must tile the records exactly.
+    ///
+    /// # Panics
+    /// Panics if the sizes do not sum to the record count.
+    pub fn set_query_groups(&mut self, groups: Vec<u32>) {
+        assert_eq!(
+            groups.iter().map(|&g| g as usize).sum::<usize>(),
+            self.num_records(),
+            "query groups must tile the dataset"
+        );
+        self.query_groups = Some(groups);
+    }
+
+    /// Query-group sizes, if any were attached
+    /// ([`Self::set_query_groups`]).
+    pub fn query_groups(&self) -> Option<&[u32]> {
+        self.query_groups.as_deref()
     }
 }
 

@@ -47,7 +47,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::gradients::Loss;
+use crate::gradients::Objective;
+use crate::serialize::{get_objective, put_objective};
 
 /// Format magic (first four bytes of every serialized program).
 pub const MAGIC: &[u8; 4] = b"BPRG";
@@ -55,7 +56,12 @@ pub const MAGIC: &[u8; 4] = b"BPRG";
 ///
 /// Bumping this is a compatibility event pinned by the golden fixture
 /// (`tests/golden_program.rs`), exactly like `serialize::VERSION`.
-pub const VERSION: u32 = 1;
+/// Version 2 added the objective tag and `num_outputs`; v1 bodies
+/// (a bare loss byte, always one output) still decode.
+pub const VERSION: u32 = 2;
+
+/// The original one-output program version (still readable).
+pub const VERSION_V1: u32 = 1;
 
 /// Flag bit: the test is numeric (`bin <= test` routes left); clear
 /// means categorical (`bin != test` routes left).
@@ -173,8 +179,12 @@ pub struct Program {
     pub num_fields: u32,
     /// Initial margin added to every prediction.
     pub base_score: f64,
-    /// Output transform of the training loss.
-    pub loss: Loss,
+    /// Training objective; its link function is applied at the
+    /// prediction surface.
+    pub objective: Objective,
+    /// Outputs per record (`K`); tree `t` accumulates into output
+    /// `t % K`. 1 for every scalar objective.
+    pub num_outputs: u32,
 }
 
 /// Decode / validation errors for program bytes.
@@ -232,6 +242,12 @@ impl Program {
     pub fn validate(&self) -> Result<(), ProgramError> {
         if self.num_fields == 0 {
             return Err(ProgramError::Invalid("zero field arity"));
+        }
+        if self.objective.validate().is_err() {
+            return Err(ProgramError::Invalid("objective parameters"));
+        }
+        if self.num_outputs as usize != self.objective.num_outputs() {
+            return Err(ProgramError::Invalid("num_outputs mismatch"));
         }
         if self.weights.len() != self.instrs.len() {
             return Err(ProgramError::Invalid("weights length"));
@@ -351,7 +367,8 @@ fn get_f64(buf: &mut Bytes) -> Result<f64, ProgramError> {
 ///
 /// ```text
 /// magic "BPRG" | version u32 | body checksum u64 (FNV-1a) | body:
-///   loss u8 | base_score f64 | num_fields u32
+///   objective tag u8 [+ payload] | num_outputs u32
+///   | base_score f64 | num_fields u32
 ///   | num_trees u32    | per tree: len u32, depth u32
 ///   | num_clusters u32 | per cluster: num_trees u32
 ///   | per instr: field, absent, test, flags, left, right (u32 x 6)
@@ -363,10 +380,8 @@ fn get_f64(buf: &mut Bytes) -> Result<f64, ProgramError> {
 /// running sums on decode.
 pub fn program_to_bytes(p: &Program) -> Bytes {
     let mut body = BytesMut::with_capacity(64 + p.instrs.len() * INSTR_SLOT_BYTES);
-    body.put_u8(match p.loss {
-        Loss::SquaredError => 0,
-        Loss::Logistic => 1,
-    });
+    put_objective(&mut body, p.objective);
+    body.put_u32_le(p.num_outputs);
     body.put_f64_le(p.base_score);
     body.put_u32_le(p.num_fields);
     body.put_u32_le(p.trees.len() as u32);
@@ -411,7 +426,7 @@ pub fn program_from_bytes(data: &[u8]) -> Result<Program, ProgramError> {
         return Err(ProgramError::BadMagic);
     }
     let version = get_u32(&mut buf)?;
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION {
         return Err(ProgramError::BadVersion(version));
     }
     if buf.remaining() < 8 {
@@ -424,10 +439,21 @@ pub fn program_from_bytes(data: &[u8]) -> Result<Program, ProgramError> {
     if buf.remaining() < 1 {
         return Err(ProgramError::Corrupt("loss"));
     }
-    let loss = match buf.get_u8() {
-        0 => Loss::SquaredError,
-        1 => Loss::Logistic,
-        _ => return Err(ProgramError::Corrupt("loss byte")),
+    let (objective, num_outputs) = match version {
+        // v1 bodies carry a bare loss byte and are always one-output.
+        VERSION_V1 => {
+            let objective = match buf.get_u8() {
+                0 => Objective::SquaredError,
+                1 => Objective::Logistic,
+                _ => return Err(ProgramError::Corrupt("loss byte")),
+            };
+            (objective, 1u32)
+        }
+        _ => {
+            let objective =
+                get_objective(&mut buf).map_err(|_| ProgramError::Corrupt("objective"))?;
+            (objective, get_u32(&mut buf)?)
+        }
     };
     let base_score = get_f64(&mut buf)?;
     let num_fields = get_u32(&mut buf)?;
@@ -484,7 +510,16 @@ pub fn program_from_bytes(data: &[u8]) -> Result<Program, ProgramError> {
     if buf.has_remaining() {
         return Err(ProgramError::Corrupt("trailing bytes"));
     }
-    let program = Program { instrs, weights, trees, clusters, num_fields, base_score, loss };
+    let program = Program {
+        instrs,
+        weights,
+        trees,
+        clusters,
+        num_fields,
+        base_score,
+        objective,
+        num_outputs,
+    };
     program.validate()?;
     Ok(program)
 }
@@ -522,7 +557,8 @@ mod tests {
             clusters: vec![ClusterSpan { first_tree: 0, num_trees: 2 }],
             num_fields: 2,
             base_score: 0.25,
-            loss: Loss::SquaredError,
+            objective: Objective::SquaredError,
+            num_outputs: 1,
         }
     }
 
@@ -597,6 +633,11 @@ mod tests {
             ("child index breaks BFS order", Box::new(|p| p.instrs[2].left = 2)),
             ("internal weight not zero", Box::new(|p| p.weights[0] = 0.1)),
             ("tree depth mismatch", Box::new(|p| p.trees[0].depth = 3)),
+            (
+                "objective parameters",
+                Box::new(|p| p.objective = Objective::Softmax { num_class: 1 }),
+            ),
+            ("num_outputs mismatch", Box::new(|p| p.num_outputs = 3)),
         ];
         for (expect, mutate) in cases {
             let mut p = base.clone();
@@ -625,6 +666,34 @@ mod tests {
     }
 
     #[test]
+    fn decoder_reads_v1_bodies_as_one_output_programs() {
+        let p = tiny_program();
+        let v2 = program_to_bytes(&p).to_vec();
+        // Rebuild the v1 layout by hand: same body minus the
+        // num_outputs u32 (the scalar objective tag doubles as the v1
+        // loss byte), with the checksum recomputed over the v1 body.
+        let mut body = vec![v2[16]];
+        body.extend_from_slice(&v2[21..]);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&VERSION_V1.to_le_bytes());
+        v1.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        v1.extend_from_slice(&body);
+        let back = program_from_bytes(&v1).expect("v1 layout must keep decoding");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn roundtrips_multi_output_headers() {
+        let mut p = tiny_program();
+        p.objective = Objective::Softmax { num_class: 2 };
+        p.num_outputs = 2;
+        p.validate().expect("2-output program valid");
+        let back = program_from_bytes(&program_to_bytes(&p)).expect("roundtrip");
+        assert_eq!(back, p);
+    }
+
+    #[test]
     fn decoder_bounds_hostile_counts_before_allocating() {
         // A header claiming u32::MAX trees must fail on the byte bound,
         // not attempt a multi-gigabyte allocation. Rebuild the checksum
@@ -632,8 +701,9 @@ mod tests {
         let p = tiny_program();
         let bytes = program_to_bytes(&p).to_vec();
         let mut body = bytes[16..].to_vec();
-        // num_trees sits after loss (1) + base_score (8) + num_fields (4).
-        body[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        // num_trees sits after the objective tag (1) + num_outputs (4)
+        // + base_score (8) + num_fields (4).
+        body[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
         let mut evil = Vec::new();
         evil.extend_from_slice(MAGIC);
         evil.extend_from_slice(&VERSION.to_le_bytes());

@@ -5,13 +5,21 @@
 //! and versioned rather than tied to an in-memory representation:
 //!
 //! ```text
-//! magic "BSTR" | version u32 | loss u8 | base_score f64
-//! | num_fields u32 | per-field binning
-//! | num_trees u32  | per-tree nodes
+//! magic "BSTR" | version u32 | objective tag u8 [+ payload]
+//! | num_outputs u32 | base_score f64
+//! | num_fields u32  | per-field binning
+//! | num_trees u32   | per-tree nodes
 //! ```
 //!
+//! Objective tags: 0 squared-error, 1 logistic, 2 softmax (payload:
+//! `num_class` u32), 3 lambdarank, 4 quantile (payload: `alpha` f64).
 //! All integers are little-endian. The format round-trips exactly (bit
 //! equality of predictions).
+//!
+//! Version 1 files — `loss u8` (0 squared-error / 1 logistic) where v2
+//! has the objective tag + `num_outputs`, everything after byte-for-byte
+//! identical — still deserialize: the loss byte maps to the matching
+//! K = 1 objective.
 //!
 //! The model format is the durable artifact; the compiled bytecode
 //! program ([`crate::program`]) is a derived one — any deserialized
@@ -23,7 +31,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::binning::BinBoundaries;
-use crate::gradients::Loss;
+use crate::gradients::Objective;
 use crate::predict::Model;
 use crate::preprocess::FieldBinning;
 use crate::schema::{DatasetSchema, FieldKind, FieldSchema};
@@ -35,10 +43,14 @@ pub const MAGIC: &[u8; 4] = b"BSTR";
 /// Current format version, written at byte offset 4.
 ///
 /// Bumping this is a **compatibility event**: the golden-fixture test
-/// (`tests/golden_format.rs`) pins v1 bytes in the repo and will fail
-/// until the old version keeps deserializing (add a versioned read
-/// path, never reinterpret old bytes silently).
-pub const VERSION: u32 = 1;
+/// (`tests/golden_format.rs`) pins old-version bytes in the repo and
+/// will fail until the old version keeps deserializing (add a versioned
+/// read path, never reinterpret old bytes silently). Version 2 added
+/// the objective tag and `num_outputs`; v1 files still read.
+pub const VERSION: u32 = 2;
+
+/// The original one-output format version (still readable).
+pub const VERSION_V1: u32 = 1;
 
 /// Serialization / deserialization errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,15 +117,47 @@ fn get_f64(buf: &mut Bytes) -> Result<f64, SerError> {
     Ok(buf.get_f64_le())
 }
 
+/// Write the objective tag and its payload (shared with the program
+/// format, which carries the same header fields).
+pub(crate) fn put_objective(buf: &mut BytesMut, objective: Objective) {
+    match objective {
+        Objective::SquaredError => buf.put_u8(0),
+        Objective::Logistic => buf.put_u8(1),
+        Objective::Softmax { num_class } => {
+            buf.put_u8(2);
+            buf.put_u32_le(num_class);
+        }
+        Objective::LambdaRank => buf.put_u8(3),
+        Objective::PinballQuantile { alpha } => {
+            buf.put_u8(4);
+            buf.put_f64_le(alpha);
+        }
+    }
+}
+
+/// Read and validate an objective tag + payload.
+pub(crate) fn get_objective(buf: &mut Bytes) -> Result<Objective, SerError> {
+    let objective = match get_u8(buf)? {
+        0 => Objective::SquaredError,
+        1 => Objective::Logistic,
+        2 => Objective::Softmax { num_class: get_u32(buf)? },
+        3 => Objective::LambdaRank,
+        4 => Objective::PinballQuantile { alpha: get_f64(buf)? },
+        _ => return Err(SerError::Corrupt("objective")),
+    };
+    if objective.validate().is_err() {
+        return Err(SerError::Corrupt("objective parameters"));
+    }
+    Ok(objective)
+}
+
 /// Serialize a model to bytes.
 pub fn model_to_bytes(model: &Model) -> Bytes {
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
-    buf.put_u8(match model.loss {
-        Loss::SquaredError => 0,
-        Loss::Logistic => 1,
-    });
+    put_objective(&mut buf, model.objective);
+    buf.put_u32_le(model.num_outputs);
     buf.put_f64_le(model.base_score);
 
     // Schema + binnings (paired per field).
@@ -175,13 +219,25 @@ pub fn model_from_bytes(data: &[u8]) -> Result<Model, SerError> {
         return Err(SerError::BadMagic);
     }
     let version = get_u32(&mut buf)?;
-    if version != VERSION {
-        return Err(SerError::BadVersion(version));
-    }
-    let loss = match get_u8(&mut buf)? {
-        0 => Loss::SquaredError,
-        1 => Loss::Logistic,
-        _ => return Err(SerError::Corrupt("loss")),
+    let (objective, num_outputs) = match version {
+        // v1: a bare loss byte, always one output.
+        VERSION_V1 => {
+            let objective = match get_u8(&mut buf)? {
+                0 => Objective::SquaredError,
+                1 => Objective::Logistic,
+                _ => return Err(SerError::Corrupt("loss")),
+            };
+            (objective, 1u32)
+        }
+        VERSION => {
+            let objective = get_objective(&mut buf)?;
+            let num_outputs = get_u32(&mut buf)?;
+            if num_outputs as usize != objective.num_outputs() {
+                return Err(SerError::Corrupt("num_outputs"));
+            }
+            (objective, num_outputs)
+        }
+        v => return Err(SerError::BadVersion(v)),
     };
     let base_score = get_f64(&mut buf)?;
 
@@ -274,7 +330,7 @@ pub fn model_from_bytes(data: &[u8]) -> Result<Model, SerError> {
     if buf.has_remaining() {
         return Err(SerError::Corrupt("trailing bytes"));
     }
-    Ok(Model { trees, base_score, loss, schema, binnings })
+    Ok(Model { trees, base_score, objective, num_outputs, schema, binnings })
 }
 
 #[cfg(test)]
@@ -297,8 +353,12 @@ mod tests {
         }
         let binned = BinnedDataset::from_dataset(&ds);
         let mirror = ColumnarMirror::from_binned(&binned);
-        let cfg =
-            TrainConfig { num_trees: 8, max_depth: 4, loss: Loss::Logistic, ..Default::default() };
+        let cfg = TrainConfig {
+            num_trees: 8,
+            max_depth: 4,
+            objective: Objective::Logistic,
+            ..Default::default()
+        };
         let (model, _) = train(&binned, &mirror, &cfg);
         (model, binned)
     }
@@ -310,7 +370,7 @@ mod tests {
         let restored = model_from_bytes(&bytes).expect("roundtrip");
         assert_eq!(restored.trees, model.trees);
         assert_eq!(restored.base_score, model.base_score);
-        assert_eq!(restored.loss, model.loss);
+        assert_eq!(restored.objective, model.objective);
         for r in 0..data.num_records() {
             assert_eq!(
                 restored.predict_binned(&data, r).to_bits(),
@@ -344,6 +404,67 @@ mod tests {
         // The compiled program is a pure function of the serialized
         // model: byte-identical after a model roundtrip.
         assert_eq!(program_to_bytes(a.program()), program_to_bytes(b.program()));
+    }
+
+    #[test]
+    fn reads_v1_layout_as_a_one_output_model() {
+        let (model, data) = trained_model();
+        let v2 = model_to_bytes(&model);
+        // Rebuild the v1 byte layout by hand: the loss byte replaces the
+        // objective tag + num_outputs, everything else is identical.
+        let mut v1 = Vec::with_capacity(v2.len() - 4);
+        v1.extend_from_slice(&v2[..4]); // magic
+        v1.extend_from_slice(&VERSION_V1.to_le_bytes());
+        v1.push(v2[8]); // scalar objective tags match the v1 loss byte
+        v1.extend_from_slice(&v2[13..]); // skip num_outputs u32
+        let restored = model_from_bytes(&v1).expect("v1 layout must keep parsing");
+        assert_eq!(restored.objective, model.objective);
+        assert_eq!(restored.num_outputs, 1);
+        for r in 0..data.num_records() {
+            assert_eq!(
+                restored.predict_binned(&data, r).to_bits(),
+                model.predict_binned(&data, r).to_bits(),
+                "record {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrips_every_objective_header() {
+        let (model, _) = trained_model();
+        let objectives = [
+            Objective::SquaredError,
+            Objective::Logistic,
+            Objective::LambdaRank,
+            Objective::PinballQuantile { alpha: 0.9 },
+        ];
+        for objective in objectives {
+            let mut m = model.clone();
+            m.objective = objective;
+            let restored = model_from_bytes(&model_to_bytes(&m)).expect("roundtrip");
+            assert_eq!(restored.objective, objective);
+            assert_eq!(restored.num_outputs, 1);
+        }
+        // Softmax changes num_outputs; pad the tree list to a K multiple
+        // is not required by the wire format, only the header must agree.
+        let mut m = model.clone();
+        m.objective = Objective::Softmax { num_class: 5 };
+        m.num_outputs = 5;
+        let restored = model_from_bytes(&model_to_bytes(&m)).expect("roundtrip");
+        assert_eq!(restored.objective, m.objective);
+        assert_eq!(restored.num_outputs, 5);
+    }
+
+    #[test]
+    fn rejects_header_with_mismatched_num_outputs() {
+        let (model, _) = trained_model();
+        let mut m = model;
+        m.objective = Objective::Softmax { num_class: 3 };
+        m.num_outputs = 2; // disagrees with the objective
+        assert!(matches!(
+            model_from_bytes(&model_to_bytes(&m)),
+            Err(SerError::Corrupt("num_outputs"))
+        ));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use crate::columnar::{ColumnRef, ColumnarMirror};
-use crate::gradients::{GradPair, Loss};
+use crate::gradients::{GradPair, Loss, Objective};
 use crate::grow::{grow_forest, grow_forest_with_eval, GrowthStrategy};
 use crate::histogram::{bin_field_dense, bin_field_gathered, sum_grad_pairs_dense, NodeHistogram};
 use crate::metrics::EvalMetric;
@@ -165,8 +165,11 @@ pub struct TrainConfig {
     pub max_depth: u32,
     /// Shrinkage applied to leaf weights.
     pub learning_rate: f64,
-    /// Loss function.
-    pub loss: Loss,
+    /// Training objective. Scalar objectives (squared error, logistic,
+    /// pinball quantile) run the original one-output engine path
+    /// bit-for-bit; softmax grows one tree per class per round and
+    /// LambdaRank needs query groups on the training set.
+    pub objective: Objective,
     /// Split-evaluation parameters (Step 2).
     pub split: SplitParams,
     /// Record phase descriptors for the timing simulators.
@@ -203,7 +206,7 @@ impl Default for TrainConfig {
             num_trees: 100,
             max_depth: 6,
             learning_rate: 0.1,
-            loss: Loss::SquaredError,
+            objective: Objective::SquaredError,
             split: SplitParams::default(),
             collect_phases: false,
             min_loss_decrease: None,
@@ -303,6 +306,9 @@ impl TrainConfig {
         let err = |field: &'static str, message: String| Err(ConfigError { field, message });
         if self.num_trees == 0 {
             return err("num_trees", "must be at least 1".into());
+        }
+        if let Err(message) = self.objective.validate() {
+            return err("objective", message);
         }
         if self.max_depth > MAX_SUPPORTED_DEPTH {
             return err(
@@ -549,7 +555,7 @@ mod tests {
             num_trees: 60,
             max_depth: 4,
             learning_rate: 0.3,
-            loss: Loss::Logistic,
+            objective: Objective::Logistic,
             ..Default::default()
         };
         let (model, _) = train(&data, &mirror, &cfg);
@@ -679,7 +685,7 @@ mod tests {
             num_trees: 120,
             max_depth: 4,
             learning_rate: 0.4,
-            loss: Loss::Logistic,
+            objective: Objective::Logistic,
             ..Default::default()
         };
         let (model, _, history) = train_with_eval(&data, &mirror, &cfg, &eval, 10);
@@ -698,7 +704,7 @@ mod tests {
             num_trees: 30,
             max_depth: 4,
             learning_rate: 0.3,
-            loss: Loss::Logistic,
+            objective: Objective::Logistic,
             ..Default::default()
         };
         let sub_cfg = TrainConfig { subsample: 0.5, seed: 5, ..full_cfg.clone() };
@@ -767,6 +773,27 @@ mod tests {
     fn validate_rejects_out_of_bound_fields() {
         let cases: Vec<(TrainConfig, &str)> = vec![
             (TrainConfig { num_trees: 0, ..Default::default() }, "num_trees"),
+            (
+                TrainConfig {
+                    objective: Objective::Softmax { num_class: 1 },
+                    ..Default::default()
+                },
+                "objective",
+            ),
+            (
+                TrainConfig {
+                    objective: Objective::PinballQuantile { alpha: 1.0 },
+                    ..Default::default()
+                },
+                "objective",
+            ),
+            (
+                TrainConfig {
+                    objective: Objective::PinballQuantile { alpha: f64::NAN },
+                    ..Default::default()
+                },
+                "objective",
+            ),
             (TrainConfig { max_depth: 31, ..Default::default() }, "max_depth"),
             (TrainConfig { learning_rate: 0.0, ..Default::default() }, "learning_rate"),
             (TrainConfig { learning_rate: f64::NAN, ..Default::default() }, "learning_rate"),
@@ -893,7 +920,7 @@ mod tests {
             num_trees: 120,
             max_depth: 4,
             learning_rate: 0.4,
-            loss: Loss::Logistic,
+            objective: Objective::Logistic,
             early_stopping: Some(EarlyStopping {
                 metric: EvalMetric::Loss,
                 patience: 8,
@@ -931,7 +958,7 @@ mod tests {
             num_trees: 60,
             max_depth: 3,
             learning_rate: 0.5,
-            loss: Loss::Logistic,
+            objective: Objective::Logistic,
             subsample: 0.8,
             colsample_bynode: 0.8,
             seed: 12,
@@ -984,7 +1011,7 @@ mod tests {
             num_trees: 80,
             max_depth: 4,
             learning_rate: 0.5,
-            loss: Loss::Logistic,
+            objective: Objective::Logistic,
             early_stopping: Some(EarlyStopping {
                 metric: EvalMetric::Auc,
                 patience: 6,

@@ -62,6 +62,15 @@ pub enum RegistryError {
         /// Field arity of the rejected model.
         got: usize,
     },
+    /// The new model's output arity (`num_outputs`) differs from the
+    /// versions already serving — clients parse a fixed response shape,
+    /// so a hot-swap cannot change how many scores come back per record.
+    OutputArityMismatch {
+        /// Output arity of the models already registered.
+        expected: usize,
+        /// Output arity of the rejected model.
+        got: usize,
+    },
     /// No such version in the registry.
     UnknownVersion(u64),
     /// Refused to retire the version currently serving traffic.
@@ -75,6 +84,9 @@ impl std::fmt::Display for RegistryError {
             RegistryError::Lowering(e) => write!(f, "model does not lower to flat tables: {e}"),
             RegistryError::ArityMismatch { expected, got } => {
                 write!(f, "field arity {got} does not match serving arity {expected}")
+            }
+            RegistryError::OutputArityMismatch { expected, got } => {
+                write!(f, "output arity {got} does not match serving output arity {expected}")
             }
             RegistryError::UnknownVersion(v) => write!(f, "unknown model version {v}"),
             RegistryError::RetireActive(v) => {

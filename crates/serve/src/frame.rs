@@ -9,9 +9,13 @@
 //! request  : op=1 | id u64 | pin u64 (0 = active) | nfields u32
 //!            | per field: tag u8 (0 missing, 1 num + f32, 2 cat + u32)
 //! response : op=2 | id u64 | status u8
-//!            | status 0 (ok): version u64 | prediction f64
+//!            | status 0 (ok): version u64 | count u32 | count × f64
 //!            | status 3 (unknown version): version u64
 //! ```
+//!
+//! An ok response carries `count` = the model's `num_outputs` scores —
+//! one for scalar objectives, `num_class` for softmax — so one wire
+//! shape serves every objective.
 
 use bytes::{Buf, BufMut};
 use std::io::{self, Read, Write};
@@ -49,13 +53,13 @@ pub struct WireRequest {
 }
 
 /// A decoded scoring response: the echoed id plus the scoring outcome
-/// (the prediction and serving version, or a typed error).
+/// (the per-output predictions and serving version, or a typed error).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireResponse {
     /// Correlation id echoed from the request.
     pub id: u64,
-    /// Scoring outcome: `(version, prediction)` or the typed error.
-    pub outcome: Result<(u64, f64), ServeError>,
+    /// Scoring outcome: `(version, outputs)` or the typed error.
+    pub outcome: Result<(u64, Vec<f64>), ServeError>,
 }
 
 /// Frame-level decode failure (malformed payload; the connection should
@@ -184,7 +188,10 @@ pub fn encode_response(id: u64, result: &Result<ScoreResponse, ServeError>) -> V
         Ok(resp) => {
             buf.put_u8(STATUS_OK);
             buf.put_u64_le(resp.version);
-            buf.put_f64_le(resp.prediction);
+            buf.put_u32_le(resp.outputs.len() as u32);
+            for &o in &resp.outputs {
+                buf.put_f64_le(o);
+            }
         }
         Err(ServeError::Overloaded) => buf.put_u8(STATUS_OVERLOADED),
         Err(ServeError::ShuttingDown) => buf.put_u8(STATUS_SHUTTING_DOWN),
@@ -210,8 +217,18 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, WireError> {
     let status = buf.get_u8();
     let outcome = match status {
         STATUS_OK => {
-            need(buf, 16, "prediction")?;
-            Ok((buf.get_u64_le(), buf.get_f64_le()))
+            need(buf, 12, "prediction header")?;
+            let version = buf.get_u64_le();
+            let count = buf.get_u32_le() as usize;
+            if count > buf.remaining() / 8 {
+                // Eight bytes per output: bound before allocating.
+                return Err(WireError("output count"));
+            }
+            let mut outputs = Vec::with_capacity(count);
+            for _ in 0..count {
+                outputs.push(buf.get_f64_le());
+            }
+            Ok((version, outputs))
         }
         STATUS_OVERLOADED => Err(ServeError::Overloaded),
         STATUS_SHUTTING_DOWN => Err(ServeError::ShuttingDown),
@@ -249,11 +266,24 @@ mod tests {
 
     #[test]
     fn response_roundtrip() {
-        let ok =
-            Ok(ScoreResponse { prediction: 0.625, version: 3, batch_size: 8, latency_micros: 11 });
+        let ok = Ok(ScoreResponse {
+            outputs: vec![0.625],
+            version: 3,
+            batch_size: 8,
+            latency_micros: 11,
+        });
         let decoded = decode_response(&encode_response(5, &ok)).unwrap();
         assert_eq!(decoded.id, 5);
-        assert_eq!(decoded.outcome, Ok((3, 0.625)));
+        assert_eq!(decoded.outcome, Ok((3, vec![0.625])));
+        // Multi-output (softmax) responses carry every class score.
+        let multi = Ok(ScoreResponse {
+            outputs: vec![0.25, 0.5, 0.25],
+            version: 7,
+            batch_size: 1,
+            latency_micros: 4,
+        });
+        let decoded = decode_response(&encode_response(6, &multi)).unwrap();
+        assert_eq!(decoded.outcome, Ok((7, vec![0.25, 0.5, 0.25])));
         for err in [
             ServeError::Overloaded,
             ServeError::ShuttingDown,
@@ -293,6 +323,27 @@ mod tests {
         hostile.put_u64_le(0);
         hostile.put_u32_le(u32::MAX);
         assert_eq!(decode_request(&hostile), Err(WireError("field count")));
+        // Every strict prefix of an ok (multi-output) response fails too.
+        let ok = encode_response(
+            2,
+            &Ok(ScoreResponse {
+                outputs: vec![0.1, 0.9],
+                version: 1,
+                batch_size: 1,
+                latency_micros: 0,
+            }),
+        );
+        for cut in 0..ok.len() {
+            assert!(decode_response(&ok[..cut]).is_err(), "ok prefix {cut}");
+        }
+        // Hostile output count cannot trigger a huge allocation either.
+        let mut hostile: Vec<u8> = Vec::new();
+        hostile.put_u8(OP_RESPONSE);
+        hostile.put_u64_le(2);
+        hostile.put_u8(STATUS_OK);
+        hostile.put_u64_le(1);
+        hostile.put_u32_le(u32::MAX);
+        assert_eq!(decode_response(&hostile), Err(WireError("output count")));
     }
 
     #[test]

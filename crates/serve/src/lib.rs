@@ -60,7 +60,7 @@
 //! let handle = server.handle();
 //! let resp = handle.score(&[RawValue::Num(80.0)]).unwrap();
 //! assert_eq!(resp.version, 1);
-//! assert_eq!(resp.prediction.to_bits(), model.predict_raw(&[RawValue::Num(80.0)]).to_bits());
+//! assert_eq!(resp.prediction().to_bits(), model.predict_raw(&[RawValue::Num(80.0)]).to_bits());
 //! server.shutdown();
 //! ```
 //!

@@ -125,9 +125,10 @@ impl ModelRegistry {
     /// Register a trained model, returning its assigned version. The
     /// first registered version auto-activates; later versions serve
     /// only after [`ModelRegistry::activate`] (register → warm/validate
-    /// → swap). Rejects models whose field arity differs from the
-    /// versions already registered — a hot-swap must be invisible to
-    /// clients already sending records.
+    /// → swap). Rejects models whose field arity or output arity
+    /// differs from the versions already registered — a hot-swap must
+    /// be invisible to clients already sending records and parsing
+    /// responses.
     pub fn register(&self, model: &Model) -> Result<u64, RegistryError> {
         let flat = FlatEnsemble::from_model(model)?;
         // Pre-warm the compiled bytecode program outside the registry
@@ -140,6 +141,12 @@ impl ModelRegistry {
                 return Err(RegistryError::ArityMismatch {
                     expected: existing.flat.num_fields(),
                     got: flat.num_fields(),
+                });
+            }
+            if existing.flat.num_outputs() != flat.num_outputs() {
+                return Err(RegistryError::OutputArityMismatch {
+                    expected: existing.flat.num_outputs(),
+                    got: flat.num_outputs(),
                 });
             }
         }
@@ -280,6 +287,32 @@ mod tests {
         train(&data, &mirror, &cfg).0
     }
 
+    fn tiny_softmax_model(num_fields: usize, num_class: u32) -> Model {
+        let mut fields = vec![FieldSchema::numeric_with_bins("x", 8)];
+        for f in 1..num_fields {
+            fields.push(FieldSchema::numeric_with_bins(format!("f{f}"), 8));
+        }
+        let schema = DatasetSchema::new(fields);
+        let mut ds = Dataset::new(schema);
+        let mut rec = Vec::new();
+        for i in 0..200u32 {
+            rec.clear();
+            for f in 0..num_fields {
+                rec.push(RawValue::Num((i as usize * (f + 1)) as f32));
+            }
+            ds.push_record(&rec, (i % num_class) as f32);
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig {
+            num_trees: 2,
+            max_depth: 3,
+            objective: booster_gbdt::gradients::Objective::Softmax { num_class },
+            ..Default::default()
+        };
+        train(&data, &mirror, &cfg).0
+    }
+
     #[test]
     fn first_register_activates_and_later_ones_wait() {
         let reg = ModelRegistry::new();
@@ -323,6 +356,19 @@ mod tests {
         reg.register(&tiny_model(2, 2)).unwrap();
         let err = reg.register(&tiny_model(3, 2)).unwrap_err();
         assert_eq!(err, RegistryError::ArityMismatch { expected: 2, got: 3 });
+    }
+
+    #[test]
+    fn output_arity_mismatch_is_rejected() {
+        let reg = ModelRegistry::new();
+        reg.register(&tiny_model(2, 2)).unwrap();
+        let err = reg.register(&tiny_softmax_model(2, 3)).unwrap_err();
+        assert_eq!(err, RegistryError::OutputArityMismatch { expected: 1, got: 3 });
+        // And the other direction: a softmax registry rejects a scalar model.
+        let reg = ModelRegistry::new();
+        reg.register(&tiny_softmax_model(2, 3)).unwrap();
+        let err = reg.register(&tiny_model(2, 2)).unwrap_err();
+        assert_eq!(err, RegistryError::OutputArityMismatch { expected: 3, got: 1 });
     }
 
     #[test]

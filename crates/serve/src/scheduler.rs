@@ -103,16 +103,28 @@ impl ServeConfig {
 /// A completed scoring.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoreResponse {
-    /// Transformed prediction, bit-identical to offline
+    /// Transformed predictions, one per model output (`num_outputs`
+    /// slots — one for scalar objectives, `num_class` for softmax),
+    /// bit-identical to offline
     /// [`FlatEnsemble`](booster_gbdt::infer::FlatEnsemble) scoring by
     /// the same version.
-    pub prediction: f64,
+    pub outputs: Vec<f64>,
     /// Model version that scored this request.
     pub version: u64,
     /// Size of the coalesced batch this request rode in.
     pub batch_size: u32,
     /// Microseconds from submit to response.
     pub latency_micros: u64,
+}
+
+impl ScoreResponse {
+    /// The scalar prediction of a single-output model (the common
+    /// case). Panics if the model has more than one output — use
+    /// [`ScoreResponse::outputs`] for multiclass responses.
+    pub fn prediction(&self) -> f64 {
+        assert_eq!(self.outputs.len(), 1, "multi-output response; read .outputs instead");
+        self.outputs[0]
+    }
 }
 
 /// Channel endpoint a response is delivered on.
@@ -643,19 +655,25 @@ fn run_worker(rx: Receiver<Vec<Request>>, shared: Arc<Shared>, cost: Duration) {
             if run.is_empty() {
                 continue;
             }
+            let k = model.flat().num_outputs();
             out.clear();
-            out.resize(run.len(), 0.0);
+            out.resize(run.len() * k, 0.0);
             // Compiled branch-free engine, pre-warmed at registration;
-            // bit-identical to the interpreted flat walk.
-            model.flat().compiled().score_bins_into(&bins, &mut out);
+            // bit-identical to the interpreted flat walk. Multi-output
+            // models take the flat K-margin path instead.
+            if k == 1 {
+                model.flat().compiled().score_bins_into(&bins, &mut out);
+            } else {
+                model.flat().score_bins_outputs_into(&bins, &mut out);
+            }
             if !cost.is_zero() {
                 std::thread::sleep(cost * run.len() as u32);
             }
             model.add_served(run.len() as u64);
-            for (&prediction, req) in out.iter().zip(run.drain(..)) {
+            for (chunk, req) in out.chunks(k).zip(run.drain(..)) {
                 let latency_micros = req.enqueued.elapsed().as_micros() as u64;
                 let resp = ScoreResponse {
-                    prediction,
+                    outputs: chunk.to_vec(),
                     version: model.version(),
                     batch_size,
                     latency_micros,
@@ -717,7 +735,7 @@ mod tests {
             let resp = handle.score(rec).unwrap();
             assert_eq!(resp.version, 1);
             assert!(resp.batch_size >= 1);
-            assert_eq!(resp.prediction.to_bits(), model.predict_raw(rec).to_bits(), "record {r}");
+            assert_eq!(resp.prediction().to_bits(), model.predict_raw(rec).to_bits(), "record {r}");
         }
         let stats = server.shutdown();
         assert_eq!(stats.accepted, 150);
@@ -809,10 +827,10 @@ mod tests {
         let rec = &records[7];
         let unpinned = handle.score(rec).unwrap();
         assert_eq!(unpinned.version, 2);
-        assert_eq!(unpinned.prediction.to_bits(), model_v2.predict_raw(rec).to_bits());
+        assert_eq!(unpinned.prediction().to_bits(), model_v2.predict_raw(rec).to_bits());
         let pinned = handle.score_pinned(rec, 1).unwrap();
         assert_eq!(pinned.version, 1);
-        assert_eq!(pinned.prediction.to_bits(), model_v1.predict_raw(rec).to_bits());
+        assert_eq!(pinned.prediction().to_bits(), model_v1.predict_raw(rec).to_bits());
         assert_eq!(handle.score_pinned(rec, 99), Err(ServeError::UnknownVersion(99)));
         let stats = server.shutdown();
         assert_eq!(stats.completed, 2);
@@ -844,7 +862,7 @@ mod tests {
         assert!(matches!(handle.score(&[RawValue::Num(1.0)]), Err(ServeError::BadRequest(_))));
         // The worker still serves good requests afterwards.
         let resp = handle.score(&records[0]).unwrap();
-        assert_eq!(resp.prediction.to_bits(), model.predict_raw(&records[0]).to_bits());
+        assert_eq!(resp.prediction().to_bits(), model.predict_raw(&records[0]).to_bits());
         let stats = server.shutdown();
         assert_eq!(stats.failed, 2);
         assert_eq!(stats.completed, 1);
@@ -894,11 +912,49 @@ mod tests {
         for rec in records.iter().take(10) {
             let resp = handle.score(rec).unwrap();
             assert_eq!(resp.version, 2);
-            assert_eq!(resp.prediction.to_bits(), model_v2.predict_raw(rec).to_bits());
+            assert_eq!(resp.prediction().to_bits(), model_v2.predict_raw(rec).to_bits());
         }
         assert_eq!(registry.version_stats(), vec![(2, 10)]);
         let stats = server.shutdown();
         assert_eq!(stats.completed, 30);
+    }
+
+    #[test]
+    fn multiclass_responses_carry_every_class_probability() {
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::numeric_with_bins("x", 16),
+            FieldSchema::numeric_with_bins("y", 16),
+        ]);
+        let mut ds = Dataset::new(schema);
+        for i in 0..300u32 {
+            let rec = [RawValue::Num(i as f32), RawValue::Num(((i * 13) % 97) as f32)];
+            ds.push_record(&rec, (i % 3) as f32);
+        }
+        let data = BinnedDataset::from_dataset(&ds);
+        let mirror = ColumnarMirror::from_binned(&data);
+        let cfg = TrainConfig {
+            num_trees: 4,
+            max_depth: 3,
+            objective: booster_gbdt::gradients::Objective::Softmax { num_class: 3 },
+            ..Default::default()
+        };
+        let (model, _) = train(&data, &mirror, &cfg);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register(&model).unwrap();
+        let server = Server::start(Arc::clone(&registry), quick_config()).unwrap();
+        let handle = server.handle();
+        for i in (0..300u32).step_by(7) {
+            let rec = [RawValue::Num(i as f32), RawValue::Num(((i * 13) % 97) as f32)];
+            let resp = handle.score(&rec).unwrap();
+            let offline = model.predict_raw_outputs(&rec);
+            assert_eq!(resp.outputs.len(), 3);
+            for (got, want) in resp.outputs.iter().zip(&offline) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+            let sum: f64 = resp.outputs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "softmax outputs must sum to 1, got {sum}");
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -129,12 +129,21 @@ pub struct TcpScoreClient {
 }
 
 /// A successful remote scoring.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RemoteScore {
     /// Model version that scored the request.
     pub version: u64,
-    /// Transformed prediction.
-    pub prediction: f64,
+    /// Transformed predictions, one per model output.
+    pub outputs: Vec<f64>,
+}
+
+impl RemoteScore {
+    /// The scalar prediction of a single-output model. Panics on a
+    /// multi-output response — read [`RemoteScore::outputs`] instead.
+    pub fn prediction(&self) -> f64 {
+        assert_eq!(self.outputs.len(), 1, "multi-output response; read .outputs instead");
+        self.outputs[0]
+    }
 }
 
 impl TcpScoreClient {
@@ -170,7 +179,7 @@ impl TcpScoreClient {
         if resp.id != id {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "response id mismatch"));
         }
-        Ok(resp.outcome.map(|(version, prediction)| RemoteScore { version, prediction }))
+        Ok(resp.outcome.map(|(version, outputs)| RemoteScore { version, outputs }))
     }
 }
 
@@ -231,7 +240,7 @@ mod tests {
                     for rec in records.iter().skip(t * 40).take(40) {
                         let got = client.score(rec, None).unwrap().unwrap();
                         assert_eq!(got.version, 1);
-                        assert_eq!(got.prediction.to_bits(), model.predict_raw(rec).to_bits());
+                        assert_eq!(got.prediction().to_bits(), model.predict_raw(rec).to_bits());
                     }
                 });
             }

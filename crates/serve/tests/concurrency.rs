@@ -124,7 +124,7 @@ proptest! {
                     model_v2.predict_raw(&records[*idx])
                 };
                 prop_assert_eq!(
-                    resp.prediction.to_bits(),
+                    resp.prediction().to_bits(),
                     offline.to_bits(),
                     "client {} request {} (version {})",
                     c,

@@ -261,7 +261,7 @@ mod tests {
             num_trees: 15,
             max_depth: 4,
             learning_rate: 0.3,
-            loss: Loss::Logistic,
+            objective: booster_gbdt::gradients::Objective::Logistic,
             ..Default::default()
         };
         let (sw_model, _) = train(&data, &mirror, &cfg);

@@ -78,7 +78,7 @@ pub fn accelerated_training(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use booster_datagen::{default_loss, generate_binned, Benchmark};
+    use booster_datagen::{default_objective, generate_binned, Benchmark};
 
     #[test]
     fn one_call_outcome_is_consistent() {
@@ -86,7 +86,7 @@ mod tests {
         let cfg = TrainConfig {
             num_trees: 8,
             max_depth: 4,
-            loss: default_loss(Benchmark::Flight),
+            objective: default_objective(Benchmark::Flight),
             ..Default::default()
         };
         let out = accelerated_training(

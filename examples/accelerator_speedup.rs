@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example accelerator_speedup`
 
-use booster_repro::datagen::{default_loss, generate_binned, Benchmark};
+use booster_repro::datagen::{default_objective, generate_binned, Benchmark};
 use booster_repro::gbdt::prelude::*;
 use booster_repro::sim::{
     energy_of, speedup_over, ArchRun, BandwidthModel, BoosterConfig, BoosterSim, HostModel,
@@ -35,7 +35,7 @@ fn main() {
     let cfg = TrainConfig {
         num_trees: 40,
         max_depth: 6,
-        loss: default_loss(benchmark),
+        objective: default_objective(benchmark),
         collect_phases: true,
         ..Default::default()
     };

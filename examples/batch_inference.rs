@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use booster_repro::datagen::{default_loss, generate_binned, Benchmark};
+use booster_repro::datagen::{default_objective, generate_binned, Benchmark};
 use booster_repro::gbdt::prelude::*;
 use booster_repro::sim::{
     booster_inference, ideal_inference, BandwidthModel, BoosterConfig, IdealMachineConfig,
@@ -20,7 +20,7 @@ fn main() {
     let cfg = TrainConfig {
         num_trees: 100,
         max_depth: 6,
-        loss: default_loss(Benchmark::Allstate),
+        objective: default_objective(Benchmark::Allstate),
         ..Default::default()
     };
     let (model, _) = train(&data, &mirror, &cfg);

@@ -20,7 +20,7 @@ fn main() {
         num_trees: 60,
         max_depth: 6,
         learning_rate: 0.3,
-        loss: Loss::Logistic,
+        objective: Objective::Logistic,
         // A complexity penalty stops noise splits; with near-separable
         // classes the trees stay shallow — the paper's IoT behaviour.
         split: SplitParams { gamma: 4.0, ..Default::default() },

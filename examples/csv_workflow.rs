@@ -48,7 +48,7 @@ fn main() {
         num_trees: 60,
         max_depth: 4,
         learning_rate: 0.2,
-        loss: Loss::Logistic,
+        objective: Objective::Logistic,
         subsample: 0.8, // stochastic GB
         seed: 42,
         ..Default::default()

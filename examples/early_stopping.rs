@@ -17,7 +17,7 @@
 //! Run with: `cargo run --release --example early_stopping`
 
 use booster_repro::datagen::{generate_binned_split, Benchmark};
-use booster_repro::gbdt::gradients::Loss;
+use booster_repro::gbdt::gradients::Objective;
 use booster_repro::gbdt::grow::grow_forest_with_eval;
 use booster_repro::gbdt::metrics::{self, EvalMetric};
 use booster_repro::gbdt::train::{train, EarlyStopping, EvalSet, SequentialExec, TrainConfig};
@@ -38,7 +38,7 @@ fn main() {
         num_trees: budget,
         max_depth: 5,
         learning_rate: 0.3,
-        loss: Loss::Logistic,
+        objective: Objective::Logistic,
         ..Default::default()
     };
     let es_cfg = TrainConfig {

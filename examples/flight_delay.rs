@@ -23,7 +23,7 @@ fn main() {
         num_trees: 80,
         max_depth: 6,
         learning_rate: 0.15,
-        loss: Loss::Logistic,
+        objective: Objective::Logistic,
         collect_phases: true,
         ..Default::default()
     };

@@ -54,7 +54,7 @@ fn main() {
         num_trees: 50,
         max_depth: 4,
         learning_rate: 0.2,
-        loss: Loss::Logistic,
+        objective: Objective::Logistic,
         ..Default::default()
     };
     let (model, report) = train(&binned, &mirror, &cfg);

@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use booster_repro::datagen::{default_loss, generate, Benchmark};
+use booster_repro::datagen::{default_objective, generate, Benchmark};
 use booster_repro::gbdt::prelude::*;
 use booster_repro::serve::{
     BatchPolicy, ModelRegistry, ResponseSlot, ServeConfig, Server, TcpFrontend, TcpScoreClient,
@@ -23,7 +23,7 @@ fn main() {
         let cfg = TrainConfig {
             num_trees: trees,
             max_depth: 5,
-            loss: default_loss(Benchmark::Higgs),
+            objective: default_objective(Benchmark::Higgs),
             ..Default::default()
         };
         train(&data, &mirror, &cfg).0
@@ -73,7 +73,7 @@ fn main() {
                         swap_seen.fetch_add(1, Ordering::Relaxed);
                         model_v2.predict_raw(&records[idx])
                     };
-                    assert_eq!(resp.prediction.to_bits(), offline.to_bits());
+                    assert_eq!(resp.prediction().to_bits(), offline.to_bits());
                 }
             });
         }
@@ -105,12 +105,12 @@ fn main() {
     let frontend = TcpFrontend::bind("127.0.0.1:0", server.handle()).expect("bind");
     let mut client = TcpScoreClient::connect(frontend.local_addr()).expect("connect");
     let got = client.score(&records[5], None).expect("transport").expect("scored");
-    assert_eq!(got.prediction.to_bits(), model_v2.predict_raw(&records[5]).to_bits());
+    assert_eq!(got.prediction().to_bits(), model_v2.predict_raw(&records[5]).to_bits());
     println!(
         "tcp round trip on {}: version {} prediction {:.4}",
         frontend.local_addr(),
         got.version,
-        got.prediction
+        got.prediction()
     );
     frontend.shutdown();
     server.shutdown();

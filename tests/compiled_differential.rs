@@ -261,7 +261,8 @@ fn tree_scorer_and_compiled_single_tree_agree_bitwise() {
         let one = Model {
             trees: vec![tree.clone()],
             base_score: 0.0,
-            loss: booster_repro::gbdt::gradients::Loss::SquaredError,
+            objective: booster_repro::gbdt::gradients::Objective::SquaredError,
+            num_outputs: 1,
             schema: model.schema.clone(),
             binnings: model.binnings.clone(),
         };
@@ -308,10 +309,11 @@ fn hostile_counts_cannot_cause_huge_allocations() {
     let flat = FlatEnsemble::from_model(&model).expect("lowering");
     let bytes = flat.compiled().to_bytes().to_vec();
     let body = &bytes[16..];
-    // Body layout: loss u8 | base_score f64 | num_fields u32 | num_trees
-    // u32 | per tree (len,depth) … — blow up the first tree's len.
+    // Body layout: objective tag u8 | num_outputs u32 | base_score f64
+    // | num_fields u32 | num_trees u32 | per tree (len,depth) … — blow
+    // up the first tree's len.
     let mut evil_body = body.to_vec();
-    evil_body[17..21].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
+    evil_body[21..25].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
     let mut evil = Vec::new();
     evil.extend_from_slice(&bytes[..8]);
     let mut h = 0xcbf2_9ce4_8422_2325u64;

@@ -1,7 +1,7 @@
 //! End-to-end integration tests: generators -> preprocessing -> training
 //! -> inference, across all five paper benchmarks.
 
-use booster_repro::datagen::{default_loss, generate, generate_binned, Benchmark};
+use booster_repro::datagen::{default_objective, generate, generate_binned, Benchmark};
 use booster_repro::gbdt::columnar::ColumnarMirror;
 use booster_repro::gbdt::metrics;
 use booster_repro::gbdt::parallel::train_parallel;
@@ -13,7 +13,7 @@ fn train_cfg(b: Benchmark, trees: usize) -> TrainConfig {
     TrainConfig {
         num_trees: trees,
         max_depth: 6,
-        loss: default_loss(b),
+        objective: default_objective(b),
         split: SplitParams { gamma: 1.0, ..Default::default() },
         ..Default::default()
     }

@@ -1,26 +1,26 @@
 //! Golden-format regression tests for the serialized-model wire format.
 //!
-//! `tests/fixtures/model_v1.bstr` is a committed version-1 artifact of a
-//! hand-built canonical model (no training involved, so the bytes are a
-//! pure function of the serializer). Two guarantees are pinned:
+//! Two committed artifacts are pinned:
 //!
-//! 1. **Writer stability** — serializing the canonical model today must
-//!    reproduce the committed bytes exactly. Any encoding change shows
-//!    up as a byte diff here before it silently breaks deployed models.
-//! 2. **Reader compatibility** — the committed v1 bytes must keep
-//!    deserializing (and predicting identically) as the format evolves.
-//!    When `serialize::VERSION` is bumped, the old version needs a
-//!    versioned read path; this file is the tripwire.
+//! - `tests/fixtures/model_v1.bstr` — the version-1 encoding of the
+//!   canonical model, committed while `serialize::VERSION` was 1. It is
+//!   never regenerated: it exists to prove the versioned read path keeps
+//!   decoding (and predicting identically) as the format evolves.
+//! - `tests/fixtures/model_v2.bstr` — the current-version encoding of
+//!   the same canonical model (the header gained an objective tag and
+//!   `num_outputs`). Serializing the canonical model today must
+//!   reproduce these bytes exactly, so any encoding change shows up as
+//!   a byte diff before it silently breaks deployed models.
 //!
-//! Regenerating the fixture (only after an *intentional* format change,
-//! alongside a new `model_vN.bstr`):
-//! `cargo test --test golden_format -- --ignored bless`
+//! Regenerating the *current* fixture (only after an intentional format
+//! change, alongside a new `model_vN.bstr` — never overwrite the old
+//! versions): `cargo test --test golden_format -- --ignored bless`
 
 use std::path::PathBuf;
 
 use booster_repro::gbdt::binning::BinBoundaries;
 use booster_repro::gbdt::dataset::RawValue;
-use booster_repro::gbdt::gradients::Loss;
+use booster_repro::gbdt::gradients::Objective;
 use booster_repro::gbdt::predict::Model;
 use booster_repro::gbdt::preprocess::FieldBinning;
 use booster_repro::gbdt::schema::{DatasetSchema, FieldSchema};
@@ -28,15 +28,18 @@ use booster_repro::gbdt::serialize::{model_from_bytes, model_to_bytes, MAGIC, VE
 use booster_repro::gbdt::split::SplitRule;
 use booster_repro::gbdt::tree::{Node, Tree};
 
-fn fixture_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_v1.bstr")
+fn fixture_path(version: u32) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/model_v{version}.bstr"))
 }
 
-fn fixture_bytes() -> Vec<u8> {
-    std::fs::read(fixture_path()).expect(
-        "tests/fixtures/model_v1.bstr missing — regenerate with \
-         `cargo test --test golden_format -- --ignored bless`",
-    )
+fn fixture_bytes(version: u32) -> Vec<u8> {
+    std::fs::read(fixture_path(version)).unwrap_or_else(|_| {
+        panic!(
+            "tests/fixtures/model_v{version}.bstr missing — regenerate the current version with \
+             `cargo test --test golden_format -- --ignored bless` (old versions are committed \
+             once and never rewritten)"
+        )
+    })
 }
 
 /// The canonical model: hand-built trees over one numeric and one
@@ -74,7 +77,26 @@ fn canonical_model() -> Model {
         Node::Leaf { weight: 0.6789 },
     ]);
     let t1 = Tree::new(vec![Node::Leaf { weight: 0.0625 }]);
-    Model { trees: vec![t0, t1], base_score: 0.25, loss: Loss::Logistic, schema, binnings }
+    Model {
+        trees: vec![t0, t1],
+        base_score: 0.25,
+        objective: Objective::Logistic,
+        num_outputs: 1,
+        schema,
+        binnings,
+    }
+}
+
+/// A canonical *multi-output* model sharing the scalar model's trees
+/// plus one more leaf tree, so the v2-only header fields (objective
+/// payload + `num_outputs`) are exercised by a committed artifact too.
+fn canonical_multiclass_model() -> Model {
+    let mut model = canonical_model();
+    model.trees.push(Tree::new(vec![Node::Leaf { weight: -0.25 }]));
+    model.objective = Objective::Softmax { num_class: 3 };
+    model.num_outputs = 3;
+    model.base_score = 0.0;
+    model
 }
 
 /// Records covering every routing path: both numeric sides, the
@@ -91,23 +113,24 @@ fn probe_records() -> Vec<[RawValue; 2]> {
 }
 
 #[test]
-fn current_serializer_reproduces_v1_fixture_bit_exactly() {
+fn current_serializer_reproduces_v2_fixture_bit_exactly() {
     let bytes = model_to_bytes(&canonical_model());
     assert_eq!(
         &bytes[..],
-        &fixture_bytes()[..],
-        "serializer output diverged from the committed v1 fixture — if the format change is \
-         intentional, bump serialize::VERSION, keep a v1 read path, and bless a new fixture"
+        &fixture_bytes(2)[..],
+        "serializer output diverged from the committed v2 fixture — if the format change is \
+         intentional, bump serialize::VERSION, keep a v2 read path, and bless a new fixture"
     );
 }
 
 #[test]
 fn v1_fixture_still_deserializes_as_the_format_evolves() {
-    let restored = model_from_bytes(&fixture_bytes()).expect("v1 bytes must keep parsing");
+    let restored = model_from_bytes(&fixture_bytes(1)).expect("v1 bytes must keep parsing");
     let expect = canonical_model();
     assert_eq!(restored.trees, expect.trees);
     assert_eq!(restored.base_score.to_bits(), expect.base_score.to_bits());
-    assert_eq!(restored.loss, expect.loss);
+    assert_eq!(restored.objective, expect.objective);
+    assert_eq!(restored.num_outputs, 1, "v1 artifacts are single-output by construction");
     for (i, rec) in probe_records().iter().enumerate() {
         assert_eq!(
             restored.predict_raw(rec).to_bits(),
@@ -118,20 +141,55 @@ fn v1_fixture_still_deserializes_as_the_format_evolves() {
 }
 
 #[test]
-fn fixture_header_pins_magic_and_version() {
-    let bytes = fixture_bytes();
-    assert_eq!(&bytes[..4], MAGIC, "fixture magic");
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    assert_eq!(version, 1, "the committed fixture is a version-1 artifact");
-    // When VERSION moves past 1 this assertion must be *replaced* (not
-    // deleted) by a check that v1 still deserializes via a compat path.
-    assert_eq!(VERSION, 1, "VERSION bumped: add a v1 read path and a model_v{VERSION} fixture");
+fn v2_fixture_roundtrips_and_scores_identically() {
+    let restored = model_from_bytes(&fixture_bytes(2)).expect("v2 bytes must parse");
+    let expect = canonical_model();
+    assert_eq!(restored.trees, expect.trees);
+    assert_eq!(restored.objective, expect.objective);
+    assert_eq!(restored.num_outputs, expect.num_outputs);
+    for (i, rec) in probe_records().iter().enumerate() {
+        assert_eq!(
+            restored.predict_raw(rec).to_bits(),
+            expect.predict_raw(rec).to_bits(),
+            "probe record {i}"
+        );
+    }
+}
+
+#[test]
+fn multiclass_header_roundtrips_through_the_v2_format() {
+    let model = canonical_multiclass_model();
+    let restored = model_from_bytes(&model_to_bytes(&model)).expect("multiclass roundtrip");
+    assert_eq!(restored.objective, Objective::Softmax { num_class: 3 });
+    assert_eq!(restored.num_outputs, 3);
+    assert_eq!(restored.trees, model.trees);
+    for (i, rec) in probe_records().iter().enumerate() {
+        let got = restored.predict_raw_outputs(rec);
+        let want = model.predict_raw_outputs(rec);
+        assert_eq!(got.len(), 3);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "probe record {i}");
+        }
+    }
+}
+
+#[test]
+fn fixture_headers_pin_magic_and_version() {
+    let v1 = fixture_bytes(1);
+    assert_eq!(&v1[..4], MAGIC, "v1 fixture magic");
+    assert_eq!(u32::from_le_bytes(v1[4..8].try_into().unwrap()), 1, "v1 fixture version");
+    let v2 = fixture_bytes(2);
+    assert_eq!(&v2[..4], MAGIC, "v2 fixture magic");
+    assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2, "v2 fixture version");
+    // When VERSION moves past 2 this assertion must be *replaced* (not
+    // deleted) by a check that v2 still deserializes via a compat path.
+    assert_eq!(VERSION, 2, "VERSION bumped: add a v2 read path and a model_v{VERSION} fixture");
 }
 
 #[test]
 fn v1_fixture_survives_the_flat_ensemble_lowering() {
     use booster_repro::gbdt::infer::FlatEnsemble;
-    let restored = model_from_bytes(&fixture_bytes()).unwrap();
+    let restored = model_from_bytes(&fixture_bytes(1)).unwrap();
     let flat = FlatEnsemble::from_model(&restored).expect("tiny trees lower");
     assert_eq!(flat.num_trees(), 2);
     // The per-record flat walk agrees with the node walk on the probes.
@@ -147,12 +205,12 @@ fn v1_fixture_survives_the_flat_ensemble_lowering() {
     }
 }
 
-/// Regenerate the fixture. Ignored so it never runs in CI; invoke
-/// explicitly after an intentional format change.
+/// Regenerate the current-version fixture. Ignored so it never runs in
+/// CI; invoke explicitly after an intentional format change.
 #[test]
-#[ignore = "writes tests/fixtures/model_v1.bstr; run only to bless a new fixture"]
+#[ignore = "writes tests/fixtures/model_v2.bstr; run only to bless a new fixture"]
 fn bless() {
-    let path = fixture_path();
+    let path = fixture_path(VERSION);
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
     std::fs::write(&path, model_to_bytes(&canonical_model())).unwrap();
     println!("wrote {}", path.display());

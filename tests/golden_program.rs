@@ -1,13 +1,20 @@
 //! Golden-format regression tests for the compiled-program wire format.
 //!
-//! `tests/fixtures/program_v1.bin` is a committed version-1 artifact:
-//! the canonical v1 *model* fixture (`model_v1.bstr`) deserialized,
-//! lowered to a `FlatEnsemble`, and compiled with pinned
-//! `CompileOptions`. The whole chain — model decode, table lowering,
-//! BFS renumbering, DCE, partitioning, instruction encoding, program
-//! serialization — is a pure function of the committed bytes, so any
-//! change anywhere in the compiler pipeline shows up here as a byte
-//! diff before it can silently invalidate persisted programs.
+//! Two committed artifacts are pinned:
+//!
+//! - `tests/fixtures/program_v1.bin` — version-1 program bytes,
+//!   committed while `program::VERSION` was 1 (bare loss byte in the
+//!   body, no `num_outputs`). Never regenerated: it proves the
+//!   versioned read path keeps decoding — and scoring identically — as
+//!   the format evolves.
+//! - `tests/fixtures/program_v2.bin` — the current compiler output for
+//!   the canonical chain: the v1 *model* fixture (`model_v1.bstr`)
+//!   deserialized, lowered to a `FlatEnsemble`, and compiled with
+//!   pinned `CompileOptions`. The whole pipeline — model decode, table
+//!   lowering, BFS renumbering, DCE, partitioning, instruction
+//!   encoding, program serialization — is a pure function of the
+//!   committed bytes, so any change anywhere shows up here as a byte
+//!   diff before it can silently invalidate persisted programs.
 //!
 //! Mirrors `tests/golden_format.rs`: writer stability, reader
 //! compatibility, header pin, and an ignored `bless` regenerator.
@@ -27,8 +34,8 @@ fn model_fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_v1.bstr")
 }
 
-fn program_fixture_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/program_v1.bin")
+fn program_fixture_path(version: u32) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/program_v{version}.bin"))
 }
 
 fn fixture_model() -> Model {
@@ -50,11 +57,14 @@ fn canonical_program_bytes() -> Vec<u8> {
     compiled.to_bytes().to_vec()
 }
 
-fn fixture_bytes() -> Vec<u8> {
-    std::fs::read(program_fixture_path()).expect(
-        "tests/fixtures/program_v1.bin missing — regenerate with \
-         `cargo test --test golden_program -- --ignored bless`",
-    )
+fn fixture_bytes(version: u32) -> Vec<u8> {
+    std::fs::read(program_fixture_path(version)).unwrap_or_else(|_| {
+        panic!(
+            "tests/fixtures/program_v{version}.bin missing — regenerate the current version with \
+             `cargo test --test golden_program -- --ignored bless` (old versions are committed \
+             once and never rewritten)"
+        )
+    })
 }
 
 /// Same probe set as the model golden tests: every routing path through
@@ -71,19 +81,19 @@ fn probe_records() -> Vec<[RawValue; 2]> {
 }
 
 #[test]
-fn current_compiler_reproduces_v1_fixture_bit_exactly() {
+fn current_compiler_reproduces_v2_fixture_bit_exactly() {
     assert_eq!(
         &canonical_program_bytes()[..],
-        &fixture_bytes()[..],
-        "compiler output diverged from the committed v1 program fixture — if the pipeline \
-         change is intentional, bump program::VERSION, keep a v1 read path, and bless a new \
+        &fixture_bytes(2)[..],
+        "compiler output diverged from the committed v2 program fixture — if the pipeline \
+         change is intentional, bump program::VERSION, keep a v2 read path, and bless a new \
          fixture"
     );
 }
 
 #[test]
 fn v1_program_fixture_still_decodes_and_scores_identically() {
-    let compiled = CompiledEnsemble::from_bytes(&fixture_bytes())
+    let compiled = CompiledEnsemble::from_bytes(&fixture_bytes(1))
         .expect("v1 program bytes must keep decoding");
     let model = fixture_model();
     assert_eq!(compiled.num_trees(), model.num_trees());
@@ -96,28 +106,48 @@ fn v1_program_fixture_still_decodes_and_scores_identically() {
 }
 
 #[test]
-fn program_fixture_header_pins_magic_and_version() {
-    let bytes = fixture_bytes();
-    assert_eq!(&bytes[..4], MAGIC, "fixture magic");
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    assert_eq!(version, 1, "the committed fixture is a version-1 artifact");
-    assert_eq!(VERSION, 1, "VERSION bumped: add a v1 read path and a program_v{VERSION} fixture");
+fn v2_program_fixture_decodes_and_scores_identically() {
+    let compiled =
+        CompiledEnsemble::from_bytes(&fixture_bytes(2)).expect("v2 program bytes must decode");
+    let model = fixture_model();
+    assert_eq!(compiled.num_trees(), model.num_trees());
+    for (i, rec) in probe_records().iter().enumerate() {
+        let bins = model.bin_raw(rec);
+        let mut out = [0.0f64];
+        compiled.score_bins_into(&bins, &mut out);
+        assert_eq!(out[0].to_bits(), model.predict_raw(rec).to_bits(), "probe record {i}");
+    }
 }
 
 #[test]
-fn program_fixture_passes_full_validation() {
+fn program_fixture_headers_pin_magic_and_version() {
+    let v1 = fixture_bytes(1);
+    assert_eq!(&v1[..4], MAGIC, "v1 fixture magic");
+    assert_eq!(u32::from_le_bytes(v1[4..8].try_into().unwrap()), 1, "v1 fixture version");
+    let v2 = fixture_bytes(2);
+    assert_eq!(&v2[..4], MAGIC, "v2 fixture magic");
+    assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2, "v2 fixture version");
+    assert_eq!(VERSION, 2, "VERSION bumped: add a v2 read path and a program_v{VERSION} fixture");
+}
+
+#[test]
+fn program_fixtures_pass_full_validation() {
     // Decode through the raw entry point so the structural validator —
-    // not just the checksum — is exercised on the committed artifact.
-    let program = program_from_bytes(&fixture_bytes()).expect("decode");
-    program.validate().expect("committed fixture must satisfy every structural invariant");
+    // not just the checksum — is exercised on the committed artifacts.
+    for version in [1u32, 2] {
+        let program = program_from_bytes(&fixture_bytes(version)).expect("decode");
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("v{version} fixture violates a structural invariant: {e}"));
+    }
 }
 
-/// Regenerate the fixture. Ignored so it never runs in CI; invoke
-/// explicitly after an intentional compiler or format change.
+/// Regenerate the current-version fixture. Ignored so it never runs in
+/// CI; invoke explicitly after an intentional compiler or format change.
 #[test]
-#[ignore = "writes tests/fixtures/program_v1.bin; run only to bless a new fixture"]
+#[ignore = "writes tests/fixtures/program_v2.bin; run only to bless a new fixture"]
 fn bless() {
-    let path = program_fixture_path();
+    let path = program_fixture_path(VERSION);
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
     std::fs::write(&path, canonical_program_bytes()).unwrap();
     println!("wrote {}", path.display());

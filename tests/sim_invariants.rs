@@ -2,7 +2,7 @@
 //! paper's evaluation depends on must hold for any workload the
 //! functional trainer produces.
 
-use booster_repro::datagen::{default_loss, generate_binned, Benchmark};
+use booster_repro::datagen::{default_objective, generate_binned, Benchmark};
 use booster_repro::gbdt::phases::PhaseLog;
 use booster_repro::gbdt::prelude::*;
 use booster_repro::sim::{
@@ -15,7 +15,7 @@ fn phase_log(b: Benchmark, n: usize, scale: f64) -> (PhaseLog, BinnedDataset, Mo
     let cfg = TrainConfig {
         num_trees: 6,
         max_depth: 6,
-        loss: default_loss(b),
+        objective: default_objective(b),
         collect_phases: true,
         ..Default::default()
     };
