@@ -310,6 +310,51 @@ fn bench_timing_model(c: &mut Criterion) {
     g.finish();
 }
 
+/// Distributed data-parallel training against local training on the
+/// same config: the in-process channel transport with N ∈ {2, 4}
+/// worker threads (spawning, sharding and the wire protocol are all
+/// inside the timed region — that *is* the distributed overhead).
+/// Setup prints the measured Step-1 traffic once per worker count so
+/// the records/sec numbers can be read against bytes moved.
+fn bench_distributed(c: &mut Criterion) {
+    let (data, mirror) = generate_binned(Benchmark::Higgs, 20_000, 1);
+    let cfg = TrainConfig {
+        num_trees: 5,
+        max_depth: 5,
+        objective: default_objective(Benchmark::Higgs),
+        ..Default::default()
+    };
+    let timeout = std::time::Duration::from_secs(60);
+    let mut g = c.benchmark_group("distributed");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(data.num_records() as u64));
+    g.bench_function("local", |b| b.iter(|| black_box(train(&data, &mirror, &cfg))));
+    for workers in [2usize, 4] {
+        let out = booster_dist::train_distributed_threads(&data, &mirror, &cfg, workers, timeout)
+            .expect("distributed run");
+        let hist_bytes = out.stats.comm.bytes_for_op(booster_dist::proto::OP_BUILD_HIST)
+            + out.stats.comm.bytes_for_op(booster_dist::proto::OP_HIST_DONE);
+        let builds = out.stats.bin_events.len().max(1) as u64;
+        eprintln!(
+            "distributed/workers={workers}: {} histogram builds, {} Step-1 payload bytes \
+             ({} per build), {} wire bytes total",
+            builds,
+            hist_bytes,
+            hist_bytes / builds,
+            out.stats.comm.wire_bytes(),
+        );
+        g.bench_function(BenchmarkId::new("channel_workers", workers), |b| {
+            b.iter(|| {
+                black_box(
+                    booster_dist::train_distributed_threads(&data, &mirror, &cfg, workers, timeout)
+                        .expect("distributed run"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_training,
@@ -318,6 +363,7 @@ criterion_group!(
     bench_inference,
     bench_serving,
     bench_objectives,
-    bench_timing_model
+    bench_timing_model,
+    bench_distributed
 );
 criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Typed failures of the distributed trainer.
+//!
+//! Everything the transport or protocol can do wrong surfaces as a
+//! [`DistError`] — the coordinator never panics on a sick cluster and
+//! never blocks unboundedly (receives are bounded by the transport's
+//! read timeout).
+
+use std::fmt;
+
+/// A distributed-training failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// Transport-level I/O failure (connect, read or write).
+    Io(String),
+    /// A worker did not reply within the transport's read timeout.
+    Timeout {
+        /// Index of the unresponsive worker.
+        worker: usize,
+    },
+    /// A worker's connection or channel closed mid-protocol.
+    Disconnected {
+        /// Index of the lost worker.
+        worker: usize,
+    },
+    /// A frame decoded to something other than what the protocol state
+    /// machine expected (wrong op, wrong sequence echo, wrong shape,
+    /// malformed payload).
+    Protocol(String),
+    /// A worker reported a typed failure of its own.
+    Remote {
+        /// Index of the reporting worker.
+        worker: usize,
+        /// The worker's error description.
+        msg: String,
+    },
+    /// The requested configuration cannot run distributed (e.g. a
+    /// coupled multi-output objective).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "transport i/o error: {e}"),
+            DistError::Timeout { worker } => write!(f, "worker {worker} timed out"),
+            DistError::Disconnected { worker } => write!(f, "worker {worker} disconnected"),
+            DistError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            DistError::Remote { worker, msg } => write!(f, "worker {worker} failed: {msg}"),
+            DistError::Unsupported(m) => write!(f, "unsupported distributed configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl DistError {
+    /// Classify an I/O error from a read on `worker`'s link: timeouts
+    /// and EOFs get their own variants so fault-handling tests can
+    /// assert the cause, everything else stays [`DistError::Io`].
+    pub fn from_read(worker: usize, e: std::io::Error) -> DistError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                DistError::Timeout { worker }
+            }
+            std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::ConnectionReset => {
+                DistError::Disconnected { worker }
+            }
+            _ => DistError::Io(e.to_string()),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic fault injection for transport testing.
+//!
+//! [`FaultyComm`] wraps any [`Comm`] and corrupts exactly one
+//! coordinator-to-worker frame — the `at_frame`-th send — in one of
+//! four ways. Faults are applied *before* the inner transport sees the
+//! frame, so the inner stats reflect what actually crossed the wire.
+//! The differential tests use this to prove the coordinator turns every
+//! fault into a typed [`crate::error::DistError`] within its read
+//! timeout: no panics, no hangs.
+
+use crate::comm::{Comm, CommStats};
+use crate::error::DistError;
+
+/// What to do to the targeted frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Swallow the frame entirely (the worker never sees it; the
+    /// coordinator's next receive times out).
+    DropFrame,
+    /// Deliver the frame twice (the duplicate's reply desynchronises
+    /// the sequence echo).
+    Duplicate,
+    /// Deliver only the first `n` payload bytes (the worker rejects the
+    /// truncated payload with a typed error frame).
+    Truncate(usize),
+    /// XOR the payload byte at `offset` (wrapped into range) with 0xFF.
+    XorByte(usize),
+}
+
+/// A [`Comm`] wrapper that injects one seeded fault on the send path.
+pub struct FaultyComm<C: Comm> {
+    inner: C,
+    at_frame: u64,
+    kind: FaultKind,
+    sent: u64,
+}
+
+impl<C: Comm> FaultyComm<C> {
+    /// Corrupt the `at_frame`-th sent frame (0-based) with `kind`.
+    pub fn new(inner: C, at_frame: u64, kind: FaultKind) -> FaultyComm<C> {
+        FaultyComm { inner, at_frame, kind, sent: 0 }
+    }
+
+    /// Whether the fault has fired yet (guards tests against picking an
+    /// `at_frame` beyond the run's frame count).
+    pub fn fired(&self) -> bool {
+        self.sent > self.at_frame
+    }
+}
+
+impl<C: Comm> Comm for FaultyComm<C> {
+    fn num_workers(&self) -> usize {
+        self.inner.num_workers()
+    }
+
+    fn send(&mut self, worker: usize, payload: &[u8]) -> Result<(), DistError> {
+        let target = self.sent == self.at_frame;
+        self.sent += 1;
+        if !target {
+            return self.inner.send(worker, payload);
+        }
+        match self.kind {
+            FaultKind::DropFrame => Ok(()),
+            FaultKind::Duplicate => {
+                self.inner.send(worker, payload)?;
+                self.inner.send(worker, payload)
+            }
+            FaultKind::Truncate(n) => {
+                let n = n.min(payload.len());
+                self.inner.send(worker, &payload[..n])
+            }
+            FaultKind::XorByte(offset) => {
+                let mut corrupted = payload.to_vec();
+                if !corrupted.is_empty() {
+                    let i = offset % corrupted.len();
+                    corrupted[i] ^= 0xFF;
+                }
+                self.inner.send(worker, &corrupted)
+            }
+        }
+    }
+
+    fn recv(&mut self, worker: usize) -> Result<Vec<u8>, DistError> {
+        self.inner.recv(worker)
+    }
+
+    fn stats(&self) -> &CommStats {
+        self.inner.stats()
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic record sharding.
+//!
+//! A [`ShardPlan`] cuts `0..n` into N **contiguous** ranges, one per
+//! worker. Contiguity is what makes the distributed reduction exact:
+//! chaining the shard folds in plan order visits every record in the
+//! global row order, so the result is bit-identical to local training
+//! for *any* contiguous boundaries — which is why the seeded plan can
+//! jitter them freely and the differential tests can vary them per
+//! case.
+
+use booster_gbdt::preprocess::BinnedDataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::DistError;
+
+/// Contiguous assignment of records `0..n` to N workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `bounds[k]..bounds[k + 1]` is worker k's record range;
+    /// `bounds[0] == 0`, `bounds[N] == n`, nondecreasing.
+    bounds: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Even split: worker k gets `n / workers` records, the first
+    /// `n % workers` workers one extra.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn even(n: usize, workers: usize) -> ShardPlan {
+        assert!(workers > 0, "need at least one worker");
+        let (q, r) = (n / workers, n % workers);
+        let mut bounds = Vec::with_capacity(workers + 1);
+        let mut acc = 0usize;
+        bounds.push(0);
+        for k in 0..workers {
+            acc += q + usize::from(k < r);
+            bounds.push(acc as u32);
+        }
+        ShardPlan { bounds }
+    }
+
+    /// Deterministically jittered contiguous boundaries: each interior
+    /// boundary moves up to a quarter-shard away from its even
+    /// position, seeded so the same `(n, workers, seed)` always yields
+    /// the same plan. Exercises the contract that *any* contiguous plan
+    /// trains bit-identically — workers may get visibly unequal (even
+    /// empty) shards.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn seeded(n: usize, workers: usize, seed: u64) -> ShardPlan {
+        assert!(workers > 0, "need at least one worker");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let span = n / workers;
+        let jitter = (span / 4) as i64;
+        let mut bounds = Vec::with_capacity(workers + 1);
+        bounds.push(0u32);
+        for k in 1..workers {
+            let center = (k * n / workers) as i64;
+            let j = if jitter > 0 {
+                rng.random_range(0..=2 * jitter as u64) as i64 - jitter
+            } else {
+                0
+            };
+            let b = (center + j).clamp(i64::from(*bounds.last().unwrap()), n as i64);
+            bounds.push(b as u32);
+        }
+        bounds.push(n as u32);
+        ShardPlan { bounds }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total records covered.
+    pub fn num_records(&self) -> usize {
+        *self.bounds.last().unwrap() as usize
+    }
+
+    /// Worker k's global record range.
+    pub fn range(&self, k: usize) -> std::ops::Range<usize> {
+        self.bounds[k] as usize..self.bounds[k + 1] as usize
+    }
+
+    /// Split an **ascending** global row set into per-worker local row
+    /// sets, in shard order, skipping workers with no rows. Local ids
+    /// are `global - range(k).start`; concatenating the pieces back (in
+    /// order, re-offset) reproduces the input — the property that keeps
+    /// chained folds in global row order.
+    pub fn split_rows(&self, rows: &[u32]) -> Vec<(usize, Vec<u32>)> {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "row sets must be ascending");
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        for k in 0..self.num_workers() {
+            let (lo, hi) = (self.bounds[k], self.bounds[k + 1]);
+            let start = i;
+            while i < rows.len() && rows[i] < hi {
+                i += 1;
+            }
+            if i > start {
+                out.push((k, rows[start..i].iter().map(|&r| r - lo).collect()));
+            }
+        }
+        debug_assert_eq!(i, rows.len(), "row id beyond the plan's record range");
+        out
+    }
+
+    /// Materialize each worker's shard as its own [`BinnedDataset`]
+    /// (schema and binnings shared, bins and labels sliced). Bin values
+    /// are identical to the parent's, so shard-local kernels see
+    /// exactly the bytes local training would.
+    ///
+    /// # Errors
+    /// Fails if the plan does not cover `data`'s record count.
+    pub fn shard(&self, data: &BinnedDataset) -> Result<Vec<BinnedDataset>, DistError> {
+        if self.num_records() != data.num_records() {
+            return Err(DistError::Protocol(format!(
+                "plan covers {} records, dataset has {}",
+                self.num_records(),
+                data.num_records()
+            )));
+        }
+        let nf = data.num_fields();
+        Ok((0..self.num_workers())
+            .map(|k| {
+                let r = self.range(k);
+                let bins: Vec<u32> =
+                    r.clone().flat_map(|rec| (0..nf).map(move |f| data.bin(rec, f))).collect();
+                BinnedDataset::from_parts(
+                    data.schema().clone(),
+                    data.binnings().to_vec(),
+                    bins,
+                    data.labels()[r].to_vec(),
+                )
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_covers_everything_contiguously() {
+        for (n, w) in [(10, 3), (7, 7), (5, 8), (0, 2), (100, 1)] {
+            let p = ShardPlan::even(n, w);
+            assert_eq!(p.num_workers(), w);
+            assert_eq!(p.num_records(), n);
+            let total: usize = (0..w).map(|k| p.range(k).len()).sum();
+            assert_eq!(total, n);
+            // Balanced within one record.
+            let sizes: Vec<usize> = (0..w).map(|k| p.range(k).len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_contiguous() {
+        let a = ShardPlan::seeded(1000, 4, 42);
+        let b = ShardPlan::seeded(1000, 4, 42);
+        assert_eq!(a, b);
+        let c = ShardPlan::seeded(1000, 4, 43);
+        assert_ne!(a, c, "different seeds should usually move a boundary");
+        assert_eq!(a.num_records(), 1000);
+        assert!(a.bounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn split_rows_round_trips() {
+        let p = ShardPlan::seeded(100, 4, 7);
+        let rows: Vec<u32> = (0..100).filter(|r| r % 3 != 1).collect();
+        let pieces = p.split_rows(&rows);
+        let mut rebuilt = Vec::new();
+        for (k, local) in &pieces {
+            let lo = p.range(*k).start as u32;
+            rebuilt.extend(local.iter().map(|&r| r + lo));
+        }
+        assert_eq!(rebuilt, rows);
+    }
+
+    #[test]
+    fn empty_shards_are_skipped_in_split() {
+        // A plan with an empty middle shard.
+        let p = ShardPlan { bounds: vec![0, 4, 4, 10] };
+        let rows: Vec<u32> = (0..10).collect();
+        let pieces = p.split_rows(&rows);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0], (0, (0..4).collect::<Vec<u32>>()));
+        assert_eq!(pieces[1], (2, (0..6).collect::<Vec<u32>>()));
+    }
+}

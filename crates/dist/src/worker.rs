@@ -1,0 +1,358 @@
+//! Worker side of the distributed trainer.
+//!
+//! A worker owns one shard of the training data (its own
+//! [`BinnedDataset`] plus columnar mirror) and the per-record state the
+//! record-heavy steps need: margins, gradient pairs and the last
+//! traversal's per-record loss values. It is **row-stateless across
+//! requests** — every request names the rows it touches in worker-local
+//! ids — so the coordinator's engine loop is the only place training
+//! control flow exists.
+//!
+//! Workers never panic on wire input: every request is validated
+//! (row ids against the shard size, field ids against the schema,
+//! lane lengths against the histogram shape) and failures are reported
+//! back as [`Msg::Err`] frames, which the coordinator converts into
+//! [`DistError::Remote`].
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+
+use booster_gbdt::columnar::ColumnarMirror;
+use booster_gbdt::gradients::{GradPair, Loss};
+use booster_gbdt::histogram::{LaneAccumulator, NodeHistogram};
+use booster_gbdt::partition::partition_rows;
+use booster_gbdt::preprocess::BinnedDataset;
+use booster_gbdt::tree::{Node, Tree};
+use booster_serve::frame::{read_frame_limit, write_frame, DIST_MAX_FRAME_BYTES};
+
+use crate::error::DistError;
+use crate::proto::{Msg, WireLanes};
+
+/// One worker's shard and mutable training state.
+pub struct WorkerState {
+    data: BinnedDataset,
+    mirror: ColumnarMirror,
+    hist: NodeHistogram,
+    loss: Option<Loss>,
+    margins: Vec<f64>,
+    grads: Vec<GradPair>,
+    /// Per-record loss values from the last traverse, consumed by the
+    /// chained loss fold.
+    loss_vals: Vec<f64>,
+}
+
+impl WorkerState {
+    /// Build a worker around its shard. No training state exists until
+    /// the coordinator's `Init` arrives.
+    pub fn new(shard: BinnedDataset) -> WorkerState {
+        let mirror = ColumnarMirror::from_binned(&shard);
+        let hist = NodeHistogram::zeroed(&shard);
+        WorkerState {
+            data: shard,
+            mirror,
+            hist,
+            loss: None,
+            margins: Vec::new(),
+            grads: Vec::new(),
+            loss_vals: Vec::new(),
+        }
+    }
+
+    /// Shard size.
+    pub fn num_records(&self) -> usize {
+        self.data.num_records()
+    }
+
+    /// Handle one raw frame payload. Returns the reply payload, or
+    /// `None` for `Shutdown` (the serve loop exits). Handler failures —
+    /// including undecodable requests — become encoded [`Msg::Err`]
+    /// replies, never panics.
+    pub fn handle_payload(&mut self, payload: &[u8]) -> Option<Vec<u8>> {
+        let msg = match Msg::decode(payload) {
+            Ok(m) => m,
+            Err(e) => return Some(Msg::Err { seq: 0, msg: e.to_string() }.encode()),
+        };
+        if matches!(msg, Msg::Shutdown { .. }) {
+            return None;
+        }
+        let seq = msg.seq();
+        let reply = match self.handle_msg(msg) {
+            Ok(reply) => reply,
+            Err(e) => Msg::Err { seq, msg: e.to_string() },
+        };
+        Some(reply.encode())
+    }
+
+    fn handle_msg(&mut self, msg: Msg) -> Result<Msg, DistError> {
+        match msg {
+            Msg::Init { seq, loss, base_score } => {
+                self.init(loss, base_score);
+                Ok(Msg::InitDone { seq, records: self.data.num_records() as u64 })
+            }
+            Msg::BuildHist { seq, rows, carry } => {
+                let lanes = self.build_hist(&rows, carry)?;
+                Ok(Msg::HistDone { seq, lanes })
+            }
+            Msg::Part { seq, field, rule, default_left, absent, rows } => {
+                self.check_rows(&rows)?;
+                let nf = self.data.num_fields();
+                if field as usize >= nf {
+                    return Err(DistError::Protocol(format!(
+                        "partition field {field} out of range (shard has {nf} fields)"
+                    )));
+                }
+                let (left, right) = partition_rows(
+                    &rows,
+                    self.mirror.column(field as usize),
+                    rule,
+                    default_left,
+                    absent,
+                );
+                Ok(Msg::PartDone { seq, left, right })
+            }
+            Msg::Traverse { seq, tree } => {
+                let sum_path = self.traverse(&tree)?;
+                Ok(Msg::TravDone { seq, sum_path })
+            }
+            Msg::FoldLoss { seq, carry } => {
+                // The chained sequential fold: exactly the order local
+                // training adds per-record loss values, restricted to
+                // this shard's contiguous stretch of it.
+                let mut acc = carry;
+                for &lv in &self.loss_vals {
+                    acc += lv;
+                }
+                Ok(Msg::FoldLoss { seq, carry: acc })
+            }
+            other => {
+                Err(DistError::Protocol(format!("unexpected request op {} at worker", other.op())))
+            }
+        }
+    }
+
+    /// Mirror of `grow_scalar`'s initialisation, restricted to the
+    /// shard: every record starts at `base_score` and gets its first
+    /// gradient pair and loss value from there.
+    fn init(&mut self, loss: Loss, base_score: f64) {
+        let n = self.data.num_records();
+        self.loss = Some(loss);
+        self.margins.clear();
+        self.margins.resize(n, base_score);
+        self.grads.clear();
+        self.loss_vals.clear();
+        for r in 0..n {
+            let (gp, lv) = loss.grad_value(base_score, f64::from(self.data.labels()[r]));
+            self.grads.push(gp);
+            self.loss_vals.push(lv);
+        }
+    }
+
+    fn check_rows(&self, rows: &[u32]) -> Result<(), DistError> {
+        let n = self.data.num_records() as u32;
+        if let Some(&bad) = rows.iter().find(|&&r| r >= n) {
+            return Err(DistError::Protocol(format!(
+                "row id {bad} out of range (shard has {n} records)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn require_init(&self) -> Result<Loss, DistError> {
+        self.loss.ok_or_else(|| DistError::Protocol("worker not initialised".into()))
+    }
+
+    /// Step 1 on the shard: continue the running histogram (or start it)
+    /// by binning this shard's rows *into* it — the binning kernels
+    /// accumulate and never zero, so the chain reproduces the global
+    /// row-order fold bit for bit. The vertex-total accumulator resumes
+    /// from the carried `(lanes, pos)` state.
+    fn build_hist(
+        &mut self,
+        rows: &[u32],
+        carry: Option<WireLanes>,
+    ) -> Result<WireLanes, DistError> {
+        self.require_init()?;
+        self.check_rows(rows)?;
+        let nbins = self.hist.total_bins();
+        let mut acc = match &carry {
+            Some(c) => {
+                if c.grad.len() != nbins {
+                    return Err(DistError::Protocol(format!(
+                        "carried lanes have {} bins, shard histogram has {nbins}",
+                        c.grad.len()
+                    )));
+                }
+                LaneAccumulator::from_state(c.acc, c.pos)
+            }
+            None => LaneAccumulator::new(),
+        };
+        match carry {
+            Some(c) => {
+                self.hist.load_lanes(&c.grad, &c.hess, &c.count, GradPair::zero(), 0);
+            }
+            None => self.hist.reset(),
+        }
+        self.hist.bin_records(&self.data, rows, &self.grads);
+        for &r in rows {
+            acc.push(self.grads[r as usize]);
+        }
+        let (grad, hess, count) = self.hist.raw_lanes();
+        let (acc_lanes, pos) = acc.state();
+        Ok(WireLanes {
+            grad: grad.to_vec(),
+            hess: hess.to_vec(),
+            count: count.to_vec(),
+            acc: acc_lanes,
+            pos,
+        })
+    }
+
+    /// Step 5 on the shard: apply the finished tree to every record,
+    /// refresh margins, gradients and stored per-record loss values, and
+    /// return the shard's traversal path sum (integer — exact in any
+    /// reduction order).
+    fn traverse(&mut self, tree: &Tree) -> Result<u64, DistError> {
+        let loss = self.require_init()?;
+        let nf = self.data.num_fields();
+        if let Some(bad) = tree.nodes().iter().find_map(|n| match n {
+            Node::Internal { field, .. } if *field as usize >= nf => Some(*field),
+            _ => None,
+        }) {
+            return Err(DistError::Protocol(format!(
+                "tree field {bad} out of range (shard has {nf} fields)"
+            )));
+        }
+        let mut sum_path = 0u64;
+        for r in 0..self.data.num_records() {
+            let (weight, path) = tree.traverse_binned(&self.data, r);
+            self.margins[r] += weight;
+            let (gp, lv) = loss.grad_value(self.margins[r], f64::from(self.data.labels()[r]));
+            self.grads[r] = gp;
+            self.loss_vals[r] = lv;
+            sum_path += u64::from(path);
+        }
+        Ok(sum_path)
+    }
+}
+
+/// Serve a worker over an in-process channel pair: handle requests
+/// until `Shutdown` arrives or either channel closes.
+pub fn serve_channel(
+    mut state: WorkerState,
+    rx: std::sync::mpsc::Receiver<Vec<u8>>,
+    tx: std::sync::mpsc::Sender<Vec<u8>>,
+) {
+    while let Ok(payload) = rx.recv() {
+        match state.handle_payload(&payload) {
+            Some(reply) => {
+                if tx.send(reply).is_err() {
+                    return;
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+/// Serve a worker over one TCP connection: accept a single coordinator,
+/// then handle frames until `Shutdown` or EOF. Uses the shared
+/// length-prefixed codec with the distributed frame cap.
+///
+/// # Errors
+/// Propagates accept/read/write failures; a clean shutdown or peer
+/// disconnect returns `Ok(())`.
+pub fn serve_worker_tcp(shard: BinnedDataset, listener: TcpListener) -> std::io::Result<()> {
+    let (stream, _peer) = listener.accept()?;
+    stream.set_nodelay(true).ok();
+    serve_stream(WorkerState::new(shard), stream)
+}
+
+fn serve_stream(mut state: WorkerState, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let Some(payload) = read_frame_limit(&mut reader, DIST_MAX_FRAME_BYTES)? else {
+            return Ok(()); // coordinator hung up
+        };
+        match state.handle_payload(&payload) {
+            Some(reply) => {
+                write_frame(&mut writer, &reply)?;
+                writer.flush()?;
+            }
+            None => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booster_gbdt::split::SplitRule;
+
+    fn tiny_shard() -> BinnedDataset {
+        booster_datagen::generate_binned(booster_datagen::Benchmark::Iot, 32, 7).0
+    }
+
+    #[test]
+    fn init_then_hist_round_trip() {
+        let mut w = WorkerState::new(tiny_shard());
+        let init = Msg::Init { seq: 1, loss: Loss::SquaredError, base_score: 0.5 }.encode();
+        let reply = Msg::decode(&w.handle_payload(&init).unwrap()).unwrap();
+        assert_eq!(reply, Msg::InitDone { seq: 1, records: 32 });
+
+        let req = Msg::BuildHist { seq: 2, rows: (0..32).collect(), carry: None }.encode();
+        let reply = Msg::decode(&w.handle_payload(&req).unwrap()).unwrap();
+        match reply {
+            Msg::HistDone { seq, lanes } => {
+                assert_eq!(seq, 2);
+                assert_eq!(lanes.pos, 32);
+                assert_eq!(lanes.count.iter().sum::<u64>() % 32, 0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uninitialised_hist_request_is_a_typed_error() {
+        let mut w = WorkerState::new(tiny_shard());
+        let req = Msg::BuildHist { seq: 9, rows: vec![0], carry: None }.encode();
+        let reply = Msg::decode(&w.handle_payload(&req).unwrap()).unwrap();
+        assert!(matches!(reply, Msg::Err { seq: 9, .. }));
+    }
+
+    #[test]
+    fn out_of_range_rows_and_fields_are_typed_errors() {
+        let mut w = WorkerState::new(tiny_shard());
+        let init = Msg::Init { seq: 1, loss: Loss::SquaredError, base_score: 0.0 }.encode();
+        w.handle_payload(&init).unwrap();
+
+        let req = Msg::BuildHist { seq: 2, rows: vec![999], carry: None }.encode();
+        let reply = Msg::decode(&w.handle_payload(&req).unwrap()).unwrap();
+        assert!(matches!(reply, Msg::Err { seq: 2, .. }));
+
+        let req = Msg::Part {
+            seq: 3,
+            field: 4000,
+            rule: SplitRule::Numeric { threshold_bin: 1 },
+            default_left: true,
+            absent: 0,
+            rows: vec![0, 1],
+        }
+        .encode();
+        let reply = Msg::decode(&w.handle_payload(&req).unwrap()).unwrap();
+        assert!(matches!(reply, Msg::Err { seq: 3, .. }));
+    }
+
+    #[test]
+    fn undecodable_payload_becomes_err_frame() {
+        let mut w = WorkerState::new(tiny_shard());
+        let reply = Msg::decode(&w.handle_payload(&[77, 1, 2]).unwrap()).unwrap();
+        assert!(matches!(reply, Msg::Err { .. }));
+    }
+
+    #[test]
+    fn shutdown_ends_the_session() {
+        let mut w = WorkerState::new(tiny_shard());
+        assert!(w.handle_payload(&Msg::Shutdown { seq: 1 }.encode()).is_none());
+    }
+}

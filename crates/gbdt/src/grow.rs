@@ -1113,7 +1113,7 @@ impl TreeGrower<'_> {
         let column = self.columnar.column(field);
         let absent = self.data.binnings()[field].absent_bin();
         let (lrows, rrows) =
-            self.exec.partition(&rows, column, split.rule, split.default_left, absent);
+            self.exec.partition(&rows, column, field, split.rule, split.default_left, absent);
         self.times.step3 += t3.elapsed();
         self.work.step3_records += rows.len() as u64;
 

@@ -358,6 +358,54 @@ impl NodeHistogram {
         out
     }
 
+    /// Borrow the three flat SoA lanes (all fields concatenated in
+    /// offset order). This is the wire view: a distributed worker
+    /// serializes exactly these slices, and the peer rebuilds the
+    /// histogram with [`Self::load_lanes`].
+    pub fn raw_lanes(&self) -> (&[f64], &[f64], &[u64]) {
+        (&self.grad, &self.hess, &self.count)
+    }
+
+    /// Per-field lane offsets (length `num_fields + 1`), the shape key
+    /// two histograms must share to be mergeable.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Overwrite every lane and the totals from flat slices (the decode
+    /// half of [`Self::raw_lanes`]). The shape — and therefore the
+    /// offsets — is unchanged; only the contents are replaced.
+    ///
+    /// # Panics
+    /// Panics if a slice length differs from this histogram's bin count.
+    pub fn load_lanes(
+        &mut self,
+        grad: &[f64],
+        hess: &[f64],
+        count: &[u64],
+        total: GradPair,
+        total_count: u64,
+    ) {
+        assert_eq!(grad.len(), self.grad.len(), "grad lane length mismatch");
+        assert_eq!(hess.len(), self.hess.len(), "hess lane length mismatch");
+        assert_eq!(count.len(), self.count.len(), "count lane length mismatch");
+        self.grad.copy_from_slice(grad);
+        self.hess.copy_from_slice(hess);
+        self.count.copy_from_slice(count);
+        self.total = total;
+        self.total_count = total_count;
+    }
+
+    /// Overwrite the vertex totals, leaving the bins untouched. The
+    /// distributed reduction chain accumulates bins *in place* across
+    /// shards but carries the vertex total separately in a
+    /// [`LaneAccumulator`]; once the chain completes, the authoritative
+    /// total replaces whatever the per-shard passes left here.
+    pub fn set_totals(&mut self, total: GradPair, total_count: u64) {
+        self.total = total;
+        self.total_count = total_count;
+    }
+
     /// Merge another histogram into this one (the per-cluster /
     /// per-thread replica reduction at the end of Step 1).
     pub fn merge(&mut self, other: &NodeHistogram) {
@@ -428,6 +476,70 @@ pub fn sum_grad_pairs_dense(gathered: &[GradPair]) -> GradPair {
         }
     }
     (l0 + l1) + (l2 + l3)
+}
+
+/// A *resumable* form of the four-lane reduction: positions are
+/// assigned to lanes by `position % 4`, additions retire in increasing
+/// position order within each lane, and [`LaneAccumulator::finish`]
+/// merges the lanes as `(l0 + l1) + (l2 + l3)` — exactly the
+/// association of [`sum_grad_pairs`] / [`sum_grad_pairs_dense`].
+///
+/// Feeding a sequence in one go therefore matches `sum_grad_pairs_dense`
+/// bit for bit, **and so does feeding it in arbitrary contiguous
+/// chunks**: the accumulator's `(lanes, position)` state can be
+/// suspended after any prefix, shipped across a wire, and resumed on
+/// another machine. That is the mechanism the distributed trainer uses
+/// to chain a vertex-total reduction across record shards without
+/// reassociating a single addition.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LaneAccumulator {
+    lanes: [GradPair; 4],
+    pos: u64,
+}
+
+impl LaneAccumulator {
+    /// An accumulator at position 0 with zeroed lanes.
+    pub fn new() -> Self {
+        LaneAccumulator::default()
+    }
+
+    /// Rebuild an accumulator from suspended state (see
+    /// [`LaneAccumulator::state`]).
+    pub fn from_state(lanes: [GradPair; 4], pos: u64) -> Self {
+        LaneAccumulator { lanes, pos }
+    }
+
+    /// The suspendable state: four partial lanes plus the number of
+    /// pairs folded so far.
+    pub fn state(&self) -> ([GradPair; 4], u64) {
+        (self.lanes, self.pos)
+    }
+
+    /// Fold one gradient pair at the current position.
+    #[inline]
+    pub fn push(&mut self, gp: GradPair) {
+        self.lanes[(self.pos % 4) as usize] += gp;
+        self.pos += 1;
+    }
+
+    /// Fold a dense run of pairs in order.
+    pub fn push_all(&mut self, gathered: &[GradPair]) {
+        for &gp in gathered {
+            self.push(gp);
+        }
+    }
+
+    /// Number of pairs folded so far.
+    pub fn count(&self) -> u64 {
+        self.pos
+    }
+
+    /// Merge the lanes in the fixed `(l0 + l1) + (l2 + l3)` order. Does
+    /// not consume the accumulator — folding may continue afterwards.
+    pub fn finish(&self) -> GradPair {
+        let [l0, l1, l2, l3] = self.lanes;
+        (l0 + l1) + (l2 + l3)
+    }
 }
 
 /// Bin `rows` into a single field's lanes (one entry from
@@ -849,6 +961,194 @@ mod tests {
         let h = pool.acquire(&data);
         assert_eq!(h.num_fields(), data.num_fields());
         assert_eq!(h, NodeHistogram::zeroed(&data));
+    }
+
+    /// A tiny two-field dataset with hand-computable bins: every record
+    /// is a categorical pair, so the bin of each record is the category
+    /// itself, and the gradient pairs are dyadic rationals so every
+    /// partial sum is exactly representable. `shard(lo, hi)` cuts a
+    /// contiguous record range into its own [`BinnedDataset`] the way
+    /// the distributed sharder does.
+    fn fixture() -> (BinnedDataset, Vec<GradPair>) {
+        use crate::preprocess::FieldBinning;
+        let schema = DatasetSchema::new(vec![
+            FieldSchema::categorical("a", 3), // bins 0..3, absent = 3
+            FieldSchema::categorical("b", 2), // bins 0..2, absent = 2
+        ]);
+        let binnings = vec![
+            FieldBinning::Categorical { categories: 3 },
+            FieldBinning::Categorical { categories: 2 },
+        ];
+        // (field-0 bin, field-1 bin) per record; rows 2 and 4 use the
+        // absent bins.
+        let bins: Vec<u32> = vec![0, 0, 1, 1, 0, 2, 2, 0, 3, 1, 0, 0];
+        let data = BinnedDataset::from_parts(schema, binnings, bins, vec![0.0; 6]);
+        let grads = vec![
+            GradPair::new(0.5, 1.0),
+            GradPair::new(0.25, 0.5),
+            GradPair::new(1.5, 2.0),
+            GradPair::new(0.125, 0.25),
+            GradPair::new(2.0, 4.0),
+            GradPair::new(0.75, 0.5),
+        ];
+        (data, grads)
+    }
+
+    fn fixture_shard(data: &BinnedDataset, lo: usize, hi: usize) -> BinnedDataset {
+        let nf = data.num_fields();
+        let bins: Vec<u32> = (lo..hi).flat_map(|r| (0..nf).map(move |f| data.bin(r, f))).collect();
+        BinnedDataset::from_parts(
+            data.schema().clone(),
+            data.binnings().to_vec(),
+            bins,
+            data.labels()[lo..hi].to_vec(),
+        )
+    }
+
+    /// Bin a shard's local rows with shard-local gradients into `h`.
+    fn bin_shard(h: &mut NodeHistogram, shard: &BinnedDataset, grads: &[GradPair]) {
+        let rows: Vec<u32> = (0..shard.num_records() as u32).collect();
+        h.bin_records(shard, &rows, grads);
+    }
+
+    /// Two shards' histograms merge to the whole-dataset histogram with
+    /// every lane entry matching a hand-computed literal (the gradient
+    /// pairs are dyadic, so the partial sums are exact and association
+    /// cannot matter).
+    #[test]
+    fn two_shard_merge_matches_hand_computed_whole() {
+        let (data, grads) = fixture();
+        let a = fixture_shard(&data, 0, 3);
+        let b = fixture_shard(&data, 3, 6);
+        let mut ha = NodeHistogram::zeroed(&a);
+        bin_shard(&mut ha, &a, &grads[0..3]);
+        let mut hb = NodeHistogram::zeroed(&b);
+        bin_shard(&mut hb, &b, &grads[3..6]);
+        ha.merge(&hb);
+
+        // Hand-computed whole-dataset lanes.
+        let f0 = ha.field(0);
+        assert_eq!((f0.grad, f0.hess), (&[2.75, 0.25, 0.125, 2.0][..], &[3.5, 0.5, 0.25, 4.0][..]));
+        assert_eq!(f0.count, &[3, 1, 1, 1]);
+        let f1 = ha.field(1);
+        assert_eq!((f1.grad, f1.hess), (&[1.375, 2.25, 1.5][..], &[1.75, 4.5, 2.0][..]));
+        assert_eq!(f1.count, &[3, 2, 1]);
+        assert_eq!(ha.total(), GradPair::new(5.125, 8.25));
+        assert_eq!(ha.total_count(), 6);
+
+        // And it equals the single-pass whole-dataset histogram.
+        let mut whole = NodeHistogram::zeroed(&data);
+        bin_shard(&mut whole, &data, &grads);
+        assert_eq!(ha, whole);
+    }
+
+    /// Degenerate shard boundaries: an empty shard merges as the
+    /// identity, and a single-record shard contributes exactly its one
+    /// record.
+    #[test]
+    fn empty_and_single_record_shards_merge_exactly() {
+        let (data, grads) = fixture();
+        let mut whole = NodeHistogram::zeroed(&data);
+        bin_shard(&mut whole, &data, &grads);
+
+        // Boundaries (0, 1, 6): an empty prefix shard, then a
+        // single-record shard, then the rest.
+        let single = fixture_shard(&data, 0, 1);
+        let rest = fixture_shard(&data, 1, 6);
+        let mut h = NodeHistogram::zeroed(&data); // the empty shard's histogram
+        assert_eq!(h.total_count(), 0);
+        let mut hs = NodeHistogram::zeroed(&single);
+        bin_shard(&mut hs, &single, &grads[0..1]);
+        assert_eq!(hs.total_count(), 1);
+        assert_eq!(hs.total(), grads[0]);
+        let mut hr = NodeHistogram::zeroed(&rest);
+        bin_shard(&mut hr, &rest, &grads[1..6]);
+        h.merge(&hs);
+        h.merge(&hr);
+        assert_eq!(h, whole);
+    }
+
+    /// One shard packed, the other widened to the `u32` fallback layout:
+    /// the merged histogram is still exactly the whole-dataset one (the
+    /// two layouts' kernels are bit-identical).
+    #[test]
+    fn packed_and_wide_shards_merge_identically() {
+        let (data, grads) = fixture();
+        let a = fixture_shard(&data, 0, 4);
+        assert!(a.is_packed());
+        let b = fixture_shard(&data, 4, 6).to_wide();
+        assert!(!b.is_packed());
+        let mut ha = NodeHistogram::zeroed(&a);
+        bin_shard(&mut ha, &a, &grads[0..4]);
+        let mut hb = NodeHistogram::zeroed(&b);
+        bin_shard(&mut hb, &b, &grads[4..6]);
+        ha.merge(&hb);
+        let mut whole = NodeHistogram::zeroed(&data);
+        bin_shard(&mut whole, &data, &grads);
+        assert_eq!(ha, whole);
+    }
+
+    /// [`LaneAccumulator`] fed in arbitrary contiguous chunks — with its
+    /// state suspended and resumed at every boundary — matches
+    /// [`sum_grad_pairs_dense`] over the whole run bit for bit. This is
+    /// the exactness contract the distributed vertex-total chain relies
+    /// on (real-world irrational gradients, not dyadic fixtures).
+    #[test]
+    fn lane_accumulator_resumes_bit_identically() {
+        let (_, grads) = make_data(103);
+        let expected = sum_grad_pairs_dense(&grads);
+        for cuts in [vec![0, 103], vec![0, 1, 103], vec![0, 7, 7, 20, 51, 102, 103]] {
+            let mut acc = LaneAccumulator::new();
+            for w in cuts.windows(2) {
+                // Suspend and resume across the boundary, as the wire does.
+                let (lanes, pos) = acc.state();
+                let mut resumed = LaneAccumulator::from_state(lanes, pos);
+                resumed.push_all(&grads[w[0]..w[1]]);
+                acc = resumed;
+            }
+            assert_eq!(acc.count(), 103);
+            let got = acc.finish();
+            assert_eq!(
+                (got.g.to_bits(), got.h.to_bits()),
+                (expected.g.to_bits(), expected.h.to_bits()),
+                "chunking {cuts:?} reassociated the fold"
+            );
+        }
+    }
+
+    /// The distributed Step-1 reduction mechanism at unit scale: each
+    /// shard bins **into the running histogram** received from its
+    /// predecessor (the lanes accumulate in global row order), and the
+    /// vertex total rides a [`LaneAccumulator`] chained across shards.
+    /// The result must be bit-identical to one sequential
+    /// [`NodeHistogram::bin_records`] pass — for any contiguous
+    /// boundaries, including empty and single-record shards.
+    #[test]
+    fn chained_shard_binning_is_bit_identical_to_sequential() {
+        let (data, grads) = make_data(157);
+        let all: Vec<u32> = (0..157).collect();
+        let mut whole = NodeHistogram::zeroed(&data);
+        whole.bin_records(&data, &all, &grads);
+
+        for bounds in [vec![0usize, 157], vec![0, 0, 1, 80, 80, 157], vec![0, 39, 78, 117, 157]] {
+            let mut running = NodeHistogram::zeroed(&data);
+            let mut acc = LaneAccumulator::new();
+            for w in bounds.windows(2) {
+                let shard = fixture_shard(&data, w[0], w[1]);
+                let local: Vec<u32> = (0..(w[1] - w[0]) as u32).collect();
+                let gathered = &grads[w[0]..w[1]];
+                // Continue the lanes in place — bin_records accumulates
+                // with += and never zeroes. Its per-shard total updates
+                // are discarded below: the chained accumulator is the
+                // authoritative vertex total.
+                running.bin_records(&shard, &local, gathered);
+                acc.push_all(gathered);
+            }
+            running.set_totals(acc.finish(), acc.count());
+            assert_eq!(running, whole, "bounds {bounds:?}");
+            let (wt, rt) = (whole.total(), running.total());
+            assert_eq!((wt.g.to_bits(), wt.h.to_bits()), (rt.g.to_bits(), rt.h.to_bits()));
+        }
     }
 
     /// A Bernoulli row subsample (the stochastic-GB root pass) must bin

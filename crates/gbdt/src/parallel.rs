@@ -100,6 +100,7 @@ impl StepExecutor for ParallelExec {
         &self,
         rows: &[u32],
         column: ColumnRef<'_>,
+        _field: usize,
         rule: SplitRule,
         default_left: bool,
         absent_bin: u32,
@@ -258,6 +259,7 @@ mod tests {
         let (l, r) = exec.partition(
             &rows,
             ColumnRef::Wide(&column),
+            0,
             SplitRule::Numeric { threshold_bin: 4 },
             false,
             99,

@@ -58,11 +58,15 @@ pub trait StepExecutor: Sync {
     ) -> u64;
 
     /// Step 3: partition `rows` by a predicate over a single-field column.
-    /// Must be order-preserving.
+    /// Must be order-preserving. `field` names the column's field index —
+    /// local backends read the data through `column` directly, while
+    /// remote backends ship `field` so workers can resolve their own
+    /// shard's column.
     fn partition(
         &self,
         rows: &[u32],
         column: ColumnRef<'_>,
+        field: usize,
         rule: SplitRule,
         default_left: bool,
         absent_bin: u32,
@@ -125,6 +129,7 @@ impl StepExecutor for SequentialExec {
         &self,
         rows: &[u32],
         column: ColumnRef<'_>,
+        _field: usize,
         rule: SplitRule,
         default_left: bool,
         absent_bin: u32,

@@ -16,6 +16,37 @@
 //! An ok response carries `count` = the model's `num_outputs` scores —
 //! one for scalar objectives, `num_class` for softmax — so one wire
 //! shape serves every objective.
+//!
+//! The distributed trainer (`booster-dist`) shares this codec: same
+//! framing, op bytes `16..=26` ([`DIST_OP_BASE`]), larger payload bound
+//! ([`DIST_MAX_FRAME_BYTES`] — histogram lanes outgrow scoring
+//! requests). Every distributed payload carries a `seq u32` echo right
+//! after the op byte so a duplicated or dropped frame desynchronizes
+//! *detectably*. Payload layouts (encoded in `booster-dist::proto`):
+//!
+//! ```text
+//! init       : op=16 | seq u32 | loss tag u8 (+ alpha f64 for quantile)
+//!              | base_score f64
+//! init_done  : op=17 | seq u32 | shard records u64
+//! build_hist : op=18 | seq u32 | nrows u32 | nrows × u32 (worker-local)
+//!              | carry u8: 0 = start from zero, 1 = lanes follow
+//!              | [lanes] (see hist_done)
+//! hist_done  : op=19 | seq u32 | lanes: nbins u32 | nbins × f64 (G)
+//!              | nbins × f64 (H) | nbins × u64 (count)
+//!              | 4 × (f64, f64) accumulator lanes | position u64
+//! part       : op=20 | seq u32 | field u32 | rule tag u8 + operand u32
+//!              | default_left u8 | absent u32 | nrows u32 | nrows × u32
+//! part_done  : op=21 | seq u32 | nleft u32 | nleft × u32
+//!              | nright u32 | nright × u32 (worker-local)
+//! traverse   : op=22 | seq u32 | nnodes u32 | per node:
+//!              tag u8 (0 leaf + weight f64,
+//!              1 internal + field u32 + rule tag u8 + operand u32
+//!                + default_left u8 + left u32 + right u32)
+//! trav_done  : op=23 | seq u32 | sum_path u64
+//! fold_loss  : op=24 | seq u32 | carry f64      (both directions)
+//! shutdown   : op=25 | seq u32                  (no reply)
+//! err        : op=26 | seq u32 | len u32 | len × utf8 byte
+//! ```
 
 use bytes::{Buf, BufMut};
 use std::io::{self, Read, Write};
@@ -30,8 +61,21 @@ use crate::scheduler::ScoreResponse;
 /// allocating).
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
 
+/// Upper bound on a distributed-training frame (16 MiB): a histogram
+/// frame carries 24 bytes per bin plus the accumulator state, and a
+/// partition frame up to one `u32` per shard record — both can exceed
+/// the scoring bound by orders of magnitude while still wanting a
+/// hostile-length backstop.
+pub const DIST_MAX_FRAME_BYTES: usize = 1 << 24;
+
 const OP_REQUEST: u8 = 1;
 const OP_RESPONSE: u8 = 2;
+
+/// First op byte of the distributed-training range (`16..=26`; the
+/// payloads are documented in the module header and encoded in
+/// `booster-dist::proto`). Scoring ops stay below this and the two
+/// protocols can never be confused on a misdirected connection.
+pub const DIST_OP_BASE: u8 = 16;
 
 const STATUS_OK: u8 = 0;
 const STATUS_OVERLOADED: u8 = 1;
@@ -77,7 +121,7 @@ impl std::error::Error for WireError {}
 
 /// Write one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    debug_assert!(payload.len() <= DIST_MAX_FRAME_BYTES);
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)
     // No flush here: callers own the buffering policy (and flush once
@@ -87,6 +131,15 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
 /// a frame boundary; EOF mid-frame and oversized lengths are errors.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    read_frame_limit(r, MAX_FRAME_BYTES)
+}
+
+/// [`read_frame`] with a caller-chosen payload bound — the distributed
+/// transport reads with [`DIST_MAX_FRAME_BYTES`], scoring connections
+/// with [`MAX_FRAME_BYTES`]. The bound is checked *before* allocating,
+/// so a corrupt or hostile length prefix cannot trigger a huge
+/// allocation.
+pub fn read_frame_limit(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<Vec<u8>>> {
     let mut len = [0u8; 4];
     let mut got = 0;
     while got < len.len() {
@@ -102,7 +155,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
         }
     }
     let len = u32::from_le_bytes(len) as usize;
-    if len > MAX_FRAME_BYTES {
+    if len > max_bytes {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
     }
     let mut payload = vec![0u8; len];

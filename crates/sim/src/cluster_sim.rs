@@ -247,6 +247,36 @@ pub fn simulate_tree_walk(
     }
 }
 
+// ---------------------------------------------------------------------
+// Multi-node histogram traffic
+// ---------------------------------------------------------------------
+
+/// Predicted Step-1 payload traffic of one distributed histogram build
+/// under the chained fixed-order reduction (`booster-dist`): `engaged`
+/// workers each receive a `BuildHist` request (row ids plus, after the
+/// first link, the running lanes) and answer with `HistDone` (the
+/// updated lanes), so the lane block crosses the wire `2·W − 1` times.
+///
+/// Derivation, mirroring the wire layout byte for byte:
+/// - lane block: `4` (bin count) `+ 24·total_bins` (G, H, count lanes)
+///   `+ 64` (four suspended accumulator lanes) `+ 8` (position);
+/// - request: `1` (op) `+ 4` (seq) `+ 4` (row count) `+ 4·rows`
+///   `+ 1` (carry flag) `+` lane block for every link after the first;
+/// - reply: `1` (op) `+ 4` (seq) `+` lane block.
+///
+/// The `tests/sim_invariants.rs` cross-check holds this formula equal
+/// to the bytes the in-process transport actually counted, so the
+/// cluster discussion's traffic claims stay pinned to the real wire
+/// format. Payload bytes only — framing adds 4 bytes per frame, i.e.
+/// `8·engaged` per build.
+pub fn dist_step1_payload_bytes(total_bins: u64, engaged: u32, rows_shipped: u64) -> u64 {
+    let lane_block = 4 + 24 * total_bins + 64 + 8;
+    let links = u64::from(engaged);
+    let requests = links * (1 + 4 + 4 + 1) + 4 * rows_shipped + (links - 1) * lane_block;
+    let replies = links * (1 + 4) + links * lane_block;
+    requests + replies
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -151,6 +151,7 @@ impl StepExecutor for FunctionalBooster {
         &self,
         rows: &[u32],
         column: ColumnRef<'_>,
+        _field: usize,
         rule: SplitRule,
         default_left: bool,
         absent_bin: u32,

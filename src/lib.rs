@@ -15,8 +15,13 @@
 //! - [`serve`] — online scoring service over the flat-ensemble engine:
 //!   micro-batching scheduler, versioned model registry with hot-swap,
 //!   and a `std::net` TCP front-end.
+//! - [`dist`] — distributed data-parallel training: record-sharded
+//!   workers exchanging histogram lanes behind a `Comm` trait
+//!   (in-process channels or localhost TCP), bit-identical to local
+//!   training.
 
 pub use booster_datagen as datagen;
+pub use booster_dist as dist;
 pub use booster_dram as dram;
 pub use booster_gbdt as gbdt;
 pub use booster_serve as serve;

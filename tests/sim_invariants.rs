@@ -149,3 +149,60 @@ fn energy_counters_are_consistent() {
     // Counters match the log.
     assert_eq!(booster.sram_accesses, log.total_bin_updates() * 2 + log.total_traversal_lookups());
 }
+
+/// The cluster-level histogram-traffic model is pinned to reality: the
+/// formula in `sim::cluster_sim::dist_step1_payload_bytes` must equal,
+/// byte for byte, what the in-process distributed transport actually
+/// counted for the same run — across worker counts and under
+/// stochastic sampling (which changes the row ids shipped per build).
+#[test]
+fn cluster_histogram_traffic_model_matches_measured_bytes() {
+    use std::time::Duration;
+
+    use booster_repro::dist::proto::{OP_BUILD_HIST, OP_HIST_DONE};
+    use booster_repro::dist::train_distributed_threads;
+    use booster_repro::sim::cluster_sim::dist_step1_payload_bytes;
+
+    for (workers, subsample) in [(2usize, 1.0), (4, 1.0), (3, 0.6)] {
+        let (data, mirror) = generate_binned(Benchmark::Higgs, 600, 21);
+        let cfg = TrainConfig {
+            num_trees: 3,
+            max_depth: 4,
+            subsample,
+            seed: 5,
+            objective: default_objective(Benchmark::Higgs),
+            ..Default::default()
+        };
+        let out = train_distributed_threads(&data, &mirror, &cfg, workers, Duration::from_secs(20))
+            .expect("distributed run");
+        let what = format!("N={workers}, subsample={subsample}");
+
+        // Model vs measurement, exactly.
+        let predicted: u64 = out
+            .stats
+            .bin_events
+            .iter()
+            .map(|e| dist_step1_payload_bytes(data.total_bins(), e.engaged, e.rows_shipped))
+            .sum();
+        let measured =
+            out.stats.comm.bytes_for_op(OP_BUILD_HIST) + out.stats.comm.bytes_for_op(OP_HIST_DONE);
+        assert_eq!(predicted, measured, "{what}: predicted vs measured Step-1 bytes");
+
+        // The per-frame log agrees with the per-op counters, and the
+        // per-event chain lengths account for every request frame.
+        let logged: u64 = out
+            .stats
+            .comm
+            .frame_log
+            .iter()
+            .filter(|f| f.op == OP_BUILD_HIST || f.op == OP_HIST_DONE)
+            .map(|f| u64::from(f.payload_bytes))
+            .sum();
+        assert_eq!(logged, measured, "{what}: frame log vs per-op counters");
+        let request_frames =
+            out.stats.comm.frame_log.iter().filter(|f| f.sent && f.op == OP_BUILD_HIST).count()
+                as u64;
+        let engaged_sum: u64 = out.stats.bin_events.iter().map(|e| u64::from(e.engaged)).sum();
+        assert_eq!(request_frames, engaged_sum, "{what}: one request per engaged worker");
+    }
+}
