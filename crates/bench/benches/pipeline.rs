@@ -355,6 +355,31 @@ fn bench_distributed(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry overhead: the same sequential training run with span
+/// tracing disabled (the default — one relaxed atomic load per
+/// instrumentation site) and enabled (ring buffering on). The
+/// acceptance bar is ≤3% between `tracing_off` and the pre-telemetry
+/// baseline; `tracing_on` quantifies the cost of actually buffering.
+fn bench_observability(c: &mut Criterion) {
+    let (data, mirror) = generate_binned(Benchmark::Higgs, 30_000, 1);
+    let cfg = TrainConfig {
+        num_trees: 10,
+        max_depth: 6,
+        objective: default_objective(Benchmark::Higgs),
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("observability");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(data.num_records() as u64));
+    booster_obs::span::set_enabled(false);
+    g.bench_function("train_tracing_off", |b| b.iter(|| black_box(train(&data, &mirror, &cfg))));
+    booster_obs::span::set_enabled(true);
+    g.bench_function("train_tracing_on", |b| b.iter(|| black_box(train(&data, &mirror, &cfg))));
+    booster_obs::span::set_enabled(false);
+    booster_obs::span::clear();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_training,
@@ -364,6 +389,7 @@ criterion_group!(
     bench_serving,
     bench_objectives,
     bench_timing_model,
-    bench_distributed
+    bench_distributed,
+    bench_observability
 );
 criterion_main!(benches);

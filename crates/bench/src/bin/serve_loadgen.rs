@@ -292,21 +292,16 @@ fn main() {
     // and failed == 0). The earlier sweep cells already served on v1
     // through this registry, so assert on per-version *deltas* across
     // the swap cell, not cumulative counts.
-    let before = registry.version_stats();
+    let before = registry.snapshot();
     let cell = run_cell(&registry, &records, policies[2].1, top_clients, &scale, Some(v2));
-    let served: Vec<(u64, u64)> = registry
-        .version_stats()
-        .iter()
-        .map(|&(v, n)| {
-            let prior = before.iter().find(|&&(bv, _)| bv == v).map_or(0, |&(_, bn)| bn);
-            (v, n - prior)
-        })
-        .collect();
+    let after = registry.snapshot();
+    let served: Vec<(u64, u64)> =
+        after.versions.iter().map(|v| (v.version, v.served - before.served(v.version))).collect();
     println!(
         "\nhot-swap under load ({} clients, {:.0} req/s): zero lost; served this phase: {:?}",
         top_clients, cell.throughput, served
     );
-    assert_eq!(registry.active_version(), Some(v2));
+    assert_eq!(after.active_version, Some(v2));
     assert!(
         served.iter().all(|&(_, n)| n > 0),
         "both versions must have served traffic across the swap"

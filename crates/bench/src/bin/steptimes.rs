@@ -1,10 +1,39 @@
-//! Quick step-time breakdown of one sequential training run (dev tool).
+//! Step-time breakdown of one sequential training run (dev tool),
+//! driven by the telemetry span ring instead of ad-hoc printouts.
+//!
+//! Per benchmark it enables span tracing, trains, and prints both the
+//! `StepTimes` totals (the pinned per-run accounting) and the span
+//! aggregate table (per-phase count/total/mean/max from the ring).
+//!
+//! Pass `--chrome-trace out.json` to additionally dump the buffered
+//! spans as Chrome trace-event JSON — load the file in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use booster_datagen::{default_objective, generate_binned, Benchmark};
 use booster_gbdt::train::{train, TrainConfig};
+use booster_obs::span;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chrome-trace" => {
+                trace_path =
+                    Some(args.next().expect("--chrome-trace requires an output file path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: steptimes [--chrome-trace out.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    span::set_enabled(true);
+
     for bench in [Benchmark::Higgs, Benchmark::Flight] {
+        span::clear();
         let (data, mirror) = generate_binned(bench, 30_000, 1);
         let cfg = TrainConfig {
             num_trees: 10,
@@ -24,5 +53,15 @@ fn main() {
             rep.times.step3,
             rep.times.step5
         );
+        print!("{}", span::render_aggregate());
+        if span::dropped() > 0 {
+            println!("(ring overflow: {} spans dropped)", span::dropped());
+        }
+        println!();
+
+        if let Some(path) = trace_path.take() {
+            std::fs::write(&path, span::chrome_trace_json()).expect("write chrome trace");
+            println!("wrote Chrome trace-event JSON to {path} (load in chrome://tracing)\n");
+        }
     }
 }

@@ -53,6 +53,26 @@ pub struct CommStats {
     pub frame_log: Vec<FrameEvent>,
 }
 
+/// Human-readable label for a distributed-protocol op byte, used to
+/// key the global telemetry counters.
+pub(crate) fn op_label(op: u8) -> &'static str {
+    use crate::proto::*;
+    match op {
+        OP_INIT => "init",
+        OP_INIT_DONE => "init_done",
+        OP_BUILD_HIST => "build_hist",
+        OP_HIST_DONE => "hist_done",
+        OP_PART => "part",
+        OP_PART_DONE => "part_done",
+        OP_TRAVERSE => "traverse",
+        OP_TRAV_DONE => "trav_done",
+        OP_FOLD_LOSS => "fold_loss",
+        OP_SHUTDOWN => "shutdown",
+        OP_ERR => "err",
+        _ => "other",
+    }
+}
+
 impl CommStats {
     fn record(&mut self, sent: bool, worker: usize, payload: &[u8]) {
         let op = payload.first().copied().unwrap_or(0);
@@ -66,6 +86,14 @@ impl CommStats {
         }
         self.bytes_by_op[usize::from(op).min(31)] += bytes;
         self.frame_log.push(FrameEvent { sent, worker, op, payload_bytes: payload.len() as u32 });
+
+        // Mirror into the process-wide registry. `CommStats` itself stays
+        // the exact per-transport record the simulator is pinned against;
+        // these aggregate across every transport in the process.
+        let g = booster_obs::global();
+        let dir = if sent { "sent" } else { "received" };
+        g.counter("dist_frames_total", &[("dir", dir), ("op", op_label(op))]).inc();
+        g.counter("dist_payload_bytes_total", &[("dir", dir), ("op", op_label(op))]).add(bytes);
     }
 
     /// Payload bytes (both directions) carried by frames with `op`.

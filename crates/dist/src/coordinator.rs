@@ -54,6 +54,33 @@ pub struct DistStats {
     pub comm: CommStats,
 }
 
+/// Headline numbers of a distributed run, derived from [`DistStats`] in
+/// one call — what reports print instead of assembling counters
+/// piecemeal from `comm` and `bin_events`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistSummary {
+    /// Histogram-build exchanges the coordinator drove.
+    pub hist_builds: usize,
+    /// Frames crossing the coordinator's edge, both directions.
+    pub frames: u64,
+    /// Payload bytes, both directions.
+    pub payload_bytes: u64,
+    /// Total wire bytes (payload plus the 4-byte prefix per frame).
+    pub wire_bytes: u64,
+}
+
+impl DistStats {
+    /// Roll the run up into a [`DistSummary`].
+    pub fn summary(&self) -> DistSummary {
+        DistSummary {
+            hist_builds: self.bin_events.len(),
+            frames: self.comm.frames_sent + self.comm.frames_received,
+            payload_bytes: self.comm.payload_bytes_sent + self.comm.payload_bytes_received,
+            wire_bytes: self.comm.wire_bytes(),
+        }
+    }
+}
+
 /// What a successful distributed run returns.
 #[derive(Debug)]
 pub struct DistOutcome {
@@ -100,8 +127,15 @@ impl<C: Comm> Inner<C> {
     }
 
     fn exchange(&mut self, worker: usize, msg: &Msg) -> Result<Msg, DistError> {
+        // Round-trip wall time per request op — the coordinator's view of
+        // "time spent on the wire (plus the worker's compute)".
+        let t = std::time::Instant::now();
         self.send(worker, msg)?;
-        self.recv(worker, msg.seq())
+        let reply = self.recv(worker, msg.seq());
+        booster_obs::global()
+            .counter("dist_wire_micros_total", &[("op", crate::comm::op_label(msg.op()))])
+            .add(t.elapsed().as_micros() as u64);
+        reply
     }
 }
 

@@ -56,7 +56,7 @@ pub mod worker;
 pub use comm::{ChannelComm, Comm, CommStats, FrameEvent, TcpComm};
 pub use coordinator::{
     train_distributed, train_distributed_threads, train_distributed_with_eval, BinEvent, DistExec,
-    DistOutcome, DistStats,
+    DistOutcome, DistStats, DistSummary,
 };
 pub use error::DistError;
 pub use fault::{FaultKind, FaultyComm};

@@ -44,6 +44,9 @@ use crate::program::{
 };
 use crate::tree::TableEntry;
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 /// Records per interpretation block (matches the flat engine's blocking
 /// so the two are comparable like-for-like).
 const BLOCK_RECORDS: usize = 256;
@@ -228,7 +231,7 @@ pub fn compile(
     // `CompiledEnsemble` construction path establishes the structural
     // invariants the interpreter's unchecked indexing relies on.
     program.validate().expect("compiler emitted an invalid program");
-    Ok(CompiledEnsemble { program, dropped_entries: dropped })
+    Ok(CompiledEnsemble { program, dropped_entries: dropped, cluster_passes: Arc::default() })
 }
 
 /// A validated program plus its blocked lane interpreter.
@@ -242,6 +245,12 @@ pub struct CompiledEnsemble {
     /// Table entries eliminated by DCE + truncation (0 for programs
     /// rebuilt from bytes — the stat is not part of the wire format).
     dropped_entries: usize,
+    /// Cluster residency odometer: one tick per cluster×record-block
+    /// interpreter pass, read by [`CompiledEnsemble::cluster_passes`]
+    /// (and exported as a serving gauge). Behind an `Arc` so clones
+    /// share the count; one relaxed add per drive call keeps it off
+    /// the per-record path.
+    cluster_passes: Arc<AtomicU64>,
 }
 
 impl CompiledEnsemble {
@@ -267,7 +276,7 @@ impl CompiledEnsemble {
     /// [`ProgramError::Invalid`] describing the first broken invariant.
     pub fn from_program(program: Program) -> Result<Self, ProgramError> {
         program.validate()?;
-        Ok(CompiledEnsemble { program, dropped_entries: 0 })
+        Ok(CompiledEnsemble { program, dropped_entries: 0, cluster_passes: Arc::default() })
     }
 
     /// Serialize the program (see [`crate::program`] for the format).
@@ -280,7 +289,11 @@ impl CompiledEnsemble {
     /// # Errors
     /// Any [`ProgramError`]: corrupt bytes never yield an ensemble.
     pub fn from_bytes(data: &[u8]) -> Result<Self, ProgramError> {
-        program_from_bytes(data).map(|program| CompiledEnsemble { program, dropped_entries: 0 })
+        program_from_bytes(data).map(|program| CompiledEnsemble {
+            program,
+            dropped_entries: 0,
+            cluster_passes: Arc::default(),
+        })
     }
 
     /// The underlying program.
@@ -311,6 +324,15 @@ impl CompiledEnsemble {
     /// Table entries dropped by DCE / truncation during compilation.
     pub fn dce_dropped(&self) -> usize {
         self.dropped_entries
+    }
+
+    /// Cluster residency: total cluster×record-block interpreter passes
+    /// run so far (shared across clones). Rising passes with a stable
+    /// cluster count means the partition pass is keeping code
+    /// cache-resident across whole batches — the serving tier exports
+    /// this per version.
+    pub fn cluster_passes(&self) -> u64 {
+        self.cluster_passes.load(Ordering::Relaxed)
     }
 
     /// Field arity every scored record must have.
@@ -439,6 +461,11 @@ impl CompiledEnsemble {
         if let Some(p) = paths.as_deref_mut() {
             p.fill(0);
         }
+        // One relaxed add per drive call (not per block) keeps the
+        // residency odometer invisible to the hot loop.
+        let blocks = margins.len().div_ceil(BLOCK_RECORDS) as u64;
+        self.cluster_passes
+            .fetch_add(blocks * self.program.clusters.len() as u64, Ordering::Relaxed);
         for cl in &self.program.clusters {
             let mut r0 = 0;
             while r0 < margins.len() {

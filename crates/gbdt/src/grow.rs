@@ -299,7 +299,9 @@ fn grow_scalar(
     }
     let mut prev_loss = loss_sum / n as f64;
 
-    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
+    let init_elapsed = t_init.elapsed();
+    crate::telemetry::phase("train_init", t_init, init_elapsed);
+    let mut times = StepTimes { other: init_elapsed, ..Default::default() };
     let mut work = WorkCounters::default();
     let mut tree_logs: Vec<TreePhases> = Vec::new();
     let mut loss_history = Vec::with_capacity(cfg.num_trees);
@@ -346,7 +348,9 @@ fn grow_scalar(
         let t5 = Instant::now();
         let (sum_path, total_loss) =
             exec.traverse_update(data, &tree, loss, labels, &mut margins, &mut grads);
-        times.step5 += t5.elapsed();
+        let el5 = t5.elapsed();
+        crate::telemetry::phase("step5_traverse", t5, el5);
+        times.step5 += el5;
         work.step5_records += n as u64;
         work.step5_lookups += sum_path;
 
@@ -413,6 +417,7 @@ fn grow_scalar(
             .collect(),
         field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
     });
+    crate::telemetry::train_finished(&times, &work);
     (model, TrainReport { times, work, phase_log, loss_history, eval_history, best_iteration })
 }
 
@@ -554,7 +559,9 @@ fn grow_softmax(
     let mut grads = vec![GradPair::zero(); n * k];
     let mut prev_loss = softmax_grad_refresh(&margins, labels, k, &mut grads);
 
-    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
+    let init_elapsed = t_init.elapsed();
+    crate::telemetry::phase("train_init", t_init, init_elapsed);
+    let mut times = StepTimes { other: init_elapsed, ..Default::default() };
     let mut work = WorkCounters::default();
     let mut tree_logs: Vec<TreePhases> = Vec::new();
     let mut loss_history = Vec::with_capacity(cfg.num_trees);
@@ -603,7 +610,9 @@ fn grow_softmax(
                 margins[r * k + class] += w;
                 sum_path += u64::from(path);
             }
-            times.step5 += t5.elapsed();
+            let el5 = t5.elapsed();
+            crate::telemetry::phase("step5_traverse", t5, el5);
+            times.step5 += el5;
             work.step5_records += n as u64;
             work.step5_lookups += sum_path;
 
@@ -628,7 +637,9 @@ fn grow_softmax(
         // record the training loss after this round's K trees. ----
         let t5 = Instant::now();
         let mean_loss = softmax_grad_refresh(&margins, labels, k, &mut grads);
-        times.step5 += t5.elapsed();
+        let el5 = t5.elapsed();
+        crate::telemetry::phase("step5_refresh", t5, el5);
+        times.step5 += el5;
         loss_history.push(mean_loss);
 
         let patience_exhausted = match eval_state.as_mut() {
@@ -684,6 +695,7 @@ fn grow_softmax(
             .collect(),
         field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
     });
+    crate::telemetry::train_finished(&times, &work);
     (model, TrainReport { times, work, phase_log, loss_history, eval_history, best_iteration })
 }
 
@@ -715,7 +727,9 @@ fn grow_lambdarank(
     let mut grads = vec![GradPair::zero(); n];
     let mut prev_loss = lambdarank_grad_refresh(&margins, labels, &groups, &mut grads);
 
-    let mut times = StepTimes { other: t_init.elapsed(), ..Default::default() };
+    let init_elapsed = t_init.elapsed();
+    crate::telemetry::phase("train_init", t_init, init_elapsed);
+    let mut times = StepTimes { other: init_elapsed, ..Default::default() };
     let mut work = WorkCounters::default();
     let mut tree_logs: Vec<TreePhases> = Vec::new();
     let mut loss_history = Vec::with_capacity(cfg.num_trees);
@@ -758,7 +772,9 @@ fn grow_lambdarank(
             sum_path += u64::from(path);
         }
         let mean_loss = lambdarank_grad_refresh(&margins, labels, &groups, &mut grads);
-        times.step5 += t5.elapsed();
+        let el5 = t5.elapsed();
+        crate::telemetry::phase("step5_refresh", t5, el5);
+        times.step5 += el5;
         work.step5_records += n as u64;
         work.step5_lookups += sum_path;
 
@@ -818,6 +834,7 @@ fn grow_lambdarank(
             .collect(),
         field_bins: (0..data.num_fields()).map(|f| data.field_bins(f)).collect(),
     });
+    crate::telemetry::train_finished(&times, &work);
     (model, TrainReport { times, work, phase_log, loss_history, eval_history, best_iteration })
 }
 
@@ -994,7 +1011,9 @@ impl TreeGrower<'_> {
         let t1 = Instant::now();
         let mut hist = self.pool.acquire(self.data);
         let updates = self.exec.bin_records(self.data, self.columnar, &rows, self.grads, &mut hist);
-        self.times.step1 += t1.elapsed();
+        let el1 = t1.elapsed();
+        crate::telemetry::phase("step1_build_hist", t1, el1);
+        self.times.step1 += el1;
         self.work.step1_records += rows.len() as u64;
         self.work.step1_updates += updates;
 
@@ -1056,7 +1075,9 @@ impl TreeGrower<'_> {
             let mask = node_mask.as_deref().or(self.field_mask);
             let t2 = Instant::now();
             let (s, bins) = find_best_split(&hist, self.data.binnings(), &self.cfg.split, mask);
-            self.times.step2 += t2.elapsed();
+            let el2 = t2.elapsed();
+            crate::telemetry::phase("step2_split_scan", t2, el2);
+            self.times.step2 += el2;
             self.work.step2_scans += 1;
             self.work.step2_bins += bins;
             if self.dense() {
@@ -1114,7 +1135,9 @@ impl TreeGrower<'_> {
         let absent = self.data.binnings()[field].absent_bin();
         let (lrows, rrows) =
             self.exec.partition(&rows, column, field, split.rule, split.default_left, absent);
-        self.times.step3 += t3.elapsed();
+        let el3 = t3.elapsed();
+        crate::telemetry::phase("step3_partition", t3, el3);
+        self.times.step3 += el3;
         self.work.step3_records += rows.len() as u64;
 
         if self.collect() {
@@ -1166,7 +1189,9 @@ impl TreeGrower<'_> {
             self.exec.bin_records(self.data, self.columnar, srows, self.grads, &mut small_hist);
         let mut big_hist = self.pool.acquire(self.data);
         NodeHistogram::subtract_from_into(&hist, &small_hist, &mut big_hist);
-        self.times.step1 += t1.elapsed();
+        let el1 = t1.elapsed();
+        crate::telemetry::phase("step1_build_hist", t1, el1);
+        self.times.step1 += el1;
         self.work.step1_records += srows.len() as u64;
         self.work.step1_updates += updates;
         if let Some(agg) = level {

@@ -92,6 +92,7 @@ pub mod sample;
 pub mod schema;
 pub mod serialize;
 pub mod split;
+pub(crate) mod telemetry;
 pub mod train;
 pub mod tree;
 

@@ -1,0 +1,68 @@
+//! Feature-gated bridge into the `booster-obs` telemetry crate.
+//!
+//! The trainer keeps its own `StepTimes`/`WorkCounters` accounting
+//! (public shapes pinned by unit tests); this module *mirrors* those
+//! measurements outward — each step phase into the span ring
+//! ([`phase`]), each finished run's totals into the global metrics
+//! registry ([`train_finished`]) — without adding clock reads: spans
+//! reuse the `Instant`/`elapsed` pair the `StepTimes` accumulation
+//! already took. With the `obs` feature disabled every function here is
+//! an empty inline stub, so the hot loops compile exactly as before
+//! the telemetry existed.
+
+#[cfg(feature = "obs")]
+mod imp {
+    use std::time::{Duration, Instant};
+
+    use crate::train::{StepTimes, WorkCounters};
+
+    /// Mirror one already-measured step phase into the span ring (a
+    /// no-op unless `booster_obs::span::set_enabled(true)` was called).
+    #[inline]
+    pub fn phase(name: &'static str, start: Instant, dur: Duration) {
+        booster_obs::span::record_at(name, start, dur);
+    }
+
+    /// Fold one finished training run's totals into the global metrics
+    /// registry. Called once per run, so the registration locks are off
+    /// the hot path.
+    pub fn train_finished(times: &StepTimes, work: &WorkCounters) {
+        let g = booster_obs::global();
+        g.counter("train_runs_total", &[]).inc();
+        for (step, dur) in [
+            ("step1_build_hist", times.step1),
+            ("step2_split_scan", times.step2),
+            ("step3_partition", times.step3),
+            ("step5_traverse", times.step5),
+            ("other", times.other),
+        ] {
+            g.counter("train_step_micros_total", &[("step", step)]).add(dur.as_micros() as u64);
+        }
+        for (kind, n) in [
+            ("step1_records", work.step1_records),
+            ("step1_updates", work.step1_updates),
+            ("step2_scans", work.step2_scans),
+            ("step2_bins", work.step2_bins),
+            ("step3_records", work.step3_records),
+            ("step5_records", work.step5_records),
+            ("step5_lookups", work.step5_lookups),
+        ] {
+            g.counter("train_work_total", &[("kind", kind)]).add(n);
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod imp {
+    use std::time::{Duration, Instant};
+
+    use crate::train::{StepTimes, WorkCounters};
+
+    #[inline(always)]
+    pub fn phase(_name: &'static str, _start: Instant, _dur: Duration) {}
+
+    #[inline(always)]
+    pub fn train_finished(_times: &StepTimes, _work: &WorkCounters) {}
+}
+
+pub(crate) use imp::{phase, train_finished};

@@ -1,0 +1,138 @@
+//! Standalone plain-text introspection listener.
+//!
+//! [`serve_text`] binds a `std::net` listener and answers every
+//! connection with one HTTP/1.0 response whose body is the registry's
+//! Prometheus-style text exposition — enough for `curl`, a Prometheus
+//! scrape, or a human. One short-lived thread, no tokio, shutdown via
+//! the same loopback-poke pattern as the serve front-end. The scoring
+//! TCP front-end additionally answers the same dump over its framed
+//! protocol (`OP_INTROSPECT` in `booster-serve::frame`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+
+/// A running text-exposition listener; shuts down on [`TextServer::shutdown`]
+/// or drop.
+pub struct TextServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TextServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the blocking accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TextServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serve the [global](crate::metrics::global) registry as plain text on
+/// `addr` (e.g. `"127.0.0.1:0"`).
+///
+/// # Errors
+/// Fails if the listener cannot bind.
+pub fn serve_text(addr: impl ToSocketAddrs) -> std::io::Result<TextServer> {
+    serve_registry_text(addr, crate::metrics::global())
+}
+
+/// [`serve_text`] over a caller-chosen registry (tests use an isolated
+/// one).
+///
+/// # Errors
+/// Fails if the listener cannot bind.
+pub fn serve_registry_text(
+    addr: impl ToSocketAddrs,
+    registry: &'static Registry,
+) -> std::io::Result<TextServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("obs-text".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                // Drain whatever request line arrived (best effort; we
+                // answer every connection the same way), then respond.
+                stream.set_read_timeout(Some(Duration::from_millis(200))).ok();
+                let mut scratch = [0u8; 1024];
+                let _ = stream.read(&mut scratch);
+                let body = registry.render_text();
+                let _ = write!(
+                    stream,
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+                     charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body,
+                );
+            }
+        })
+        .map_err(std::io::Error::other)?;
+    Ok(TextServer { addr, stop, handle: Some(handle) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_returns_registry_text() {
+        static REG: Registry = Registry::new();
+        REG.counter("endpoint_test_total", &[("t", "1")]).add(42);
+        let server = serve_registry_text("127.0.0.1:0", &REG).unwrap();
+        let addr = server.addr();
+        for _ in 0..2 {
+            // Two scrapes: the listener must survive multiple connections.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+            assert!(response.contains("Content-Type: text/plain"), "{response}");
+            let body = response.split("\r\n\r\n").nth(1).unwrap();
+            assert!(body.contains("endpoint_test_total{t=\"1\"} 42\n"), "{body}");
+        }
+        server.shutdown();
+        // A post-shutdown connect either fails or gets no exposition.
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_millis(200))).ok();
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).is_err() || buf.is_empty()
+            }
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Unified telemetry for the Booster reproduction.
+//!
+//! One crate, three pillars, pure std (no tokio, no deps):
+//!
+//! - [`metrics`] — a process-wide registry of named counters, gauges,
+//!   and log-bucketed histograms. Registered once (short mutex),
+//!   bumped lock-free on hot paths, rendered as Prometheus-style
+//!   `name{label="v"} value` text.
+//! - [`mod@span`] — phase tracing: `span!("step1_build_hist")` guards on
+//!   monotonic `Instant`s feeding a bounded in-memory ring; off by
+//!   default (one atomic load per guard), exported as Chrome
+//!   trace-event JSON or a plain-text aggregate.
+//! - [`endpoint`] — a standalone plain-text listener dumping the
+//!   registry ([`serve_text`]); the serving front-end answers the same
+//!   dump over its framed protocol (`OP_INTROSPECT`).
+//!
+//! Every runtime subsystem reports here: the trainer's step phases
+//! (`booster-gbdt`, behind its `obs` feature so the hot loops compile
+//! clean without it), the scoring scheduler and model registry
+//! (`booster-serve`), the distributed coordinator (`booster-dist`),
+//! and compiled-inference cluster residency.
+//!
+//! [`hist`] holds the lock-free [`AtomicHistogram`] that started life
+//! in `booster-serve` (which still re-exports it).
+
+pub mod endpoint;
+pub mod hist;
+pub mod metrics;
+pub mod span;
+
+pub use endpoint::{serve_text, TextServer};
+pub use hist::{AtomicHistogram, HistogramSnapshot};
+pub use metrics::{global, Counter, Gauge, Registry};

@@ -1,0 +1,394 @@
+//! The metrics registry: named counters, gauges, histograms, and
+//! sampled gauges, registered once and bumped lock-free on hot paths.
+//!
+//! Registration takes a short mutex on the entry list (it happens once
+//! per metric, at startup or version-registration time, never per
+//! event); the returned [`Counter`]/[`Gauge`]/[`AtomicHistogram`]
+//! handles are `Arc`s whose updates are single relaxed atomic ops.
+//! [`Registry::render_text`] walks the list and emits a Prometheus-style
+//! exposition (`name{label="v"} value`), sorted by name then labels so
+//! the output is byte-stable for golden tests and diffable scrapes.
+//!
+//! The process-wide [`global`] registry is what the instrumented
+//! subsystems (train / serve / dist / compiled inference) report into
+//! and what the introspection endpoints dump; unit tests that need
+//! isolation construct their own [`Registry`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::AtomicHistogram;
+
+/// A monotonically increasing counter. Updates are single relaxed
+/// fetch-adds; reads are racy-but-atomic (never torn).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depth, resident bytes, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+type SampleFn = Box<dyn Fn() -> f64 + Send + Sync>;
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<AtomicHistogram>),
+    /// Evaluated at render time — for values owned elsewhere (e.g. a
+    /// served model's cluster count) that would be wasteful to mirror
+    /// on every update.
+    Sampled(SampleFn),
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// A set of named metrics with a text exposition. See the module docs;
+/// most code uses the process-wide [`global`] registry.
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide registry all instrumented subsystems report into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Registry {
+        Registry { entries: Mutex::new(Vec::new()) }
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        pick: impl Fn(&Metric) -> Option<Arc<T>>,
+        make: impl FnOnce() -> (Arc<T>, Metric),
+    ) -> Arc<T> {
+        let labels = owned_labels(labels);
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.labels == labels) {
+            return pick(&e.metric).unwrap_or_else(|| {
+                panic!("metric {name} already registered with a different type")
+            });
+        }
+        let (handle, metric) = make();
+        entries.push(Entry { name: name.to_string(), labels, metric });
+        handle
+    }
+
+    /// Get or register a counter under `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if the name/label pair is already registered as a
+    /// different metric type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::default());
+                (c.clone(), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// Get or register a gauge under `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if the name/label pair is already registered as a
+    /// different metric type.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::default());
+                (g.clone(), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// Get or register a log-bucketed histogram under `name{labels}`.
+    /// Rendered as `name{quantile="…"}` lines plus `name_sum` /
+    /// `name_count` (Prometheus summary convention).
+    ///
+    /// # Panics
+    /// Panics if the name/label pair is already registered as a
+    /// different metric type.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicHistogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(AtomicHistogram::new());
+                (h.clone(), Metric::Histogram(h))
+            },
+        )
+    }
+
+    /// Register (or replace) a sampled gauge: `f` is evaluated at
+    /// render time. Replacement (rather than get-or-keep) matters when
+    /// the closure captures a handle to a re-created object, e.g. a
+    /// re-registered model version.
+    pub fn sampled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        let labels = owned_labels(labels);
+        let mut entries = self.entries.lock().unwrap();
+        let metric = Metric::Sampled(Box::new(f));
+        if let Some(e) = entries.iter_mut().find(|e| e.name == name && e.labels == labels) {
+            e.metric = metric;
+        } else {
+            entries.push(Entry { name: name.to_string(), labels, metric });
+        }
+    }
+
+    /// Every registered metric name, sorted and deduplicated (drift
+    /// tests compare this against documentation).
+    pub fn metric_names(&self) -> Vec<String> {
+        let entries = self.entries.lock().unwrap();
+        let mut names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Render the registry in Prometheus text exposition style:
+    /// `name{label="v"} value`, one metric per line, histograms as
+    /// summaries. Lines sort by name then labels — byte-stable given
+    /// the same registrations and values.
+    pub fn render_text(&self) -> String {
+        // Sort key: (name, labels) — keeps output byte-stable.
+        type Block = (String, Vec<(String, String)>, String);
+        let entries = self.entries.lock().unwrap();
+        let mut blocks: Vec<Block> = Vec::new();
+        for e in entries.iter() {
+            let mut block = String::new();
+            match &e.metric {
+                Metric::Counter(c) => {
+                    render_line(&mut block, &e.name, &e.labels, None, &c.get().to_string());
+                }
+                Metric::Gauge(g) => {
+                    render_line(&mut block, &e.name, &e.labels, None, &g.get().to_string());
+                }
+                Metric::Sampled(f) => {
+                    render_line(&mut block, &e.name, &e.labels, None, &fmt_f64(f()));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                        let v = s.quantile(q).to_string();
+                        render_line(&mut block, &e.name, &e.labels, Some(label), &v);
+                    }
+                    let sum = format!("{}_sum", e.name);
+                    render_line(&mut block, &sum, &e.labels, None, &s.sum().to_string());
+                    let count = format!("{}_count", e.name);
+                    render_line(&mut block, &count, &e.labels, None, &s.count().to_string());
+                }
+            }
+            blocks.push((e.name.clone(), e.labels.clone(), block));
+        }
+        blocks.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        blocks.into_iter().map(|(_, _, b)| b).collect()
+    }
+}
+
+/// Format one exposition line into `out`.
+fn render_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    quantile: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || quantile.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(out, v);
+            out.push('"');
+        }
+        if let Some(q) = quantile {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("quantile=\"");
+            out.push_str(q);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Escape a label value per the Prometheus text format: backslash,
+/// double quote, and newline.
+fn escape_into(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+        // Integral sample values print without a fraction, matching
+        // counter/gauge output.
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("k", "v")]);
+        let b = r.counter("x_total", &[("k", "v")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Different labels → different counter.
+        let c = r.counter("x_total", &[("k", "w")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m", &[]);
+        let _ = r.gauge("m", &[]);
+    }
+
+    #[test]
+    fn render_is_sorted_and_escaped() {
+        let r = Registry::new();
+        r.counter("zzz_total", &[]).add(7);
+        r.gauge("alpha", &[("path", "a\\b\"c\nd")]).set(-3);
+        r.sampled("mid", &[("x", "1")], || 2.5);
+        let text = r.render_text();
+        assert_eq!(text, "alpha{path=\"a\\\\b\\\"c\\nd\"} -3\nmid{x=\"1\"} 2.5\nzzz_total 7\n");
+    }
+
+    #[test]
+    fn histogram_renders_summary_lines() {
+        let r = Registry::new();
+        let h = r.histogram("lat_micros", &[("op", "score")]);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let text = r.render_text();
+        assert!(text.contains("lat_micros{op=\"score\",quantile=\"0.5\"} "));
+        assert!(text.contains("lat_micros{op=\"score\",quantile=\"0.99\"} "));
+        assert!(text.contains("lat_micros{op=\"score\",quantile=\"0.999\"} "));
+        assert!(text.contains("lat_micros_sum{op=\"score\"} 5050\n"));
+        assert!(text.contains("lat_micros_count{op=\"score\"} 100\n"));
+    }
+
+    #[test]
+    fn sampled_replaces_on_re_registration() {
+        let r = Registry::new();
+        r.sampled("v", &[], || 1.0);
+        r.sampled("v", &[], || 2.0);
+        assert_eq!(r.render_text(), "v 2\n");
+    }
+
+    #[test]
+    fn metric_names_are_sorted_and_deduped() {
+        let r = Registry::new();
+        r.counter("b_total", &[("k", "1")]);
+        r.counter("b_total", &[("k", "2")]);
+        r.gauge("a", &[]);
+        assert_eq!(r.metric_names(), vec!["a".to_string(), "b_total".to_string()]);
+    }
+}

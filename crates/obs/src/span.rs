@@ -1,0 +1,415 @@
+//! Span tracing: cheap thread-local phase timers feeding a bounded
+//! in-memory ring, with a Chrome trace-event exporter and a plain-text
+//! aggregate view.
+//!
+//! Tracing is **off by default**. When off, a [`span()`] guard costs one
+//! relaxed atomic load and never touches the clock; instrumented crates
+//! additionally compile the call sites out entirely when their `obs`
+//! feature is disabled. When on ([`set_enabled`]), each span closes
+//! with one `Instant` read and one short mutex push into the ring
+//! (bounded: the oldest records drop first, counted by [`dropped`]).
+//! [`set_sampling`] keeps every Nth record for high-frequency spans.
+//!
+//! Two exports:
+//! - [`chrome_trace_json`]: complete "X" (duration) events in the
+//!   Chrome trace-event format — save to a file and load it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! - [`aggregate`] / [`render_aggregate`]: per-name count/total/mean
+//!   rollup for quick terminal inspection.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Default ring capacity (records). A training run emits ~5 records per
+/// tree per step phase; 64k spans cover thousands of trees before the
+/// ring wraps.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+    static SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Stable small id of the calling thread (1-based, assigned on first
+/// span from that thread).
+fn tid() -> u64 {
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// The process trace epoch: all span timestamps are nanoseconds since
+/// this instant. Initialized on the first call (enabling tracing calls
+/// it, so spans recorded after [`set_enabled`]`(true)` share one epoch).
+pub fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One closed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (e.g. `"step1_build_hist"`).
+    pub name: &'static str,
+    /// Recording thread (stable small id, 1-based).
+    pub tid: u64,
+    /// Nesting depth at entry (0 = top level on that thread).
+    pub depth: u16,
+    /// Start, nanoseconds since [`epoch`].
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Ring {
+    buf: VecDeque<SpanRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+static RING: Mutex<Ring> =
+    Mutex::new(Ring { buf: VecDeque::new(), cap: DEFAULT_CAPACITY, dropped: 0 });
+
+/// Turn tracing on or off process-wide. Enabling pins the trace
+/// [`epoch`] if it isn't already.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently on — the one check every disabled-path
+/// span pays.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Keep every `n`th span record per thread (1 = keep all, the default;
+/// 0 is treated as 1). Sampling is applied at record time, so guards
+/// stay cheap either way.
+pub fn set_sampling(n: u64) {
+    SAMPLE_EVERY.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Resize the ring (oldest records drop first when shrinking).
+pub fn set_capacity(cap: usize) {
+    let mut ring = RING.lock().unwrap();
+    ring.cap = cap.max(1);
+    while ring.buf.len() > ring.cap {
+        ring.buf.pop_front();
+        ring.dropped += 1;
+    }
+}
+
+/// Records dropped so far because the ring was full (or shrunk).
+pub fn dropped() -> u64 {
+    RING.lock().unwrap().dropped
+}
+
+/// Discard all buffered records (keeps the drop counter).
+pub fn clear() {
+    RING.lock().unwrap().buf.clear();
+}
+
+/// Copy out the buffered records, oldest first.
+pub fn snapshot() -> Vec<SpanRecord> {
+    RING.lock().unwrap().buf.iter().copied().collect()
+}
+
+/// Record one already-measured phase: `start`/`dur` come from the
+/// caller's own `Instant` reads, so instrumenting an existing
+/// `elapsed()`-based timer (e.g. the trainer's `StepTimes`) adds no
+/// extra clock reads to what it measures. No-op while disabled.
+pub fn record_at(name: &'static str, start: Instant, dur: Duration) {
+    if !enabled() {
+        return;
+    }
+    let every = SAMPLE_EVERY.load(Ordering::Relaxed);
+    let seq = SEQ.with(|s| {
+        let v = s.get();
+        s.set(v.wrapping_add(1));
+        v
+    });
+    if every > 1 && seq % every != 0 {
+        return;
+    }
+    let rec = SpanRecord {
+        name,
+        tid: tid(),
+        depth: DEPTH.with(Cell::get),
+        start_ns: start.checked_duration_since(epoch()).map_or(0, |d| d.as_nanos() as u64),
+        dur_ns: dur.as_nanos() as u64,
+    };
+    let mut ring = RING.lock().unwrap();
+    if ring.buf.len() >= ring.cap {
+        ring.buf.pop_front();
+        ring.dropped += 1;
+    }
+    ring.buf.push_back(rec);
+}
+
+/// An open span; closes (records) on drop. Created by [`span()`] or the
+/// `span!` macro. Inert — no clock read, no ring touch — while tracing is
+/// disabled.
+#[must_use = "a span guard records when dropped; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Close the span now instead of at end of scope.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            DEPTH.with(|d| d.set(d.get() - 1));
+            record_at(self.name, start, start.elapsed());
+        }
+    }
+}
+
+/// Open a span named `name` covering the guard's lifetime.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, start: None };
+    }
+    DEPTH.with(|d| d.set(d.get() + 1));
+    SpanGuard { name, start: Some(Instant::now()) }
+}
+
+/// Open a span covering the rest of the enclosing scope:
+/// `span!("step1_build_hist");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = $crate::span::span($name);
+    };
+}
+
+/// Per-name rollup of buffered spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Span name.
+    pub name: &'static str,
+    /// Closed spans with this name still in the ring.
+    pub count: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+impl SpanAgg {
+    /// Summed duration as a `Duration`.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+}
+
+/// Aggregate the buffered records per name, sorted by total duration
+/// descending (ties by name).
+pub fn aggregate() -> Vec<SpanAgg> {
+    let ring = RING.lock().unwrap();
+    let mut aggs: Vec<SpanAgg> = Vec::new();
+    for rec in &ring.buf {
+        match aggs.iter_mut().find(|a| a.name == rec.name) {
+            Some(a) => {
+                a.count += 1;
+                a.total_ns += rec.dur_ns;
+                a.max_ns = a.max_ns.max(rec.dur_ns);
+            }
+            None => aggs.push(SpanAgg {
+                name: rec.name,
+                count: 1,
+                total_ns: rec.dur_ns,
+                max_ns: rec.dur_ns,
+            }),
+        }
+    }
+    aggs.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+    aggs
+}
+
+/// Plain-text aggregate table (one line per span name).
+pub fn render_aggregate() -> String {
+    let aggs = aggregate();
+    let mut out = String::new();
+    for a in &aggs {
+        out.push_str(&format!(
+            "{:<24} count {:>8}  total {:>12.3?}  mean {:>10.3?}  max {:>10.3?}\n",
+            a.name,
+            a.count,
+            a.total(),
+            Duration::from_nanos(a.total_ns / a.count.max(1)),
+            Duration::from_nanos(a.max_ns),
+        ));
+    }
+    out
+}
+
+fn escape_json(name: &str) -> String {
+    // Span names are static identifiers; escape defensively anyway.
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Export the buffered records as Chrome trace-event JSON (complete "X"
+/// events, microsecond timestamps). Load the saved file in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json() -> String {
+    let records = snapshot();
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":{}}}",
+            escape_json(r.name),
+            r.start_ns as f64 / 1e3,
+            r.dur_ns as f64 / 1e3,
+            r.tid,
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span state (enable flag, ring) is process-global and the harness
+    // runs tests on one shared binary, so every test here serializes on
+    // this lock and restores the disabled default before releasing it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        set_sampling(1);
+        clear();
+        let out = f();
+        set_enabled(false);
+        clear();
+        out
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        clear();
+        {
+            span!("idle");
+            record_at("manual", Instant::now(), Duration::from_millis(1));
+        }
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn guard_records_name_depth_and_duration() {
+        let (records, aggs) = with_tracing(|| {
+            {
+                let _outer = span("outer");
+                std::thread::sleep(Duration::from_millis(2));
+                {
+                    span!("inner");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            (snapshot(), aggregate())
+        });
+        // Inner closes first.
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "inner");
+        assert_eq!(records[0].depth, 1);
+        assert_eq!(records[1].name, "outer");
+        assert_eq!(records[1].depth, 0);
+        assert!(records[1].dur_ns >= records[0].dur_ns);
+        assert!(records[1].start_ns <= records[0].start_ns);
+        let outer = aggs.iter().find(|a| a.name == "outer").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.max_ns, outer.total_ns);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let dropped_delta = with_tracing(|| {
+            set_capacity(8);
+            let before = dropped();
+            for _ in 0..20 {
+                record_at("x", Instant::now(), Duration::from_nanos(5));
+            }
+            assert_eq!(snapshot().len(), 8);
+            let delta = dropped() - before;
+            set_capacity(DEFAULT_CAPACITY);
+            delta
+        });
+        assert_eq!(dropped_delta, 12);
+    }
+
+    #[test]
+    fn sampling_thins_records() {
+        let n = with_tracing(|| {
+            set_sampling(4);
+            for _ in 0..40 {
+                record_at("sampled", Instant::now(), Duration::from_nanos(1));
+            }
+            set_sampling(1);
+            snapshot().len()
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn chrome_trace_is_loadable_shape() {
+        let json = with_tracing(|| {
+            {
+                span!("phase_a");
+            }
+            record_at("phase_b", Instant::now(), Duration::from_micros(1500));
+            chrome_trace_json()
+        });
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"name\":\"phase_a\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"pid\":1"));
+        // dur of phase_b is exactly 1500 µs.
+        assert!(json.contains("\"dur\":1500.000"));
+    }
+
+    #[test]
+    fn aggregate_rolls_up_and_renders() {
+        let (aggs, text) = with_tracing(|| {
+            for i in 0..3u64 {
+                record_at("hot", Instant::now(), Duration::from_micros(10 * (i + 1)));
+            }
+            record_at("cold", Instant::now(), Duration::from_micros(1));
+            (aggregate(), render_aggregate())
+        });
+        assert_eq!(aggs[0].name, "hot");
+        assert_eq!(aggs[0].count, 3);
+        assert_eq!(aggs[0].total_ns, 60_000);
+        assert_eq!(aggs[0].max_ns, 30_000);
+        assert!(text.lines().next().unwrap().starts_with("hot"));
+        assert!(text.contains("cold"));
+    }
+}

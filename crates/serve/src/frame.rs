@@ -17,6 +17,16 @@
 //! one for scalar objectives, `num_class` for softmax — so one wire
 //! shape serves every objective.
 //!
+//! Telemetry introspection rides the same connection (ops 14/15, still
+//! below [`DIST_OP_BASE`]): any client may ask a serving process for
+//! its live metrics registry dump ([`OP_INTROSPECT`]) and gets the
+//! Prometheus-style text back ([`OP_METRICS`]):
+//!
+//! ```text
+//! introspect : op=14                             (no body)
+//! metrics    : op=15 | len u32 | len × utf8 byte (registry text dump)
+//! ```
+//!
 //! The distributed trainer (`booster-dist`) shares this codec: same
 //! framing, op bytes `16..=26` ([`DIST_OP_BASE`]), larger payload bound
 //! ([`DIST_MAX_FRAME_BYTES`] — histogram lanes outgrow scoring
@@ -70,6 +80,16 @@ pub const DIST_MAX_FRAME_BYTES: usize = 1 << 24;
 
 const OP_REQUEST: u8 = 1;
 const OP_RESPONSE: u8 = 2;
+
+/// Op byte of a telemetry introspection request (empty body). Answered
+/// by the TCP front-end — and any future framed endpoint — with an
+/// [`OP_METRICS`] frame carrying the process-wide
+/// [`booster_obs::metrics::global`] registry rendered as text.
+pub const OP_INTROSPECT: u8 = 14;
+
+/// Op byte of the introspection response: `op=15 | len u32 | len ×
+/// utf8 byte`, the Prometheus-style registry dump.
+pub const OP_METRICS: u8 = 15;
 
 /// First op byte of the distributed-training range (`16..=26`; the
 /// payloads are documented in the module header and encoded in
@@ -184,6 +204,51 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
         }
     }
     buf
+}
+
+/// Encode an introspection request ([`OP_INTROSPECT`], empty body).
+pub fn encode_introspect_request() -> Vec<u8> {
+    vec![OP_INTROSPECT]
+}
+
+/// Decode (validate) an introspection request payload.
+///
+/// # Errors
+/// [`WireError`] if the op byte is wrong or trailing bytes follow.
+pub fn decode_introspect_request(payload: &[u8]) -> Result<(), WireError> {
+    match payload {
+        [OP_INTROSPECT] => Ok(()),
+        [OP_INTROSPECT, ..] => Err(WireError("trailing bytes")),
+        _ => Err(WireError("not an introspect frame")),
+    }
+}
+
+/// Encode a metrics response ([`OP_METRICS`]) carrying the registry
+/// text dump.
+pub fn encode_metrics_response(text: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(5 + text.len());
+    buf.put_u8(OP_METRICS);
+    buf.put_u32_le(text.len() as u32);
+    buf.put_slice(text.as_bytes());
+    buf
+}
+
+/// Decode a metrics response payload into the registry text.
+///
+/// # Errors
+/// [`WireError`] on a wrong op byte, truncated or trailing bytes, or
+/// non-UTF-8 text.
+pub fn decode_metrics_response(payload: &[u8]) -> Result<String, WireError> {
+    let mut buf = payload;
+    need(buf, 5, "metrics header")?;
+    if buf.get_u8() != OP_METRICS {
+        return Err(WireError("not a metrics frame"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len != buf.remaining() {
+        return Err(WireError("metrics length"));
+    }
+    String::from_utf8(buf.to_vec()).map_err(|_| WireError("metrics utf8"))
 }
 
 fn need(buf: &[u8], n: usize, what: &'static str) -> Result<(), WireError> {

@@ -1,205 +1,11 @@
-//! Lock-free log-bucketed histograms for latency and batch-size
-//! observability.
+//! Lock-free log-bucketed histograms — re-exported from the telemetry
+//! crate.
 //!
-//! Workers on the hot path record with two relaxed atomic adds — no
-//! locks, no allocation — into HDR-style buckets: values below 16 get
-//! exact buckets; above that, each power-of-two octave is split into 16
-//! sub-buckets, bounding quantile error at ~6% while covering the full
-//! `u64` range in ~1k buckets. Quantiles (p50/p99/p999) are read from an
-//! O(buckets) [`HistogramSnapshot`] scan, so readers never perturb
-//! writers.
+//! The [`AtomicHistogram`] started life here (PR 5) and was promoted
+//! into `booster-obs` so every subsystem can register histograms in the
+//! shared metrics registry; this module keeps the original serve-side
+//! paths (`booster_serve::histogram::AtomicHistogram`) compiling. See
+//! `booster_obs::hist` for the bucket math and the documented ≤6.25%
+//! quantile error bound.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Sub-bucket resolution bits per power-of-two octave.
-const SUB_BITS: u32 = 4;
-/// Sub-buckets per octave (16 → ≤ 1/16 relative quantile error).
-const SUBS: usize = 1 << SUB_BITS;
-/// Total buckets: exact low range + one octave row per exponent
-/// `SUB_BITS..=63`.
-const BUCKETS: usize = SUBS * (64 - SUB_BITS as usize + 1);
-
-/// Bucket index of a value (monotone in `v`).
-fn bucket_of(v: u64) -> usize {
-    if v < SUBS as u64 {
-        return v as usize;
-    }
-    let exp = 63 - v.leading_zeros();
-    let oct = (exp - SUB_BITS + 1) as usize;
-    let sub = ((v >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
-    oct * SUBS + sub
-}
-
-/// Largest value mapping to bucket `i` (the value a quantile reports).
-fn bucket_upper(i: usize) -> u64 {
-    if i < SUBS {
-        return i as u64;
-    }
-    let oct = (i / SUBS) as u32;
-    let sub = (i % SUBS) as u128;
-    // Bucket holds values with exponent `oct + SUB_BITS - 1` and top
-    // mantissa bits `sub`; its inclusive upper end (computed in u128:
-    // the top bucket's exclusive end is exactly 2^64).
-    let end = ((SUBS as u128 + sub + 1) << (oct - 1)) - 1;
-    end.min(u64::MAX as u128) as u64
-}
-
-/// A concurrently writable histogram of `u64` samples (microseconds,
-/// batch sizes, …).
-#[derive(Debug)]
-pub struct AtomicHistogram {
-    counts: Vec<AtomicU64>,
-    total: AtomicU64,
-    sum: AtomicU64,
-}
-
-impl Default for AtomicHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl AtomicHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        AtomicHistogram {
-            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            total: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-        }
-    }
-
-    /// Record one sample. Lock-free: two relaxed fetch-adds.
-    pub fn record(&self, v: u64) {
-        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy for quantile queries. Concurrent writers
-    /// may land between bucket reads; each sample is still counted
-    /// exactly once in a later snapshot.
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-        let total = counts.iter().sum();
-        HistogramSnapshot { counts, total, sum: self.sum.load(Ordering::Relaxed) }
-    }
-}
-
-/// An immutable histogram copy with quantile accessors.
-#[derive(Debug, Clone)]
-pub struct HistogramSnapshot {
-    counts: Vec<u64>,
-    total: u64,
-    sum: u64,
-}
-
-impl HistogramSnapshot {
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean of recorded samples (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
-    /// holding that rank — within ~6% of the exact sample. 0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_upper(i);
-            }
-        }
-        bucket_upper(BUCKETS - 1)
-    }
-
-    /// Upper bound of the highest non-empty bucket (0 when empty).
-    pub fn max(&self) -> u64 {
-        match self.counts.iter().rposition(|&c| c > 0) {
-            Some(i) => bucket_upper(i),
-            None => 0,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn buckets_are_monotone_and_self_consistent() {
-        let mut prev = 0;
-        for v in (0..4096u64).chain([u64::MAX / 2, u64::MAX]) {
-            let b = bucket_of(v);
-            assert!(b >= prev, "bucket_of not monotone at {v}");
-            assert!(b < BUCKETS);
-            assert!(v <= bucket_upper(b), "v {v} above its bucket upper {}", bucket_upper(b));
-            if b > 0 {
-                assert!(v > bucket_upper(b - 1), "v {v} not above previous bucket");
-            }
-            prev = b;
-        }
-        // Small values are exact.
-        for v in 0..SUBS as u64 {
-            assert_eq!(bucket_upper(bucket_of(v)), v);
-        }
-    }
-
-    #[test]
-    fn quantiles_track_known_distribution() {
-        let h = AtomicHistogram::new();
-        // 1..=1000 microseconds, uniform.
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        let s = h.snapshot();
-        assert_eq!(s.count(), 1000);
-        let p50 = s.quantile(0.5);
-        let p99 = s.quantile(0.99);
-        // Log buckets: within one sub-bucket (6.25%) of the exact value.
-        assert!((470..=540).contains(&p50), "p50 {p50}");
-        assert!((930..=1070).contains(&p99), "p99 {p99}");
-        assert!(s.max() >= 1000 && s.max() <= 1070);
-        assert!((s.mean() - 500.5).abs() < 1e-9);
-        // Quantiles are monotone in q.
-        assert!(s.quantile(0.1) <= p50 && p50 <= p99 && p99 <= s.quantile(0.999));
-    }
-
-    #[test]
-    fn empty_histogram_reports_zeros() {
-        let s = AtomicHistogram::new().snapshot();
-        assert_eq!(s.count(), 0);
-        assert_eq!(s.quantile(0.99), 0);
-        assert_eq!(s.max(), 0);
-        assert_eq!(s.mean(), 0.0);
-    }
-
-    #[test]
-    fn concurrent_recording_loses_nothing() {
-        let h = std::sync::Arc::new(AtomicHistogram::new());
-        std::thread::scope(|s| {
-            for t in 0..4 {
-                let h = h.clone();
-                s.spawn(move || {
-                    for i in 0..5000u64 {
-                        h.record(t * 1000 + i % 997);
-                    }
-                });
-            }
-        });
-        assert_eq!(h.snapshot().count(), 20_000);
-    }
-}
+pub use booster_obs::hist::{AtomicHistogram, HistogramSnapshot};

@@ -77,7 +77,7 @@ pub mod tcp;
 
 pub use error::{RegistryError, ServeError};
 pub use histogram::{AtomicHistogram, HistogramSnapshot};
-pub use registry::{ActiveCache, ModelRegistry, ServingModel};
+pub use registry::{ActiveCache, ModelRegistry, RegistrySnapshot, ServingModel, VersionSnapshot};
 pub use scheduler::{
     BatchPolicy, Pending, ResponseSender, ResponseSlot, ScoreResponse, ServeConfig, ServeHandle,
     ServeStats, Server,

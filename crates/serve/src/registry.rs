@@ -159,6 +159,7 @@ impl ModelRegistry {
             served: AtomicU64::new(0),
         });
         inner.versions.insert(version, Arc::clone(&sm));
+        register_version_metrics(&sm);
         if inner.active.is_none() {
             inner.active = Some(sm);
             self.epoch.fetch_add(1, Ordering::Release);
@@ -227,6 +228,28 @@ impl ModelRegistry {
         self.inner.read().versions.values().map(|m| (m.version, m.served())).collect()
     }
 
+    /// Consistent point-in-time snapshot of the whole registry — active
+    /// version, epoch, and every version's serving counters — taken
+    /// under one read-lock acquisition so callers never assemble the
+    /// picture from torn piecemeal reads.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.read();
+        RegistrySnapshot {
+            active_version: inner.active.as_ref().map(|a| a.version),
+            epoch: self.epoch.load(Ordering::Acquire),
+            versions: inner
+                .versions
+                .values()
+                .map(|m| VersionSnapshot {
+                    version: m.version,
+                    served: m.served(),
+                    clusters: m.flat().compiled().num_clusters(),
+                    program_bytes: m.flat().compiled().byte_size(),
+                })
+                .collect(),
+        }
+    }
+
     /// Resolve the active model through a worker-local cache: one atomic
     /// epoch load on the fast path, registry read lock only after a
     /// swap.
@@ -238,6 +261,69 @@ impl ModelRegistry {
         }
         cache.model.clone()
     }
+}
+
+/// One registered version inside a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionSnapshot {
+    /// Version tag.
+    pub version: u64,
+    /// Records served by this version so far.
+    pub served: u64,
+    /// Cache-budgeted clusters in the compiled program.
+    pub clusters: usize,
+    /// Compiled bytecode size in bytes.
+    pub program_bytes: usize,
+}
+
+/// Point-in-time view of a [`ModelRegistry`], taken under a single lock
+/// acquisition by [`ModelRegistry::snapshot`] — the version list, the
+/// active version, and the activation epoch are mutually consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Version tag of the active model, if any.
+    pub active_version: Option<u64>,
+    /// Activation epoch at snapshot time.
+    pub epoch: u64,
+    /// Every registered version, in version order.
+    pub versions: Vec<VersionSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Records served by `version` at snapshot time (0 if unknown).
+    pub fn served(&self, version: u64) -> u64 {
+        self.versions.iter().find(|v| v.version == version).map_or(0, |v| v.served)
+    }
+}
+
+/// Export one version's liveness into the process-wide obs registry:
+/// records served, compiled program geometry, and cluster residency
+/// (cluster×block interpreter passes — how often the compiled engine
+/// re-enters each cache-resident cluster). Sampled gauges capture only
+/// a `Weak`, so retiring a version still frees its memory; a dead weak
+/// renders 0. Re-registering the same version number (a fresh registry
+/// in the same process) replaces the closure.
+fn register_version_metrics(sm: &Arc<ServingModel>) {
+    let g = booster_obs::global();
+    let v = sm.version().to_string();
+    let labels = [("version", v.as_str())];
+    g.counter("serve_models_registered_total", &[]).inc();
+    let w = Arc::downgrade(sm);
+    g.sampled("serve_version_served", &labels, move || {
+        w.upgrade().map_or(0.0, |m| m.served() as f64)
+    });
+    let w = Arc::downgrade(sm);
+    g.sampled("serve_version_clusters", &labels, move || {
+        w.upgrade().map_or(0.0, |m| m.flat().compiled().num_clusters() as f64)
+    });
+    let w = Arc::downgrade(sm);
+    g.sampled("serve_version_program_bytes", &labels, move || {
+        w.upgrade().map_or(0.0, |m| m.flat().compiled().byte_size() as f64)
+    });
+    let w = Arc::downgrade(sm);
+    g.sampled("serve_version_cluster_passes", &labels, move || {
+        w.upgrade().map_or(0.0, |m| m.flat().compiled().cluster_passes() as f64)
+    });
 }
 
 /// Worker-local memo for [`ModelRegistry::active_cached`].

@@ -28,10 +28,40 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use booster_gbdt::dataset::RawValue;
+use booster_obs::metrics::{Counter, Gauge};
 
 use crate::error::ServeError;
 use crate::histogram::{AtomicHistogram, HistogramSnapshot};
 use crate::registry::{ActiveCache, ModelRegistry, ServingModel};
+
+/// Handles into the process-wide [`booster_obs`] registry, resolved
+/// once per [`Server::start`]. These aggregate across every server in
+/// the process (the introspection view); the per-server [`ServeStats`]
+/// counters in [`Shared`] stay exact per instance.
+struct ServeObs {
+    accepted: std::sync::Arc<Counter>,
+    rejected: std::sync::Arc<Counter>,
+    completed: std::sync::Arc<Counter>,
+    failed: std::sync::Arc<Counter>,
+    queue_depth: std::sync::Arc<Gauge>,
+    latency: std::sync::Arc<AtomicHistogram>,
+    batch_sizes: std::sync::Arc<AtomicHistogram>,
+}
+
+impl ServeObs {
+    fn register() -> ServeObs {
+        let g = booster_obs::global();
+        ServeObs {
+            accepted: g.counter("serve_requests_total", &[("result", "accepted")]),
+            rejected: g.counter("serve_requests_total", &[("result", "rejected")]),
+            completed: g.counter("serve_requests_total", &[("result", "completed")]),
+            failed: g.counter("serve_requests_total", &[("result", "failed")]),
+            queue_depth: g.gauge("serve_queue_depth", &[]),
+            latency: g.histogram("serve_latency_micros", &[]),
+            batch_sizes: g.histogram("serve_batch_size", &[]),
+        }
+    }
+}
 
 /// When a coalesced batch is dispatched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,16 +183,20 @@ impl Request {
             Err(_) => self.enqueued.elapsed().as_micros() as u64,
         };
         shared.latency.record(latency);
+        shared.obs.latency.record(latency);
         if result.is_ok() {
             shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.obs.completed.inc();
         } else {
             shared.failed.fetch_add(1, Ordering::Relaxed);
+            shared.obs.failed.inc();
         }
         // The client may have given up and dropped its receiver; that
         // is its prerogative, not an error here.
         let _ = self.tx.send(result);
         // Decrement last: pending() == 0 implies every response was
         // sent.
+        shared.obs.queue_depth.sub(1);
         shared.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 
@@ -171,6 +205,7 @@ impl Request {
     /// error as the submit return value instead).
     fn defuse(&mut self) {
         if let Some(shared) = self.shared.take() {
+            shared.obs.queue_depth.sub(1);
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
         }
     }
@@ -183,9 +218,13 @@ impl Drop for Request {
     /// hang on a leaked in-flight count.
     fn drop(&mut self) {
         let Some(shared) = self.shared.take() else { return };
-        shared.latency.record(self.enqueued.elapsed().as_micros() as u64);
+        let latency = self.enqueued.elapsed().as_micros() as u64;
+        shared.latency.record(latency);
+        shared.obs.latency.record(latency);
         shared.failed.fetch_add(1, Ordering::Relaxed);
+        shared.obs.failed.inc();
         let _ = self.tx.send(Err(ServeError::ShuttingDown));
+        shared.obs.queue_depth.sub(1);
         shared.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -260,6 +299,7 @@ struct Shared {
     latency: AtomicHistogram,
     batch_sizes: AtomicHistogram,
     closed: AtomicBool,
+    obs: ServeObs,
 }
 
 /// Point-in-time scheduler counters and histograms.
@@ -273,6 +313,10 @@ pub struct ServeStats {
     pub completed: u64,
     /// Requests answered with an error (bad request, unknown version).
     pub failed: u64,
+    /// Requests accepted but not yet answered at snapshot time (the
+    /// live queue depth, also exported as the `serve_queue_depth`
+    /// gauge).
+    pub inflight: u64,
     /// Submit-to-response latency in microseconds.
     pub latency: HistogramSnapshot,
     /// Dispatched batch sizes.
@@ -319,6 +363,7 @@ impl ServeHandle {
         // Count in-flight before enqueueing so `drain` can never
         // observe zero while a request sits in the queue.
         self.shared.inflight.fetch_add(1, Ordering::AcqRel);
+        self.shared.obs.queue_depth.add(1);
         let req = Request {
             features,
             pin,
@@ -329,6 +374,7 @@ impl ServeHandle {
         match self.tx.try_send(Ingress::Req(req)) {
             Ok(()) => {
                 self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                self.shared.obs.accepted.inc();
                 Ok(())
             }
             Err(TrySendError::Full(msg)) => {
@@ -336,6 +382,7 @@ impl ServeHandle {
                     req.defuse();
                 }
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.obs.rejected.inc();
                 Err(ServeError::Overloaded)
             }
             Err(TrySendError::Disconnected(msg)) => {
@@ -404,6 +451,7 @@ impl ServeHandle {
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
+            inflight: self.shared.inflight.load(Ordering::Acquire),
             latency: self.shared.latency.snapshot(),
             batch_sizes: self.shared.batch_sizes.snapshot(),
         }
@@ -433,6 +481,7 @@ impl Server {
             latency: AtomicHistogram::new(),
             batch_sizes: AtomicHistogram::new(),
             closed: AtomicBool::new(false),
+            obs: ServeObs::register(),
         });
         let (ingress_tx, ingress_rx) = mpsc::sync_channel(config.queue_capacity);
         let mut shard_txs = Vec::with_capacity(config.num_shards);
@@ -612,6 +661,7 @@ fn run_worker(rx: Receiver<Vec<Request>>, shared: Arc<Shared>, cost: Duration) {
     while let Ok(batch) = rx.recv() {
         let batch_size = batch.len() as u32;
         shared.batch_sizes.record(u64::from(batch_size));
+        shared.obs.batch_sizes.record(u64::from(batch_size));
         // Resolve each request's model — the pin, or the active version
         // through the epoch cache — answering unresolvable ones
         // immediately.

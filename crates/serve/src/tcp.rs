@@ -17,8 +17,9 @@ use booster_gbdt::dataset::RawValue;
 
 use crate::error::ServeError;
 use crate::frame::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    WireRequest,
+    decode_metrics_response, decode_request, decode_response, encode_introspect_request,
+    encode_metrics_response, encode_request, encode_response, read_frame, write_frame, WireRequest,
+    OP_INTROSPECT,
 };
 use crate::scheduler::ServeHandle;
 
@@ -102,6 +103,19 @@ fn serve_connection(stream: TcpStream, handle: ServeHandle) {
             // Clean EOF, torn connection, or an oversized frame: hang up.
             Ok(None) | Err(_) => return,
         };
+        // Telemetry introspection: answer with the live process-wide
+        // metrics dump and keep serving scoring frames on the same
+        // connection.
+        if payload.first() == Some(&OP_INTROSPECT) {
+            let reply = match crate::frame::decode_introspect_request(&payload) {
+                Ok(()) => encode_metrics_response(&booster_obs::global().render_text()),
+                Err(_) => encode_response(0, &Err(ServeError::BadRequest("malformed frame"))),
+            };
+            if write_frame(&mut writer, &reply).and_then(|()| writer.flush()).is_err() {
+                return;
+            }
+            continue;
+        }
         let reply = match decode_request(&payload) {
             Ok(WireRequest { id, pin, features }) => {
                 let result = match handle.submit(features.into(), pin) {
@@ -180,6 +194,18 @@ impl TcpScoreClient {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "response id mismatch"));
         }
         Ok(resp.outcome.map(|(version, outputs)| RemoteScore { version, outputs }))
+    }
+
+    /// Fetch the server's live metrics registry dump (the
+    /// Prometheus-style text the introspection endpoint serves) over
+    /// this scoring connection.
+    pub fn fetch_metrics(&mut self) -> io::Result<String> {
+        write_frame(&mut self.writer, &encode_introspect_request())?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server hung up"))?;
+        decode_metrics_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 }
 

@@ -60,7 +60,7 @@ fn main() {
         out.report.loss_history.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
         "loss history must be bit-identical too"
     );
-    let hist_builds = out.stats.bin_events.len();
+    let summary = out.stats.summary();
     println!(
         "distributed == local: {} trees, {} loss entries, bit for bit",
         out.model.trees.len(),
@@ -68,9 +68,7 @@ fn main() {
     );
     println!(
         "wire traffic: {} frames, {} bytes across {} histogram builds",
-        out.stats.comm.frames_sent + out.stats.comm.frames_received,
-        out.stats.comm.wire_bytes(),
-        hist_builds
+        summary.frames, summary.wire_bytes, summary.hist_builds
     );
 
     // --- Serve the distributed-trained model over TCP. ----------------------

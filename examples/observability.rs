@@ -1,0 +1,92 @@
+//! The unified telemetry loop, end to end: train with span tracing on,
+//! serve the model over TCP, then read the same process-wide metrics
+//! registry three ways — in process, over the scoring connection's
+//! introspection frame op, and over the plain-text HTTP endpoint — and
+//! finally export the buffered spans as Chrome trace-event JSON.
+//!
+//! Run with: `cargo run --release --example observability`
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use booster_repro::datagen::{default_objective, generate, Benchmark};
+use booster_repro::gbdt::prelude::*;
+use booster_repro::obs::span;
+use booster_repro::serve::{ModelRegistry, ServeConfig, Server, TcpFrontend, TcpScoreClient};
+
+fn main() {
+    // --- Train with span tracing enabled. ---------------------------------
+    span::set_enabled(true);
+    let ds = generate(Benchmark::Higgs, 4_000, 7);
+    let data = BinnedDataset::from_dataset(&ds);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let cfg = TrainConfig {
+        num_trees: 8,
+        max_depth: 4,
+        objective: default_objective(Benchmark::Higgs),
+        ..Default::default()
+    };
+    let (model, report) = train(&data, &mirror, &cfg);
+    println!(
+        "trained {} trees (step1 {:?}, step5 {:?}); span aggregate:",
+        model.trees.len(),
+        report.times.step1,
+        report.times.step5
+    );
+    print!("{}", span::render_aggregate());
+    let aggs = span::aggregate();
+    assert!(
+        aggs.iter().any(|a| a.name == "step1_build_hist"),
+        "training must emit step1_build_hist spans"
+    );
+
+    // --- Serve it, scoring a few records so the counters move. ------------
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(&model).expect("model registers");
+    let server = Server::start(Arc::clone(&registry), ServeConfig::default()).expect("server");
+    let frontend = TcpFrontend::bind("127.0.0.1:0", server.handle()).expect("bind frontend");
+    let mut client = TcpScoreClient::connect(frontend.local_addr()).expect("connect client");
+    for r in 0..16 {
+        let record: Arc<[RawValue]> = (0..ds.num_fields()).map(|f| ds.value(r, f)).collect();
+        client.score(&record, None).expect("transport").expect("scored");
+    }
+
+    // --- Read the registry over the scoring connection (introspect op). ---
+    let text = client.fetch_metrics().expect("introspection frame");
+    assert!(
+        text.contains("serve_requests_total{result=\"completed\"}"),
+        "introspection text must report completed requests:\n{text}"
+    );
+    println!("\nintrospection over the scoring socket ({} bytes):", text.len());
+    for line in text.lines().filter(|l| l.starts_with("serve_requests_total")) {
+        println!("  {line}");
+    }
+    // The same connection keeps scoring after an introspection exchange.
+    let record: Arc<[RawValue]> = (0..ds.num_fields()).map(|f| ds.value(0, f)).collect();
+    client.score(&record, None).expect("transport").expect("still scoring");
+
+    // --- Scrape the standalone plain-text endpoint over HTTP. -------------
+    let endpoint = booster_repro::obs::serve_text("127.0.0.1:0").expect("bind endpoint");
+    let mut stream = TcpStream::connect(endpoint.addr()).expect("connect endpoint");
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "endpoint must answer 200");
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    assert!(body.contains("train_runs_total"), "scrape must include trainer metrics:\n{body}");
+    println!("\nHTTP scrape on {} returned {} metric lines", endpoint.addr(), body.lines().count());
+    endpoint.shutdown();
+
+    // --- Export the span ring as Chrome trace-event JSON. ------------------
+    let trace = span::chrome_trace_json();
+    assert!(trace.starts_with("{\"traceEvents\":["), "trace must be Chrome schema");
+    let path = std::env::temp_dir().join("booster_observability_trace.json");
+    std::fs::write(&path, &trace).expect("write trace");
+    println!("wrote {} bytes of Chrome trace JSON to {}", trace.len(), path.display());
+
+    frontend.shutdown();
+    server.shutdown();
+    span::set_enabled(false);
+    println!("done");
+}

@@ -19,10 +19,15 @@
 //!   workers exchanging histogram lanes behind a `Comm` trait
 //!   (in-process channels or localhost TCP), bit-identical to local
 //!   training.
+//! - [`obs`] — the unified telemetry subsystem: process-wide metrics
+//!   registry (counters, gauges, log-bucketed histograms), span tracing
+//!   with a Chrome trace-event exporter, and a plain-text introspection
+//!   endpoint. All the other layers report into it.
 
 pub use booster_datagen as datagen;
 pub use booster_dist as dist;
 pub use booster_dram as dram;
 pub use booster_gbdt as gbdt;
+pub use booster_obs as obs;
 pub use booster_serve as serve;
 pub use booster_sim as sim;

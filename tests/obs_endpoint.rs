@@ -1,0 +1,224 @@
+//! The introspection surfaces of the telemetry subsystem, end to end:
+//! text-format stability (ordering, escaping), the reserved
+//! introspection frame op on the scoring codec (pure roundtrip and over
+//! a live TCP front-end), registry consistency under concurrent
+//! writers, and a drift test pinning README's metric-name table to the
+//! names the subsystems actually register.
+
+use std::sync::Arc;
+
+use booster_repro::datagen::{default_objective, generate, Benchmark};
+use booster_repro::gbdt::prelude::*;
+use booster_repro::obs::metrics::Registry;
+use booster_repro::serve::frame::{
+    decode_introspect_request, decode_metrics_response, encode_introspect_request,
+    encode_metrics_response, OP_INTROSPECT, OP_METRICS,
+};
+use booster_repro::serve::{ModelRegistry, ServeConfig, Server, TcpFrontend, TcpScoreClient};
+
+// ---------------------------------------------------------------------
+// Text format: stable ordering and escaping.
+// ---------------------------------------------------------------------
+
+#[test]
+fn render_text_is_sorted_and_escaped() {
+    static REG: Registry = Registry::new();
+    // Register out of order; rendering must sort by (name, labels).
+    REG.counter("zz_last_total", &[]).add(3);
+    REG.gauge("aa_first", &[("k", "v2")]).set(2);
+    REG.gauge("aa_first", &[("k", "v1")]).set(1);
+    REG.counter("mid_total", &[("path", "a\\b\"c\nd")]).add(9);
+
+    let text = REG.render_text();
+    assert_eq!(
+        text,
+        "aa_first{k=\"v1\"} 1\naa_first{k=\"v2\"} 2\n\
+         mid_total{path=\"a\\\\b\\\"c\\nd\"} 9\nzz_last_total 3\n"
+    );
+    // Rendering twice is byte-identical (the golden property scrapers
+    // rely on).
+    assert_eq!(text, REG.render_text());
+}
+
+#[test]
+fn render_text_histogram_block_shape() {
+    static REG: Registry = Registry::new();
+    let h = REG.histogram("lat", &[]);
+    for v in [10, 20, 30, 40] {
+        h.record(v);
+    }
+    let text = REG.render_text();
+    for want in ["lat{quantile=\"0.5\"}", "lat{quantile=\"0.99\"}", "lat_sum 100", "lat_count 4"] {
+        assert!(text.contains(want), "missing {want:?} in:\n{text}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame op: pure codec roundtrip, then over a live front-end.
+// ---------------------------------------------------------------------
+
+#[test]
+fn introspect_frame_roundtrip() {
+    let req = encode_introspect_request();
+    assert_eq!(req, vec![OP_INTROSPECT]);
+    decode_introspect_request(&req).expect("well-formed request decodes");
+    assert!(decode_introspect_request(&[OP_INTROSPECT, 0]).is_err(), "trailing bytes rejected");
+    assert!(decode_introspect_request(&[0x01]).is_err(), "wrong op rejected");
+
+    let body = "x_total 1\ny{l=\"v\"} 2\n";
+    let resp = encode_metrics_response(body);
+    assert_eq!(resp[0], OP_METRICS);
+    assert_eq!(decode_metrics_response(&resp).expect("decodes"), body);
+
+    // Truncated and oversized length prefixes are typed errors.
+    assert!(decode_metrics_response(&resp[..resp.len() - 1]).is_err());
+    let mut long = resp.clone();
+    long[1] = long[1].wrapping_add(1);
+    assert!(decode_metrics_response(&long).is_err());
+}
+
+fn train_tiny() -> (Model, Arc<[RawValue]>) {
+    let ds = generate(Benchmark::Higgs, 600, 11);
+    let data = BinnedDataset::from_dataset(&ds);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let cfg = TrainConfig {
+        num_trees: 3,
+        max_depth: 3,
+        objective: default_objective(Benchmark::Higgs),
+        ..Default::default()
+    };
+    let (model, _) = train(&data, &mirror, &cfg);
+    let record: Arc<[RawValue]> = (0..ds.num_fields()).map(|f| ds.value(0, f)).collect();
+    (model, record)
+}
+
+#[test]
+fn introspection_over_live_frontend() {
+    let (model, record) = train_tiny();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(&model).expect("registers");
+    let server = Server::start(Arc::clone(&registry), ServeConfig::default()).expect("server");
+    let frontend = TcpFrontend::bind("127.0.0.1:0", server.handle()).expect("bind");
+    let mut client = TcpScoreClient::connect(frontend.local_addr()).expect("connect");
+
+    // Score, introspect, score again: the op interleaves with the
+    // scoring protocol on one connection.
+    client.score(&record, None).expect("transport").expect("scored");
+    let text = client.fetch_metrics().expect("introspection answered");
+    assert!(
+        text.contains("serve_requests_total{result=\"completed\"}"),
+        "metrics text should carry serve counters:\n{text}"
+    );
+    // Well-formed: every line is `name value` or `name{labels} value`.
+    for line in text.lines() {
+        let (head, value) = line.rsplit_once(' ').unwrap_or(("", ""));
+        assert!(!head.is_empty() && value.parse::<f64>().is_ok(), "malformed line {line:?}");
+    }
+    client.score(&record, None).expect("transport").expect("still scoring");
+
+    frontend.shutdown();
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: reads never tear, increments are never lost.
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_writers_lose_nothing_and_reads_never_tear() {
+    static REG: Registry = Registry::new();
+    const WRITERS: usize = 8;
+    const INCS: u64 = 20_000;
+
+    let c = REG.counter("contended_total", &[]);
+    let g = REG.gauge("seesaw", &[]);
+    std::thread::scope(|s| {
+        for _ in 0..WRITERS {
+            let c = Arc::clone(&c);
+            let g = Arc::clone(&g);
+            s.spawn(move || {
+                for _ in 0..INCS {
+                    c.inc();
+                    g.add(2);
+                    g.sub(2);
+                }
+            });
+        }
+        // Concurrent scrapes: every rendered value must be one the
+        // writers could legally have produced (no torn reads — the
+        // counter only grows, the gauge stays within [0, 2*WRITERS]).
+        s.spawn(|| {
+            let mut last = 0u64;
+            for _ in 0..200 {
+                let text = REG.render_text();
+                for line in text.lines() {
+                    if let Some(v) = line.strip_prefix("contended_total ") {
+                        let v: u64 = v.parse().expect("untorn integer");
+                        assert!(v >= last && v <= WRITERS as u64 * INCS, "impossible value {v}");
+                        last = v;
+                    } else if let Some(v) = line.strip_prefix("seesaw ") {
+                        let v: i64 = v.parse().expect("untorn integer");
+                        assert!((0..=2 * WRITERS as i64).contains(&v), "impossible gauge {v}");
+                    }
+                }
+            }
+        });
+    });
+    assert_eq!(c.get(), WRITERS as u64 * INCS, "no increment may be lost");
+    assert_eq!(g.get(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Drift test: README's metric table vs the registry's real contents.
+// ---------------------------------------------------------------------
+
+#[test]
+fn readme_metric_table_matches_registry() {
+    // Exercise every subsystem so the lazily-registered names exist.
+    let (model, record) = train_tiny();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(&model).expect("registers");
+    let server = Server::start(Arc::clone(&registry), ServeConfig::default()).expect("server");
+    let handle = server.handle();
+    handle.submit(record, None).expect("accepted").wait().expect("scored");
+    server.shutdown();
+
+    let ds = generate(Benchmark::Higgs, 400, 3);
+    let data = BinnedDataset::from_dataset(&ds);
+    let mirror = ColumnarMirror::from_binned(&data);
+    let cfg = TrainConfig { num_trees: 2, max_depth: 3, ..Default::default() };
+    booster_repro::dist::train_distributed_threads(
+        &data,
+        &mirror,
+        &cfg,
+        2,
+        std::time::Duration::from_secs(30),
+    )
+    .expect("distributed run");
+
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md readable");
+    // Pull the backticked first column of the Observability table rows.
+    let table_names: Vec<&str> = readme
+        .lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix("| `")?;
+            let name = rest.split('`').next()?;
+            (l.contains("| counter |")
+                || l.contains("| gauge |")
+                || l.contains("| histogram |")
+                || l.contains("| sampled |"))
+            .then_some(name)
+        })
+        .collect();
+    assert!(table_names.len() >= 15, "README table rows went missing: {table_names:?}");
+
+    let registered = booster_repro::obs::global().metric_names();
+    for name in table_names {
+        assert!(
+            registered.iter().any(|r| r == name),
+            "README documents metric {name:?} but the registry never registered it; \
+             registered: {registered:?}"
+        );
+    }
+}
